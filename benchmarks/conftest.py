@@ -1,0 +1,70 @@
+"""Shared fixtures for the benchmark suite.
+
+Every table/figure benchmark runs its experiment harness once (via
+``benchmark.pedantic``), asserts the paper's qualitative *shape*, and writes
+the formatted rows/series to ``results/`` so EXPERIMENTS.md can reference
+them.  Absolute numbers are not expected to match the paper (different
+hardware, pure-Python substrate, scaled datasets) — shapes are the
+reproduction target (DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+#: One shared configuration for the whole benchmark suite: big enough that
+#: the paper shapes emerge, small enough that the suite finishes in minutes.
+BENCH = ExperimentConfig(scale=0.35, num_samples=64, num_eval_samples=64, k=20)
+
+#: The influence-maximisation benchmarks (Figures 6 and 8) need the k << n
+#: regime with heavy-tailed cascade noise — a larger scale and deeper k.
+BENCH_INFMAX = ExperimentConfig(
+    scale=0.5, num_samples=64, num_eval_samples=128, k=40
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH
+
+
+@pytest.fixture(scope="session")
+def bench_infmax_config() -> ExperimentConfig:
+    return BENCH_INFMAX
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_result(results_dir):
+    """Write a named result artefact and echo it to the terminal."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Refresh EXPERIMENTS.md from whatever artefacts exist after a run."""
+    try:
+        from repro.experiments.reporting import write_experiments_markdown
+
+        if RESULTS_DIR.exists():
+            write_experiments_markdown(
+                RESULTS_DIR, RESULTS_DIR.parent / "EXPERIMENTS.md"
+            )
+    except Exception as exc:  # never fail the suite over reporting
+        print(f"[reporting] could not refresh EXPERIMENTS.md: {exc}")

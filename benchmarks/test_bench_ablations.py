@@ -1,0 +1,110 @@
+"""Ablation benchmarks (DESIGN.md §6): sample count, transitive reduction,
+and median algorithm choice."""
+
+from repro.experiments.ablations import (
+    format_ablation_rows,
+    run_index_ablation,
+    run_median_ablation,
+    run_minhash_ablation,
+    run_samples_ablation,
+    run_sparsify_ablation,
+)
+
+
+def test_bench_samples_ablation(benchmark, bench_config, save_result):
+    """Theorem 2 empirically: out-of-sample cost plateaus at small l."""
+    rows = benchmark.pedantic(
+        lambda: run_samples_ablation(
+            "Digg-S",
+            bench_config,
+            sample_counts=(4, 8, 16, 32, 64),
+            num_nodes=25,
+            eval_samples=128,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert [r.num_samples for r in rows] == [4, 8, 16, 32, 64]
+    # The out-of-sample cost at l=64 is no worse than at l=4 (overfitting
+    # shrinks with l), and the tail of the curve is flat (constant-sample
+    # sufficiency).
+    assert rows[-1].mean_out_of_sample_cost <= rows[0].mean_out_of_sample_cost + 0.02
+    assert (
+        abs(rows[-1].mean_out_of_sample_cost - rows[-2].mean_out_of_sample_cost)
+        < 0.05
+    )
+    save_result(
+        "ablation_samples",
+        format_ablation_rows(rows, "Samples ablation (Theorem 2): cost vs l"),
+    )
+
+
+def test_bench_index_ablation(benchmark, bench_config, save_result):
+    """Transitive reduction: strictly fewer DAG edges, correct extraction."""
+    rows = benchmark.pedantic(
+        lambda: run_index_ablation("NetHEPT-W", bench_config, num_queries=150),
+        rounds=1,
+        iterations=1,
+    )
+    by_flag = {r.reduced: r for r in rows}
+    assert by_flag[True].total_dag_edges <= by_flag[False].total_dag_edges
+    save_result(
+        "ablation_index",
+        format_ablation_rows(rows, "Index ablation: transitive reduction"),
+    )
+
+
+def test_bench_median_ablation(benchmark, bench_config, save_result):
+    """Candidate-family comparison for the Jaccard median."""
+    rows = benchmark.pedantic(
+        lambda: run_median_ablation("Digg-S", bench_config, num_nodes=20),
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {r.algorithm: r for r in rows}
+    # The combined algorithm dominates its ingredients in-sample.
+    assert by_name["chierichetti"].mean_cost <= by_name["best-of-samples"].mean_cost + 1e-9
+    assert by_name["chierichetti"].mean_cost <= by_name["majority"].mean_cost + 1e-9
+    # Local-search polish can only improve the cost.
+    assert by_name["chierichetti+ls"].mean_cost <= by_name["chierichetti"].mean_cost + 1e-9
+    save_result(
+        "ablation_median",
+        format_ablation_rows(rows, "Median-algorithm ablation"),
+    )
+
+
+def test_bench_sparsify_ablation(benchmark, bench_config, save_result):
+    """Sphere fidelity degrades gracefully under sparsification."""
+    rows = benchmark.pedantic(
+        lambda: run_sparsify_ablation(
+            "Digg-S", bench_config, fractions=(0.9, 0.7, 0.5), num_nodes=20
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    # More retained mass => closer spheres (weakly monotone).
+    assert rows[0].fraction > rows[-1].fraction
+    assert rows[0].mean_sphere_distance <= rows[-1].mean_sphere_distance + 0.1
+    # Keeping 90% of arcs keeps spheres close.
+    assert rows[0].mean_sphere_distance < 0.4
+    save_result(
+        "ablation_sparsify",
+        format_ablation_rows(rows, "Sparsification ablation (sphere fidelity)"),
+    )
+
+
+def test_bench_minhash_ablation(benchmark, bench_config, save_result):
+    """Sketch accuracy improves with the number of hash functions."""
+    rows = benchmark.pedantic(
+        lambda: run_minhash_ablation(
+            "Flixster-G", bench_config, hash_counts=(32, 128, 512), num_nodes=10
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert rows[-1].mean_abs_cost_error <= rows[0].mean_abs_cost_error + 0.02
+    assert rows[-1].mean_abs_cost_error < 0.08
+    save_result(
+        "ablation_minhash",
+        format_ablation_rows(rows, "MinHash sketch ablation (cost accuracy)"),
+    )

@@ -1,0 +1,76 @@
+"""Micro-benchmarks of the core operations (multi-round pytest-benchmark).
+
+These are conventional throughput benchmarks for the hot paths: index
+construction, cascade extraction, Jaccard-median computation, SCC, and the
+spread oracle.  They complement the one-shot table/figure benchmarks.
+"""
+
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.graph.generators import powerlaw_outdegree_digraph
+from repro.graph.scc import strongly_connected_components
+from repro.influence.spread import SpreadOracle
+from repro.median.chierichetti import jaccard_median
+from repro.median.samples import SampleCollection
+from repro.problearn.assign import assign_fixed
+
+
+@pytest.fixture(scope="module")
+def graph():
+    base = powerlaw_outdegree_digraph(400, mean_degree=8.0, seed=1)
+    return assign_fixed(base, 0.1)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return CascadeIndex.build(graph, 32, seed=2)
+
+
+def test_bench_scc(benchmark, graph):
+    comp, k = benchmark(strongly_connected_components, graph)
+    assert k >= 1
+
+
+def test_bench_index_build(benchmark, graph):
+    index = benchmark.pedantic(
+        lambda: CascadeIndex.build(graph, 16, seed=3), rounds=3, iterations=1
+    )
+    assert index.num_worlds == 16
+
+
+def test_bench_cascade_extraction(benchmark, index):
+    def extract():
+        total = 0
+        for node in range(0, 400, 13):
+            total += index.cascade(node, node % index.num_worlds).size
+        return total
+
+    total = benchmark(extract)
+    assert total > 0
+
+
+def test_bench_all_cascade_sizes(benchmark, index):
+    sizes = benchmark.pedantic(index.all_cascade_sizes, rounds=3, iterations=1)
+    assert sizes.shape == (400, 32)
+
+
+def test_bench_jaccard_median(benchmark, index):
+    samples = SampleCollection(index.num_nodes, index.cascades(7))
+
+    result = benchmark(jaccard_median, samples)
+    assert result.cost <= 1.0
+
+
+def test_bench_typical_cascade_single_node(benchmark, index):
+    computer = TypicalCascadeComputer(index)
+    sphere = benchmark(computer.compute, 11)
+    assert sphere.size >= 1
+
+
+def test_bench_spread_oracle_gain(benchmark, index):
+    oracle = SpreadOracle(index)
+    oracle.add_seed(0)
+    gain = benchmark(oracle.marginal_gain, 5)
+    assert gain >= 0.0

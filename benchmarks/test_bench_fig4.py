@@ -1,0 +1,25 @@
+"""Benchmark F4 — regenerate Figure 4 (per-node computation time)."""
+
+from repro.experiments.fig4 import format_fig4, run_fig4
+
+SETTINGS = ("Digg-S", "Twitter-S", "NetHEPT-W", "NetHEPT-F")
+
+
+def test_bench_fig4(benchmark, bench_config, save_result):
+    rows = benchmark.pedantic(
+        lambda: run_fig4(bench_config, settings=SETTINGS, max_nodes=120),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == len(SETTINGS)
+
+    for r in rows:
+        # Paper shape: per-node time "almost always well under 1 second".
+        # At our reduced scale the bulk should be far under that; allow a
+        # loose envelope for slow CI machines.
+        assert r.median_time_p90 < 1.0
+        assert r.cost_time_p90 < 1.0
+        # Heavy right tail: the max exceeds the median.
+        assert r.median_time_max >= r.median_time_p50
+
+    save_result("fig4", format_fig4(rows))

@@ -1,0 +1,68 @@
+"""Benchmark F5 — regenerate Figure 5 (expected cost vs sphere size).
+
+Paper claim (Section 6.3): "if we disregard the bucket of very small
+cascades ... the larger the typical cascade, the more reliable it is
+(smaller cost)", and "it is practically impossible to find a large typical
+cascade with large cost".
+"""
+
+import numpy as np
+
+from repro.experiments.fig5 import format_fig5, run_fig5
+
+SETTINGS = (
+    "Digg-S",
+    "Twitter-G",
+    "Flixster-G",
+    "Epinions-F",
+    "NetHEPT-F",
+    "Slashdot-W",
+)
+
+#: Spheres below this size count as the paper's "very small cascades".
+SMALL = 8
+
+
+def test_bench_fig5(benchmark, bench_config, save_result):
+    buckets = benchmark.pedantic(
+        lambda: run_fig5(bench_config, settings=SETTINGS, max_nodes=200),
+        rounds=1,
+        iterations=1,
+    )
+    assert buckets, "no size buckets produced"
+    for b in buckets:
+        assert 0.0 <= b.mean_cost <= b.max_cost <= 1.0
+
+    # Claim 1: among the non-small buckets, cost decreases from the first
+    # to the largest, for a majority of the settings that have at least two
+    # such buckets.
+    wins = considered = 0
+    for setting in SETTINGS:
+        rows = [
+            b for b in buckets if b.setting == setting and b.size_lo >= SMALL
+        ]
+        if len(rows) < 2:
+            continue
+        considered += 1
+        if rows[-1].mean_cost <= rows[0].mean_cost + 0.05:
+            wins += 1
+    assert considered == 0 or wins > considered / 2, (
+        f"larger-is-cheaper held on only {wins}/{considered} settings"
+    )
+
+    # Claim 2: large spheres never carry near-maximal cost — for a majority
+    # of settings with a genuinely large bucket, its max cost is below the
+    # setting's overall max.
+    wins2 = considered2 = 0
+    for setting in SETTINGS:
+        rows = [b for b in buckets if b.setting == setting]
+        large = [b for b in rows if b.size_lo >= 128]
+        if not large or len(rows) < 2:
+            continue
+        considered2 += 1
+        overall_max = max(b.max_cost for b in rows)
+        if large[-1].max_cost <= overall_max + 1e-9 and large[-1].max_cost < 0.85:
+            wins2 += 1
+    assert considered2 == 0 or wins2 > considered2 / 2
+
+    save_result("fig5", format_fig5(buckets))

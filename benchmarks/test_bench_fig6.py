@@ -1,0 +1,56 @@
+"""Benchmark F6 — regenerate Figure 6 (InfMax_std vs InfMax_TC spread).
+
+The paper's headline: InfMax_std wins early, the curves cross, InfMax_TC
+wins for large seed sets.  InfMax_std here is the paper-faithful noisy
+estimator (``infmax_std_mc``: independent Monte Carlo runs per marginal
+estimate); the modern common-random-numbers greedy is reported alongside
+as InfMax_std(CRN) — see EXPERIMENTS.md for why that distinction is the
+crux of the reproduction.
+"""
+
+import numpy as np
+
+from repro.datasets.registry import SETTING_NAMES
+from repro.experiments.fig6 import format_fig6, run_fig6
+
+
+def test_bench_fig6(benchmark, bench_infmax_config, save_result):
+    results = benchmark.pedantic(
+        lambda: run_fig6(
+            bench_infmax_config,
+            settings=SETTING_NAMES,
+            mc_simulations=64,
+            mc_pool=384,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == 12
+
+    final_gap_ratios = []
+    for r in results:
+        assert np.all(np.diff(r.spread_std) >= -1e-9)
+        assert np.all(np.diff(r.spread_tc) >= -1e-9)
+        final_gap_ratios.append(
+            float(r.spread_tc[-1] / max(r.spread_std[-1], 1e-9))
+        )
+
+    # Paper shape 1: at large k, InfMax_TC matches or beats the classic
+    # greedy on average across the 12 settings.
+    assert float(np.mean(final_gap_ratios)) >= 0.97
+
+    # Paper shape 2: the crossover happens on a meaningful set of settings
+    # (the paper reports it on all 12 at k=200 and full-size graphs; at our
+    # reduced scale we require a majority-ish share).
+    wins = sum(1 for r in results if r.tc_wins_at_k)
+    assert wins >= 4, f"InfMax_TC ahead at k on only {wins}/12 settings"
+
+    # Reproduction finding: the variance-reduced CRN greedy is never much
+    # worse than the noisy historical estimator — and usually better.
+    crn_vs_mc = [
+        float(r.spread_std_crn[-1] / max(r.spread_std[-1], 1e-9))
+        for r in results
+    ]
+    assert float(np.mean(crn_vs_mc)) >= 1.0
+
+    save_result("fig6", format_fig6(results))

@@ -1,0 +1,46 @@
+"""Benchmark F8 — regenerate Figure 8 (seed-set stability)."""
+
+import numpy as np
+
+from repro.experiments.fig8 import format_fig8, run_fig8
+
+SETTINGS = (
+    "Digg-S",
+    "Twitter-S",
+    "Flixster-G",
+    "NetHEPT-W",
+    "Slashdot-W",
+    "Epinions-F",
+)
+
+
+def test_bench_fig8(benchmark, bench_infmax_config, save_result):
+    results = benchmark.pedantic(
+        lambda: run_fig8(
+            bench_infmax_config, settings=SETTINGS, num_checkpoints=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == len(SETTINGS)
+
+    for r in results:
+        assert np.all((r.cost_std >= 0) & (r.cost_std <= 1))
+        assert np.all((r.cost_tc >= 0) & (r.cost_tc <= 1))
+
+    # Paper shape 1: stability improves (cost decreases) as seed sets grow —
+    # Section 5's observation 3 — for both methods, on most settings.
+    decreasing = sum(
+        1
+        for r in results
+        if r.cost_tc[-1] <= r.cost_tc[0] + 1e-9
+        and r.cost_std[-1] <= r.cost_std[0] + 1e-9
+    )
+    assert decreasing >= len(results) / 2
+
+    # Paper shape 2: InfMax_TC's seed sets are at least as stable as
+    # InfMax_std's at a clear majority of checkpoints.
+    fractions = [r.tc_more_stable_fraction for r in results]
+    assert float(np.mean(fractions)) >= 0.5
+
+    save_result("fig8", format_fig8(results))

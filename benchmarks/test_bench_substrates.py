@@ -1,0 +1,69 @@
+"""Micro-benchmarks for the substrate layers: probability learning, world
+sampling, reliability search, distance-constrained queries and sketches."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.distance_reliability import monte_carlo_distance_reliability
+from repro.cascades.index import CascadeIndex
+from repro.cascades.reliability_search import reliability_search
+from repro.graph.generators import powerlaw_outdegree_digraph
+from repro.graph.sampling import sample_worlds
+from repro.median.minhash import MinHasher
+from repro.problearn.assign import assign_fixed
+from repro.problearn.goyal import learn_goyal
+from repro.problearn.logs import generate_action_log
+from repro.problearn.saito import learn_saito
+
+
+@pytest.fixture(scope="module")
+def graph():
+    base = powerlaw_outdegree_digraph(300, mean_degree=6.0, seed=1)
+    return assign_fixed(base, 0.12)
+
+
+@pytest.fixture(scope="module")
+def log(graph):
+    return generate_action_log(graph, 150, seed=2)
+
+
+def test_bench_world_sampling(benchmark, graph):
+    masks = benchmark(sample_worlds, graph, 64, 3)
+    assert masks.shape == (64, graph.num_edges)
+
+
+def test_bench_saito_em(benchmark, graph, log):
+    fit = benchmark.pedantic(
+        lambda: learn_saito(graph, log, max_iterations=25), rounds=2, iterations=1
+    )
+    assert fit.iterations >= 1
+
+
+def test_bench_goyal(benchmark, graph, log):
+    learnt = benchmark.pedantic(
+        lambda: learn_goyal(graph, log), rounds=3, iterations=1
+    )
+    assert learnt.num_nodes == graph.num_nodes
+
+
+def test_bench_reliability_search(benchmark, graph):
+    index = CascadeIndex.build(graph, 64, seed=4)
+    ring = benchmark(reliability_search, index, 0, 0.5)
+    assert 0 in ring
+
+
+def test_bench_distance_reliability(benchmark, graph):
+    value = benchmark.pedantic(
+        lambda: monte_carlo_distance_reliability(graph, 0, 10, 4, 200, seed=5),
+        rounds=3,
+        iterations=1,
+    )
+    assert 0.0 <= value <= 1.0
+
+
+def test_bench_minhash_signatures(benchmark, graph):
+    index = CascadeIndex.build(graph, 32, seed=6)
+    cascades = index.cascades(0)
+    hasher = MinHasher(128, seed=7)
+    sigs = benchmark(hasher.signatures, cascades)
+    assert sigs.shape == (32, 128)

@@ -1,0 +1,31 @@
+"""Benchmark T1 — regenerate Table 1 (dataset characteristics)."""
+
+from repro.experiments.table1 import format_table1, run_table1
+
+
+def test_bench_table1(benchmark, bench_config, save_result):
+    rows = benchmark.pedantic(
+        lambda: run_table1(bench_config), rounds=1, iterations=1
+    )
+
+    # Shape checks against the paper's Table 1.
+    by_name = {r.dataset: r for r in rows}
+    assert set(by_name) == {
+        "Digg", "Flixster", "Twitter", "NetHEPT", "Epinions", "Slashdot"
+    }
+    # Directedness column matches the paper.
+    assert by_name["Digg"].graph_type == "directed"
+    assert by_name["Flixster"].graph_type == "undirected"
+    assert by_name["Twitter"].graph_type == "undirected"
+    assert by_name["NetHEPT"].graph_type == "undirected"
+    assert by_name["Epinions"].graph_type == "directed"
+    assert by_name["Slashdot"].graph_type == "directed"
+    # Probability-source column matches the paper.
+    for name in ("Digg", "Flixster", "Twitter"):
+        assert by_name[name].probabilities == "learnt"
+    for name in ("NetHEPT", "Epinions", "Slashdot"):
+        assert by_name[name].probabilities == "assigned"
+    # Relative sizes: Flixster is the largest graph, as in the paper.
+    assert by_name["Flixster"].num_nodes == max(r.num_nodes for r in rows)
+
+    save_result("table1", format_table1(rows))

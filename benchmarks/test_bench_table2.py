@@ -1,0 +1,39 @@
+"""Benchmark T2 — regenerate Table 2 (typical-cascade size statistics)."""
+
+from repro.experiments.table2 import format_table2, run_table2
+
+#: All nodes on graphs this size is feasible; cap for suite latency.
+MAX_NODES = 200
+
+
+def test_bench_table2(benchmark, bench_config, save_result):
+    rows = benchmark.pedantic(
+        lambda: run_table2(bench_config, max_nodes=MAX_NODES),
+        rounds=1,
+        iterations=1,
+    )
+    by_name = {r.setting: r for r in rows}
+    assert len(rows) == 12
+
+    # Paper shape 1: Goyal-learnt settings produce typical cascades at least
+    # as large as Saito-learnt ones (Section 6.3, tied to Figure 3).
+    for family in ("Digg", "Flixster", "Twitter"):
+        assert (
+            by_name[f"{family}-G"].avg_size
+            >= by_name[f"{family}-S"].avg_size - 1.0
+        )
+
+    # Paper shape 2: fixed-0.1 dwarfs weighted-cascade on the supercritical
+    # families (NetHEPT-F avg 1067 vs NetHEPT-W avg 3.0 in the paper).
+    assert by_name["NetHEPT-F"].avg_size > 3 * by_name["NetHEPT-W"].avg_size
+    assert by_name["Epinions-F"].avg_size > 3 * by_name["Epinions-W"].avg_size
+
+    # Paper shape 3: WC settings stay near-critical — small average sizes.
+    for name in ("NetHEPT-W", "Epinions-W", "Slashdot-W"):
+        assert by_name[name].avg_size < 0.2 * by_name[name].num_nodes_evaluated
+
+    # Sanity: sd and max dominate the mean as in every paper row.
+    for r in rows:
+        assert r.max_size >= r.avg_size
+
+    save_result("table2", format_table2(rows))

@@ -1,0 +1,79 @@
+"""Epidemics: who should be quarantined when a node gets infected?
+
+The paper's introduction motivates spheres of influence beyond marketing:
+"given an ebola case, which other individuals should we quarantine?".  The
+sphere of influence of the index case is exactly the set that is closest
+(in expected Jaccard distance) to the realised outbreak.
+
+This example compares three quarantine policies on a contact network:
+
+* DIRECT   — quarantine the direct contacts of the index case;
+* TOP-PROB — quarantine everyone whose infection probability exceeds 1/2
+             (the majority set of Section 5, observation 4);
+* SPHERE   — quarantine the typical cascade (our method).
+
+Each policy is scored by its expected Jaccard distance to fresh simulated
+outbreaks: lower means the policy matches what actually happens.
+
+Run:  python examples/epidemic_quarantine.py
+"""
+
+import numpy as np
+
+from repro import CascadeIndex, TypicalCascadeComputer
+from repro.cascades.reliability import reachability_probabilities
+from repro.graph.generators import forest_fire_digraph
+from repro.median.cost import monte_carlo_expected_cost
+from repro.problearn.assign import assign_fixed
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    # A contact network: forest-fire topology, uniform transmission 0.12.
+    contacts = forest_fire_digraph(400, forward_prob=0.35, backward_prob=0.2, seed=3)
+    graph = assign_fixed(contacts, 0.12)
+    print(f"Contact network: {graph.num_nodes} people, {graph.num_edges} contacts")
+
+    # Pick a well-connected index case.
+    index_case = int(np.argmax(graph.out_degrees()))
+    print(f"Index case: person {index_case} "
+          f"(out-degree {graph.out_degree(index_case)})\n")
+
+    # Policy 1: direct contacts.
+    direct = np.union1d(graph.successors(index_case), [index_case])
+
+    # Policy 2: infection probability above 1/2.
+    probs = reachability_probabilities(graph, index_case, 500, seed=4)
+    top_prob = np.flatnonzero(probs >= 0.5).astype(np.int64)
+
+    # Policy 3: the sphere of influence.
+    cascade_index = CascadeIndex.build(graph, 256, seed=5)
+    sphere = TypicalCascadeComputer(cascade_index).compute(index_case)
+
+    policies = {
+        "DIRECT (contacts)": direct,
+        "TOP-PROB (p >= 1/2)": top_prob,
+        "SPHERE (typical cascade)": sphere.members,
+    }
+
+    rows = []
+    for name, quarantine_set in policies.items():
+        cost = monte_carlo_expected_cost(
+            graph, index_case, quarantine_set, 600, seed=6
+        )
+        rows.append((name, int(len(quarantine_set)), cost))
+
+    print(
+        format_table(
+            ["Policy", "people quarantined", "expected mismatch (Jaccard)"],
+            rows,
+            title="Quarantine policies vs simulated outbreaks (lower = better)",
+        )
+    )
+    best = min(rows, key=lambda r: r[2])
+    print(f"\nBest-matching policy: {best[0]}")
+    assert best[0].startswith("SPHERE") or best[2] <= rows[2][2] + 1e-9
+
+
+if __name__ == "__main__":
+    main()

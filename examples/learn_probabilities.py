@@ -1,0 +1,79 @@
+"""Learning influence probabilities from an activity log.
+
+The paper evaluates on probabilities *learnt* from past user activity
+(Digg votes, Flixster ratings, Twitter reshares) using two learners:
+Saito et al.'s EM and Goyal et al.'s frequentist model.  This example
+
+1. plants ground-truth probabilities on a Digg-like directed graph,
+2. simulates an activity log of IC cascades over it,
+3. fits both learners on the same log,
+4. compares the learnt probability distributions (the Figure 3 CDFs) and
+   the estimation error against the planted truth.
+
+Run:  python examples/learn_probabilities.py
+"""
+
+import numpy as np
+
+from repro.datasets.synth import build_digg_like, plant_ground_truth
+from repro.problearn.goyal import learn_goyal
+from repro.problearn.logs import generate_action_log
+from repro.problearn.saito import learn_saito
+from repro.utils.tables import format_table
+
+
+def cdf_at(probs: np.ndarray, grid) -> list[float]:
+    return [float((probs <= x).mean()) for x in grid]
+
+
+def estimation_error(truth, learnt) -> float:
+    """Mean absolute error over the arcs the learner kept."""
+    errors = []
+    for u, v, p in learnt.edges():
+        errors.append(abs(p - truth.edge_probability(u, v)))
+    return float(np.mean(errors)) if errors else float("nan")
+
+
+def main() -> None:
+    topology = build_digg_like(scale=0.12)
+    truth = plant_ground_truth(topology, mean=0.10, seed=1)
+    print(
+        f"Ground-truth graph: {truth.num_nodes} nodes, {truth.num_edges} arcs, "
+        f"mean p = {truth.probs.mean():.3f}"
+    )
+
+    log = generate_action_log(truth, num_items=400, seed=2, initial_adopters=2)
+    print(f"Synthetic activity log: {log.num_items} items, {log.num_actions} actions\n")
+
+    saito_fit = learn_saito(truth, log, max_iterations=50)
+    goyal_graph = learn_goyal(truth, log)
+    print(f"Saito EM: {saito_fit.iterations} iterations, "
+          f"{saito_fit.graph.num_edges} arcs kept")
+    print(f"Goyal   : {goyal_graph.num_edges} arcs kept\n")
+
+    grid = [0.01, 0.05, 0.1, 0.2, 0.5, 1.0]
+    rows = [
+        ["truth", *cdf_at(truth.probs, grid)],
+        ["Saito", *cdf_at(saito_fit.graph.probs, grid)],
+        ["Goyal", *cdf_at(goyal_graph.probs, grid)],
+    ]
+    print(
+        format_table(
+            ["probabilities", *[f"P[p<={x}]" for x in grid]],
+            rows,
+            title="CDF of edge probabilities (the Figure 3 comparison)",
+        )
+    )
+
+    print("\nMean absolute estimation error (kept arcs only):")
+    print(f"  Saito EM : {estimation_error(truth, saito_fit.graph):.4f}")
+    print(f"  Goyal    : {estimation_error(truth, goyal_graph):.4f}")
+    print(
+        "\nAs in the paper, the frequentist model credits correlated "
+        "activations to every candidate arc, so its probabilities run higher "
+        "than the EM estimates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Cascade machinery: IC/LT propagation models, the per-world cascade index
+of Section 4 (Algorithm 1), and reliability oracles used by the #P-hardness
+cross-checks.
+"""
+
+from repro.cascades.ic import simulate_ic, sample_cascade, sample_cascades
+from repro.cascades.lt import simulate_lt
+from repro.cascades.index import CascadeIndex
+from repro.cascades.reliability import (
+    exact_reliability,
+    monte_carlo_reliability,
+    exact_cascade_distribution,
+)
+from repro.cascades.reliability_search import (
+    reliability_search,
+    majority_reachable_set,
+    reachability_frequencies,
+)
+
+__all__ = [
+    "reliability_search",
+    "majority_reachable_set",
+    "reachability_frequencies",
+    "simulate_ic",
+    "sample_cascade",
+    "sample_cascades",
+    "simulate_lt",
+    "CascadeIndex",
+    "exact_reliability",
+    "monte_carlo_reliability",
+    "exact_cascade_distribution",
+]

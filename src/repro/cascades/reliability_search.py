@@ -1,0 +1,65 @@
+"""Reliability search over the cascade index (Khan et al., EDBT 2014).
+
+Related work (Section 7): *reliability search* asks for all nodes reachable
+from a set of source nodes with probability at least a threshold ``eta``.
+With a cascade index already built, the per-node reachability frequencies
+across the sampled worlds answer the query directly — another payoff of
+having the spheres-of-influence infrastructure precomputed (Section 8's
+reuse argument).
+
+The paper's Section 5 (observation 4) is the special case ``eta = 1/2``:
+the majority superlevel set, which is monotone in the seed set and a
+near-optimal typical cascade.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cascades.index import CascadeIndex
+from repro.utils.validation import check_fraction, check_node
+
+
+def reachability_frequencies(
+    index: CascadeIndex, sources: Sequence[int] | int
+) -> np.ndarray:
+    """Per-node fraction of indexed worlds in which the node is reached."""
+    if isinstance(sources, (int, np.integer)):
+        sources = [int(sources)]
+    sources = [check_node(s, index.num_nodes, "source") for s in sources]
+    if not sources:
+        raise ValueError("sources must not be empty")
+    counts = np.zeros(index.num_nodes, dtype=np.int64)
+    for world in range(index.num_worlds):
+        cascade = index.seed_set_cascade(sources, world)
+        counts[cascade] += 1
+    return counts / index.num_worlds
+
+
+def reliability_search(
+    index: CascadeIndex,
+    sources: Sequence[int] | int,
+    eta: float,
+) -> np.ndarray:
+    """All nodes reached from ``sources`` with empirical probability >= eta.
+
+    Returns a sorted int64 array.  The sources themselves always qualify
+    (they are reached with probability 1).
+    """
+    eta = check_fraction(eta, "eta")
+    frequencies = reachability_frequencies(index, sources)
+    return np.flatnonzero(frequencies >= eta).astype(np.int64)
+
+
+def majority_reachable_set(
+    index: CascadeIndex, sources: Sequence[int] | int
+) -> np.ndarray:
+    """The eta = 1/2 superlevel set of Section 5's observation 4.
+
+    If the optimal typical cascade of the sources has cost ``eps``, this
+    set has cost at most ``eps + O(eps^{3/2})`` (Chierichetti et al.), and
+    it is monotone non-decreasing in the source set.
+    """
+    return reliability_search(index, sources, 0.5)

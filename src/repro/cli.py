@@ -1,0 +1,233 @@
+"""Command-line interface: regenerate any paper artefact from the shell.
+
+Usage::
+
+    python -m repro table1 --scale 0.2
+    python -m repro table2 --scale 0.2 --samples 64 --max-nodes 100
+    python -m repro fig6 --settings Digg-S Slashdot-W --k 30
+    python -m repro sphere --setting NetHEPT-W --node 5
+    python -m repro list-settings
+
+Every subcommand prints the same rows/series the paper reports; see
+``python -m repro --help`` for the full surface.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.datasets.registry import EXTENSION_SETTINGS, SETTING_NAMES
+from repro.experiments.config import ExperimentConfig
+
+#: All settings the CLI accepts (the paper's 12 + the -T extensions).
+CLI_SETTINGS = SETTING_NAMES + EXTENSION_SETTINGS
+
+
+def _base_config(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
+        scale=args.scale,
+        num_samples=args.samples,
+        num_eval_samples=args.eval_samples,
+        k=args.k,
+        seed=args.seed,
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=float, default=0.2,
+                        help="dataset scale multiplier (default 0.2)")
+    parser.add_argument("--samples", type=int, default=64,
+                        help="sampled worlds per index (default 64)")
+    parser.add_argument("--eval-samples", type=int, default=64,
+                        help="fresh evaluation worlds (default 64)")
+    parser.add_argument("--k", type=int, default=20,
+                        help="seed-set size for influence experiments")
+    parser.add_argument("--seed", type=int, default=20160626,
+                        help="master RNG seed")
+
+
+def _settings_argument(parser: argparse.ArgumentParser, default=None) -> None:
+    parser.add_argument(
+        "--settings",
+        nargs="+",
+        default=default,
+        choices=CLI_SETTINGS,
+        metavar="SETTING",
+        help=f"subset of the 12 settings (default: harness default)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI (exposed for tests and docs tooling)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate artefacts of 'Spheres of Influence for More "
+        "Effective Viral Marketing' (SIGMOD 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, needs_settings in (
+        ("table1", False),
+        ("fig3", False),
+        ("table2", True),
+        ("fig4", True),
+        ("fig5", True),
+        ("fig6", True),
+        ("fig7", True),
+        ("fig8", True),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        _add_common(p)
+        if needs_settings:
+            _settings_argument(p)
+        if name in ("table2", "fig4", "fig5"):
+            p.add_argument("--max-nodes", type=int, default=None,
+                           help="subsample this many nodes (default: all)")
+
+    p = sub.add_parser("sphere", help="sphere of influence of one node")
+    _add_common(p)
+    p.add_argument("--setting", required=True, choices=CLI_SETTINGS)
+    p.add_argument("--node", type=int, required=True)
+
+    sub.add_parser("list-settings", help="list the 12 dataset settings")
+
+    p = sub.add_parser(
+        "report", help="assemble EXPERIMENTS.md from results/ artefacts"
+    )
+    p.add_argument("--results-dir", default="results",
+                   help="directory holding the benchmark artefacts")
+    p.add_argument("--output", default="EXPERIMENTS.md",
+                   help="markdown file to write")
+    return parser
+
+
+def _run_table1(args) -> str:
+    from repro.experiments.table1 import format_table1, run_table1
+
+    return format_table1(run_table1(_base_config(args)))
+
+
+def _run_fig3(args) -> str:
+    from repro.experiments.fig3 import format_fig3, run_fig3
+
+    return format_fig3(run_fig3(_base_config(args)))
+
+
+def _run_table2(args) -> str:
+    from repro.experiments.table2 import format_table2, run_table2
+
+    kwargs = {"max_nodes": args.max_nodes}
+    if args.settings:
+        kwargs["settings"] = tuple(args.settings)
+    return format_table2(run_table2(_base_config(args), **kwargs))
+
+
+def _run_fig4(args) -> str:
+    from repro.experiments.fig4 import format_fig4, run_fig4
+
+    kwargs = {}
+    if args.settings:
+        kwargs["settings"] = tuple(args.settings)
+    if args.max_nodes:
+        kwargs["max_nodes"] = args.max_nodes
+    return format_fig4(run_fig4(_base_config(args), **kwargs))
+
+
+def _run_fig5(args) -> str:
+    from repro.experiments.fig5 import format_fig5, run_fig5
+
+    kwargs = {"max_nodes": args.max_nodes}
+    if args.settings:
+        kwargs["settings"] = tuple(args.settings)
+    return format_fig5(run_fig5(_base_config(args), **kwargs))
+
+
+def _run_fig6(args) -> str:
+    from repro.experiments.fig6 import format_fig6, run_fig6
+
+    kwargs = {}
+    if args.settings:
+        kwargs["settings"] = tuple(args.settings)
+    return format_fig6(run_fig6(_base_config(args), **kwargs))
+
+
+def _run_fig7(args) -> str:
+    from repro.experiments.fig7 import format_fig7, run_fig7
+
+    kwargs = {}
+    if args.settings:
+        kwargs["settings"] = tuple(args.settings)
+    return format_fig7(run_fig7(_base_config(args), **kwargs))
+
+
+def _run_fig8(args) -> str:
+    from repro.experiments.fig8 import format_fig8, run_fig8
+
+    kwargs = {}
+    if args.settings:
+        kwargs["settings"] = tuple(args.settings)
+    return format_fig8(run_fig8(_base_config(args), **kwargs))
+
+
+def _run_sphere(args) -> str:
+    from repro.cascades.index import CascadeIndex
+    from repro.core.typical_cascade import TypicalCascadeComputer
+    from repro.datasets.registry import load_setting
+
+    setting = load_setting(args.setting, scale=args.scale)
+    index = CascadeIndex.build(setting.graph, args.samples, seed=args.seed)
+    sphere = TypicalCascadeComputer(index).compute(args.node)
+    lines = [
+        f"Sphere of influence of node {args.node} in {args.setting} "
+        f"(scale {args.scale}, {args.samples} samples):",
+        f"  size: {sphere.size}",
+        f"  cost (stability): {sphere.cost:.4f}",
+        f"  members: {sphere.members.tolist()}",
+    ]
+    return "\n".join(lines)
+
+
+def _run_report(args) -> str:
+    import pathlib
+
+    from repro.experiments.reporting import write_experiments_markdown
+
+    results_dir = pathlib.Path(args.results_dir)
+    output = pathlib.Path(args.output)
+    write_experiments_markdown(results_dir, output)
+    return f"wrote {output} from {results_dir}/"
+
+
+def _run_list_settings(_args) -> str:
+    return "\n".join(
+        [*SETTING_NAMES, *(f"{s} (extension)" for s in EXTENSION_SETTINGS)]
+    )
+
+
+_DISPATCH = {
+    "table1": _run_table1,
+    "fig3": _run_fig3,
+    "table2": _run_table2,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "sphere": _run_sphere,
+    "list-settings": _run_list_settings,
+    "report": _run_report,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    output = _DISPATCH[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""The paper's primary contribution: typical cascades (spheres of influence)
+computed by sampling + Jaccard median, and the stability measure built on
+their expected cost.
+"""
+
+from repro.core.sphere import SphereOfInfluence
+from repro.core.typical_cascade import TypicalCascadeComputer, compute_typical_cascade
+from repro.core.stability import seed_set_stability, sphere_stability
+from repro.core.store import SphereStore
+from repro.core.planning import (
+    samples_for_accuracy,
+    samples_for_all_nodes,
+    accuracy_for_samples,
+)
+from repro.core.vaccination import (
+    greedy_vaccination,
+    degree_vaccination_baseline,
+    VaccinationResult,
+)
+
+__all__ = [
+    "SphereOfInfluence",
+    "TypicalCascadeComputer",
+    "compute_typical_cascade",
+    "seed_set_stability",
+    "sphere_stability",
+    "SphereStore",
+    "samples_for_accuracy",
+    "samples_for_all_nodes",
+    "accuracy_for_samples",
+    "greedy_vaccination",
+    "degree_vaccination_baseline",
+    "VaccinationResult",
+]

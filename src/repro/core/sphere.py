@@ -1,0 +1,58 @@
+"""Result object for a computed sphere of influence."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SphereOfInfluence:
+    """The (approximate) typical cascade ``C*`` of a source.
+
+    Attributes:
+        sources: the query — a single node or a seed set (sorted tuple).
+        members: sorted int64 array of nodes in the typical cascade.
+        cost: empirical cost rho_bar(C*) over the samples it was fit on.
+            This is the paper's *stability* measure: lower is more reliable.
+        num_samples: how many sampled cascades the median was computed from.
+        strategy: which median candidate family won (diagnostics).
+        sample_size_mean / sample_size_std / sample_size_max: statistics of
+            the sampled cascades |S_i| (the quantities Table 2 aggregates).
+    """
+
+    sources: tuple[int, ...]
+    members: np.ndarray
+    cost: float
+    num_samples: int
+    strategy: str = "size-sweep"
+    sample_size_mean: float = float("nan")
+    sample_size_std: float = float("nan")
+    sample_size_max: int = 0
+
+    def __post_init__(self) -> None:
+        members = np.asarray(self.members, dtype=np.int64)
+        object.__setattr__(self, "members", members)
+        object.__setattr__(self, "sources", tuple(sorted(int(s) for s in self.sources)))
+
+    @property
+    def size(self) -> int:
+        """|C*| — the size of the typical cascade."""
+        return int(self.members.size)
+
+    def as_set(self) -> frozenset[int]:
+        """Members as a frozenset of node ids."""
+        return frozenset(int(x) for x in self.members)
+
+    def contains(self, node: int) -> bool:
+        """True iff ``node`` belongs to the typical cascade."""
+        i = int(np.searchsorted(self.members, node))
+        return i < self.members.size and int(self.members[i]) == int(node)
+
+    def __repr__(self) -> str:
+        src = self.sources[0] if len(self.sources) == 1 else self.sources
+        return (
+            f"SphereOfInfluence(source={src!r}, size={self.size}, "
+            f"cost={self.cost:.4f}, samples={self.num_samples})"
+        )

@@ -1,0 +1,131 @@
+"""Persistent storage for computed spheres of influence.
+
+Section 8 of the paper: "having the spheres of influence precomputed and
+stored in an index might provide a direct solution to several variants of
+influence maximization ... when the next campaign is run ... we can again
+reuse the same spheres."  ``SphereStore`` is that persistence layer: a
+compressed ``.npz`` holding every node's typical cascade, its cost and the
+sampling metadata, loadable in milliseconds for the next campaign.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Mapping, Union
+
+import numpy as np
+
+from repro.core.sphere import SphereOfInfluence
+
+PathLike = Union[str, os.PathLike]
+
+
+class SphereStore:
+    """An immutable collection of single-node spheres with npz persistence."""
+
+    def __init__(self, spheres: Mapping[int, SphereOfInfluence]) -> None:
+        if not spheres:
+            raise ValueError("store needs at least one sphere")
+        for node, sphere in spheres.items():
+            if len(sphere.sources) != 1 or sphere.sources[0] != int(node):
+                raise ValueError(
+                    f"sphere under key {node} has sources {sphere.sources}; "
+                    "the store holds single-node spheres keyed by source"
+                )
+        self._spheres = {int(node): sphere for node, sphere in spheres.items()}
+
+    # -- mapping surface ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._spheres)
+
+    def __contains__(self, node: int) -> bool:
+        return int(node) in self._spheres
+
+    def __getitem__(self, node: int) -> SphereOfInfluence:
+        return self._spheres[int(node)]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._spheres))
+
+    def items(self):
+        """(node, sphere) pairs, dict-style."""
+        return self._spheres.items()
+
+    def nodes(self) -> list[int]:
+        """Sorted node ids present in the store."""
+        return sorted(self._spheres)
+
+    # -- views ----------------------------------------------------------------
+
+    def members_family(self) -> dict[int, np.ndarray]:
+        """node -> members arrays, the input shape the cover variants take."""
+        return {node: s.members for node, s in self._spheres.items()}
+
+    def costs(self) -> np.ndarray:
+        """Cost of each sphere, aligned with :meth:`nodes`."""
+        return np.array([self._spheres[v].cost for v in self.nodes()])
+
+    def sizes(self) -> np.ndarray:
+        """Size of each sphere, aligned with :meth:`nodes`."""
+        return np.array([self._spheres[v].size for v in self.nodes()])
+
+    def most_reliable(self, count: int, min_size: int = 2) -> list[int]:
+        """The ``count`` lowest-cost nodes among spheres of at least
+        ``min_size`` members (singleton spheres are trivially stable)."""
+        eligible = [v for v in self.nodes() if self._spheres[v].size >= min_size]
+        eligible.sort(key=lambda v: (self._spheres[v].cost, v))
+        return eligible[:count]
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, path: PathLike) -> None:
+        """Persist every sphere into one compressed ``.npz`` archive."""
+        nodes = self.nodes()
+        members = [self._spheres[v].members for v in nodes]
+        sizes = np.array([m.size for m in members], dtype=np.int64)
+        indptr = np.zeros(len(nodes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=indptr[1:])
+        concat = (
+            np.concatenate(members) if indptr[-1] > 0 else np.zeros(0, np.int64)
+        )
+        np.savez_compressed(
+            path,
+            nodes=np.asarray(nodes, dtype=np.int64),
+            indptr=indptr,
+            members=concat,
+            costs=np.array([self._spheres[v].cost for v in nodes]),
+            num_samples=np.array(
+                [self._spheres[v].num_samples for v in nodes], dtype=np.int64
+            ),
+            sample_size_mean=np.array(
+                [self._spheres[v].sample_size_mean for v in nodes]
+            ),
+            sample_size_std=np.array(
+                [self._spheres[v].sample_size_std for v in nodes]
+            ),
+            sample_size_max=np.array(
+                [self._spheres[v].sample_size_max for v in nodes], dtype=np.int64
+            ),
+        )
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SphereStore":
+        """Inverse of :meth:`save`."""
+        with np.load(path) as data:
+            nodes = data["nodes"]
+            indptr = data["indptr"]
+            concat = data["members"]
+            spheres = {}
+            for i, node in enumerate(nodes):
+                node = int(node)
+                spheres[node] = SphereOfInfluence(
+                    sources=(node,),
+                    members=concat[indptr[i] : indptr[i + 1]].copy(),
+                    cost=float(data["costs"][i]),
+                    num_samples=int(data["num_samples"][i]),
+                    sample_size_mean=float(data["sample_size_mean"][i]),
+                    sample_size_std=float(data["sample_size_std"][i]),
+                    sample_size_max=int(data["sample_size_max"][i]),
+                )
+        return cls(spheres)

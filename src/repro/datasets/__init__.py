@@ -1,0 +1,37 @@
+"""Scaled-down synthetic stand-ins for the paper's 12 dataset settings.
+
+Real crawls (Digg, Flixster, Twitter) and SNAP graphs (NetHEPT, Epinions,
+Slashdot) are unavailable offline; DESIGN.md §3 documents the substitution.
+"""
+
+from repro.datasets.synth import (
+    build_digg_like,
+    build_flixster_like,
+    build_twitter_like,
+    build_nethept_like,
+    build_epinions_like,
+    build_slashdot_like,
+)
+from repro.datasets.registry import (
+    DatasetSetting,
+    SETTING_NAMES,
+    LEARNT_SETTINGS,
+    ASSIGNED_SETTINGS,
+    load_setting,
+    load_all_settings,
+)
+
+__all__ = [
+    "build_digg_like",
+    "build_flixster_like",
+    "build_twitter_like",
+    "build_nethept_like",
+    "build_epinions_like",
+    "build_slashdot_like",
+    "DatasetSetting",
+    "SETTING_NAMES",
+    "LEARNT_SETTINGS",
+    "ASSIGNED_SETTINGS",
+    "load_setting",
+    "load_all_settings",
+]

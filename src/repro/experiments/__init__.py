@@ -1,0 +1,40 @@
+"""Experiment harness: one module per table/figure of the paper's
+evaluation (Section 6), plus the ablation studies listed in DESIGN.md §6.
+
+Every ``run_*`` function is deterministic in its arguments and returns
+plain dataclasses; the ``format_*`` companions render the same rows/series
+the paper reports.  The benchmark suite under ``benchmarks/`` drives these
+at a reduced scale and records the outputs in EXPERIMENTS.md.
+"""
+
+from repro.experiments.config import ExperimentConfig, BENCH_CONFIG, TEST_CONFIG
+from repro.experiments.table1 import run_table1, format_table1
+from repro.experiments.fig3 import run_fig3, format_fig3
+from repro.experiments.table2 import run_table2, format_table2
+from repro.experiments.fig4 import run_fig4, format_fig4
+from repro.experiments.fig5 import run_fig5, format_fig5
+from repro.experiments.fig6 import run_fig6, format_fig6
+from repro.experiments.fig7 import run_fig7, format_fig7
+from repro.experiments.fig8 import run_fig8, format_fig8
+
+__all__ = [
+    "ExperimentConfig",
+    "BENCH_CONFIG",
+    "TEST_CONFIG",
+    "run_table1",
+    "format_table1",
+    "run_fig3",
+    "format_fig3",
+    "run_table2",
+    "format_table2",
+    "run_fig4",
+    "format_fig4",
+    "run_fig5",
+    "format_fig5",
+    "run_fig6",
+    "format_fig6",
+    "run_fig7",
+    "format_fig7",
+    "run_fig8",
+    "format_fig8",
+]

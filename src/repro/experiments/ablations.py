@@ -1,0 +1,346 @@
+"""Ablation studies for the design choices DESIGN.md §6 calls out.
+
+* :func:`run_samples_ablation` — median quality vs number of sampled worlds
+  (the empirical face of Theorem 2's constant-sample claim).
+* :func:`run_index_ablation` — transitive reduction on vs off: index size
+  and cascade-extraction time.
+* :func:`run_median_ablation` — candidate-family comparison: full
+  Chierichetti-style algorithm vs best-of-samples vs majority threshold vs
+  local-search polish.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cascades.index import CascadeIndex
+from repro.datasets.registry import load_setting
+from repro.experiments.config import ExperimentConfig
+from repro.median.chierichetti import best_of_samples, jaccard_median, majority_median
+from repro.median.cost import monte_carlo_expected_cost
+from repro.median.local_search import local_search_refine
+from repro.median.samples import SampleCollection
+from repro.utils.rng import derive_rng
+
+
+# --- samples ablation ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SamplesAblationRow:
+    """Out-of-sample cost of medians fitted with ``num_samples`` worlds."""
+
+    setting: str
+    num_samples: int
+    mean_out_of_sample_cost: float
+    mean_in_sample_cost: float
+
+
+def run_samples_ablation(
+    setting_name: str = "Digg-S",
+    config: ExperimentConfig | None = None,
+    sample_counts: tuple[int, ...] = (4, 8, 16, 32, 64, 128),
+    num_nodes: int = 30,
+    eval_samples: int = 200,
+) -> list[SamplesAblationRow]:
+    """Theorem 2 empirically: cost plateaus at a small constant l."""
+    config = config or ExperimentConfig()
+    setting = load_setting(setting_name, scale=config.scale)
+    graph = setting.graph
+    rng = derive_rng(config.seed + 10)
+    nodes = rng.choice(graph.num_nodes, size=min(num_nodes, graph.num_nodes),
+                       replace=False)
+
+    max_l = max(sample_counts)
+    index = CascadeIndex.build(graph, max_l, seed=config.seed + 11)
+
+    rows = []
+    for l in sorted(sample_counts):
+        out_costs = []
+        in_costs = []
+        for node in nodes:
+            cascades = [index.cascade(int(node), w) for w in range(l)]
+            samples = SampleCollection(graph.num_nodes, cascades)
+            result = jaccard_median(samples)
+            in_costs.append(result.cost)
+            out_costs.append(
+                monte_carlo_expected_cost(
+                    graph, int(node), result.median, eval_samples,
+                    seed=config.seed + 12,
+                )
+            )
+        rows.append(
+            SamplesAblationRow(
+                setting=setting_name,
+                num_samples=l,
+                mean_out_of_sample_cost=float(np.mean(out_costs)),
+                mean_in_sample_cost=float(np.mean(in_costs)),
+            )
+        )
+    return rows
+
+
+# --- index ablation -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IndexAblationRow:
+    """Reduced vs unreduced index on one setting."""
+
+    setting: str
+    reduced: bool
+    build_seconds: float
+    total_dag_edges: int
+    avg_extraction_seconds: float
+
+
+def run_index_ablation(
+    setting_name: str = "NetHEPT-W",
+    config: ExperimentConfig | None = None,
+    num_queries: int = 200,
+) -> list[IndexAblationRow]:
+    """Transitive reduction: space saved vs extraction time."""
+    config = config or ExperimentConfig()
+    setting = load_setting(setting_name, scale=config.scale)
+    graph = setting.graph
+    rng = derive_rng(config.seed + 20)
+    query_nodes = rng.integers(0, graph.num_nodes, size=num_queries)
+    query_worlds = rng.integers(0, config.num_samples, size=num_queries)
+
+    rows = []
+    for reduced in (False, True):
+        start = time.perf_counter()
+        index = CascadeIndex.build(
+            graph, config.num_samples, seed=config.seed, reduce=reduced
+        )
+        build_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        for node, world in zip(query_nodes, query_worlds):
+            index.cascade(int(node), int(world))
+        extraction = (time.perf_counter() - start) / num_queries
+
+        rows.append(
+            IndexAblationRow(
+                setting=setting_name,
+                reduced=reduced,
+                build_seconds=build_seconds,
+                total_dag_edges=int(index.stats()["total_dag_edges"]),
+                avg_extraction_seconds=extraction,
+            )
+        )
+    return rows
+
+
+# --- median-algorithm ablation ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MedianAblationRow:
+    """One median algorithm's aggregate quality over sampled nodes."""
+
+    setting: str
+    algorithm: str
+    mean_cost: float
+    mean_size: float
+    mean_seconds: float
+
+
+def run_median_ablation(
+    setting_name: str = "Digg-S",
+    config: ExperimentConfig | None = None,
+    num_nodes: int = 25,
+) -> list[MedianAblationRow]:
+    """Compare the median candidate families in-sample."""
+    config = config or ExperimentConfig()
+    setting = load_setting(setting_name, scale=config.scale)
+    graph = setting.graph
+    index = CascadeIndex.build(graph, config.num_samples, seed=config.seed + 30)
+    rng = derive_rng(config.seed + 31)
+    nodes = rng.choice(graph.num_nodes, size=min(num_nodes, graph.num_nodes),
+                       replace=False)
+
+    algorithms = {
+        "chierichetti": lambda s: jaccard_median(s),
+        "best-of-samples": best_of_samples,
+        "majority": majority_median,
+        "chierichetti+ls": lambda s: local_search_refine(
+            s, jaccard_median(s).median, max_passes=1
+        ),
+    }
+
+    rows = []
+    for name, algorithm in algorithms.items():
+        costs, sizes, times = [], [], []
+        for node in nodes:
+            samples = SampleCollection(graph.num_nodes, index.cascades(int(node)))
+            start = time.perf_counter()
+            result = algorithm(samples)
+            times.append(time.perf_counter() - start)
+            costs.append(result.cost)
+            sizes.append(result.size)
+        rows.append(
+            MedianAblationRow(
+                setting=setting_name,
+                algorithm=name,
+                mean_cost=float(np.mean(costs)),
+                mean_size=float(np.mean(sizes)),
+                mean_seconds=float(np.mean(times)),
+            )
+        )
+    return rows
+
+
+# --- sparsification ablation -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SparsifyAblationRow:
+    """Sphere fidelity on a sparsified graph at one retention level."""
+
+    setting: str
+    fraction: float
+    edges_kept: int
+    probability_mass_kept: float
+    mean_sphere_distance: float
+
+
+def run_sparsify_ablation(
+    setting_name: str = "Digg-S",
+    config: ExperimentConfig | None = None,
+    fractions: tuple[float, ...] = (0.9, 0.7, 0.5, 0.3),
+    num_nodes: int = 25,
+) -> list[SparsifyAblationRow]:
+    """How much sparsification (Mathioudakis et al.) the spheres tolerate.
+
+    Reports, per retention fraction, the mean Jaccard distance between each
+    node's sphere on the full vs the sparsified graph.
+    """
+    from repro.graph.sparsify import retained_probability_mass, sparsify_fraction
+    from repro.median.jaccard import jaccard_distance
+
+    config = config or ExperimentConfig()
+    setting = load_setting(setting_name, scale=config.scale)
+    graph = setting.graph
+    rng = derive_rng(config.seed + 40)
+    nodes = rng.choice(graph.num_nodes, size=min(num_nodes, graph.num_nodes),
+                       replace=False)
+
+    full_index = CascadeIndex.build(graph, config.num_samples, seed=config.seed)
+    full = {
+        int(v): jaccard_median(
+            SampleCollection(graph.num_nodes, full_index.cascades(int(v)))
+        ).median
+        for v in nodes
+    }
+
+    rows = []
+    for fraction in sorted(fractions, reverse=True):
+        try:
+            sparse = sparsify_fraction(graph, fraction, min_out_degree=1)
+        except ValueError:
+            # Learnt graphs can be so sparse that reserving one arc per
+            # node exceeds the budget; fall back to the pure global rule.
+            sparse = sparsify_fraction(graph, fraction, min_out_degree=0)
+        sparse_index = CascadeIndex.build(
+            sparse, config.num_samples, seed=config.seed
+        )
+        distances = []
+        for v in nodes:
+            thin = jaccard_median(
+                SampleCollection(sparse.num_nodes, sparse_index.cascades(int(v)))
+            ).median
+            distances.append(jaccard_distance(full[int(v)], thin))
+        rows.append(
+            SparsifyAblationRow(
+                setting=setting_name,
+                fraction=fraction,
+                edges_kept=sparse.num_edges,
+                probability_mass_kept=retained_probability_mass(graph, sparse),
+                mean_sphere_distance=float(np.mean(distances)),
+            )
+        )
+    return rows
+
+
+# --- MinHash ablation -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MinhashAblationRow:
+    """Accuracy/speed of sketched vs exact cost evaluation."""
+
+    setting: str
+    num_hashes: int
+    mean_abs_cost_error: float
+    exact_seconds: float
+    sketch_seconds: float
+
+
+def run_minhash_ablation(
+    setting_name: str = "Flixster-G",
+    config: ExperimentConfig | None = None,
+    hash_counts: tuple[int, ...] = (32, 128, 512),
+    num_nodes: int = 15,
+) -> list[MinhashAblationRow]:
+    """Sketched empirical-cost accuracy vs number of hash functions."""
+    from repro.median.minhash import MinHasher, estimate_mean_distance
+
+    config = config or ExperimentConfig()
+    setting = load_setting(setting_name, scale=config.scale)
+    graph = setting.graph
+    index = CascadeIndex.build(graph, config.num_samples, seed=config.seed + 50)
+    rng = derive_rng(config.seed + 51)
+    nodes = rng.choice(graph.num_nodes, size=min(num_nodes, graph.num_nodes),
+                       replace=False)
+
+    instances = []
+    for v in nodes:
+        cascades = index.cascades(int(v))
+        samples = SampleCollection(graph.num_nodes, cascades)
+        median = jaccard_median(samples)
+        instances.append((cascades, samples, median))
+
+    rows = []
+    for num_hashes in hash_counts:
+        hasher = MinHasher(num_hashes, seed=config.seed + 52)
+        errors = []
+        exact_time = 0.0
+        sketch_time = 0.0
+        for cascades, samples, median in instances:
+            start = time.perf_counter()
+            exact = samples.mean_distance(median.median)
+            exact_time += time.perf_counter() - start
+
+            start = time.perf_counter()
+            sigs = hasher.signatures(cascades)
+            cand_sig = hasher.signature(median.median)
+            sketched = estimate_mean_distance(cand_sig, sigs)
+            sketch_time += time.perf_counter() - start
+            errors.append(abs(sketched - exact))
+        rows.append(
+            MinhashAblationRow(
+                setting=setting_name,
+                num_hashes=num_hashes,
+                mean_abs_cost_error=float(np.mean(errors)),
+                exact_seconds=exact_time / len(instances),
+                sketch_seconds=sketch_time / len(instances),
+            )
+        )
+    return rows
+
+
+def format_ablation_rows(rows, title: str) -> str:
+    """Generic renderer for any of the ablation row lists."""
+    from dataclasses import asdict, fields
+
+    from repro.utils.tables import format_table
+
+    if not rows:
+        return f"{title}: (no rows)"
+    headers = [f.name for f in fields(rows[0])]
+    table_rows = [[asdict(r)[h] for h in headers] for r in rows]
+    return format_table(headers, table_rows, precision=4, title=title)

@@ -1,0 +1,127 @@
+"""Figure 4 — per-node running time of typical-cascade computation.
+
+Two measurements per node, matching the paper's two plot pairs:
+
+* time to extract the node's cascades from the index and compute the
+  Jaccard median (index construction excluded, as in the paper);
+* time to estimate the expected cost of that median against fresh worlds.
+
+The harness reports the distribution percentiles; the paper's shape check
+is "almost always well under 1 second, heavy right tail".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cascades.index import CascadeIndex
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.datasets.registry import load_setting
+from repro.experiments.config import ExperimentConfig
+from repro.median.cost import monte_carlo_expected_cost
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Fig4Row:
+    """Timing distribution for one setting (seconds)."""
+
+    setting: str
+    num_nodes_timed: int
+    median_time_p50: float
+    median_time_p90: float
+    median_time_p99: float
+    median_time_max: float
+    cost_time_p50: float
+    cost_time_p90: float
+    cost_time_max: float
+
+
+def run_fig4(
+    config: ExperimentConfig | None = None,
+    settings: tuple[str, ...] = ("Digg-S", "Twitter-S", "NetHEPT-W", "NetHEPT-F"),
+    max_nodes: int = 300,
+) -> list[Fig4Row]:
+    """Time typical-cascade and expected-cost computation per node."""
+    config = config or ExperimentConfig()
+    rows = []
+    for name in settings:
+        setting = load_setting(name, scale=config.scale)
+        graph = setting.graph
+        index = CascadeIndex.build(graph, config.num_samples, seed=config.seed)
+        computer = TypicalCascadeComputer(index)
+
+        nodes = np.arange(graph.num_nodes)
+        if max_nodes < graph.num_nodes:
+            rng = derive_rng(config.seed + 2)
+            nodes = rng.choice(graph.num_nodes, size=max_nodes, replace=False)
+
+        median_times = np.zeros(nodes.size)
+        cost_times = np.zeros(nodes.size)
+        for i, node in enumerate(nodes):
+            start = time.perf_counter()
+            sphere = computer.compute(int(node))
+            median_times[i] = time.perf_counter() - start
+
+            start = time.perf_counter()
+            monte_carlo_expected_cost(
+                graph,
+                int(node),
+                sphere.members,
+                config.num_eval_samples,
+                seed=config.seed + 3,
+            )
+            cost_times[i] = time.perf_counter() - start
+
+        rows.append(
+            Fig4Row(
+                setting=name,
+                num_nodes_timed=int(nodes.size),
+                median_time_p50=float(np.percentile(median_times, 50)),
+                median_time_p90=float(np.percentile(median_times, 90)),
+                median_time_p99=float(np.percentile(median_times, 99)),
+                median_time_max=float(median_times.max()),
+                cost_time_p50=float(np.percentile(cost_times, 50)),
+                cost_time_p90=float(np.percentile(cost_times, 90)),
+                cost_time_max=float(cost_times.max()),
+            )
+        )
+    return rows
+
+
+def format_fig4(rows: list[Fig4Row]) -> str:
+    """Render the timing percentiles as a plain-text table."""
+    from repro.utils.tables import format_table
+
+    return format_table(
+        [
+            "Setting",
+            "nodes",
+            "median p50(s)",
+            "median p90(s)",
+            "median p99(s)",
+            "median max(s)",
+            "cost p50(s)",
+            "cost p90(s)",
+            "cost max(s)",
+        ],
+        [
+            (
+                r.setting,
+                r.num_nodes_timed,
+                r.median_time_p50,
+                r.median_time_p90,
+                r.median_time_p99,
+                r.median_time_max,
+                r.cost_time_p50,
+                r.cost_time_p90,
+                r.cost_time_max,
+            )
+            for r in rows
+        ],
+        precision=4,
+        title="Figure 4: per-node computation time",
+    )

@@ -1,0 +1,96 @@
+"""Table 2 — size statistics of the typical cascades.
+
+For every setting, computes the typical cascade of every node (Algorithm 2)
+and reports the average, standard deviation and maximum of |C*| over all
+nodes — the paper's Table 2 columns.  ``max_nodes`` optionally subsamples
+nodes (deterministically) to keep small-budget runs fast; the paper uses
+all nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cascades.index import CascadeIndex
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.datasets.registry import SETTING_NAMES, load_setting
+from repro.experiments.config import ExperimentConfig
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """Typical-cascade size statistics for one setting."""
+
+    setting: str
+    num_nodes_evaluated: int
+    avg_size: float
+    sd_size: float
+    max_size: int
+    avg_cost: float
+
+
+def typical_cascade_sizes(
+    setting_name: str,
+    config: ExperimentConfig,
+    max_nodes: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(sizes, costs) of the typical cascades of (a sample of) all nodes."""
+    setting = load_setting(setting_name, scale=config.scale)
+    graph = setting.graph
+    index = CascadeIndex.build(graph, config.num_samples, seed=config.seed)
+    computer = TypicalCascadeComputer(index)
+
+    nodes = np.arange(graph.num_nodes)
+    if max_nodes is not None and max_nodes < graph.num_nodes:
+        rng = derive_rng(config.seed + 1)
+        nodes = np.sort(rng.choice(graph.num_nodes, size=max_nodes, replace=False))
+
+    sizes = np.zeros(nodes.size, dtype=np.int64)
+    costs = np.zeros(nodes.size, dtype=np.float64)
+    for i, node in enumerate(nodes):
+        sphere = computer.compute(int(node))
+        sizes[i] = sphere.size
+        costs[i] = sphere.cost
+    return sizes, costs
+
+
+def run_table2(
+    config: ExperimentConfig | None = None,
+    settings: tuple[str, ...] = SETTING_NAMES,
+    max_nodes: int | None = None,
+) -> list[Table2Row]:
+    """Table 2 rows for the requested settings."""
+    config = config or ExperimentConfig()
+    rows = []
+    for name in settings:
+        sizes, costs = typical_cascade_sizes(name, config, max_nodes=max_nodes)
+        rows.append(
+            Table2Row(
+                setting=name,
+                num_nodes_evaluated=int(sizes.size),
+                avg_size=float(sizes.mean()),
+                sd_size=float(sizes.std()),
+                max_size=int(sizes.max()),
+                avg_cost=float(costs.mean()),
+            )
+        )
+    return rows
+
+
+def format_table2(rows: list[Table2Row]) -> str:
+    """Render in the paper's Table 2 layout (plus the avg-cost column)."""
+    from repro.utils.tables import format_table
+
+    return format_table(
+        ["Datasets", "avg(|C*|)", "sd(|C*|)", "max(|C*|)", "avg cost", "nodes"],
+        [
+            (r.setting, r.avg_size, r.sd_size, r.max_size, r.avg_cost,
+             r.num_nodes_evaluated)
+            for r in rows
+        ],
+        precision=1,
+        title="Table 2: Typical cascade size statistics",
+    )

@@ -1,0 +1,41 @@
+"""Probabilistic directed graphs and the deterministic graph algorithms
+(reachability, SCC, condensation, transitive reduction) the paper's cascade
+index is built from.
+"""
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.builder import GraphBuilder
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.sampling import WorldSampler, sample_world
+from repro.graph.reachability import reachable_set, reachable_from_all
+from repro.graph.scc import strongly_connected_components
+from repro.graph.condensation import Condensation, condense
+from repro.graph.transitive import transitive_reduction, transitive_closure
+from repro.graph.sparsify import sparsify_top_probability, sparsify_fraction
+from repro.graph.cores import eta_core_numbers, eta_core_members, eta_degree
+from repro.graph.knn import k_nearest_neighbours
+from repro.graph.paths import most_probable_path, path_probability
+
+__all__ = [
+    "sparsify_top_probability",
+    "sparsify_fraction",
+    "eta_core_numbers",
+    "eta_core_members",
+    "eta_degree",
+    "k_nearest_neighbours",
+    "most_probable_path",
+    "path_probability",
+    "ProbabilisticDigraph",
+    "GraphBuilder",
+    "read_edge_list",
+    "write_edge_list",
+    "WorldSampler",
+    "sample_world",
+    "reachable_set",
+    "reachable_from_all",
+    "strongly_connected_components",
+    "Condensation",
+    "condense",
+    "transitive_reduction",
+    "transitive_closure",
+]

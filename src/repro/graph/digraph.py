@@ -1,0 +1,289 @@
+"""CSR-backed probabilistic directed graph.
+
+``ProbabilisticDigraph`` is the central data structure of the library: a
+directed graph ``G = (V, E, p)`` where every arc ``(u, v)`` carries an
+independent existence (contagion) probability ``p(u, v) in (0, 1]``.  Under
+the possible-world semantics the graph is a distribution over deterministic
+subgraphs; all samplers and estimators in :mod:`repro.cascades` read the CSR
+arrays exposed here directly.
+
+The representation is immutable after construction:
+
+* ``indptr``  — ``int64[n + 1]``; arcs of node ``u`` occupy the slice
+  ``indptr[u]:indptr[u + 1]`` of the arc arrays.
+* ``targets`` — ``int32[m]``; head node of each arc.
+* ``probs``   — ``float64[m]``; existence probability of each arc.
+
+Arcs are sorted by (source, target), with no duplicates and no self-loops.
+Use :class:`repro.graph.builder.GraphBuilder` for incremental construction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.utils.validation import check_node
+
+EdgeTriple = tuple[int, int, float]
+
+
+class ProbabilisticDigraph:
+    """Immutable probabilistic directed graph in CSR form."""
+
+    __slots__ = ("_n", "_indptr", "_targets", "_probs", "_reverse")
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[EdgeTriple] = (),
+        *,
+        _internal: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None,
+    ) -> None:
+        if isinstance(num_nodes, bool) or not isinstance(num_nodes, (int, np.integer)):
+            raise TypeError(f"num_nodes must be an int, got {type(num_nodes).__name__}")
+        if num_nodes < 0:
+            raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+        self._n = int(num_nodes)
+        self._reverse: "ProbabilisticDigraph | None" = None
+        if _internal is not None:
+            self._indptr, self._targets, self._probs = _internal
+            return
+        self._indptr, self._targets, self._probs = _build_csr(self._n, edges)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        num_nodes: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        probs: np.ndarray,
+    ) -> "ProbabilisticDigraph":
+        """Build from parallel (source, target, prob) arrays.
+
+        The arrays are validated and re-sorted; duplicates raise.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        targets = np.asarray(targets, dtype=np.int64)
+        probs = np.asarray(probs, dtype=np.float64)
+        if not (len(sources) == len(targets) == len(probs)):
+            raise ValueError(
+                "sources, targets and probs must have equal length, got "
+                f"{len(sources)}, {len(targets)}, {len(probs)}"
+            )
+        triples = zip(sources.tolist(), targets.tolist(), probs.tolist())
+        return cls(num_nodes, triples)
+
+    @classmethod
+    def _from_csr_unchecked(
+        cls, num_nodes: int, indptr: np.ndarray, targets: np.ndarray, probs: np.ndarray
+    ) -> "ProbabilisticDigraph":
+        """Internal fast path: arrays are trusted to be valid CSR."""
+        return cls(num_nodes, _internal=(indptr, targets, probs))
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return int(self._targets.shape[0])
+
+    @property
+    def indptr(self) -> np.ndarray:
+        return self._indptr
+
+    @property
+    def targets(self) -> np.ndarray:
+        return self._targets
+
+    @property
+    def probs(self) -> np.ndarray:
+        return self._probs
+
+    def nodes(self) -> range:
+        """Iterable of all node ids ``0..n-1``."""
+        return range(self._n)
+
+    def successors(self, node: int) -> np.ndarray:
+        """Targets of the arcs leaving ``node`` (sorted, read-only view)."""
+        node = check_node(node, self._n)
+        return self._targets[self._indptr[node] : self._indptr[node + 1]]
+
+    def successor_probs(self, node: int) -> np.ndarray:
+        """Probabilities of the arcs leaving ``node``, aligned with
+        :meth:`successors`."""
+        node = check_node(node, self._n)
+        return self._probs[self._indptr[node] : self._indptr[node + 1]]
+
+    def out_degree(self, node: int) -> int:
+        """Number of arcs leaving ``node``."""
+        node = check_node(node, self._n)
+        return int(self._indptr[node + 1] - self._indptr[node])
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node as an int64 array."""
+        return np.diff(self._indptr)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node as an int64 array."""
+        return np.bincount(self._targets, minlength=self._n).astype(np.int64)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff the arc ``(u, v)`` exists."""
+        u = check_node(u, self._n, "u")
+        v = check_node(v, self._n, "v")
+        row = self._targets[self._indptr[u] : self._indptr[u + 1]]
+        i = int(np.searchsorted(row, v))
+        return i < len(row) and int(row[i]) == v
+
+    def edge_probability(self, u: int, v: int) -> float:
+        """Probability of the arc ``(u, v)``; raises ``KeyError`` if absent."""
+        u = check_node(u, self._n, "u")
+        v = check_node(v, self._n, "v")
+        lo, hi = int(self._indptr[u]), int(self._indptr[u + 1])
+        row = self._targets[lo:hi]
+        i = int(np.searchsorted(row, v))
+        if i >= len(row) or int(row[i]) != v:
+            raise KeyError(f"no arc ({u}, {v}) in graph")
+        return float(self._probs[lo + i])
+
+    def edges(self) -> Iterator[EdgeTriple]:
+        """Iterate ``(u, v, p)`` triples in (u, v) order."""
+        for u in range(self._n):
+            lo, hi = int(self._indptr[u]), int(self._indptr[u + 1])
+            for i in range(lo, hi):
+                yield u, int(self._targets[i]), float(self._probs[i])
+
+    def edge_sources(self) -> np.ndarray:
+        """Source node of each arc, aligned with :attr:`targets`."""
+        return np.repeat(np.arange(self._n, dtype=np.int64), self.out_degrees())
+
+    # -- derived graphs ----------------------------------------------------
+
+    def reverse(self) -> "ProbabilisticDigraph":
+        """The transpose graph (arcs flipped, probabilities kept).
+
+        Cached: repeated calls return the same object.  Used by the
+        weighted-cascade assignment and the RIS baseline.
+        """
+        if self._reverse is None:
+            sources = self.edge_sources()
+            self._reverse = ProbabilisticDigraph.from_arrays(
+                self._n, self._targets, sources, self._probs
+            )
+            self._reverse._reverse = self
+        return self._reverse
+
+    def with_probabilities(self, probs: np.ndarray) -> "ProbabilisticDigraph":
+        """A copy of this topology with arc probabilities replaced.
+
+        ``probs`` must align with the internal arc order (see :meth:`edges`).
+        """
+        probs = np.asarray(probs, dtype=np.float64)
+        if probs.shape != self._probs.shape:
+            raise ValueError(
+                f"probs must have shape {self._probs.shape}, got {probs.shape}"
+            )
+        if np.any(~np.isfinite(probs)) or np.any(probs <= 0.0) or np.any(probs > 1.0):
+            raise ValueError("all probabilities must be finite and in (0, 1]")
+        return ProbabilisticDigraph._from_csr_unchecked(
+            self._n, self._indptr, self._targets, probs.copy()
+        )
+
+    def subgraph_from_mask(self, edge_mask: np.ndarray) -> "ProbabilisticDigraph":
+        """Deterministic possible world: keep arcs where ``edge_mask`` is True.
+
+        Kept arcs get probability 1.0 (they exist in the sampled world).
+        """
+        edge_mask = np.asarray(edge_mask, dtype=bool)
+        if edge_mask.shape != self._targets.shape:
+            raise ValueError(
+                f"edge_mask must have shape {self._targets.shape}, got {edge_mask.shape}"
+            )
+        counts = np.zeros(self._n, dtype=np.int64)
+        sources = self.edge_sources()
+        kept_sources = sources[edge_mask]
+        np.add.at(counts, kept_sources, 1)
+        indptr = np.zeros(self._n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        targets = self._targets[edge_mask].copy()
+        probs = np.ones(targets.shape[0], dtype=np.float64)
+        return ProbabilisticDigraph._from_csr_unchecked(self._n, indptr, targets, probs)
+
+    # -- dunder ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProbabilisticDigraph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._indptr, other._indptr)
+            and np.array_equal(self._targets, other._targets)
+            and np.array_equal(self._probs, other._probs)
+        )
+
+    def __hash__(self) -> int:  # immutable, so hashable by content digest
+        return hash(
+            (self._n, self._targets.tobytes(), self._probs.tobytes())
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ProbabilisticDigraph(num_nodes={self._n}, num_edges={self.num_edges})"
+        )
+
+
+def _build_csr(
+    n: int, edges: Iterable[EdgeTriple]
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate, sort and pack edge triples into CSR arrays."""
+    triples = list(edges)
+    if not triples:
+        return (
+            np.zeros(n + 1, dtype=np.int64),
+            np.zeros(0, dtype=np.int32),
+            np.zeros(0, dtype=np.float64),
+        )
+    raw_sources = np.fromiter(
+        (t[0] for t in triples), dtype=np.float64, count=len(triples)
+    )
+    raw_targets = np.fromiter(
+        (t[1] for t in triples), dtype=np.float64, count=len(triples)
+    )
+    probs = np.fromiter((t[2] for t in triples), dtype=np.float64, count=len(triples))
+    sources = raw_sources.astype(np.int64)
+    targets = raw_targets.astype(np.int64)
+    if np.any(sources != raw_sources) or np.any(targets != raw_targets):
+        raise TypeError("node ids must be integers")
+
+    if np.any(sources < 0) or np.any(sources >= n):
+        bad = int(sources[(sources < 0) | (sources >= n)][0])
+        raise ValueError(f"edge source {bad} out of range for {n} nodes")
+    if np.any(targets < 0) or np.any(targets >= n):
+        bad = int(targets[(targets < 0) | (targets >= n)][0])
+        raise ValueError(f"edge target {bad} out of range for {n} nodes")
+    if np.any(sources == targets):
+        bad = int(sources[sources == targets][0])
+        raise ValueError(f"self-loop on node {bad} is not allowed")
+    if np.any(~np.isfinite(probs)) or np.any(probs <= 0.0) or np.any(probs > 1.0):
+        raise ValueError("all edge probabilities must be finite and in (0, 1]")
+
+    order = np.lexsort((targets, sources))
+    sources, targets, probs = sources[order], targets[order], probs[order]
+    if len(sources) > 1:
+        dup = (sources[1:] == sources[:-1]) & (targets[1:] == targets[:-1])
+        if np.any(dup):
+            i = int(np.flatnonzero(dup)[0])
+            raise ValueError(
+                f"duplicate arc ({int(sources[i])}, {int(targets[i])})"
+            )
+    counts = np.bincount(sources, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, targets.astype(np.int32), probs

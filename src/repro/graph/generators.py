@@ -1,0 +1,318 @@
+"""Synthetic graph generators.
+
+These produce the *topologies* used throughout the test-suite and as the
+stand-ins for the paper's benchmark datasets (Digg, Flixster, Twitter,
+NetHEPT, Epinions, Slashdot — see DESIGN.md §3 for the substitution
+rationale).  Probabilities default to 1.0; the assignment/learning code in
+:mod:`repro.problearn` replaces them.
+
+All generators are deterministic in their ``seed`` argument.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import check_positive_int, check_probability
+
+
+# -- deterministic fixtures ---------------------------------------------------
+
+
+def path_graph(n: int, p: float = 1.0) -> ProbabilisticDigraph:
+    """Directed path 0 -> 1 -> ... -> n-1."""
+    check_positive_int(n, "n")
+    check_probability(p, "p")
+    return ProbabilisticDigraph(n, ((i, i + 1, p) for i in range(n - 1)))
+
+
+def cycle_graph(n: int, p: float = 1.0) -> ProbabilisticDigraph:
+    """Directed cycle over ``n`` nodes (n >= 2)."""
+    check_positive_int(n, "n")
+    if n < 2:
+        raise ValueError("cycle needs at least 2 nodes")
+    check_probability(p, "p")
+    return ProbabilisticDigraph(n, ((i, (i + 1) % n, p) for i in range(n)))
+
+
+def star_graph(n: int, p: float = 1.0) -> ProbabilisticDigraph:
+    """Hub node 0 pointing at spokes 1..n-1."""
+    check_positive_int(n, "n")
+    check_probability(p, "p")
+    return ProbabilisticDigraph(n, ((0, i, p) for i in range(1, n)))
+
+
+def complete_dag(n: int, p: float = 1.0) -> ProbabilisticDigraph:
+    """All arcs i -> j for i < j — the worst case for transitive reduction."""
+    check_positive_int(n, "n")
+    check_probability(p, "p")
+    return ProbabilisticDigraph(
+        n, ((i, j, p) for i in range(n) for j in range(i + 1, n))
+    )
+
+
+def figure1_graph() -> ProbabilisticDigraph:
+    """The worked example of Figure 1 of the paper.
+
+    Nodes: v1..v5 mapped to ids 0..4.  Arcs: (v5,v1,0.7), (v5,v2,0.4),
+    (v5,v4,0.3), (v1,v2,0.1), (v2,v1,0.1)?  — the paper's example computes
+    P[{v1}] = 0.7 * (1-0.4) * (1-0.3) * (1-0.1), attributing the final
+    (1-0.1) to the arc (v1, v2); and P[{v2,v4}] uses arcs (v4,v2,0.6),
+    (v2,v1,0.1) and (v2,v3,0.4).  The graph below reproduces those numbers.
+    """
+    edges = [
+        (4, 0, 0.7),  # v5 -> v1
+        (4, 1, 0.4),  # v5 -> v2
+        (4, 3, 0.3),  # v5 -> v4
+        (0, 1, 0.1),  # v1 -> v2
+        (3, 1, 0.6),  # v4 -> v2
+        (1, 0, 0.1),  # v2 -> v1
+        (1, 2, 0.4),  # v2 -> v3
+    ]
+    return ProbabilisticDigraph(5, edges)
+
+
+# -- random families ----------------------------------------------------------
+
+
+def gnp_digraph(
+    n: int, edge_prob: float, p: float = 1.0, seed: SeedLike = None
+) -> ProbabilisticDigraph:
+    """Directed Erdős–Rényi G(n, q): each ordered pair (u != v) independently.
+
+    ``edge_prob`` is the *topology* density q; ``p`` is the contagion
+    probability stamped on every generated arc.
+    """
+    check_positive_int(n, "n")
+    check_probability(edge_prob, "edge_prob", allow_zero=True)
+    check_probability(p, "p")
+    rng = derive_rng(seed)
+    mask = rng.random((n, n)) < edge_prob
+    np.fill_diagonal(mask, False)
+    sources, targets = np.nonzero(mask)
+    probs = np.full(sources.shape[0], p)
+    return ProbabilisticDigraph.from_arrays(n, sources, targets, probs)
+
+
+def random_dag(
+    n: int, edge_prob: float, p: float = 1.0, seed: SeedLike = None
+) -> ProbabilisticDigraph:
+    """Random DAG: arcs only from lower to higher ids, each with prob q."""
+    check_positive_int(n, "n")
+    check_probability(edge_prob, "edge_prob", allow_zero=True)
+    check_probability(p, "p")
+    rng = derive_rng(seed)
+    mask = np.triu(rng.random((n, n)) < edge_prob, k=1)
+    sources, targets = np.nonzero(mask)
+    probs = np.full(sources.shape[0], p)
+    return ProbabilisticDigraph.from_arrays(n, sources, targets, probs)
+
+
+def powerlaw_outdegree_digraph(
+    n: int,
+    mean_degree: float,
+    exponent: float = 2.3,
+    p: float = 1.0,
+    seed: SeedLike = None,
+    reciprocal: bool = False,
+) -> ProbabilisticDigraph:
+    """Configuration-style digraph with heavy-tailed out-degrees.
+
+    Out-degrees are drawn from a discretised Pareto with the given
+    ``exponent`` and rescaled to hit ``mean_degree``; targets are chosen by
+    preferential attachment over a Zipf-weighted node popularity, which
+    yields the skewed in-degree profile typical of the paper's benchmark
+    social graphs.  With ``reciprocal=True`` every generated edge is added
+    in both directions (the paper's handling of undirected datasets).
+    """
+    check_positive_int(n, "n")
+    if mean_degree <= 0:
+        raise ValueError(f"mean_degree must be positive, got {mean_degree}")
+    if exponent <= 1.0:
+        raise ValueError(f"exponent must exceed 1, got {exponent}")
+    check_probability(p, "p")
+    rng = derive_rng(seed)
+
+    raw = rng.pareto(exponent - 1.0, size=n) + 1.0
+    degrees = np.maximum(1, np.round(raw * mean_degree / raw.mean()).astype(np.int64))
+    degrees = np.minimum(degrees, n - 1)
+
+    # Zipf-like popularity for target selection (skewed in-degrees).
+    popularity = 1.0 / np.arange(1, n + 1, dtype=np.float64)
+    popularity /= popularity.sum()
+    node_perm = rng.permutation(n)  # decouple popularity from node id
+
+    builder = GraphBuilder(on_duplicate="overwrite")
+    builder.add_nodes(range(n))
+    for u in range(n):
+        k = int(degrees[u])
+        choices = rng.choice(n, size=min(3 * k + 8, n), replace=False, p=popularity)
+        added = 0
+        for c in choices:
+            v = int(node_perm[int(c)])
+            if v == u:
+                continue
+            if reciprocal:
+                builder.add_undirected_edge(u, v, p)
+            else:
+                builder.add_edge(u, v, p)
+            added += 1
+            if added >= k:
+                break
+    return builder.build()
+
+
+def copying_model_digraph(
+    n: int,
+    out_degree: int = 4,
+    copy_prob: float = 0.5,
+    p: float = 1.0,
+    seed: SeedLike = None,
+) -> ProbabilisticDigraph:
+    """Kumar et al. copying model — grows a Web/social-like directed graph.
+
+    Each new node u picks a random prototype w; each of its ``out_degree``
+    arcs either copies one of w's targets (with ``copy_prob``) or points at a
+    uniformly random earlier node.  Produces power-law in-degrees.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(out_degree, "out_degree")
+    check_probability(copy_prob, "copy_prob", allow_zero=True)
+    check_probability(p, "p")
+    rng = derive_rng(seed)
+
+    builder = GraphBuilder(on_duplicate="overwrite")
+    builder.add_nodes(range(n))
+    adjacency: list[list[int]] = [[] for _ in range(n)]
+    seed_size = min(n, out_degree + 1)
+    # Seed clique so early nodes have prototypes to copy from.
+    for u in range(seed_size):
+        for v in range(seed_size):
+            if u != v:
+                builder.add_edge(u, v, p)
+                adjacency[u].append(v)
+
+    for u in range(seed_size, n):
+        prototype = int(rng.integers(0, u))
+        proto_targets = adjacency[prototype]
+        targets: set[int] = set()
+        for i in range(out_degree):
+            if proto_targets and rng.random() < copy_prob:
+                v = proto_targets[int(rng.integers(0, len(proto_targets)))]
+            else:
+                v = int(rng.integers(0, u))
+            if v != u:
+                targets.add(v)
+        for v in targets:
+            builder.add_edge(u, v, p)
+            adjacency[u].append(v)
+    return builder.build()
+
+
+def stochastic_kronecker_digraph(
+    initiator: "np.ndarray | Sequence[Sequence[float]]",
+    power: int,
+    p: float = 1.0,
+    seed: SeedLike = None,
+) -> ProbabilisticDigraph:
+    """Stochastic Kronecker graph (Leskovec et al.) — the generative model
+    fitted to many SNAP networks.
+
+    The ``initiator`` is a small square matrix of probabilities in [0, 1];
+    its ``power``-th Kronecker power gives the per-arc existence
+    probability of a graph on ``k^power`` nodes, sampled here arc by arc
+    via the standard recursive-descent trick (cost proportional to the
+    expected number of arcs, not to n^2).  Self-loops are discarded.
+    """
+    initiator = np.asarray(initiator, dtype=np.float64)
+    if initiator.ndim != 2 or initiator.shape[0] != initiator.shape[1]:
+        raise ValueError("initiator must be a square matrix")
+    if np.any((initiator < 0) | (initiator > 1)):
+        raise ValueError("initiator entries must lie in [0, 1]")
+    check_positive_int(power, "power")
+    check_probability(p, "p")
+    k = initiator.shape[0]
+    n = k**power
+    if n > 2**20:
+        raise ValueError(f"k^power = {n} nodes is too large")
+    rng = derive_rng(seed)
+
+    total_mass = float(initiator.sum()) ** power
+    expected_edges = total_mass
+    num_draws = rng.poisson(expected_edges)
+
+    flat = initiator.flatten()
+    flat_probs = flat / flat.sum() if flat.sum() > 0 else flat
+    cells = np.arange(k * k)
+
+    builder = GraphBuilder(on_duplicate="overwrite")
+    builder.add_nodes(range(n))
+    # Each draw descends `power` levels, picking one initiator cell per
+    # level proportionally to its weight — this samples an arc with
+    # probability proportional to its Kronecker-product weight.
+    for _ in range(int(num_draws)):
+        u = v = 0
+        for _level in range(power):
+            cell = int(rng.choice(cells, p=flat_probs))
+            row, col = divmod(cell, k)
+            u = u * k + row
+            v = v * k + col
+        if u != v:
+            builder.add_edge(int(u), int(v), p)
+    return builder.build()
+
+
+def forest_fire_digraph(
+    n: int,
+    forward_prob: float = 0.35,
+    backward_prob: float = 0.2,
+    p: float = 1.0,
+    seed: SeedLike = None,
+    max_burn: int = 200,
+) -> ProbabilisticDigraph:
+    """Leskovec et al. forest-fire model (directed, simplified).
+
+    New nodes link to an ambassador and recursively "burn" through its
+    out- and in-neighbours.  Yields densifying, heavy-tailed graphs similar
+    to the SNAP social networks used by the paper.
+    """
+    check_positive_int(n, "n")
+    check_probability(forward_prob, "forward_prob", allow_zero=True)
+    check_probability(backward_prob, "backward_prob", allow_zero=True)
+    check_probability(p, "p")
+    rng = derive_rng(seed)
+
+    out_adj: list[list[int]] = [[] for _ in range(n)]
+    in_adj: list[list[int]] = [[] for _ in range(n)]
+    builder = GraphBuilder(on_duplicate="overwrite")
+    builder.add_nodes(range(n))
+
+    def link(u: int, v: int) -> None:
+        if u != v and v not in out_adj[u]:
+            builder.add_edge(u, v, p)
+            out_adj[u].append(v)
+            in_adj[v].append(u)
+
+    for u in range(1, n):
+        ambassador = int(rng.integers(0, u))
+        visited = {ambassador}
+        queue = [ambassador]
+        burned = 0
+        while queue and burned < max_burn:
+            w = queue.pop()
+            link(u, w)
+            burned += 1
+            for v in out_adj[w]:
+                if v not in visited and rng.random() < forward_prob:
+                    visited.add(v)
+                    queue.append(v)
+            for v in in_adj[w]:
+                if v not in visited and rng.random() < backward_prob:
+                    visited.add(v)
+                    queue.append(v)
+    return builder.build()

@@ -1,0 +1,98 @@
+"""Edge-list serialisation for probabilistic digraphs.
+
+The on-disk format is the plain whitespace-separated triple format used by
+the influence-maximisation literature (and the SNAP collection, plus a
+probability column)::
+
+    # comment lines start with '#'
+    <source> <target> <probability>
+
+Node ids in a file may be arbitrary non-negative integers or strings; they
+are densified on read and the mapping can be recovered via
+``read_edge_list(..., return_labels=True)``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import IO, Iterable, Union
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.digraph import ProbabilisticDigraph
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_edge_list(graph: ProbabilisticDigraph, path: PathLike, precision: int = 17) -> None:
+    """Write ``graph`` as a ``u v p`` edge list (dense integer node ids)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# nodes {graph.num_nodes} edges {graph.num_edges}\n")
+        for u, v, p in graph.edges():
+            handle.write(f"{u} {v} {p:.{precision}g}\n")
+
+
+def _parse_lines(lines: Iterable[str], default_probability: float | None) -> GraphBuilder:
+    builder = GraphBuilder(on_duplicate="error")
+    declared_nodes: int | None = None
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line[1:].split()
+            if len(parts) >= 2 and parts[0] == "nodes":
+                try:
+                    declared_nodes = int(parts[1])
+                except ValueError:
+                    declared_nodes = None
+                if declared_nodes is not None:
+                    # Pre-register 0..n-1 so ids round-trip identically for
+                    # files produced by write_edge_list.
+                    for node in range(declared_nodes):
+                        builder.add_node(node)
+            continue
+        parts = line.split()
+        if len(parts) == 2:
+            if default_probability is None:
+                raise ValueError(
+                    f"line {lineno}: no probability column and no default_probability given"
+                )
+            u, v, p = parts[0], parts[1], default_probability
+        elif len(parts) == 3:
+            u, v = parts[0], parts[1]
+            try:
+                p = float(parts[2])
+            except ValueError as exc:
+                raise ValueError(f"line {lineno}: bad probability {parts[2]!r}") from exc
+        else:
+            raise ValueError(f"line {lineno}: expected 2 or 3 columns, got {len(parts)}")
+        builder.add_edge(_coerce_label(u), _coerce_label(v), p)
+    return builder
+
+
+def _coerce_label(token: str):
+    """Integer-looking tokens become ints so files round-trip id-stably."""
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def read_edge_list(
+    source: Union[PathLike, IO[str]],
+    default_probability: float | None = None,
+    return_labels: bool = False,
+):
+    """Read an edge list from a path or open text handle.
+
+    Returns the graph, or ``(graph, labels)`` when ``return_labels`` is set,
+    where ``labels`` maps original file labels to dense node ids.
+    """
+    if hasattr(source, "read"):
+        builder = _parse_lines(source, default_probability)
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            builder = _parse_lines(handle, default_probability)
+    if return_labels:
+        return builder.build_with_labels()
+    return builder.build()

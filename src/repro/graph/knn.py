@@ -1,0 +1,130 @@
+"""k-nearest neighbours in uncertain graphs (Potamias et al., PVLDB 2010 —
+reference [31] of the paper).
+
+In a probabilistic graph the distance between two nodes is a *random
+variable*; Potamias et al. rank neighbours by statistics of the sampled
+distance distribution.  Implemented here:
+
+* **median distance** — the median of the hop-distance distribution
+  (unreachable samples count as +infinity);
+* **majority distance** — the most probable distance value;
+* **expected reliable distance** — the mean hop distance conditioned on
+  reachability, with the reachability probability reported alongside.
+
+All statistics are computed from one shared batch of sampled worlds, so a
+k-NN query costs ``num_samples`` hop-bounded BFS traversals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cascades.distance_reliability import hop_distances
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.sampling import sample_world
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import check_node, check_positive_int
+
+#: Sentinel used for "unreachable" in the distance matrices.
+UNREACHABLE = np.iinfo(np.int64).max
+
+
+@dataclass(frozen=True)
+class NeighbourDistance:
+    """Distance statistics of one candidate neighbour."""
+
+    node: int
+    median_distance: float  # inf when unreachable in >= half the worlds
+    majority_distance: float  # most frequent finite distance (inf if none)
+    reliability: float  # fraction of worlds where reachable
+    mean_reliable_distance: float  # mean over reachable worlds (nan if never)
+
+
+def sampled_distance_matrix(
+    graph: ProbabilisticDigraph,
+    source: int,
+    num_samples: int,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """``(num_samples, n)`` hop distances from ``source``; UNREACHABLE
+    marks nodes not reached in that world."""
+    source = check_node(source, graph.num_nodes, "source")
+    check_positive_int(num_samples, "num_samples")
+    rng = derive_rng(seed)
+    out = np.full((num_samples, graph.num_nodes), UNREACHABLE, dtype=np.int64)
+    for i in range(num_samples):
+        mask = sample_world(graph, rng)
+        dist = hop_distances(graph, source, mask)
+        reached = dist >= 0
+        out[i, reached] = dist[reached]
+    return out
+
+
+def _statistics_for(node: int, column: np.ndarray) -> NeighbourDistance:
+    finite = column[column != UNREACHABLE]
+    reliability = finite.size / column.size
+    if finite.size:
+        majority_values, counts = np.unique(finite, return_counts=True)
+        majority = float(majority_values[int(np.argmax(counts))])
+        mean_reliable = float(finite.mean())
+    else:
+        majority = float("inf")
+        mean_reliable = float("nan")
+    # Median over the full distribution with inf for unreachable samples.
+    if reliability >= 0.5:
+        as_float = np.where(column == UNREACHABLE, np.inf, column).astype(float)
+        median = float(np.median(as_float))
+    else:
+        median = float("inf")
+    return NeighbourDistance(
+        node=node,
+        median_distance=median,
+        majority_distance=majority,
+        reliability=reliability,
+        mean_reliable_distance=mean_reliable,
+    )
+
+
+def k_nearest_neighbours(
+    graph: ProbabilisticDigraph,
+    source: int,
+    k: int,
+    num_samples: int = 256,
+    seed: SeedLike = None,
+    by: str = "median",
+) -> list[NeighbourDistance]:
+    """The ``k`` closest nodes to ``source`` under a distance statistic.
+
+    ``by`` is one of ``"median"``, ``"majority"``, ``"reliable-mean"``.
+    The source itself is excluded.  Ties break toward higher reliability,
+    then lower node id.
+    """
+    check_positive_int(k, "k")
+    if by not in ("median", "majority", "reliable-mean"):
+        raise ValueError(
+            f"by must be 'median', 'majority' or 'reliable-mean', got {by!r}"
+        )
+    matrix = sampled_distance_matrix(graph, source, num_samples, seed)
+    stats = [
+        _statistics_for(v, matrix[:, v])
+        for v in range(graph.num_nodes)
+        if v != source
+    ]
+
+    def sort_key(s: NeighbourDistance):
+        if by == "median":
+            primary = s.median_distance
+        elif by == "majority":
+            primary = s.majority_distance
+        else:
+            primary = (
+                s.mean_reliable_distance
+                if not np.isnan(s.mean_reliable_distance)
+                else float("inf")
+            )
+        return (primary, -s.reliability, s.node)
+
+    stats.sort(key=sort_key)
+    return stats[:k]

@@ -1,0 +1,94 @@
+"""Influence-network sparsification (Mathioudakis et al., KDD 2011).
+
+Related work (Section 7): keep only the ``m'`` most informative arcs of an
+influence network while preserving its propagation behaviour.  The full
+SPINE algorithm maximises the log-likelihood of a propagation log; the
+widely-used practical variant implemented here keeps the globally
+top-probability arcs (optionally guaranteeing a minimum out-degree so no
+influencer is completely silenced), which preserves the high-probability
+backbone the spheres of influence live on.
+
+The sparsification ablation checks that typical cascades computed on the
+sparsified graph stay close (in Jaccard distance) to the full-graph
+spheres at a fraction of the arcs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.utils.validation import check_non_negative_int, check_positive_int
+
+
+def sparsify_top_probability(
+    graph: ProbabilisticDigraph,
+    keep_edges: int,
+    min_out_degree: int = 0,
+) -> ProbabilisticDigraph:
+    """Keep the ``keep_edges`` highest-probability arcs.
+
+    ``min_out_degree`` first reserves each node's strongest outgoing arcs
+    (as many as it has, up to the minimum), then fills the remaining budget
+    globally by probability.  Raises if the reservation alone exceeds the
+    budget.
+    """
+    check_positive_int(keep_edges, "keep_edges")
+    check_non_negative_int(min_out_degree, "min_out_degree")
+    m = graph.num_edges
+    if keep_edges >= m:
+        return graph
+
+    probs = graph.probs
+    keep = np.zeros(m, dtype=bool)
+
+    if min_out_degree > 0:
+        indptr = graph.indptr
+        for u in range(graph.num_nodes):
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            if lo == hi:
+                continue
+            row = probs[lo:hi]
+            quota = min(min_out_degree, hi - lo)
+            best = np.argsort(row)[::-1][:quota]
+            keep[lo + best] = True
+        reserved = int(keep.sum())
+        if reserved > keep_edges:
+            raise ValueError(
+                f"min_out_degree={min_out_degree} reserves {reserved} arcs, "
+                f"more than keep_edges={keep_edges}"
+            )
+
+    remaining = keep_edges - int(keep.sum())
+    if remaining > 0:
+        candidates = np.flatnonzero(~keep)
+        order = candidates[np.argsort(probs[candidates])[::-1]]
+        keep[order[:remaining]] = True
+
+    sources = graph.edge_sources()[keep]
+    targets = np.asarray(graph.targets, dtype=np.int64)[keep]
+    return ProbabilisticDigraph.from_arrays(
+        graph.num_nodes, sources, targets, probs[keep]
+    )
+
+
+def sparsify_fraction(
+    graph: ProbabilisticDigraph,
+    fraction: float,
+    min_out_degree: int = 0,
+) -> ProbabilisticDigraph:
+    """Keep the strongest ``fraction`` of arcs (0 < fraction <= 1)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    keep_edges = max(1, int(round(graph.num_edges * fraction)))
+    return sparsify_top_probability(graph, keep_edges, min_out_degree)
+
+
+def retained_probability_mass(
+    original: ProbabilisticDigraph, sparsified: ProbabilisticDigraph
+) -> float:
+    """Fraction of the total arc-probability mass the sparsifier kept."""
+    total = float(original.probs.sum())
+    if total == 0.0:
+        return 1.0
+    return float(sparsified.probs.sum()) / total

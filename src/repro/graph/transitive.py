@@ -1,0 +1,136 @@
+"""Transitive closure and transitive reduction of condensation DAGs.
+
+The paper shrinks the cascade index by replacing each world's condensation
+with its transitive reduction [3] — the unique minimal DAG with the same
+reachability.  On a DAG the reduction is unique and computable from the
+transitive closure: an arc ``(u, v)`` is redundant iff ``v`` is reachable
+from some *other* successor of ``u``.
+
+Both routines exploit the id convention of :mod:`repro.graph.scc`: every arc
+goes from a higher component id to a strictly lower one, so ascending id
+order is a valid reverse-topological processing order (all successors of a
+node are processed before the node itself).
+
+Closures are stored as a dense boolean matrix, which is exact and fast for
+the condensation sizes arising from sampled worlds; ``max_nodes`` guards
+against accidentally materialising an n^2 matrix for huge inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.condensation import Condensation
+
+#: Default guard: a 2^13 x 2^13 boolean matrix is 64 MiB.
+DEFAULT_MAX_CLOSURE_NODES = 8192
+
+
+def _check_dag_arrays(indptr: np.ndarray, targets: np.ndarray) -> int:
+    indptr = np.asarray(indptr)
+    targets = np.asarray(targets)
+    n = int(indptr.shape[0]) - 1
+    if n < 0:
+        raise ValueError("indptr must have at least one entry")
+    if int(indptr[0]) != 0 or int(indptr[-1]) != targets.shape[0]:
+        raise ValueError("indptr does not describe the targets array")
+    sources = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    if np.any(sources <= targets):
+        raise ValueError(
+            "DAG arrays must satisfy the reverse-topological invariant "
+            "(every arc from a higher id to a strictly lower id)"
+        )
+    return n
+
+
+def transitive_closure(
+    indptr: np.ndarray,
+    targets: np.ndarray,
+    max_nodes: int = DEFAULT_MAX_CLOSURE_NODES,
+) -> np.ndarray:
+    """Dense reachability matrix of a reverse-topologically-ordered DAG.
+
+    ``closure[u, v]`` is True iff there is a directed path of length >= 1
+    from ``u`` to ``v`` (so the diagonal is always False on a DAG).
+    """
+    n = _check_dag_arrays(indptr, targets)
+    if n > max_nodes:
+        raise ValueError(
+            f"closure of a {n}-node DAG exceeds the max_nodes={max_nodes} guard"
+        )
+    closure = np.zeros((n, n), dtype=bool)
+    for u in range(n):
+        row = closure[u]
+        for v in targets[indptr[u] : indptr[u + 1]]:
+            v = int(v)
+            row[v] = True
+            # v < u, so closure[v] is already final.
+            np.logical_or(row, closure[v], out=row)
+    return closure
+
+
+def transitive_reduction(
+    indptr: np.ndarray,
+    targets: np.ndarray,
+    max_nodes: int = DEFAULT_MAX_CLOSURE_NODES,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unique transitive reduction of a reverse-topologically-ordered DAG.
+
+    Returns new ``(indptr, targets)`` arrays in the same convention.  An arc
+    ``(u, v)`` is kept iff no other successor of ``u`` reaches ``v``.
+    """
+    n = _check_dag_arrays(indptr, targets)
+    closure = transitive_closure(indptr, targets, max_nodes=max_nodes)
+
+    new_counts = np.zeros(n, dtype=np.int64)
+    kept_targets: list[np.ndarray] = []
+    for u in range(n):
+        succ = np.asarray(targets[indptr[u] : indptr[u + 1]], dtype=np.int64)
+        if succ.size == 0:
+            kept_targets.append(succ)
+            continue
+        # v reachable from any successor (including through v's own row is
+        # impossible: DAGs have no self-reach), so OR-ing all successor rows
+        # marks exactly the targets with an alternative longer path.
+        reach_via_succ = np.any(closure[succ], axis=0)
+        keep = ~reach_via_succ[succ]
+        kept = succ[keep]
+        kept_targets.append(kept)
+        new_counts[u] = kept.size
+
+    new_indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=new_indptr[1:])
+    new_targets = (
+        np.concatenate(kept_targets) if kept_targets else np.zeros(0, dtype=np.int64)
+    ).astype(np.int64)
+    return new_indptr, new_targets
+
+
+def reduce_condensation(
+    cond: Condensation, max_nodes: int = DEFAULT_MAX_CLOSURE_NODES
+) -> Condensation:
+    """Condensation with its DAG arcs replaced by the transitive reduction.
+
+    Falls back to the unreduced condensation when the DAG is larger than the
+    closure guard — the index stays correct, just less compact.
+    """
+    if cond.num_components > max_nodes:
+        return cond
+    indptr, targets = transitive_reduction(cond.indptr, cond.targets, max_nodes)
+    return cond.with_dag_edges(indptr, targets)
+
+
+def closures_equal(
+    indptr_a: np.ndarray,
+    targets_a: np.ndarray,
+    indptr_b: np.ndarray,
+    targets_b: np.ndarray,
+    max_nodes: int = DEFAULT_MAX_CLOSURE_NODES,
+) -> bool:
+    """True iff two DAGs over the same vertex set have equal reachability.
+
+    The defining property of the transitive reduction; used in tests.
+    """
+    ca = transitive_closure(indptr_a, targets_a, max_nodes=max_nodes)
+    cb = transitive_closure(indptr_b, targets_b, max_nodes=max_nodes)
+    return bool(np.array_equal(ca, cb))

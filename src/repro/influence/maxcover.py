@@ -1,0 +1,232 @@
+"""Greedy maximum coverage, plus the weighted and budgeted variants the
+paper's Section 8 sketches as future work.
+
+All variants operate on a family of sets given as ``{key: sorted int array}``
+over a universe ``0..n-1``, and use lazy (CELF-style) gain evaluation —
+coverage is submodular, so cached gains are valid upper bounds.
+
+* :func:`greedy_max_cover` — classical (1 - 1/e) greedy; the engine behind
+  InfMax_TC (Algorithm 3).
+* :func:`weighted_greedy_max_cover` — elements carry values (the "different
+  market segments have different values" scenario of Section 8).
+* :func:`budgeted_greedy_max_cover` — sets carry costs and selection is
+  limited by a budget; runs the cost-benefit greedy and the best-single-set
+  fallback that restores a constant-factor guarantee.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Hashable, Mapping
+
+import numpy as np
+
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class CoverTrace:
+    """Selection order and coverage curve of a greedy cover run."""
+
+    selected: list[Hashable] = field(default_factory=list)
+    coverage: list[float] = field(default_factory=list)
+    gains: list[float] = field(default_factory=list)
+    evaluations: int = 0
+
+
+def _validate_family(
+    sets: Mapping[Hashable, np.ndarray], universe_size: int
+) -> dict[Hashable, np.ndarray]:
+    family: dict[Hashable, np.ndarray] = {}
+    for key, members in sets.items():
+        arr = np.asarray(members, dtype=np.int64)
+        if arr.size and (int(arr.min()) < 0 or int(arr.max()) >= universe_size):
+            raise ValueError(
+                f"set {key!r} has elements outside universe 0..{universe_size - 1}"
+            )
+        family[key] = arr
+    if not family:
+        raise ValueError("the set family must not be empty")
+    return family
+
+
+def greedy_max_cover(
+    sets: Mapping[Hashable, np.ndarray],
+    k: int,
+    universe_size: int,
+    priorities: Mapping[Hashable, float] | None = None,
+) -> CoverTrace:
+    """Lazy greedy max-cover: pick ``k`` sets maximising |union|.
+
+    ``priorities`` optionally breaks coverage ties: among sets with equal
+    marginal coverage, the one with the *higher* priority wins.  InfMax_TC
+    passes each node's mean sampled-cascade size here, so that once
+    coverage saturates the selection still prefers genuinely influential
+    nodes (Algorithm 3's arg max leaves tie order unspecified).  Without
+    priorities, ties break by key order, keeping runs reproducible.
+    """
+    check_positive_int(k, "k")
+    family = _validate_family(sets, universe_size)
+    covered = np.zeros(universe_size, dtype=bool)
+    trace = CoverTrace()
+
+    keys = sorted(family.keys(), key=repr)
+    key_rank = {key: i for i, key in enumerate(keys)}
+    if priorities is None:
+        tie_rank = {key: 0.0 for key in keys}
+    else:
+        tie_rank = {key: -float(priorities.get(key, 0.0)) for key in keys}
+
+    heap: list[tuple[float, float, int, int]] = []
+    for key in keys:
+        gain = float(np.unique(family[key]).size)
+        heap.append((-gain, tie_rank[key], key_rank[key], 0))
+        trace.evaluations += 1
+    heapq.heapify(heap)
+
+    iteration = 0
+    total = 0.0
+    while iteration < min(k, len(keys)) and heap:
+        neg_gain, tie, rank, stamp = heapq.heappop(heap)
+        key = keys[rank]
+        if stamp == iteration:
+            members = family[key]
+            fresh = members[~covered[members]]
+            covered[np.unique(fresh)] = True
+            gain = float(np.unique(fresh).size)
+            total += gain
+            trace.selected.append(key)
+            trace.gains.append(gain)
+            trace.coverage.append(total)
+            iteration += 1
+        else:
+            members = family[key]
+            gain = float(np.count_nonzero(~covered[np.unique(members)]))
+            trace.evaluations += 1
+            heapq.heappush(heap, (-gain, tie, rank, iteration))
+    return trace
+
+
+def weighted_greedy_max_cover(
+    sets: Mapping[Hashable, np.ndarray],
+    k: int,
+    universe_size: int,
+    element_values: np.ndarray,
+) -> CoverTrace:
+    """Greedy max-cover where element ``v`` is worth ``element_values[v]``."""
+    check_positive_int(k, "k")
+    family = _validate_family(sets, universe_size)
+    values = np.asarray(element_values, dtype=np.float64)
+    if values.shape != (universe_size,):
+        raise ValueError(
+            f"element_values must have shape ({universe_size},), got {values.shape}"
+        )
+    if np.any(values < 0):
+        raise ValueError("element_values must be non-negative")
+
+    covered = np.zeros(universe_size, dtype=bool)
+    trace = CoverTrace()
+    keys = sorted(family.keys(), key=repr)
+    key_rank = {key: i for i, key in enumerate(keys)}
+
+    def gain_of(key: Hashable) -> float:
+        members = np.unique(family[key])
+        return float(values[members[~covered[members]]].sum())
+
+    heap = []
+    for key in keys:
+        heap.append((-gain_of(key), key_rank[key], 0))
+        trace.evaluations += 1
+    heapq.heapify(heap)
+
+    iteration = 0
+    total = 0.0
+    while iteration < min(k, len(keys)) and heap:
+        neg_gain, rank, stamp = heapq.heappop(heap)
+        key = keys[rank]
+        if stamp == iteration:
+            members = np.unique(family[key])
+            fresh = members[~covered[members]]
+            covered[fresh] = True
+            gain = float(values[fresh].sum())
+            total += gain
+            trace.selected.append(key)
+            trace.gains.append(gain)
+            trace.coverage.append(total)
+            iteration += 1
+        else:
+            trace.evaluations += 1
+            heapq.heappush(heap, (-gain_of(key), rank, iteration))
+    return trace
+
+
+def budgeted_greedy_max_cover(
+    sets: Mapping[Hashable, np.ndarray],
+    budget: float,
+    universe_size: int,
+    set_costs: Mapping[Hashable, float],
+) -> CoverTrace:
+    """Budgeted max-cover ("different nodes have different costs", §8).
+
+    Runs the cost-benefit greedy (pick the affordable set with the best
+    gain/cost ratio) and compares against the single best affordable set,
+    returning whichever covers more — the standard constant-factor recipe
+    for budgeted maximum coverage.
+    """
+    if budget <= 0:
+        raise ValueError(f"budget must be positive, got {budget}")
+    family = _validate_family(sets, universe_size)
+    for key in family:
+        if key not in set_costs:
+            raise ValueError(f"missing cost for set {key!r}")
+        if set_costs[key] <= 0:
+            raise ValueError(f"cost of set {key!r} must be positive")
+
+    # Cost-benefit greedy.
+    covered = np.zeros(universe_size, dtype=bool)
+    trace = CoverTrace()
+    remaining = dict(family)
+    spent = 0.0
+    total = 0.0
+    while remaining:
+        best_key = None
+        best_ratio = 0.0
+        best_gain = 0.0
+        for key, members in sorted(remaining.items(), key=lambda kv: repr(kv[0])):
+            cost = float(set_costs[key])
+            if spent + cost > budget:
+                continue
+            uniq = np.unique(members)
+            gain = float(np.count_nonzero(~covered[uniq]))
+            trace.evaluations += 1
+            ratio = gain / cost
+            if ratio > best_ratio:
+                best_ratio, best_key, best_gain = ratio, key, gain
+        if best_key is None or best_gain <= 0:
+            break
+        members = np.unique(remaining.pop(best_key))
+        covered[members] = True
+        spent += float(set_costs[best_key])
+        total += best_gain
+        trace.selected.append(best_key)
+        trace.gains.append(best_gain)
+        trace.coverage.append(total)
+
+    # Best single affordable set.
+    best_single = None
+    best_single_gain = 0.0
+    for key, members in family.items():
+        if float(set_costs[key]) <= budget:
+            gain = float(np.unique(members).size)
+            if gain > best_single_gain:
+                best_single, best_single_gain = key, gain
+
+    if best_single is not None and best_single_gain > total:
+        single = CoverTrace()
+        single.selected = [best_single]
+        single.gains = [best_single_gain]
+        single.coverage = [best_single_gain]
+        single.evaluations = trace.evaluations + len(family)
+        return single
+    return trace

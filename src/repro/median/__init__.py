@@ -1,0 +1,31 @@
+"""Jaccard distance, empirical/exact cost estimators, and the Jaccard-median
+approximation algorithms (Chierichetti et al., SODA 2010) used to turn
+sampled cascades into a typical cascade.
+"""
+
+from repro.median.jaccard import jaccard_distance, jaccard_similarity
+from repro.median.samples import SampleCollection
+from repro.median.cost import (
+    empirical_cost,
+    exact_expected_cost,
+    monte_carlo_expected_cost,
+)
+from repro.median.chierichetti import jaccard_median, MedianResult
+from repro.median.local_search import local_search_refine
+from repro.median.exact import exact_jaccard_median, approximation_ratio
+from repro.median.minhash import MinHasher
+
+__all__ = [
+    "jaccard_distance",
+    "jaccard_similarity",
+    "SampleCollection",
+    "empirical_cost",
+    "exact_expected_cost",
+    "monte_carlo_expected_cost",
+    "jaccard_median",
+    "MedianResult",
+    "local_search_refine",
+    "exact_jaccard_median",
+    "approximation_ratio",
+    "MinHasher",
+]

@@ -1,0 +1,84 @@
+"""Exact Jaccard median by exhaustive search (ground-truth oracle).
+
+Problem 2 is NP-hard (Chierichetti et al.), but tiny instances can be
+solved exactly: the optimal median is always a subset of the union of the
+input sets, so searching the union's power set suffices.  A simple
+branch-and-bound over candidate sizes prunes most of the lattice in
+practice; instances are guarded by ``max_union`` regardless.
+
+Used by the test-suite and the median ablation as the reference the
+approximation algorithms are measured against.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.median.chierichetti import MedianResult, jaccard_median
+from repro.median.samples import SampleCollection
+
+#: Hard guard: 2^18 candidate subsets is the most we ever enumerate.
+DEFAULT_MAX_UNION = 18
+
+
+def exact_jaccard_median(
+    samples: SampleCollection, max_union: int = DEFAULT_MAX_UNION
+) -> MedianResult:
+    """Optimal Jaccard median of ``samples`` by exhaustive search.
+
+    Raises ``ValueError`` when the union exceeds ``max_union`` elements
+    (the search is exponential in the union size).
+    """
+    union = samples.union()
+    if union.size > max_union:
+        raise ValueError(
+            f"union has {union.size} elements; exact search is limited to "
+            f"{max_union} (the problem is NP-hard)"
+        )
+    if union.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return MedianResult(empty, 0.0, "exact", 1)
+
+    # Seed the bound with the approximation algorithm's answer: every
+    # candidate whose cost cannot beat it is pruned wholesale.
+    incumbent = jaccard_median(samples)
+    best_cost = incumbent.cost
+    best = incumbent.median
+    evaluated = incumbent.candidates_evaluated
+
+    elements = [int(x) for x in union]
+    for size in range(len(elements) + 1):
+        # Lower bound for any candidate of this size: the cost against each
+        # sample is at least |size - |S_i|| / max(size, |S_i|) (achieved
+        # when one set contains the other).
+        sizes = samples.sizes.astype(np.float64)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            lb_per_sample = np.where(
+                np.maximum(size, sizes) > 0,
+                np.abs(size - sizes) / np.maximum(size, np.maximum(sizes, 1)),
+                0.0,
+            )
+        if float(lb_per_sample.mean()) > best_cost + 1e-12:
+            continue
+        for comb in combinations(elements, size):
+            candidate = np.asarray(comb, dtype=np.int64)
+            cost = samples.mean_distance(candidate)
+            evaluated += 1
+            if cost < best_cost - 1e-15:
+                best_cost = cost
+                best = candidate
+    return MedianResult(np.asarray(best, dtype=np.int64), float(best_cost), "exact", evaluated)
+
+
+def approximation_ratio(
+    samples: SampleCollection, max_union: int = DEFAULT_MAX_UNION
+) -> float:
+    """cost(approx) / cost(optimal) for one instance (1.0 when optimal is 0
+    and the approximation also achieves 0)."""
+    approx = jaccard_median(samples)
+    optimal = exact_jaccard_median(samples, max_union=max_union)
+    if optimal.cost <= 1e-15:
+        return 1.0 if approx.cost <= 1e-12 else float("inf")
+    return approx.cost / optimal.cost

@@ -1,0 +1,60 @@
+"""Jaccard similarity and distance on node sets.
+
+``d_J(A, B) = 1 - |A n B| / |A u B|`` is a metric (the paper relies on the
+triangle inequality in Lemma 1); by the usual convention
+``d_J(empty, empty) = 0``.
+
+Sets may be given as any iterable of ints, as Python ``set``/``frozenset``,
+or as *sorted* numpy arrays (the representation cascades use); the array
+path is vectorised.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+SetLike = Union[Iterable[int], np.ndarray]
+
+
+def _as_sorted_array(s: SetLike) -> np.ndarray:
+    if isinstance(s, np.ndarray):
+        return s if s.dtype.kind in "iu" else s.astype(np.int64)
+    return np.fromiter(sorted(set(int(x) for x in s)), dtype=np.int64)
+
+
+def intersection_size(a: SetLike, b: SetLike) -> int:
+    """|A n B| for sorted-array or iterable inputs."""
+    arr_a, arr_b = _as_sorted_array(a), _as_sorted_array(b)
+    if arr_a.size == 0 or arr_b.size == 0:
+        return 0
+    return int(np.intersect1d(arr_a, arr_b, assume_unique=True).size)
+
+
+def union_size(a: SetLike, b: SetLike) -> int:
+    """|A u B|."""
+    arr_a, arr_b = _as_sorted_array(a), _as_sorted_array(b)
+    return int(arr_a.size + arr_b.size) - intersection_size(arr_a, arr_b)
+
+
+def jaccard_similarity(a: SetLike, b: SetLike) -> float:
+    """|A n B| / |A u B|, with J(empty, empty) = 1."""
+    arr_a, arr_b = _as_sorted_array(a), _as_sorted_array(b)
+    inter = intersection_size(arr_a, arr_b)
+    union = int(arr_a.size + arr_b.size) - inter
+    if union == 0:
+        return 1.0
+    return inter / union
+
+
+def jaccard_distance(a: SetLike, b: SetLike) -> float:
+    """The Jaccard metric d_J(A, B) = 1 - J(A, B)."""
+    return 1.0 - jaccard_similarity(a, b)
+
+
+def symmetric_difference_size(a: SetLike, b: SetLike) -> int:
+    """|A (+) B| — the numerator of the d_J = |A(+)B| / |AuB| form."""
+    arr_a, arr_b = _as_sorted_array(a), _as_sorted_array(b)
+    inter = intersection_size(arr_a, arr_b)
+    return int(arr_a.size + arr_b.size) - 2 * inter

@@ -1,0 +1,30 @@
+"""Learning and assigning influence probabilities.
+
+The paper evaluates on both *learnt* probabilities (Saito et al.'s EM and
+Goyal et al.'s frequentist model, fitted on a propagation log) and
+*assigned* probabilities (weighted cascade ``1/indeg`` and fixed 0.1).
+This package implements all four, plus the propagation-log data model and a
+synthetic log generator that replays ground-truth IC cascades (the
+substitution for the Digg/Flixster/Twitter activity crawls — DESIGN.md §3).
+"""
+
+from repro.problearn.logs import ActionLog, generate_action_log
+from repro.problearn.goyal import learn_goyal
+from repro.problearn.saito import learn_saito
+from repro.problearn.streaming import StreamingInfluenceLearner
+from repro.problearn.assign import (
+    assign_weighted_cascade,
+    assign_fixed,
+    assign_trivalency,
+)
+
+__all__ = [
+    "ActionLog",
+    "generate_action_log",
+    "learn_goyal",
+    "learn_saito",
+    "StreamingInfluenceLearner",
+    "assign_weighted_cascade",
+    "assign_fixed",
+    "assign_trivalency",
+]

@@ -1,0 +1,51 @@
+"""Artificial probability assignment (Section 6.2 of the paper).
+
+* :func:`assign_weighted_cascade` — the WC model of Chen et al.:
+  ``p(u, v) = 1 / indeg(v)``.
+* :func:`assign_fixed` — constant probability on every arc (the paper uses
+  0.1).
+* :func:`assign_trivalency` — the TRIVALENCY benchmark (extension): each arc
+  uniformly draws from {0.1, 0.01, 0.001}.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.utils.rng import SeedLike, derive_rng
+from repro.utils.validation import check_probability
+
+
+def assign_weighted_cascade(graph: ProbabilisticDigraph) -> ProbabilisticDigraph:
+    """WC model: every arc into ``v`` gets probability ``1 / indeg(v)``.
+
+    Every arc's target has in-degree >= 1 (the arc itself), so the
+    probabilities are well-defined and lie in (0, 1].
+    """
+    indeg = graph.in_degrees().astype(np.float64)
+    targets = np.asarray(graph.targets, dtype=np.int64)
+    probs = 1.0 / indeg[targets]
+    return graph.with_probabilities(probs)
+
+
+def assign_fixed(graph: ProbabilisticDigraph, p: float = 0.1) -> ProbabilisticDigraph:
+    """Constant probability ``p`` on every arc."""
+    check_probability(p, "p")
+    return graph.with_probabilities(np.full(graph.num_edges, p))
+
+
+def assign_trivalency(
+    graph: ProbabilisticDigraph,
+    values: tuple[float, ...] = (0.1, 0.01, 0.001),
+    seed: SeedLike = None,
+) -> ProbabilisticDigraph:
+    """TRIVALENCY: each arc draws uniformly from ``values``."""
+    if not values:
+        raise ValueError("values must not be empty")
+    for v in values:
+        check_probability(v, "values")
+    rng = derive_rng(seed)
+    choices = rng.integers(0, len(values), size=graph.num_edges)
+    probs = np.asarray(values, dtype=np.float64)[choices]
+    return graph.with_probabilities(probs)

@@ -1,0 +1,80 @@
+"""Goyal et al. (WSDM 2010) frequentist influence-probability learner.
+
+The simplest ("Bernoulli") model from that paper, which is the one the
+SIGMOD'16 paper uses: the probability of the arc ``(u, v)`` is::
+
+    p(u, v) = A_{u2v} / A_u
+
+where ``A_u`` is the number of actions ``u`` performed and ``A_{u2v}`` the
+number of actions ``v`` performed *after* ``u`` (both acted on the item and
+``v``'s timestamp is strictly later, within an optional time window).
+
+Arcs that never receive credit get probability 0 and are dropped from the
+returned graph — they cannot take part in any cascade.  Pass
+``min_probability`` to clamp instead of dropping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.problearn.logs import ActionLog
+
+
+def learn_goyal(
+    graph: ProbabilisticDigraph,
+    log: ActionLog,
+    time_window: int | None = None,
+    min_probability: float | None = None,
+) -> ProbabilisticDigraph:
+    """Fit per-arc probabilities on ``graph``'s topology from ``log``.
+
+    ``time_window`` limits credit to activations at most that many steps
+    after ``u`` (``None`` = unlimited, the model's default).  Returns a new
+    graph on the same nodes whose arcs carry the learnt probabilities.
+    """
+    if time_window is not None and time_window <= 0:
+        raise ValueError(f"time_window must be positive, got {time_window}")
+    if min_probability is not None and not 0.0 < min_probability <= 1.0:
+        raise ValueError(
+            f"min_probability must be in (0, 1], got {min_probability}"
+        )
+    n = graph.num_nodes
+    action_counts = log.user_action_counts(n)
+
+    # A_{u2v} accumulated per existing arc, keyed by arc position.
+    credit = np.zeros(graph.num_edges, dtype=np.int64)
+    indptr, targets = graph.indptr, graph.targets
+
+    for _, episode in log.episodes():
+        for u, t_u in episode.items():
+            if not 0 <= u < n:
+                continue
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            for pos in range(lo, hi):
+                v = int(targets[pos])
+                t_v = episode.get(v)
+                if t_v is None or t_v <= t_u:
+                    continue
+                if time_window is not None and t_v - t_u > time_window:
+                    continue
+                credit[pos] += 1
+
+    sources = graph.edge_sources()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        probs = np.where(
+            action_counts[sources] > 0,
+            credit / np.maximum(action_counts[sources], 1),
+            0.0,
+        )
+    probs = np.minimum(probs, 1.0)
+
+    if min_probability is not None:
+        probs = np.maximum(probs, min_probability)
+        return graph.with_probabilities(probs)
+
+    keep = probs > 0.0
+    return ProbabilisticDigraph.from_arrays(
+        n, sources[keep], np.asarray(targets, dtype=np.int64)[keep], probs[keep]
+    )

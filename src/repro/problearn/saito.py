@@ -1,0 +1,158 @@
+"""Saito et al. (KES 2008) EM learner for IC influence probabilities.
+
+The model: each episode is an IC diffusion with discrete time steps; a node
+``v`` activated at step ``t + 1`` was infected by at least one in-neighbour
+active at step ``t``; an in-neighbour ``u`` active at step ``t`` whose
+neighbour ``w`` did *not* activate at ``t + 1`` made a failed attempt.
+Maximising the likelihood over the arc probabilities yields the EM update::
+
+    p_uv  <-  ( sum_{s in S+_uv}  p_uv / P_s(v) ) / ( |S+_uv| + |S-_uv| )
+
+where ``S+_uv`` are episodes with a potential ``u -> v`` infection,
+``S-_uv`` episodes with a failed attempt, and
+``P_s(v) = 1 - prod_{u' in parents_s(v)} (1 - p_u'v)`` the probability that
+*some* potential parent succeeded.
+
+The implementation precomputes, per arc, its positive events (grouped so
+that sibling arcs into the same activation share ``P_s(v)``) and its
+negative count; each EM sweep is then linear in the number of events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.problearn.logs import ActionLog
+from repro.utils.validation import check_positive_int, check_probability
+
+
+@dataclass(frozen=True)
+class SaitoFit:
+    """Result of an EM fit.
+
+    Attributes:
+        graph: new graph carrying the learnt probabilities (zero-probability
+            arcs dropped).
+        probabilities: learnt probability per arc of the *input* graph
+            (aligned with its arc order; zeros where an arc had no events).
+        iterations: EM sweeps performed.
+        log_likelihood: final (partial) data log-likelihood.
+    """
+
+    graph: ProbabilisticDigraph
+    probabilities: np.ndarray
+    iterations: int
+    log_likelihood: float
+
+
+def _collect_events(
+    graph: ProbabilisticDigraph, log: ActionLog
+) -> tuple[list[np.ndarray], np.ndarray]:
+    """Per-activation positive-parent groups and per-arc negative counts.
+
+    Returns ``(groups, negatives)`` where each element of ``groups`` is an
+    array of arc positions that are the potential parents of one activation
+    event, and ``negatives[pos]`` counts failed attempts of that arc.
+    """
+    n = graph.num_nodes
+    indptr, targets = graph.indptr, graph.targets
+    negatives = np.zeros(graph.num_edges, dtype=np.int64)
+    groups: list[np.ndarray] = []
+
+    for _, episode in log.episodes():
+        # parents[v] = arc positions (u -> v) with t_u == t_v - 1.
+        parents: dict[int, list[int]] = {}
+        for u, t_u in episode.items():
+            if not 0 <= u < n:
+                continue
+            lo, hi = int(indptr[u]), int(indptr[u + 1])
+            for pos in range(lo, hi):
+                v = int(targets[pos])
+                t_v = episode.get(v)
+                if t_v is not None and t_v == t_u + 1:
+                    parents.setdefault(v, []).append(pos)
+                elif t_v is None or t_v > t_u + 1:
+                    # u was active, v did not activate at t_u + 1:
+                    # a failed attempt under the Saito model.
+                    negatives[pos] += 1
+        for arc_positions in parents.values():
+            groups.append(np.asarray(arc_positions, dtype=np.int64))
+    return groups, negatives
+
+
+def learn_saito(
+    graph: ProbabilisticDigraph,
+    log: ActionLog,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+    initial_probability: float = 0.5,
+) -> SaitoFit:
+    """Fit arc probabilities by EM; see the module docstring for the model."""
+    check_positive_int(max_iterations, "max_iterations")
+    check_probability(initial_probability, "initial_probability")
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be positive, got {tolerance}")
+
+    groups, negatives = _collect_events(graph, log)
+    m = graph.num_edges
+    positives = np.zeros(m, dtype=np.int64)
+    for group in groups:
+        positives[group] += 1
+    has_events = (positives + negatives) > 0
+
+    p = np.full(m, initial_probability, dtype=np.float64)
+    p[~has_events] = 0.0
+    p[positives == 0] = 0.0  # no successful attempt ever: MLE is 0
+
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        responsibility = np.zeros(m, dtype=np.float64)
+        for group in groups:
+            probs = p[group]
+            # P_s(v): probability at least one potential parent succeeded.
+            fail_all = float(np.prod(1.0 - probs))
+            p_v = 1.0 - fail_all
+            if p_v <= 0.0:
+                # All parent probabilities are 0 — spread responsibility
+                # uniformly so the arcs can recover.
+                responsibility[group] += 1.0 / group.size
+            else:
+                responsibility[group] += probs / p_v
+        denom = positives + negatives
+        new_p = np.zeros(m, dtype=np.float64)
+        active = denom > 0
+        new_p[active] = responsibility[active] / denom[active]
+        new_p = np.clip(new_p, 0.0, 1.0)
+        delta = float(np.max(np.abs(new_p - p))) if m else 0.0
+        p = new_p
+        if delta < tolerance:
+            break
+
+    log_likelihood = _log_likelihood(p, groups, negatives)
+    keep = p > 0.0
+    sources = graph.edge_sources()
+    learnt_graph = ProbabilisticDigraph.from_arrays(
+        graph.num_nodes,
+        sources[keep],
+        np.asarray(graph.targets, dtype=np.int64)[keep],
+        p[keep],
+    )
+    return SaitoFit(learnt_graph, p, iterations, log_likelihood)
+
+
+def _log_likelihood(
+    p: np.ndarray, groups: list[np.ndarray], negatives: np.ndarray
+) -> float:
+    """Data log-likelihood under the Saito model (monitoring only)."""
+    eps = 1e-12
+    total = 0.0
+    for group in groups:
+        p_v = 1.0 - float(np.prod(1.0 - p[group]))
+        total += float(np.log(max(p_v, eps)))
+    with np.errstate(divide="ignore"):
+        log_fail = np.log(np.maximum(1.0 - p, eps))
+    total += float(np.sum(negatives * log_fail))
+    return total

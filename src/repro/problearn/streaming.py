@@ -1,0 +1,137 @@
+"""Streaming influence-probability learning (after STRIP, Kutzkov et al.,
+KDD 2013 — reference [26] of the paper).
+
+STRIP learns Goyal-style frequentist probabilities from a *stream* of
+actions under sublinear memory.  This module implements the frequentist
+core of that setting:
+
+* :class:`StreamingInfluenceLearner` consumes ``(user, item, time)`` records
+  one at a time and maintains, per arc of a known topology, the credit
+  counters ``A_u2v`` and per-user ``A_u`` — the exact stream analogue of
+  :func:`repro.problearn.goyal.learn_goyal` with a recency window;
+* a per-item **sliding activation window** bounds memory: only activations
+  of the last ``window`` time steps are retained per item, so memory is
+  O(#items-in-flight * window-activity) instead of the full log.
+
+With an unbounded window the learner reproduces the batch Goyal estimates
+exactly (tested), which is the correctness anchor the approximation is
+measured against.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+import numpy as np
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.problearn.logs import ActionLog
+from repro.utils.validation import check_positive_int
+
+
+class StreamingInfluenceLearner:
+    """One-pass frequentist learner over an action stream.
+
+    Parameters:
+        graph: the social topology whose arcs are being weighted.
+        window: how many time steps after ``u``'s action a following action
+            by ``v`` still earns credit (and how long activations are kept
+            in memory).  ``None`` keeps everything — exact batch Goyal.
+    """
+
+    def __init__(
+        self, graph: ProbabilisticDigraph, window: int | None = None
+    ) -> None:
+        if window is not None:
+            check_positive_int(window, "window")
+        self._graph = graph
+        self._window = window
+        self._credit = np.zeros(graph.num_edges, dtype=np.int64)
+        self._user_actions = np.zeros(graph.num_nodes, dtype=np.int64)
+        # Per item: deque of (user, time) still inside the window, plus the
+        # set of users already counted for that item (first action only).
+        self._recent: dict[int, deque[tuple[int, int]]] = defaultdict(deque)
+        self._seen: dict[int, set[int]] = defaultdict(set)
+        self._processed = 0
+
+    @property
+    def num_processed(self) -> int:
+        """How many stream records have been consumed."""
+        return self._processed
+
+    def _arc_position(self, u: int, v: int) -> int | None:
+        lo, hi = int(self._graph.indptr[u]), int(self._graph.indptr[u + 1])
+        row = self._graph.targets[lo:hi]
+        i = int(np.searchsorted(row, v))
+        if i < len(row) and int(row[i]) == v:
+            return lo + i
+        return None
+
+    def process(self, user: int, item: int, time: int) -> None:
+        """Consume one action record (records must arrive in time order
+        per item; duplicates are ignored)."""
+        user, item, time = int(user), int(item), int(time)
+        if not 0 <= user < self._graph.num_nodes:
+            return  # user outside the known topology: no arc can learn
+        if user in self._seen[item]:
+            return
+        self._seen[item].add(user)
+        self._processed += 1
+        self._user_actions[user] += 1
+
+        recent = self._recent[item]
+        # Expire activations that fell out of the window.
+        if self._window is not None:
+            while recent and time - recent[0][1] > self._window:
+                recent.popleft()
+        # Credit every windowed predecessor with an arc into `user`.
+        for predecessor, t_pred in recent:
+            if t_pred >= time:
+                continue  # same-step actions carry no direction
+            pos = self._arc_position(predecessor, user)
+            if pos is not None:
+                self._credit[pos] += 1
+        recent.append((user, time))
+
+    def process_log(self, log: ActionLog) -> None:
+        """Replay a whole :class:`ActionLog` in time order (testing aid)."""
+        records = []
+        for item, episode in log.episodes():
+            for user, time in episode.items():
+                records.append((time, item, user))
+        records.sort()
+        for time, item, user in records:
+            self.process(user, item, time)
+
+    def finish_item(self, item: int) -> None:
+        """Declare an item's diffusion over, releasing its memory."""
+        self._recent.pop(item, None)
+        self._seen.pop(item, None)
+
+    def memory_footprint(self) -> int:
+        """Number of in-flight (item, activation) records retained."""
+        return sum(len(d) for d in self._recent.values()) + sum(
+            len(s) for s in self._seen.values()
+        )
+
+    def estimates(self, min_probability: float | None = None) -> ProbabilisticDigraph:
+        """Current probability estimates as a graph (zero-credit arcs are
+        dropped, or clamped to ``min_probability`` when given)."""
+        sources = self._graph.edge_sources()
+        with np.errstate(divide="ignore", invalid="ignore"):
+            probs = np.where(
+                self._user_actions[sources] > 0,
+                self._credit / np.maximum(self._user_actions[sources], 1),
+                0.0,
+            )
+        probs = np.minimum(probs, 1.0)
+        if min_probability is not None:
+            probs = np.maximum(probs, min_probability)
+            return self._graph.with_probabilities(probs)
+        keep = probs > 0.0
+        return ProbabilisticDigraph.from_arrays(
+            self._graph.num_nodes,
+            sources[keep],
+            np.asarray(self._graph.targets, dtype=np.int64)[keep],
+            probs[keep],
+        )

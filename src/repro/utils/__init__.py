@@ -1,0 +1,26 @@
+"""Shared utilities: seeded RNG streams, timers, table formatting, validation.
+
+These helpers are deliberately small and dependency-free (numpy only) so that
+every other subpackage can rely on them without import cycles.
+"""
+
+from repro.utils.rng import RngStream, derive_rng, spawn_rngs
+from repro.utils.timing import Timer, timed
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RngStream",
+    "derive_rng",
+    "spawn_rngs",
+    "Timer",
+    "timed",
+    "format_table",
+    "check_fraction",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,72 @@
+"""Lightweight wall-clock timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    ``Timer`` supports repeated ``start``/``stop`` cycles and accumulates the
+    elapsed time, which is what the per-node timing measurements of Figure 4
+    need (time many small units of work under one label).
+    """
+
+    label: str = ""
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        """Begin (or resume) timing; returns self for chaining."""
+        if self._started_at is not None:
+            raise RuntimeError(f"timer {self.label!r} is already running")
+        self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing; returns the seconds elapsed in this cycle."""
+        if self._started_at is None:
+            raise RuntimeError(f"timer {self.label!r} is not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    def reset(self) -> None:
+        """Zero the accumulated time and clear any running cycle."""
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed(sink: list[float]) -> Iterator[None]:
+    """Context manager appending the elapsed seconds to ``sink``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink.append(time.perf_counter() - start)
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

@@ -1,0 +1,66 @@
+"""Argument validation helpers shared across the library.
+
+Public entry points validate inputs eagerly and raise ``ValueError`` /
+``TypeError`` with messages naming the offending argument, so that user
+errors surface at the call site instead of deep inside a Monte Carlo loop.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Return ``value`` as an int, requiring it to be a positive integer."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_non_negative_int(value: Any, name: str) -> int:
+    """Return ``value`` as an int, requiring it to be >= 0."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_probability(value: Any, name: str, allow_zero: bool = False) -> float:
+    """Validate an edge/contagion probability.
+
+    The paper's model has ``p : E -> (0, 1]``; ``allow_zero`` relaxes the
+    lower bound for estimator outputs which may legitimately be 0.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    p = float(value)
+    if math.isnan(p):
+        raise ValueError(f"{name} must not be NaN")
+    lower_ok = p >= 0.0 if allow_zero else p > 0.0
+    if not lower_ok or p > 1.0:
+        interval = "[0, 1]" if allow_zero else "(0, 1]"
+        raise ValueError(f"{name} must be in {interval}, got {p}")
+    return p
+
+
+def check_fraction(value: Any, name: str) -> float:
+    """Validate a value in the closed interval [0, 1]."""
+    return check_probability(value, name, allow_zero=True)
+
+
+def check_node(node: Any, n: int, name: str = "node") -> int:
+    """Validate a node id against a graph of ``n`` nodes."""
+    if isinstance(node, bool) or not isinstance(node, (int,)):
+        # Accept numpy integer scalars too.
+        try:
+            node = int(node)
+        except (TypeError, ValueError) as exc:
+            raise TypeError(f"{name} must be an int, got {type(node).__name__}") from exc
+    node = int(node)
+    if not 0 <= node < n:
+        raise ValueError(f"{name} {node} out of range for graph with {n} nodes")
+    return node

@@ -1,0 +1,91 @@
+"""Tests for repro.cascades.distance_reliability."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.distance_reliability import (
+    distance_reliability_profile,
+    exact_distance_reliability,
+    hop_distances,
+    monte_carlo_distance_reliability,
+)
+from repro.cascades.reliability import exact_reliability
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import path_graph
+
+
+class TestHopDistances:
+    def test_path_distances(self):
+        g = path_graph(5, p=1.0)
+        dist = hop_distances(g, 0)
+        assert dist.tolist() == [0, 1, 2, 3, 4]
+
+    def test_unreachable_marked(self, diamond):
+        dist = hop_distances(diamond, 3)
+        assert dist[3] == 0
+        assert dist[0] == -1
+
+    def test_max_hops_truncates(self):
+        g = path_graph(5, p=1.0)
+        dist = hop_distances(g, 0, max_hops=2)
+        assert dist.tolist() == [0, 1, 2, -1, -1]
+
+    def test_masked_world(self, diamond):
+        mask = np.array([True, False, True, False])  # keep (0,1), (1,3)
+        dist = hop_distances(diamond, 0, mask)
+        assert dist[1] == 1
+        assert dist[2] == -1
+        assert dist[3] == 2
+
+    def test_shortest_path_chosen(self, diamond):
+        # 0 -> 3 via either middle node: always 2 hops.
+        dist = hop_distances(diamond, 0)
+        assert dist[3] == 2
+
+
+class TestExact:
+    def test_series_path_probability(self):
+        g = path_graph(3, p=0.5)
+        assert exact_distance_reliability(g, 0, 2, 2) == pytest.approx(0.25)
+        assert exact_distance_reliability(g, 0, 2, 1) == 0.0
+
+    def test_unbounded_hops_equals_plain_reliability(self, diamond):
+        bounded = exact_distance_reliability(diamond, 0, 3, diamond.num_nodes)
+        assert bounded == pytest.approx(exact_reliability(diamond, 0, 3))
+
+    def test_zero_hops_is_identity(self, diamond):
+        assert exact_distance_reliability(diamond, 0, 0, 0) == pytest.approx(1.0)
+        assert exact_distance_reliability(diamond, 0, 3, 0) == 0.0
+
+    def test_monotone_in_hops(self, fig1):
+        values = [
+            exact_distance_reliability(fig1, 4, 2, d) for d in range(4)
+        ]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestMonteCarlo:
+    def test_converges_to_exact(self, diamond):
+        exact = exact_distance_reliability(diamond, 0, 3, 2)
+        mc = monte_carlo_distance_reliability(diamond, 0, 3, 2, 5000, seed=1)
+        assert mc == pytest.approx(exact, abs=0.03)
+
+    def test_deterministic(self, diamond):
+        a = monte_carlo_distance_reliability(diamond, 0, 3, 2, 300, seed=2)
+        b = monte_carlo_distance_reliability(diamond, 0, 3, 2, 300, seed=2)
+        assert a == b
+
+
+class TestProfile:
+    def test_profile_monotone_and_ends_at_reliability(self, diamond):
+        profile = distance_reliability_profile(diamond, 0, 3, 4000, seed=3)
+        assert np.all(np.diff(profile) >= -1e-12)
+        assert profile[-1] == pytest.approx(
+            exact_reliability(diamond, 0, 3), abs=0.03
+        )
+
+    def test_profile_zero_before_shortest_path(self):
+        g = path_graph(4, p=0.9)
+        profile = distance_reliability_profile(g, 0, 3, 500, seed=4)
+        assert profile[0] == 0.0
+        assert profile[2] == 0.0  # needs at least 3 hops

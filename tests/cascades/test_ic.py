@@ -1,0 +1,100 @@
+"""Tests for repro.cascades.ic — the IC model and the live-edge equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.ic import (
+    cascade_sizes,
+    expected_spread_monte_carlo,
+    sample_cascade,
+    sample_cascades,
+    simulate_ic,
+)
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import path_graph, star_graph
+
+
+class TestSimulateIC:
+    def test_seeds_always_active(self, fig1):
+        active, rounds = simulate_ic(fig1, 4, seed=0)
+        assert 4 in active
+        assert rounds[0] == [4]
+
+    def test_deterministic_graph_full_spread(self):
+        g = path_graph(5, p=1.0)
+        active, rounds = simulate_ic(g, 0, seed=0)
+        assert active == {0, 1, 2, 3, 4}
+        # Node k activates exactly at time k on a certain path.
+        assert [sorted(r) for r in rounds] == [[0], [1], [2], [3], [4]]
+
+    def test_rounds_partition_active_set(self, small_random):
+        active, rounds = simulate_ic(small_random, [0, 5], seed=3)
+        flattened = [v for r in rounds for v in r]
+        assert sorted(flattened) == sorted(active)
+        assert len(set(flattened)) == len(flattened)
+
+    def test_multi_seed_deduplicated(self, fig1):
+        active, rounds = simulate_ic(fig1, [4, 4], seed=0)
+        assert rounds[0] == [4]
+
+    def test_empty_seed_set_rejected(self, fig1):
+        with pytest.raises(ValueError, match="empty"):
+            simulate_ic(fig1, [], seed=0)
+
+    def test_invalid_seed_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            simulate_ic(fig1, 99, seed=0)
+
+
+class TestLiveEdgeView:
+    def test_sample_cascade_contains_seeds(self, fig1):
+        cascade = sample_cascade(fig1, 4, seed=0)
+        assert 4 in cascade
+
+    def test_sample_cascades_sorted_arrays(self, fig1):
+        cascades = sample_cascades(fig1, 4, 10, seed=1)
+        assert len(cascades) == 10
+        for c in cascades:
+            assert np.all(np.diff(c) > 0) if c.size > 1 else True
+            assert 4 in c
+
+    def test_star_graph_leaf_activation_rate(self):
+        """On a star with p=0.3, each leaf is active with probability 0.3."""
+        g = star_graph(11, p=0.3)
+        cascades = sample_cascades(g, 0, 3000, seed=2)
+        rate = np.mean([c.size - 1 for c in cascades]) / 10
+        assert rate == pytest.approx(0.3, abs=0.03)
+
+    def test_distribution_equivalence_with_time_stepped(self, fig1):
+        """Kempe et al.'s equivalence: both views give the same distribution
+        over final active sets (checked on cascade-size moments)."""
+        rng = np.random.default_rng(0)
+        live_sizes = np.array(
+            [len(sample_cascade(fig1, 4, rng)) for _ in range(4000)]
+        )
+        sim_sizes = np.array(
+            [len(simulate_ic(fig1, 4, rng)[0]) for _ in range(4000)]
+        )
+        assert live_sizes.mean() == pytest.approx(sim_sizes.mean(), abs=0.1)
+        assert live_sizes.std() == pytest.approx(sim_sizes.std(), abs=0.1)
+
+    def test_cascade_sizes_shape(self, fig1):
+        sizes = cascade_sizes(fig1, 4, 25, seed=0)
+        assert sizes.shape == (25,)
+        assert np.all(sizes >= 1)
+
+
+class TestExpectedSpread:
+    def test_exact_on_deterministic_graph(self):
+        g = path_graph(6, p=1.0)
+        assert expected_spread_monte_carlo(g, [0], 10, seed=0) == 6.0
+
+    def test_monotone_in_seeds(self, small_random):
+        s1 = expected_spread_monte_carlo(small_random, [0], 300, seed=1)
+        s2 = expected_spread_monte_carlo(small_random, [0, 1, 2], 300, seed=1)
+        assert s2 >= s1
+
+    def test_two_node_graph_closed_form(self):
+        g = ProbabilisticDigraph(2, [(0, 1, 0.4)])
+        spread = expected_spread_monte_carlo(g, [0], 5000, seed=3)
+        assert spread == pytest.approx(1.4, abs=0.05)

@@ -1,0 +1,63 @@
+"""Tests for repro.cascades.lt (extension model)."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.lt import expected_spread_lt, normalized_lt_weights, simulate_lt
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import path_graph, star_graph
+
+
+class TestWeights:
+    def test_incoming_sums_capped_at_one(self, small_random):
+        weights = normalized_lt_weights(small_random)
+        sums = np.zeros(small_random.num_nodes)
+        np.add.at(sums, np.asarray(small_random.targets, dtype=np.int64), weights)
+        assert np.all(sums <= 1.0 + 1e-9)
+
+    def test_under_capacity_weights_untouched(self):
+        g = ProbabilisticDigraph(3, [(0, 2, 0.3), (1, 2, 0.4)])
+        np.testing.assert_allclose(normalized_lt_weights(g), [0.3, 0.4])
+
+    def test_over_capacity_rescaled(self):
+        g = ProbabilisticDigraph(3, [(0, 2, 0.9), (1, 2, 0.9)])
+        np.testing.assert_allclose(normalized_lt_weights(g), [0.5, 0.5])
+
+
+class TestSimulate:
+    def test_seeds_always_active(self, small_random):
+        active = simulate_lt(small_random, [3], seed=0)
+        assert 3 in active
+
+    def test_full_weight_edge_always_fires(self):
+        # Single incoming arc with weight 1.0 >= any threshold in (0, 1].
+        g = path_graph(4, p=1.0)
+        active = simulate_lt(g, 0, seed=5)
+        assert active == {0, 1, 2, 3}
+
+    def test_empty_seed_rejected(self, small_random):
+        with pytest.raises(ValueError, match="empty"):
+            simulate_lt(small_random, [], seed=0)
+
+    def test_weights_shape_checked(self, small_random):
+        with pytest.raises(ValueError, match="shape"):
+            simulate_lt(small_random, [0], seed=0, weights=np.array([0.5]))
+
+    def test_deterministic_in_seed(self, small_random):
+        a = simulate_lt(small_random, [0], seed=9)
+        b = simulate_lt(small_random, [0], seed=9)
+        assert a == b
+
+
+class TestSpread:
+    def test_star_spread_matches_weights(self):
+        """Each leaf of the star has one incoming arc of weight 0.3, so it
+        activates iff its threshold <= 0.3: expected spread 1 + 10 * 0.3."""
+        g = star_graph(11, p=0.3)
+        spread = expected_spread_lt(g, [0], 3000, seed=1)
+        assert spread == pytest.approx(4.0, abs=0.25)
+
+    def test_monotone_in_seeds(self, small_random):
+        s1 = expected_spread_lt(small_random, [0], 200, seed=2)
+        s2 = expected_spread_lt(small_random, [0, 1], 200, seed=2)
+        assert s2 >= s1 - 0.2  # MC noise tolerance

@@ -1,0 +1,115 @@
+"""Tests for repro.cascades.reliability, including a numeric verification of
+the Theorem 1 reduction (s-t reliability from two expected costs)."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.reliability import (
+    exact_cascade_distribution,
+    exact_reliability,
+    monte_carlo_reliability,
+    reachability_probabilities,
+)
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import figure1_graph, path_graph
+from repro.median.cost import exact_expected_cost
+
+
+class TestExactReliability:
+    def test_single_edge(self):
+        g = ProbabilisticDigraph(2, [(0, 1, 0.3)])
+        assert exact_reliability(g, 0, 1) == pytest.approx(0.3)
+
+    def test_two_parallel_paths(self, diamond):
+        # 0->1->3 (0.5*0.5) and 0->2->3 (0.8*0.4); inclusion-exclusion.
+        p1, p2 = 0.25, 0.32
+        expected = p1 + p2 - p1 * p2
+        assert exact_reliability(diamond, 0, 3) == pytest.approx(expected)
+
+    def test_series_path(self):
+        g = path_graph(4, p=0.5)
+        assert exact_reliability(g, 0, 3) == pytest.approx(0.125)
+
+    def test_source_to_itself(self, diamond):
+        assert exact_reliability(diamond, 0, 0) == pytest.approx(1.0)
+
+    def test_unreachable_target(self, diamond):
+        assert exact_reliability(diamond, 3, 0) == 0.0
+
+
+class TestMonteCarloReliability:
+    def test_converges_to_exact(self, diamond):
+        exact = exact_reliability(diamond, 0, 3)
+        mc = monte_carlo_reliability(diamond, 0, 3, 5000, seed=0)
+        assert mc == pytest.approx(exact, abs=0.03)
+
+    def test_bounds(self, fig1):
+        mc = monte_carlo_reliability(fig1, 4, 2, 500, seed=1)
+        assert 0.0 <= mc <= 1.0
+
+
+class TestExactCascadeDistribution:
+    def test_paper_example1_values(self, fig1):
+        """The worked probabilities of Example 1."""
+        dist = exact_cascade_distribution(fig1, 4)
+        assert dist[frozenset({4, 0})] == pytest.approx(0.2646)
+        assert dist[frozenset({4, 1, 3})] == pytest.approx(0.036936)
+        # {v1, v3, v4} (plus the source) is impossible: v3 needs v2.
+        assert frozenset({4, 0, 2, 3}) not in dist
+
+    def test_distribution_sums_to_one(self, fig1):
+        assert sum(exact_cascade_distribution(fig1, 4).values()) == pytest.approx(1.0)
+
+    def test_source_in_every_cascade(self, fig1):
+        for cascade in exact_cascade_distribution(fig1, 4):
+            assert 4 in cascade
+
+    def test_multi_source(self, diamond):
+        dist = exact_cascade_distribution(diamond, [1, 2])
+        for cascade in dist:
+            assert {1, 2} <= cascade
+
+
+class TestReachabilityProbabilities:
+    def test_matches_exact_reliability(self, diamond):
+        probs = reachability_probabilities(diamond, 0, 4000, seed=2)
+        assert probs[0] == 1.0
+        assert probs[3] == pytest.approx(exact_reliability(diamond, 0, 3), abs=0.03)
+
+    def test_vector_shape(self, fig1):
+        probs = reachability_probabilities(fig1, 4, 100, seed=0)
+        assert probs.shape == (5,)
+
+
+class TestTheorem1Reduction:
+    def test_reliability_recovered_from_expected_costs(self):
+        """Numerically replay the #P-hardness reduction of Theorem 1.
+
+        Build G' from G by adding certain arcs from t to every other node;
+        then, with H1 = V and H2 = V \\ {t},
+
+            rel(G, s, t) = (1 - n rho(H1) + (n-1) rho(H2)) / (2 - 1/n).
+
+        Note: the paper's printed formula carries an extra "-1/n" in the
+        numerator; re-deriving from its own case analysis (and this numeric
+        check) shows the expression above is the correct one.
+        """
+        g = ProbabilisticDigraph(
+            4, [(0, 1, 0.6), (1, 2, 0.5), (0, 2, 0.3), (2, 3, 0.7)]
+        )
+        s, t, n = 0, 3, 4
+        expected_rel = exact_reliability(g, s, t)
+
+        # G': add t -> every other node with probability 1.
+        edges = list(g.edges())
+        for v in range(n):
+            if v != t:
+                edges.append((t, v, 1.0))
+        g_prime = ProbabilisticDigraph(n, edges)
+
+        h1 = list(range(n))
+        h2 = [v for v in range(n) if v != t]
+        rho1 = exact_expected_cost(g_prime, s, h1)
+        rho2 = exact_expected_cost(g_prime, s, h2)
+        recovered = (1 - n * rho1 + (n - 1) * rho2) / (2 - 1 / n)
+        assert recovered == pytest.approx(expected_rel, abs=1e-9)

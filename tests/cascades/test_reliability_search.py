@@ -1,0 +1,79 @@
+"""Tests for repro.cascades.reliability_search."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.cascades.reliability_search import (
+    majority_reachable_set,
+    reachability_frequencies,
+    reliability_search,
+)
+from repro.graph.generators import path_graph
+
+
+class TestFrequencies:
+    def test_source_frequency_is_one(self, small_random):
+        index = CascadeIndex.build(small_random, 32, seed=1)
+        freq = reachability_frequencies(index, 4)
+        assert freq[4] == 1.0
+        assert np.all((freq >= 0) & (freq <= 1))
+
+    def test_path_frequencies_decay_geometrically(self):
+        g = path_graph(5, p=0.5)
+        index = CascadeIndex.build(g, 4000, seed=2)
+        freq = reachability_frequencies(index, 0)
+        for hop in range(1, 5):
+            assert freq[hop] == pytest.approx(0.5**hop, abs=0.05)
+
+    def test_multi_source_union(self, small_random):
+        index = CascadeIndex.build(small_random, 32, seed=1)
+        f_union = reachability_frequencies(index, [2, 7])
+        f2 = reachability_frequencies(index, 2)
+        f7 = reachability_frequencies(index, 7)
+        # Union reachability dominates each single source.
+        assert np.all(f_union >= np.maximum(f2, f7) - 1e-12)
+
+    def test_empty_sources_rejected(self, small_random):
+        index = CascadeIndex.build(small_random, 8, seed=1)
+        with pytest.raises(ValueError, match="empty"):
+            reachability_frequencies(index, [])
+
+
+class TestSearch:
+    def test_threshold_monotone(self, small_random):
+        index = CascadeIndex.build(small_random, 32, seed=3)
+        low = reliability_search(index, 0, 0.2)
+        high = reliability_search(index, 0, 0.8)
+        assert set(high.tolist()) <= set(low.tolist())
+
+    def test_eta_one_gives_certain_nodes_only(self):
+        g = path_graph(4, p=1.0)
+        index = CascadeIndex.build(g, 16, seed=4)
+        certain = reliability_search(index, 0, 1.0)
+        assert certain.tolist() == [0, 1, 2, 3]
+
+    def test_source_always_included(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=5)
+        result = reliability_search(index, 9, 1.0)
+        assert 9 in result
+
+    def test_eta_validated(self, small_random):
+        index = CascadeIndex.build(small_random, 8, seed=5)
+        with pytest.raises(ValueError):
+            reliability_search(index, 0, 1.5)
+
+
+class TestMajoritySet:
+    def test_is_half_threshold(self, small_random):
+        index = CascadeIndex.build(small_random, 32, seed=6)
+        assert np.array_equal(
+            majority_reachable_set(index, 3), reliability_search(index, 3, 0.5)
+        )
+
+    def test_monotone_in_sources(self, small_random):
+        """Observation 4 of Section 5: the majority set grows with S."""
+        index = CascadeIndex.build(small_random, 64, seed=7)
+        single = majority_reachable_set(index, 3)
+        double = majority_reachable_set(index, [3, 11])
+        assert set(single.tolist()) <= set(double.tolist())

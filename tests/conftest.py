@@ -1,0 +1,69 @@
+"""Shared fixtures and hypothesis configuration for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import figure1_graph, gnp_digraph, path_graph
+
+# Property tests run graph algorithms, which are slow per example; keep the
+# example counts moderate and disable the per-example deadline.
+settings.register_profile(
+    "repro",
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def fig1() -> ProbabilisticDigraph:
+    """The paper's Figure 1 example graph (5 nodes, v5 = node 4)."""
+    return figure1_graph()
+
+
+@pytest.fixture
+def diamond() -> ProbabilisticDigraph:
+    """0 -> {1, 2} -> 3 with mixed probabilities — a tiny DAG fixture."""
+    return ProbabilisticDigraph(
+        4,
+        [(0, 1, 0.5), (0, 2, 0.8), (1, 3, 0.5), (2, 3, 0.4)],
+    )
+
+
+@pytest.fixture
+def two_cycles() -> ProbabilisticDigraph:
+    """Two 3-cycles joined by one arc — two SCCs when all arcs are alive."""
+    edges = [
+        (0, 1, 1.0),
+        (1, 2, 1.0),
+        (2, 0, 1.0),
+        (3, 4, 1.0),
+        (4, 5, 1.0),
+        (5, 3, 1.0),
+        (2, 3, 1.0),
+    ]
+    return ProbabilisticDigraph(6, edges)
+
+
+@pytest.fixture
+def small_random() -> ProbabilisticDigraph:
+    """A 40-node random digraph with heterogeneous probabilities."""
+    base = gnp_digraph(40, 0.08, p=1.0, seed=99)
+    rng = np.random.default_rng(7)
+    probs = rng.uniform(0.05, 0.9, size=base.num_edges)
+    return base.with_probabilities(probs)
+
+
+@pytest.fixture
+def line10() -> ProbabilisticDigraph:
+    return path_graph(10, p=0.5)

@@ -1,0 +1,61 @@
+"""Tests for repro.core.planning — Theorem 2's sample-size formulas."""
+
+import pytest
+
+from repro.core.planning import (
+    accuracy_for_samples,
+    samples_for_accuracy,
+    samples_for_all_nodes,
+)
+
+
+class TestForward:
+    def test_formula_values(self):
+        import math
+
+        alpha = 0.2
+        expected = math.ceil(math.log(1 / alpha) / alpha**2)
+        assert samples_for_accuracy(alpha) == expected
+
+    def test_smaller_alpha_needs_more(self):
+        assert samples_for_accuracy(0.1) > samples_for_accuracy(0.3)
+
+    def test_all_nodes_needs_more_than_single(self):
+        assert samples_for_all_nodes(0.2, 10_000) > samples_for_accuracy(0.2)
+
+    def test_independent_of_n_for_single_query(self):
+        # The point of Theorem 2: no n anywhere.
+        assert samples_for_accuracy(0.25) == samples_for_accuracy(0.25)
+
+    def test_grows_logarithmically_with_n(self):
+        small = samples_for_all_nodes(0.2, 100)
+        large = samples_for_all_nodes(0.2, 100_000)
+        assert small < large < small * 3
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1, 2.0])
+    def test_alpha_validated(self, alpha):
+        with pytest.raises(ValueError):
+            samples_for_accuracy(alpha)
+
+
+class TestInverse:
+    def test_roundtrip(self):
+        alpha = accuracy_for_samples(500)
+        assert samples_for_accuracy(alpha) <= 500
+        # And a slightly better alpha would not fit.
+        assert samples_for_accuracy(alpha * 0.9) > 500 or alpha < 2e-4
+
+    def test_all_nodes_roundtrip(self):
+        alpha = accuracy_for_samples(1000, num_nodes=5000)
+        assert samples_for_all_nodes(alpha, 5000) <= 1000
+
+    def test_tiny_budget(self):
+        # One sample only supports a very coarse alpha.
+        assert 0.5 < accuracy_for_samples(1) <= 1.0
+
+    def test_more_samples_better_accuracy(self):
+        assert accuracy_for_samples(10_000) < accuracy_for_samples(100)
+
+    def test_validation(self):
+        with pytest.raises((ValueError, TypeError)):
+            accuracy_for_samples(0)

@@ -1,0 +1,48 @@
+"""Tests for repro.core.sphere."""
+
+import numpy as np
+
+from repro.core.sphere import SphereOfInfluence
+
+
+def make(members=(1, 3, 5), sources=(0,), cost=0.2) -> SphereOfInfluence:
+    return SphereOfInfluence(
+        sources=sources,
+        members=np.array(members, dtype=np.int64),
+        cost=cost,
+        num_samples=10,
+    )
+
+
+class TestSphere:
+    def test_size(self):
+        assert make().size == 3
+
+    def test_as_set(self):
+        assert make().as_set() == {1, 3, 5}
+
+    def test_contains(self):
+        s = make()
+        assert s.contains(3)
+        assert not s.contains(2)
+
+    def test_contains_on_empty(self):
+        s = make(members=())
+        assert not s.contains(0)
+
+    def test_sources_sorted_tuple(self):
+        s = make(sources=(5, 1, 3))
+        assert s.sources == (1, 3, 5)
+
+    def test_repr_single_source(self):
+        assert "source=0" in repr(make())
+
+    def test_repr_seed_set(self):
+        s = make(sources=(2, 1))
+        assert "source=(1, 2)" in repr(s)
+
+    def test_members_coerced_to_int64(self):
+        s = SphereOfInfluence(
+            sources=(0,), members=[4, 2], cost=0.0, num_samples=1
+        )
+        assert s.members.dtype == np.int64

@@ -1,0 +1,46 @@
+"""Tests for repro.core.stability."""
+
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.core.stability import seed_set_stability, sphere_stability
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.median.cost import exact_expected_cost
+
+
+class TestSphereStability:
+    def test_matches_exact_on_figure1(self, fig1):
+        index = CascadeIndex.build(fig1, 300, seed=42)
+        sphere = TypicalCascadeComputer(index).compute(4)
+        stability = sphere_stability(fig1, sphere, num_samples=6000, seed=7)
+        exact = exact_expected_cost(fig1, 4, sphere.members)
+        assert stability == pytest.approx(exact, abs=0.02)
+
+    def test_deterministic_sphere_is_perfectly_stable(self, diamond):
+        import numpy as np
+
+        certain = diamond.with_probabilities(np.ones(diamond.num_edges))
+        index = CascadeIndex.build(certain, 20, seed=1)
+        sphere = TypicalCascadeComputer(index).compute(0)
+        assert sphere_stability(certain, sphere, num_samples=50, seed=2) == 0.0
+
+
+class TestSeedSetStability:
+    def test_returns_sphere_and_cost(self, fig1):
+        index = CascadeIndex.build(fig1, 200, seed=5)
+        sphere, cost = seed_set_stability(fig1, [4, 3], index, 400, seed=6)
+        assert {3, 4} <= sphere.as_set()
+        assert 0.0 <= cost <= 1.0
+
+    def test_larger_seed_sets_tend_more_stable(self, small_random):
+        """The paper's observation 3 (Section 5): stability improves as the
+        seed set grows (checked on a hand-picked growing chain)."""
+        index = CascadeIndex.build(small_random, 64, seed=8)
+        seeds = [0, 5, 11, 17, 23, 29, 35]
+        _, cost_small = seed_set_stability(
+            small_random, seeds[:1], index, 300, seed=9
+        )
+        _, cost_large = seed_set_stability(
+            small_random, seeds, index, 300, seed=9
+        )
+        assert cost_large <= cost_small + 0.05

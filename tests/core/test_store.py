@@ -1,0 +1,106 @@
+"""Tests for repro.core.store — sphere persistence."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.core.sphere import SphereOfInfluence
+from repro.core.store import SphereStore
+from repro.core.typical_cascade import TypicalCascadeComputer
+
+
+def sphere(node, members, cost=0.2, size_stats=(2.0, 1.0, 4)) -> SphereOfInfluence:
+    return SphereOfInfluence(
+        sources=(node,),
+        members=np.array(sorted(members), dtype=np.int64),
+        cost=cost,
+        num_samples=16,
+        sample_size_mean=size_stats[0],
+        sample_size_std=size_stats[1],
+        sample_size_max=size_stats[2],
+    )
+
+
+@pytest.fixture
+def store() -> SphereStore:
+    return SphereStore(
+        {
+            0: sphere(0, {0, 1, 2}, cost=0.1),
+            1: sphere(1, {1}, cost=0.05),
+            2: sphere(2, {2, 3}, cost=0.3),
+        }
+    )
+
+
+class TestMapping:
+    def test_len_contains_getitem(self, store):
+        assert len(store) == 3
+        assert 1 in store
+        assert 9 not in store
+        assert store[0].as_set() == {0, 1, 2}
+
+    def test_iteration_sorted(self, store):
+        assert list(store) == [0, 1, 2]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SphereStore({})
+
+    def test_mismatched_key_rejected(self):
+        with pytest.raises(ValueError, match="keyed by source"):
+            SphereStore({5: sphere(0, {0})})
+
+    def test_seed_set_sphere_rejected(self):
+        bad = SphereOfInfluence(
+            sources=(0, 1), members=np.array([0, 1]), cost=0.1, num_samples=4
+        )
+        with pytest.raises(ValueError, match="single-node"):
+            SphereStore({0: bad})
+
+
+class TestViews:
+    def test_members_family(self, store):
+        family = store.members_family()
+        assert set(family) == {0, 1, 2}
+        assert family[2].tolist() == [2, 3]
+
+    def test_costs_and_sizes_aligned(self, store):
+        np.testing.assert_allclose(store.costs(), [0.1, 0.05, 0.3])
+        assert store.sizes().tolist() == [3, 1, 2]
+
+    def test_most_reliable_skips_singletons(self, store):
+        assert store.most_reliable(2) == [0, 2]
+
+    def test_most_reliable_min_size(self, store):
+        assert store.most_reliable(3, min_size=1) == [1, 0, 2]
+
+
+class TestPersistence:
+    def test_roundtrip(self, store, tmp_path):
+        path = tmp_path / "spheres.npz"
+        store.save(path)
+        loaded = SphereStore.load(path)
+        assert list(loaded) == list(store)
+        for node in store:
+            a, b = store[node], loaded[node]
+            assert np.array_equal(a.members, b.members)
+            assert a.cost == pytest.approx(b.cost)
+            assert a.num_samples == b.num_samples
+            assert a.sample_size_max == b.sample_size_max
+
+    def test_roundtrip_from_real_computation(self, small_random, tmp_path):
+        index = CascadeIndex.build(small_random, 16, seed=1)
+        spheres = TypicalCascadeComputer(index).compute_all(nodes=range(10))
+        store = SphereStore(spheres)
+        path = tmp_path / "real.npz"
+        store.save(path)
+        loaded = SphereStore.load(path)
+        assert len(loaded) == 10
+        for node in range(10):
+            assert np.array_equal(loaded[node].members, spheres[node].members)
+
+    def test_empty_members_sphere_roundtrip(self, tmp_path):
+        store = SphereStore({3: sphere(3, set(), cost=1.0)})
+        path = tmp_path / "empty.npz"
+        store.save(path)
+        assert SphereStore.load(path)[3].size == 0

@@ -1,0 +1,108 @@
+"""Tests for repro.core.typical_cascade — Algorithm 2 end to end."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.core.typical_cascade import TypicalCascadeComputer, compute_typical_cascade
+from repro.median.cost import exact_expected_cost
+
+
+@pytest.fixture
+def fig1_computer(fig1) -> TypicalCascadeComputer:
+    index = CascadeIndex.build(fig1, 400, seed=42)
+    return TypicalCascadeComputer(index)
+
+
+class TestCompute:
+    def test_figure1_matches_brute_force(self, fig1, fig1_computer):
+        """With enough samples the sphere of v5 is the exact optimal median
+        {v1, v2, v5} (verified by exhaustive search over all 32 subsets)."""
+        sphere = fig1_computer.compute(4)
+        best_cost, best_set = min(
+            (exact_expected_cost(fig1, 4, comb), comb)
+            for r in range(6)
+            for comb in combinations(range(5), r)
+        )
+        assert sphere.as_set() == set(best_set) == {0, 1, 4}
+        assert exact_expected_cost(fig1, 4, sphere.members) == pytest.approx(
+            best_cost
+        )
+
+    def test_sink_node_sphere_is_itself(self, fig1_computer):
+        sphere = fig1_computer.compute(2)  # v3 has no out-arcs
+        assert sphere.as_set() == {2}
+        assert sphere.cost == 0.0
+
+    def test_sample_statistics_populated(self, fig1_computer):
+        sphere = fig1_computer.compute(4)
+        assert sphere.num_samples == 400
+        assert sphere.sample_size_max >= sphere.sample_size_mean >= 1.0
+        assert sphere.sample_size_std >= 0.0
+
+    def test_invalid_node(self, fig1_computer):
+        with pytest.raises(ValueError):
+            fig1_computer.compute(9)
+
+    def test_refine_never_hurts(self, fig1):
+        index = CascadeIndex.build(fig1, 64, seed=2)
+        plain = TypicalCascadeComputer(index, refine=False).compute(4)
+        refined = TypicalCascadeComputer(index, refine=True).compute(4)
+        assert refined.cost <= plain.cost + 1e-12
+
+
+class TestComputeAll:
+    def test_all_nodes_present(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=5)
+        spheres = TypicalCascadeComputer(index).compute_all()
+        assert set(spheres) == set(range(small_random.num_nodes))
+
+    def test_subset_of_nodes(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=5)
+        spheres = TypicalCascadeComputer(index).compute_all(nodes=[3, 8])
+        assert set(spheres) == {3, 8}
+
+    def test_progress_callback(self, small_random):
+        index = CascadeIndex.build(small_random, 8, seed=5)
+        seen = []
+        TypicalCascadeComputer(index).compute_all(
+            nodes=[0, 1], on_progress=lambda v, s: seen.append(v)
+        )
+        assert seen == [0, 1]
+
+    def test_consistent_with_single_compute(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=5)
+        computer = TypicalCascadeComputer(index)
+        spheres = computer.compute_all(nodes=[7])
+        assert np.array_equal(spheres[7].members, computer.compute(7).members)
+
+
+class TestSeedSets:
+    def test_seed_set_sphere_contains_reliable_core(self, fig1):
+        index = CascadeIndex.build(fig1, 300, seed=3)
+        computer = TypicalCascadeComputer(index)
+        sphere = computer.compute_seed_set([4, 2])
+        # Both seeds are in every sampled cascade of the set.
+        assert {2, 4} <= sphere.as_set()
+
+    def test_empty_seed_set_rejected(self, fig1):
+        index = CascadeIndex.build(fig1, 10, seed=3)
+        with pytest.raises(ValueError, match="empty"):
+            TypicalCascadeComputer(index).compute_seed_set([])
+
+    def test_sources_recorded(self, fig1):
+        index = CascadeIndex.build(fig1, 10, seed=3)
+        sphere = TypicalCascadeComputer(index).compute_seed_set([4, 0])
+        assert sphere.sources == (0, 4)
+
+
+class TestConvenience:
+    def test_one_shot_helper(self, fig1):
+        sphere = compute_typical_cascade(fig1, 4, num_samples=300, seed=42)
+        assert sphere.as_set() == {0, 1, 4}
+
+    def test_one_shot_validates_samples(self, fig1):
+        with pytest.raises(ValueError):
+            compute_typical_cascade(fig1, 4, num_samples=0)

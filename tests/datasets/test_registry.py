@@ -1,0 +1,124 @@
+"""Tests for repro.datasets.registry — the 12 experiment settings."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    ASSIGNED_SETTINGS,
+    LEARNT_SETTINGS,
+    SETTING_NAMES,
+    clear_cache,
+    load_all_settings,
+    load_base_topology,
+    load_setting,
+)
+
+SCALE = 0.03  # tiny graphs for test speed
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestNames:
+    def test_twelve_settings(self):
+        assert len(SETTING_NAMES) == 12
+        assert len(LEARNT_SETTINGS) == 6
+        assert len(ASSIGNED_SETTINGS) == 6
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(ValueError, match="unknown setting"):
+            load_setting("Facebook-S")
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError, match="unknown family"):
+            load_base_topology("Facebook")
+
+
+class TestLoadSetting:
+    @pytest.mark.parametrize("name", SETTING_NAMES)
+    def test_all_settings_materialise(self, name):
+        setting = load_setting(name, scale=SCALE)
+        assert setting.name == name
+        assert setting.graph.num_nodes >= 30
+        assert setting.graph.num_edges > 0
+        assert np.all(setting.graph.probs > 0)
+
+    def test_fixed_setting_probability(self):
+        setting = load_setting("NetHEPT-F", scale=SCALE)
+        assert np.all(setting.graph.probs == 0.1)
+
+    def test_wc_setting_probabilities(self):
+        setting = load_setting("Epinions-W", scale=SCALE)
+        indeg = setting.graph.in_degrees().astype(float)
+        targets = np.asarray(setting.graph.targets, dtype=np.int64)
+        np.testing.assert_allclose(setting.graph.probs, 1.0 / indeg[targets])
+
+    def test_learnt_graph_is_subgraph_of_base(self):
+        setting = load_setting("Digg-S", scale=SCALE)
+        base = load_base_topology("Digg", scale=SCALE)
+        assert setting.graph.num_edges <= base.num_edges
+        assert setting.graph.num_nodes == base.num_nodes
+
+    def test_saito_and_goyal_share_the_log(self):
+        """-S and -G of the same family must be fitted on the same log, so
+        their arc sets are subsets of the same base and Goyal's estimates
+        are (weakly) larger on average (the Figure 3 ordering)."""
+        s = load_setting("Digg-S", scale=SCALE)
+        g = load_setting("Digg-G", scale=SCALE)
+        assert s.graph.num_nodes == g.graph.num_nodes
+        if s.graph.num_edges and g.graph.num_edges:
+            assert g.graph.probs.mean() >= s.graph.probs.mean() - 0.1
+
+    def test_cache_returns_same_object(self):
+        a = load_setting("Digg-S", scale=SCALE)
+        b = load_setting("Digg-S", scale=SCALE)
+        assert a is b
+
+    def test_deterministic_across_cache_clears(self):
+        a = load_setting("NetHEPT-W", scale=SCALE)
+        clear_cache()
+        b = load_setting("NetHEPT-W", scale=SCALE)
+        assert a.graph == b.graph
+
+    def test_metadata_fields(self):
+        setting = load_setting("Slashdot-F", scale=SCALE)
+        assert setting.family == "Slashdot"
+        assert setting.method == "fixed"
+        assert setting.directed
+        assert "fixed" in setting.probability_source
+
+
+def test_load_all_settings_order():
+    settings = load_all_settings(scale=SCALE)
+    assert [s.name for s in settings] == [
+        "Digg-S", "Flixster-S", "Twitter-S",
+        "Digg-G", "Flixster-G", "Twitter-G",
+        "NetHEPT-W", "Epinions-W", "Slashdot-W",
+        "NetHEPT-F", "Epinions-F", "Slashdot-F",
+    ]
+
+
+class TestExtensionSettings:
+    @pytest.mark.parametrize("name", ("NetHEPT-T", "Epinions-T", "Slashdot-T"))
+    def test_trivalency_settings_materialise(self, name):
+        from repro.datasets.registry import EXTENSION_SETTINGS
+
+        assert name in EXTENSION_SETTINGS
+        setting = load_setting(name, scale=SCALE)
+        assert setting.method == "trivalency"
+        assert set(np.unique(setting.graph.probs)) <= {0.1, 0.01, 0.001}
+
+    def test_extension_not_in_paper_twelve(self):
+        from repro.datasets.registry import EXTENSION_SETTINGS
+
+        assert not set(EXTENSION_SETTINGS) & set(SETTING_NAMES)
+
+    def test_trivalency_deterministic(self):
+        a = load_setting("NetHEPT-T", scale=SCALE)
+        clear_cache()
+        b = load_setting("NetHEPT-T", scale=SCALE)
+        assert a.graph == b.graph

@@ -1,0 +1,80 @@
+"""Tests for repro.datasets.synth — dataset stand-in builders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synth import (
+    build_digg_like,
+    build_epinions_like,
+    build_flixster_like,
+    build_nethept_like,
+    build_slashdot_like,
+    build_twitter_like,
+    plant_ground_truth,
+)
+
+BUILDERS = [
+    build_digg_like,
+    build_flixster_like,
+    build_twitter_like,
+    build_nethept_like,
+    build_epinions_like,
+    build_slashdot_like,
+]
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_deterministic(self, builder):
+        assert builder(scale=0.03) == builder(scale=0.03)
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_scale_changes_size(self, builder):
+        small = builder(scale=0.02)
+        large = builder(scale=0.06)
+        assert large.num_nodes > small.num_nodes
+
+    @pytest.mark.parametrize("builder", BUILDERS)
+    def test_minimum_size_floor(self, builder):
+        tiny = builder(scale=1e-6)
+        assert tiny.num_nodes >= 30
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError, match="scale"):
+            build_digg_like(scale=0.0)
+
+    @pytest.mark.parametrize(
+        "builder,reciprocal",
+        [(build_flixster_like, True), (build_twitter_like, True),
+         (build_nethept_like, True), (build_digg_like, False)],
+    )
+    def test_reciprocity_matches_dataset_type(self, builder, reciprocal):
+        g = builder(scale=0.03)
+        symmetric = all(g.has_edge(v, u) for u, v, _ in g.edges())
+        assert symmetric == reciprocal
+
+
+class TestPlantGroundTruth:
+    def test_probabilities_replaced(self):
+        g = build_digg_like(scale=0.03)
+        planted = plant_ground_truth(g, mean=0.2, seed=1)
+        assert planted.num_edges == g.num_edges
+        assert not np.array_equal(planted.probs, g.probs)
+        assert np.all((planted.probs > 0) & (planted.probs <= 1))
+
+    def test_mean_roughly_respected(self):
+        g = build_flixster_like(scale=0.05)
+        planted = plant_ground_truth(g, mean=0.3, seed=2)
+        assert planted.probs.mean() == pytest.approx(0.3, abs=0.08)
+
+    def test_heterogeneous(self):
+        g = build_digg_like(scale=0.03)
+        planted = plant_ground_truth(g, mean=0.2, seed=3)
+        assert planted.probs.std() > 0.01
+
+    def test_validation(self):
+        g = build_digg_like(scale=0.03)
+        with pytest.raises(ValueError, match="mean"):
+            plant_ground_truth(g, mean=1.0)
+        with pytest.raises(ValueError, match="concentration"):
+            plant_ground_truth(g, concentration=0.0)

@@ -1,0 +1,71 @@
+"""Tests for the ablation harnesses (tiny scale)."""
+
+import pytest
+
+from repro.datasets.registry import clear_cache
+from repro.experiments.ablations import (
+    format_ablation_rows,
+    run_index_ablation,
+    run_median_ablation,
+    run_samples_ablation,
+)
+from repro.experiments.config import TEST_CONFIG
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestSamplesAblation:
+    def test_costs_plateau(self):
+        rows = run_samples_ablation(
+            "Digg-S",
+            TEST_CONFIG,
+            sample_counts=(4, 16),
+            num_nodes=8,
+            eval_samples=60,
+        )
+        assert [r.num_samples for r in rows] == [4, 16]
+        for r in rows:
+            assert 0.0 <= r.mean_out_of_sample_cost <= 1.0
+            assert 0.0 <= r.mean_in_sample_cost <= 1.0
+        # More samples should not make the out-of-sample cost much worse.
+        assert rows[1].mean_out_of_sample_cost <= rows[0].mean_out_of_sample_cost + 0.1
+
+
+class TestIndexAblation:
+    def test_reduction_shrinks_dag(self):
+        rows = run_index_ablation("NetHEPT-W", TEST_CONFIG, num_queries=30)
+        by_flag = {r.reduced: r for r in rows}
+        assert set(by_flag) == {False, True}
+        assert by_flag[True].total_dag_edges <= by_flag[False].total_dag_edges
+        for r in rows:
+            assert r.build_seconds > 0
+            assert r.avg_extraction_seconds > 0
+
+
+class TestMedianAblation:
+    def test_all_algorithms_reported(self):
+        rows = run_median_ablation("Digg-S", TEST_CONFIG, num_nodes=6)
+        names = {r.algorithm for r in rows}
+        assert names == {
+            "chierichetti",
+            "best-of-samples",
+            "majority",
+            "chierichetti+ls",
+        }
+        full = {r.algorithm: r for r in rows}
+        # The combined algorithm is never worse in-sample than best-of-samples.
+        assert (
+            full["chierichetti"].mean_cost
+            <= full["best-of-samples"].mean_cost + 1e-9
+        )
+
+    def test_rendering(self):
+        rows = run_median_ablation("Digg-S", TEST_CONFIG, num_nodes=3)
+        out = format_ablation_rows(rows, "median ablation")
+        assert "median ablation" in out
+        assert "chierichetti" in out

@@ -1,0 +1,43 @@
+"""Tests for repro.experiments.config."""
+
+import pytest
+
+from repro.experiments.config import BENCH_CONFIG, TEST_CONFIG, ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.scale == 1.0
+        assert config.num_samples > 0
+        assert config.seed == 20160626  # the SIGMOD'16 date
+
+    def test_frozen(self):
+        config = ExperimentConfig()
+        with pytest.raises(AttributeError):
+            config.scale = 2.0
+
+    def test_scaled_multiplies_only_scale(self):
+        config = ExperimentConfig(scale=0.5, num_samples=32, k=7)
+        smaller = config.scaled(0.5)
+        assert smaller.scale == pytest.approx(0.25)
+        assert smaller.num_samples == 32
+        assert smaller.k == 7
+        assert smaller.seed == config.seed
+
+    def test_presets_ordered_by_cost(self):
+        assert TEST_CONFIG.scale < BENCH_CONFIG.scale
+        assert TEST_CONFIG.num_samples <= BENCH_CONFIG.num_samples
+        assert TEST_CONFIG.k <= BENCH_CONFIG.k
+
+
+def test_package_version_consistent_with_pyproject():
+    import pathlib
+
+    import repro
+
+    pyproject = pathlib.Path(repro.__file__).parents[2] / "pyproject.toml"
+    if not pyproject.exists():
+        pytest.skip("pyproject.toml not found (installed package layout)")
+    text = pyproject.read_text()
+    assert f'version = "{repro.__version__}"' in text

@@ -1,0 +1,43 @@
+"""Tests for the sparsification and MinHash ablation harnesses."""
+
+import pytest
+
+from repro.datasets.registry import clear_cache
+from repro.experiments.ablations import (
+    run_minhash_ablation,
+    run_sparsify_ablation,
+)
+from repro.experiments.config import TEST_CONFIG
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestSparsifyAblation:
+    def test_rows_and_monotonicity(self):
+        rows = run_sparsify_ablation(
+            "Digg-S", TEST_CONFIG, fractions=(0.9, 0.5), num_nodes=6
+        )
+        assert [r.fraction for r in rows] == [0.9, 0.5]
+        for r in rows:
+            assert 0.0 <= r.mean_sphere_distance <= 1.0
+            assert 0.0 < r.probability_mass_kept <= 1.0
+        # More arcs kept -> more probability mass kept.
+        assert rows[0].probability_mass_kept >= rows[1].probability_mass_kept
+        assert rows[0].edges_kept >= rows[1].edges_kept
+
+
+class TestMinhashAblation:
+    def test_rows_and_accuracy_trend(self):
+        rows = run_minhash_ablation(
+            "NetHEPT-F", TEST_CONFIG, hash_counts=(16, 256), num_nodes=5
+        )
+        assert [r.num_hashes for r in rows] == [16, 256]
+        for r in rows:
+            assert r.mean_abs_cost_error >= 0.0
+            assert r.exact_seconds > 0 and r.sketch_seconds > 0
+        assert rows[1].mean_abs_cost_error <= rows[0].mean_abs_cost_error + 0.05

@@ -1,0 +1,42 @@
+"""Tests for repro.experiments.reporting."""
+
+import pathlib
+
+from repro.experiments.reporting import (
+    build_experiments_markdown,
+    collect_sections,
+    write_experiments_markdown,
+)
+
+
+class TestCollect:
+    def test_missing_artefacts_tolerated(self, tmp_path):
+        sections = collect_sections(tmp_path)
+        assert len(sections) >= 8
+        assert all(s.artefact is None for s in sections)
+
+    def test_artefacts_picked_up(self, tmp_path):
+        (tmp_path / "table1.txt").write_text("TABLE ONE CONTENT")
+        sections = {s.name: s for s in collect_sections(tmp_path)}
+        assert sections["table1"].artefact == "TABLE ONE CONTENT"
+        assert sections["fig3"].artefact is None
+
+
+class TestBuild:
+    def test_markdown_structure(self, tmp_path):
+        (tmp_path / "fig6.txt").write_text("SPREAD CURVES")
+        text = build_experiments_markdown(tmp_path)
+        assert text.startswith("# EXPERIMENTS")
+        assert "## Figure 6" in text
+        assert "SPREAD CURVES" in text
+        assert "**Paper.**" in text and "**Measured.**" in text
+
+    def test_missing_artefact_note(self, tmp_path):
+        text = build_experiments_markdown(tmp_path)
+        assert "No artefact found" in text
+
+    def test_write_roundtrip(self, tmp_path):
+        out = tmp_path / "EXPERIMENTS.md"
+        write_experiments_markdown(tmp_path, out)
+        assert out.exists()
+        assert out.read_text().startswith("# EXPERIMENTS")

@@ -1,0 +1,103 @@
+"""Tests for repro.graph.builder."""
+
+import pytest
+
+from repro.graph.builder import GraphBuilder
+
+
+class TestNodes:
+    def test_add_node_idempotent(self):
+        b = GraphBuilder()
+        assert b.add_node("a") == 0
+        assert b.add_node("a") == 0
+        assert b.add_node("b") == 1
+
+    def test_labels_in_first_appearance_order(self):
+        b = GraphBuilder()
+        b.add_nodes(["x", "y", "z"])
+        assert b.label_mapping() == {"x": 0, "y": 1, "z": 2}
+
+    def test_num_nodes(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b", 0.5)
+        assert b.num_nodes == 2
+
+
+class TestEdges:
+    def test_add_edge(self):
+        b = GraphBuilder()
+        b.add_edge(10, 20, 0.3)
+        g = b.build()
+        assert g.num_edges == 1
+        assert g.edge_probability(0, 1) == 0.3
+
+    def test_self_loop_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(ValueError, match="self-loop"):
+            b.add_edge("a", "a", 0.5)
+
+    def test_bad_probability_rejected(self):
+        b = GraphBuilder()
+        with pytest.raises(ValueError):
+            b.add_edge("a", "b", 0.0)
+
+    def test_duplicate_overwrites_by_default(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b", 0.3)
+        b.add_edge("a", "b", 0.7)
+        assert b.build().edge_probability(0, 1) == 0.7
+
+    def test_duplicate_error_mode(self):
+        b = GraphBuilder(on_duplicate="error")
+        b.add_edge("a", "b", 0.3)
+        with pytest.raises(ValueError, match="duplicate"):
+            b.add_edge("a", "b", 0.7)
+
+    def test_duplicate_max_mode(self):
+        b = GraphBuilder(on_duplicate="max")
+        b.add_edge("a", "b", 0.3)
+        b.add_edge("a", "b", 0.2)
+        assert b.build().edge_probability(0, 1) == 0.3
+
+    def test_duplicate_min_mode(self):
+        b = GraphBuilder(on_duplicate="min")
+        b.add_edge("a", "b", 0.3)
+        b.add_edge("a", "b", 0.2)
+        assert b.build().edge_probability(0, 1) == 0.2
+
+    def test_invalid_duplicate_mode(self):
+        with pytest.raises(ValueError, match="on_duplicate"):
+            GraphBuilder(on_duplicate="bogus")
+
+    def test_undirected_edge_adds_both_arcs(self):
+        b = GraphBuilder()
+        b.add_undirected_edge("a", "b", 0.4)
+        g = b.build()
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_has_edge(self):
+        b = GraphBuilder()
+        b.add_edge("a", "b", 0.4)
+        assert b.has_edge("a", "b")
+        assert not b.has_edge("b", "a")
+        assert not b.has_edge("a", "missing")
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder()
+        b.add_edges([("a", "b", 0.1), ("b", "c", 0.2)])
+        assert b.num_edges == 2
+
+
+class TestBuild:
+    def test_build_with_labels(self):
+        b = GraphBuilder()
+        b.add_edge("u", "v", 0.5)
+        g, labels = b.build_with_labels()
+        assert labels == {"u": 0, "v": 1}
+        assert g.num_nodes == 2
+
+    def test_isolated_nodes_preserved(self):
+        b = GraphBuilder()
+        b.add_node("lonely")
+        b.add_edge("a", "b", 0.5)
+        assert b.build().num_nodes == 3

@@ -1,0 +1,80 @@
+"""Tests for repro.graph.condensation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.condensation import condense
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import cycle_graph, gnp_digraph
+from repro.graph.reachability import reachable_set
+
+
+class TestCondense:
+    def test_cycle_condenses_to_point(self):
+        cond = condense(cycle_graph(6))
+        assert cond.num_components == 1
+        assert cond.num_edges == 0
+        assert cond.comp_sizes.tolist() == [6]
+
+    def test_two_cycles_structure(self, two_cycles):
+        cond = condense(two_cycles)
+        assert cond.num_components == 2
+        assert cond.num_edges == 1
+        # The only DAG arc goes from the first cycle's comp to the second's.
+        assert cond.comp_sizes.sum() == 6
+
+    def test_parallel_dag_edges_deduplicated(self):
+        # Two nodes in one SCC both pointing at node 2.
+        g = ProbabilisticDigraph(
+            3, [(0, 1, 1.0), (1, 0, 1.0), (0, 2, 1.0), (1, 2, 1.0)]
+        )
+        cond = condense(g)
+        assert cond.num_components == 2
+        assert cond.num_edges == 1
+
+    def test_acyclic_invariant(self, small_random):
+        assert condense(small_random).is_acyclic()
+
+    def test_masked_condensation(self, two_cycles):
+        mask = np.zeros(two_cycles.num_edges, dtype=bool)
+        cond = condense(two_cycles, mask)
+        assert cond.num_components == 6
+        assert cond.num_edges == 0
+
+    def test_successors_and_bounds(self, two_cycles):
+        cond = condense(two_cycles)
+        with pytest.raises(ValueError, match="out of range"):
+            cond.successors(5)
+
+
+class TestReachableComponents:
+    def test_reachability_through_dag_matches_graph(self, small_random):
+        cond = condense(small_random)
+        members = cond.members()
+        for node in (0, 7, 23):
+            comp = int(cond.node_comp[node])
+            reached_comps = cond.reachable_components(comp)
+            nodes = sorted(
+                int(v) for c in reached_comps for v in members[int(c)]
+            )
+            assert set(nodes) == reachable_set(small_random, node)
+
+    def test_sink_component_reaches_only_itself(self, two_cycles):
+        cond = condense(two_cycles)
+        sink = int(cond.node_comp[3])
+        assert cond.reachable_components(sink).tolist() == [sink]
+
+
+@given(st.integers(0, 5000), st.floats(0.03, 0.25))
+def test_condensation_members_partition_and_acyclic(seed, density):
+    g = gnp_digraph(20, density, seed=seed)
+    rng = np.random.default_rng(seed)
+    mask = rng.random(g.num_edges) < 0.6
+    cond = condense(g, mask)
+    assert cond.is_acyclic()
+    members = cond.members()
+    flat = sorted(int(v) for m in members for v in m)
+    assert flat == list(range(20))
+    assert cond.comp_sizes.tolist() == [m.size for m in members]

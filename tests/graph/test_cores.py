@@ -1,0 +1,111 @@
+"""Tests for repro.graph.cores — (k, eta)-core decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.graph.cores import (
+    degree_tail_probabilities,
+    eta_core_members,
+    eta_core_numbers,
+    eta_degree,
+)
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import gnp_digraph
+
+
+class TestDegreeTail:
+    def test_single_edge(self):
+        tail = degree_tail_probabilities(np.array([0.3]))
+        np.testing.assert_allclose(tail, [1.0, 0.3])
+
+    def test_two_edges(self):
+        tail = degree_tail_probabilities(np.array([0.5, 0.5]))
+        # P[deg>=0]=1, P[deg>=1]=0.75, P[deg>=2]=0.25.
+        np.testing.assert_allclose(tail, [1.0, 0.75, 0.25])
+
+    def test_empty(self):
+        np.testing.assert_allclose(degree_tail_probabilities(np.zeros(0)), [1.0])
+
+    def test_certain_edges(self):
+        tail = degree_tail_probabilities(np.ones(4))
+        np.testing.assert_allclose(tail, [1.0] * 5)
+
+    def test_matches_monte_carlo(self, rng):
+        probs = np.array([0.2, 0.7, 0.4, 0.9])
+        tail = degree_tail_probabilities(probs)
+        draws = (rng.random((20000, 4)) < probs).sum(axis=1)
+        for k in range(5):
+            assert tail[k] == pytest.approx(float((draws >= k).mean()), abs=0.02)
+
+
+class TestEtaDegree:
+    def test_certain_graph(self):
+        assert eta_degree(np.ones(3), 0.9) == 3
+
+    def test_threshold_sensitivity(self):
+        probs = np.array([0.5, 0.5])
+        assert eta_degree(probs, 0.7) == 1  # P[>=1] = 0.75
+        assert eta_degree(probs, 0.2) == 2  # P[>=2] = 0.25
+        assert eta_degree(probs, 0.8) == 0
+
+    def test_no_edges(self):
+        assert eta_degree(np.zeros(0), 0.5) == 0
+
+
+class TestCoreNumbers:
+    def test_certain_graph_matches_networkx_kcore(self):
+        import networkx as nx
+
+        g = gnp_digraph(30, 0.1, p=1.0, seed=3)
+        core = eta_core_numbers(g, 0.99)
+        undirected = nx.Graph()
+        undirected.add_nodes_from(range(30))
+        undirected.add_edges_from((u, v) for u, v, _ in g.edges())
+        expected = nx.core_number(undirected)
+        for v in range(30):
+            assert core[v] == expected[v], f"node {v}"
+
+    def test_lower_eta_gives_higher_cores(self):
+        g = gnp_digraph(25, 0.15, p=0.5, seed=4)
+        strict = eta_core_numbers(g, 0.9)
+        lenient = eta_core_numbers(g, 0.1)
+        assert np.all(lenient >= strict)
+
+    def test_triangle_with_weak_tail(self):
+        # Certain triangle + a weak pendant node.
+        g = ProbabilisticDigraph(
+            4,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (0, 3, 0.1)],
+        )
+        core = eta_core_numbers(g, 0.5)
+        assert core[0] == core[1] == core[2] == 2
+        assert core[3] == 0  # P[deg >= 1] = 0.1 < 0.5
+
+    def test_isolated_nodes_core_zero(self):
+        g = ProbabilisticDigraph(3)
+        assert eta_core_numbers(g, 0.5).tolist() == [0, 0, 0]
+
+    def test_reciprocal_pair_counts_once(self):
+        g = ProbabilisticDigraph(2, [(0, 1, 0.9), (1, 0, 0.8)])
+        core = eta_core_numbers(g, 0.85)
+        # Undirected edge with max(0.9, 0.8) = 0.9 >= 0.85: both in 1-core.
+        assert core.tolist() == [1, 1]
+
+
+class TestCoreMembers:
+    def test_members_of_k_core(self):
+        g = ProbabilisticDigraph(
+            4,
+            [(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (0, 3, 1.0)],
+        )
+        assert eta_core_members(g, 2, 0.9).tolist() == [0, 1, 2]
+        assert eta_core_members(g, 1, 0.9).tolist() == [0, 1, 2, 3]
+
+    def test_empty_core(self):
+        g = ProbabilisticDigraph(3, [(0, 1, 0.5)])
+        assert eta_core_members(g, 5, 0.5).size == 0
+
+    def test_negative_k_rejected(self):
+        g = ProbabilisticDigraph(2, [(0, 1, 0.5)])
+        with pytest.raises(ValueError):
+            eta_core_members(g, -1, 0.5)

@@ -1,0 +1,204 @@
+"""Tests for repro.graph.digraph — the CSR probabilistic digraph."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.digraph import ProbabilisticDigraph
+
+
+def simple_graph() -> ProbabilisticDigraph:
+    return ProbabilisticDigraph(4, [(0, 1, 0.5), (0, 2, 0.25), (2, 3, 1.0), (3, 0, 0.1)])
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = simple_graph()
+        assert g.num_nodes == 4
+        assert g.num_edges == 4
+
+    def test_empty_graph(self):
+        g = ProbabilisticDigraph(3)
+        assert g.num_edges == 0
+        assert g.successors(0).size == 0
+
+    def test_zero_node_graph(self):
+        g = ProbabilisticDigraph(0)
+        assert g.num_nodes == 0
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ProbabilisticDigraph(-1)
+
+    def test_non_int_nodes_rejected(self):
+        with pytest.raises(TypeError):
+            ProbabilisticDigraph(2.5)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            ProbabilisticDigraph(2, [(0, 0, 0.5)])
+
+    def test_duplicate_arc_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ProbabilisticDigraph(2, [(0, 1, 0.5), (0, 1, 0.6)])
+
+    @pytest.mark.parametrize("p", [0.0, -0.5, 1.5, float("nan")])
+    def test_bad_probability_rejected(self, p):
+        with pytest.raises(ValueError, match="probabilities"):
+            ProbabilisticDigraph(2, [(0, 1, p)])
+
+    @pytest.mark.parametrize("edge", [(0, 5, 0.5), (5, 0, 0.5), (-1, 0, 0.5)])
+    def test_out_of_range_node_rejected(self, edge):
+        with pytest.raises(ValueError, match="out of range"):
+            ProbabilisticDigraph(3, [edge])
+
+    def test_from_arrays_matches_triples(self):
+        g1 = simple_graph()
+        g2 = ProbabilisticDigraph.from_arrays(
+            4,
+            np.array([0, 0, 2, 3]),
+            np.array([1, 2, 3, 0]),
+            np.array([0.5, 0.25, 1.0, 0.1]),
+        )
+        assert g1 == g2
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(ValueError, match="equal length"):
+            ProbabilisticDigraph.from_arrays(
+                3, np.array([0]), np.array([1, 2]), np.array([0.5])
+            )
+
+    def test_edges_sorted_regardless_of_input_order(self):
+        g = ProbabilisticDigraph(3, [(2, 0, 0.5), (0, 2, 0.5), (0, 1, 0.5)])
+        assert list(g.edges()) == [(0, 1, 0.5), (0, 2, 0.5), (2, 0, 0.5)]
+
+
+class TestAccessors:
+    def test_successors_sorted(self):
+        g = ProbabilisticDigraph(4, [(0, 3, 0.5), (0, 1, 0.5), (0, 2, 0.5)])
+        assert g.successors(0).tolist() == [1, 2, 3]
+
+    def test_successor_probs_aligned(self):
+        g = simple_graph()
+        np.testing.assert_allclose(g.successor_probs(0), [0.5, 0.25])
+
+    def test_out_degree(self):
+        g = simple_graph()
+        assert g.out_degree(0) == 2
+        assert g.out_degree(1) == 0
+
+    def test_out_degrees_vector(self):
+        assert simple_graph().out_degrees().tolist() == [2, 0, 1, 1]
+
+    def test_in_degrees_vector(self):
+        assert simple_graph().in_degrees().tolist() == [1, 1, 1, 1]
+
+    def test_has_edge(self):
+        g = simple_graph()
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+    def test_edge_probability(self):
+        assert simple_graph().edge_probability(0, 2) == 0.25
+
+    def test_edge_probability_missing(self):
+        with pytest.raises(KeyError):
+            simple_graph().edge_probability(1, 0)
+
+    def test_edge_sources_aligned_with_targets(self):
+        g = simple_graph()
+        sources = g.edge_sources()
+        for (u, v, p), s, t in zip(g.edges(), sources, g.targets):
+            assert u == int(s)
+            assert v == int(t)
+
+    def test_node_validation(self):
+        with pytest.raises(ValueError):
+            simple_graph().successors(4)
+
+
+class TestDerivedGraphs:
+    def test_reverse_flips_arcs(self):
+        g = simple_graph()
+        r = g.reverse()
+        assert r.has_edge(1, 0)
+        assert r.edge_probability(1, 0) == 0.5
+        assert r.num_edges == g.num_edges
+
+    def test_reverse_is_cached_and_involutive(self):
+        g = simple_graph()
+        assert g.reverse() is g.reverse()
+        assert g.reverse().reverse() is g
+
+    def test_with_probabilities(self):
+        g = simple_graph()
+        g2 = g.with_probabilities(np.full(4, 0.9))
+        assert g2.edge_probability(0, 1) == 0.9
+        assert g.edge_probability(0, 1) == 0.5  # original untouched
+
+    def test_with_probabilities_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            simple_graph().with_probabilities(np.array([0.5]))
+
+    def test_with_probabilities_range_checked(self):
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            simple_graph().with_probabilities(np.array([0.5, 0.5, 0.5, 0.0]))
+
+    def test_subgraph_from_mask(self):
+        g = simple_graph()
+        mask = np.array([True, False, True, False])
+        world = g.subgraph_from_mask(mask)
+        assert world.num_edges == 2
+        # Kept arcs are deterministic in the world.
+        assert all(p == 1.0 for _, _, p in world.edges())
+
+    def test_subgraph_mask_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            simple_graph().subgraph_from_mask(np.array([True]))
+
+
+class TestDunder:
+    def test_equality_and_hash(self):
+        assert simple_graph() == simple_graph()
+        assert hash(simple_graph()) == hash(simple_graph())
+
+    def test_inequality_on_probability(self):
+        g2 = ProbabilisticDigraph(
+            4, [(0, 1, 0.6), (0, 2, 0.25), (2, 3, 1.0), (3, 0, 0.1)]
+        )
+        assert simple_graph() != g2
+
+    def test_repr(self):
+        assert "num_nodes=4" in repr(simple_graph())
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(0, 7),
+            st.integers(0, 7),
+            st.floats(0.01, 1.0, allow_nan=False),
+        ),
+        max_size=30,
+    )
+)
+def test_csr_invariants_hold_for_any_valid_edge_list(raw_edges):
+    """CSR arrays are consistent for arbitrary deduplicated edge lists."""
+    seen = set()
+    edges = []
+    for u, v, p in raw_edges:
+        if u != v and (u, v) not in seen:
+            seen.add((u, v))
+            edges.append((u, v, p))
+    g = ProbabilisticDigraph(8, edges)
+    assert g.num_edges == len(edges)
+    assert g.indptr[0] == 0
+    assert g.indptr[-1] == g.num_edges
+    assert np.all(np.diff(g.indptr) >= 0)
+    # Row targets sorted and unique.
+    for u in range(8):
+        row = g.successors(u)
+        assert np.all(np.diff(row) > 0) if row.size > 1 else True
+    # Round-trip through edges().
+    assert sorted((u, v) for u, v, _ in g.edges()) == sorted(seen)

@@ -1,0 +1,126 @@
+"""Tests for repro.graph.generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    complete_dag,
+    copying_model_digraph,
+    cycle_graph,
+    figure1_graph,
+    forest_fire_digraph,
+    gnp_digraph,
+    path_graph,
+    powerlaw_outdegree_digraph,
+    random_dag,
+    star_graph,
+)
+
+
+class TestFixtures:
+    def test_path(self):
+        g = path_graph(5)
+        assert g.num_edges == 4
+        assert g.has_edge(0, 1) and g.has_edge(3, 4)
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert g.num_edges == 4
+        assert g.has_edge(3, 0)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(1)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.out_degree(0) == 5
+        assert g.out_degree(1) == 0
+
+    def test_complete_dag(self):
+        g = complete_dag(5)
+        assert g.num_edges == 10
+
+    def test_figure1_matches_paper_arcs(self):
+        g = figure1_graph()
+        assert g.num_nodes == 5
+        assert g.edge_probability(4, 0) == 0.7  # v5 -> v1
+        assert g.edge_probability(4, 1) == 0.4  # v5 -> v2
+        assert g.edge_probability(4, 3) == 0.3  # v5 -> v4
+        assert g.edge_probability(3, 1) == 0.6  # v4 -> v2
+        assert g.edge_probability(1, 2) == 0.4  # v2 -> v3
+
+
+class TestRandomFamilies:
+    def test_gnp_determinism(self):
+        assert gnp_digraph(30, 0.1, seed=5) == gnp_digraph(30, 0.1, seed=5)
+
+    def test_gnp_density_in_expected_range(self):
+        g = gnp_digraph(60, 0.1, seed=1)
+        expected = 0.1 * 60 * 59
+        assert 0.5 * expected < g.num_edges < 1.5 * expected
+
+    def test_gnp_stamp_probability(self):
+        g = gnp_digraph(10, 0.3, p=0.42, seed=0)
+        assert all(p == 0.42 for _, _, p in g.edges())
+
+    def test_random_dag_is_acyclic_by_id(self):
+        g = random_dag(20, 0.2, seed=3)
+        for u, v, _ in g.edges():
+            assert u < v
+
+    def test_powerlaw_mean_degree_roughly_respected(self):
+        g = powerlaw_outdegree_digraph(300, mean_degree=5.0, seed=2)
+        mean = g.num_edges / g.num_nodes
+        assert 2.0 < mean < 10.0
+
+    def test_powerlaw_reciprocal_symmetry(self):
+        g = powerlaw_outdegree_digraph(100, mean_degree=4.0, seed=2, reciprocal=True)
+        for u, v, _ in g.edges():
+            assert g.has_edge(v, u)
+
+    def test_powerlaw_determinism(self):
+        a = powerlaw_outdegree_digraph(80, 3.0, seed=9)
+        b = powerlaw_outdegree_digraph(80, 3.0, seed=9)
+        assert a == b
+
+    def test_powerlaw_rejects_bad_exponent(self):
+        with pytest.raises(ValueError, match="exponent"):
+            powerlaw_outdegree_digraph(10, 2.0, exponent=1.0)
+
+    def test_copying_model_no_self_loops_and_deterministic(self):
+        a = copying_model_digraph(50, seed=4)
+        b = copying_model_digraph(50, seed=4)
+        assert a == b
+        for u, v, _ in a.edges():
+            assert u != v
+
+    def test_copying_model_heavy_tail(self):
+        g = copying_model_digraph(300, out_degree=5, copy_prob=0.6, seed=1)
+        indeg = g.in_degrees()
+        # Copying yields skew: the max in-degree far exceeds the mean.
+        assert indeg.max() > 4 * indeg.mean()
+
+    def test_forest_fire_connected_to_past(self):
+        g = forest_fire_digraph(40, seed=8)
+        # Every non-root node links to at least one earlier node.
+        for u in range(1, 40):
+            assert g.out_degree(u) >= 1
+
+    def test_forest_fire_determinism(self):
+        assert forest_fire_digraph(30, seed=8) == forest_fire_digraph(30, seed=8)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: path_graph(0),
+            lambda: gnp_digraph(5, 1.5),
+            lambda: powerlaw_outdegree_digraph(5, -1.0),
+            lambda: copying_model_digraph(5, out_degree=0),
+        ],
+    )
+    def test_bad_arguments_rejected(self, factory):
+        with pytest.raises((ValueError, TypeError)):
+            factory()

@@ -1,0 +1,73 @@
+"""Tests for repro.graph.io — edge-list round-trips."""
+
+import io
+
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.io import read_edge_list, write_edge_list
+
+
+def sample_graph() -> ProbabilisticDigraph:
+    return ProbabilisticDigraph(
+        5, [(0, 1, 0.5), (1, 2, 0.25), (2, 0, 0.125), (0, 3, 1.0)]
+    )
+
+
+class TestRoundTrip:
+    def test_write_read_identical(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_isolated_node_preserved_via_header(self, tmp_path):
+        g = sample_graph()  # node 4 is isolated
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).num_nodes == 5
+
+    def test_precision_round_trip(self, tmp_path):
+        g = ProbabilisticDigraph(2, [(0, 1, 0.123456789)])
+        path = tmp_path / "g.txt"
+        write_edge_list(g, path)
+        assert read_edge_list(path).edge_probability(0, 1) == pytest.approx(
+            0.123456789
+        )
+
+
+class TestRead:
+    def test_read_from_handle(self):
+        g = read_edge_list(io.StringIO("0 1 0.5\n1 2 0.25\n"))
+        assert g.num_edges == 2
+
+    def test_comments_and_blanks_ignored(self):
+        text = "# a comment\n\n0 1 0.5\n   \n# another\n"
+        assert read_edge_list(io.StringIO(text)).num_edges == 1
+
+    def test_two_columns_need_default(self):
+        with pytest.raises(ValueError, match="default_probability"):
+            read_edge_list(io.StringIO("0 1\n"))
+
+    def test_two_columns_with_default(self):
+        g = read_edge_list(io.StringIO("0 1\n"), default_probability=0.2)
+        assert g.edge_probability(0, 1) == 0.2
+
+    def test_bad_probability_reports_line(self):
+        with pytest.raises(ValueError, match="line 2"):
+            read_edge_list(io.StringIO("0 1 0.5\n1 2 oops\n"))
+
+    def test_wrong_column_count_reports_line(self):
+        with pytest.raises(ValueError, match="line 1"):
+            read_edge_list(io.StringIO("0 1 0.5 extra\n"))
+
+    def test_string_labels(self):
+        g, labels = read_edge_list(
+            io.StringIO("alice bob 0.5\nbob carol 0.3\n"), return_labels=True
+        )
+        assert labels == {"alice": 0, "bob": 1, "carol": 2}
+        assert g.has_edge(labels["alice"], labels["bob"])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            read_edge_list(io.StringIO("0 1 0.5\n0 1 0.6\n"))

@@ -1,0 +1,70 @@
+"""Tests for repro.graph.knn — uncertain-graph k-NN."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import path_graph, star_graph
+from repro.graph.knn import (
+    UNREACHABLE,
+    k_nearest_neighbours,
+    sampled_distance_matrix,
+)
+
+
+class TestDistanceMatrix:
+    def test_shape_and_sentinel(self, diamond):
+        matrix = sampled_distance_matrix(diamond, 3, 10, seed=1)
+        assert matrix.shape == (10, 4)
+        # Node 0 is never reachable from 3.
+        assert np.all(matrix[:, 0] == UNREACHABLE)
+        assert np.all(matrix[:, 3] == 0)
+
+    def test_deterministic(self, diamond):
+        a = sampled_distance_matrix(diamond, 0, 10, seed=2)
+        b = sampled_distance_matrix(diamond, 0, 10, seed=2)
+        assert np.array_equal(a, b)
+
+
+class TestKnn:
+    def test_certain_path_ordering(self):
+        g = path_graph(5, p=1.0)
+        nn = k_nearest_neighbours(g, 0, 3, num_samples=20, seed=3)
+        assert [s.node for s in nn] == [1, 2, 3]
+        assert [s.median_distance for s in nn] == [1.0, 2.0, 3.0]
+        assert all(s.reliability == 1.0 for s in nn)
+
+    def test_unreliable_node_ranked_last(self):
+        # Leaf 1 at p=0.9, leaf 2 at p=0.1: same distance, different
+        # reliability — the median distance of leaf 2 is infinite.
+        g = ProbabilisticDigraph(3, [(0, 1, 0.9), (0, 2, 0.1)])
+        nn = k_nearest_neighbours(g, 0, 2, num_samples=400, seed=4)
+        assert nn[0].node == 1
+        assert nn[0].median_distance == 1.0
+        assert nn[1].median_distance == float("inf")
+
+    def test_source_excluded(self):
+        g = star_graph(5, p=1.0)
+        nn = k_nearest_neighbours(g, 0, 4, num_samples=10, seed=5)
+        assert 0 not in [s.node for s in nn]
+
+    def test_majority_statistic(self):
+        g = path_graph(3, p=0.8)
+        nn = k_nearest_neighbours(g, 0, 2, num_samples=400, seed=6, by="majority")
+        assert nn[0].node == 1
+        assert nn[0].majority_distance == 1.0
+
+    def test_reliable_mean_statistic(self, diamond):
+        nn = k_nearest_neighbours(
+            diamond, 0, 3, num_samples=300, seed=7, by="reliable-mean"
+        )
+        assert len(nn) == 3
+
+    def test_invalid_statistic(self, diamond):
+        with pytest.raises(ValueError, match="by must be"):
+            k_nearest_neighbours(diamond, 0, 1, by="mode")
+
+    def test_reliability_matches_expectation(self):
+        g = ProbabilisticDigraph(2, [(0, 1, 0.3)])
+        nn = k_nearest_neighbours(g, 0, 1, num_samples=3000, seed=8)
+        assert nn[0].reliability == pytest.approx(0.3, abs=0.03)

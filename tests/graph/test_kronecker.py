@@ -1,0 +1,56 @@
+"""Tests for the stochastic Kronecker generator."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import stochastic_kronecker_digraph
+
+INITIATOR = [[0.9, 0.5], [0.5, 0.2]]
+
+
+class TestKronecker:
+    def test_node_count_is_power(self):
+        g = stochastic_kronecker_digraph(INITIATOR, 5, seed=1)
+        assert g.num_nodes == 32
+
+    def test_deterministic(self):
+        a = stochastic_kronecker_digraph(INITIATOR, 5, seed=2)
+        b = stochastic_kronecker_digraph(INITIATOR, 5, seed=2)
+        assert a == b
+
+    def test_edge_count_near_expected_mass(self):
+        """E[#arc draws] = (sum of initiator)^power; after dedup and
+        self-loop removal the edge count stays the right order."""
+        g = stochastic_kronecker_digraph(INITIATOR, 7, seed=3)
+        expected = sum(sum(row) for row in INITIATOR) ** 7
+        assert 0.3 * expected < g.num_edges <= expected
+
+    def test_core_periphery_structure(self):
+        """The [0.9 .5; .5 .2] initiator biases arcs toward low-id 'core'
+        nodes: the top quarter of node ids is sparser than the bottom."""
+        g = stochastic_kronecker_digraph(INITIATOR, 7, seed=4)
+        n = g.num_nodes
+        degrees = g.out_degrees() + g.in_degrees()
+        core = float(degrees[: n // 4].mean())
+        periphery = float(degrees[3 * n // 4 :].mean())
+        assert core > periphery
+
+    def test_probability_stamp(self):
+        g = stochastic_kronecker_digraph(INITIATOR, 4, p=0.25, seed=5)
+        if g.num_edges:
+            assert all(p == 0.25 for _, _, p in g.edges())
+
+    def test_no_self_loops(self):
+        g = stochastic_kronecker_digraph(INITIATOR, 6, seed=6)
+        for u, v, _ in g.edges():
+            assert u != v
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="square"):
+            stochastic_kronecker_digraph([[0.5, 0.5]], 2)
+        with pytest.raises(ValueError, match=r"\[0, 1\]"):
+            stochastic_kronecker_digraph([[1.5, 0], [0, 0]], 2)
+        with pytest.raises(ValueError, match="too large"):
+            stochastic_kronecker_digraph(INITIATOR, 30)
+        with pytest.raises((ValueError, TypeError)):
+            stochastic_kronecker_digraph(INITIATOR, 0)

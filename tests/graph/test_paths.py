@@ -1,0 +1,86 @@
+"""Tests for repro.graph.paths — most-probable paths."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import path_graph
+from repro.graph.paths import (
+    most_probable_path,
+    most_probable_path_tree,
+    path_probability,
+)
+
+
+class TestMostProbablePath:
+    def test_picks_higher_probability_route(self, diamond):
+        # 0->1->3: 0.5*0.5 = 0.25; 0->2->3: 0.8*0.4 = 0.32.
+        result = most_probable_path(diamond, 0, 3)
+        assert result.nodes == (0, 2, 3)
+        assert result.probability == pytest.approx(0.32)
+
+    def test_prefers_strong_long_path_over_weak_shortcut(self):
+        g = ProbabilisticDigraph(
+            4, [(0, 3, 0.1), (0, 1, 0.9), (1, 2, 0.9), (2, 3, 0.9)]
+        )
+        result = most_probable_path(g, 0, 3)
+        assert result.nodes == (0, 1, 2, 3)
+        assert result.probability == pytest.approx(0.9**3)
+
+    def test_unreachable_returns_none(self, diamond):
+        assert most_probable_path(diamond, 3, 0) is None
+
+    def test_source_equals_target(self, diamond):
+        result = most_probable_path(diamond, 1, 1)
+        assert result.nodes == (1,)
+        assert result.probability == 1.0
+        assert result.num_hops == 0
+
+    def test_path_on_chain(self):
+        g = path_graph(5, p=0.5)
+        result = most_probable_path(g, 0, 4)
+        assert result.nodes == (0, 1, 2, 3, 4)
+        assert result.probability == pytest.approx(0.5**4)
+
+    def test_result_consistent_with_path_probability(self, small_random):
+        result = most_probable_path(small_random, 0, 20)
+        if result is not None:
+            assert path_probability(small_random, result.nodes) == pytest.approx(
+                result.probability
+            )
+
+
+class TestPathProbability:
+    def test_explicit_product(self, diamond):
+        assert path_probability(diamond, [0, 1, 3]) == pytest.approx(0.25)
+
+    def test_missing_arc_raises(self, diamond):
+        with pytest.raises(KeyError):
+            path_probability(diamond, [0, 3])
+
+    def test_trivial_path(self, diamond):
+        assert path_probability(diamond, [2]) == 1.0
+
+
+class TestPathTree:
+    def test_tree_matches_pairwise_queries(self, small_random):
+        probability, parent = most_probable_path_tree(small_random, 0)
+        for target in (5, 17, 33):
+            single = most_probable_path(small_random, 0, target)
+            if single is None:
+                assert probability[target] == 0.0
+            else:
+                assert probability[target] == pytest.approx(single.probability)
+
+    def test_source_entry(self, diamond):
+        probability, parent = most_probable_path_tree(diamond, 0)
+        assert probability[0] == pytest.approx(1.0)
+        assert parent[0] == -1
+
+    def test_unreachable_zero(self, diamond):
+        probability, _ = most_probable_path_tree(diamond, 3)
+        assert probability[0] == 0.0
+
+    def test_probability_upper_bounds_nothing_exceeds_one(self, small_random):
+        probability, _ = most_probable_path_tree(small_random, 3)
+        assert np.all((probability >= 0) & (probability <= 1.0 + 1e-12))

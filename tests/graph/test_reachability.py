@@ -1,0 +1,89 @@
+"""Tests for repro.graph.reachability."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import gnp_digraph, path_graph
+from repro.graph.reachability import (
+    reachable_array,
+    reachable_from_all,
+    reachable_mask,
+    reachable_set,
+    spread_size,
+)
+
+
+class TestReachableSet:
+    def test_source_always_included(self, diamond):
+        assert 0 in reachable_set(diamond, 0)
+
+    def test_full_topology(self, diamond):
+        assert reachable_set(diamond, 0) == {0, 1, 2, 3}
+        assert reachable_set(diamond, 1) == {1, 3}
+        assert reachable_set(diamond, 3) == {3}
+
+    def test_edge_mask_restricts(self, diamond):
+        # Arcs sorted: (0,1) (0,2) (1,3) (2,3); kill (0,2) and (1,3).
+        mask = np.array([True, False, False, True])
+        assert reachable_set(diamond, 0, mask) == {0, 1}
+
+    def test_multi_source(self, diamond):
+        assert reachable_set(diamond, [1, 2]) == {1, 2, 3}
+
+    def test_duplicate_sources_ok(self, diamond):
+        assert reachable_set(diamond, [1, 1]) == {1, 3}
+
+    def test_cycle_reaches_everything(self, two_cycles):
+        assert reachable_set(two_cycles, 0) == {0, 1, 2, 3, 4, 5}
+        assert reachable_set(two_cycles, 3) == {3, 4, 5}
+
+    def test_invalid_source(self, diamond):
+        with pytest.raises(ValueError):
+            reachable_set(diamond, 9)
+
+    def test_mask_shape_checked(self, diamond):
+        with pytest.raises(ValueError, match="shape"):
+            reachable_set(diamond, 0, np.array([True]))
+
+
+class TestReachableArrayAndMask:
+    def test_array_sorted(self, two_cycles):
+        arr = reachable_array(two_cycles, 0)
+        assert np.all(np.diff(arr) > 0)
+
+    def test_mask_consistent_with_set(self, small_random):
+        for source in (0, 5, 17):
+            mask = reachable_mask(small_random, source)
+            assert set(np.flatnonzero(mask)) == reachable_set(small_random, source)
+
+
+class TestReachableFromAll:
+    def test_matches_per_node(self, small_random):
+        sets = reachable_from_all(small_random)
+        assert sets[3] == reachable_set(small_random, 3)
+        assert len(sets) == small_random.num_nodes
+
+    def test_path_graph_structure(self):
+        g = path_graph(5)
+        sets = reachable_from_all(g)
+        for v in range(5):
+            assert sets[v] == set(range(v, 5))
+
+
+def test_spread_size_counts_union(two_cycles):
+    assert spread_size(two_cycles, [0]) == 6
+    assert spread_size(two_cycles, [3]) == 3
+    assert spread_size(two_cycles, [0, 3]) == 6
+
+
+def test_reachability_agrees_with_networkx():
+    import networkx as nx
+
+    g = gnp_digraph(50, 0.06, seed=11)
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(range(50))
+    nx_graph.add_edges_from((u, v) for u, v, _ in g.edges())
+    for source in (0, 10, 49):
+        expected = set(nx.descendants(nx_graph, source)) | {source}
+        assert reachable_set(g, source) == expected

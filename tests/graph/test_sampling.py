@@ -1,0 +1,104 @@
+"""Tests for repro.graph.sampling — possible-world semantics (Eq. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.sampling import (
+    WorldSampler,
+    enumerate_worlds,
+    sample_world,
+    sample_worlds,
+    world_probability,
+)
+
+
+class TestSampleWorld:
+    def test_mask_shape(self, fig1):
+        mask = sample_world(fig1, seed=0)
+        assert mask.shape == (fig1.num_edges,)
+        assert mask.dtype == bool
+
+    def test_determinism(self, fig1):
+        assert np.array_equal(sample_world(fig1, 3), sample_world(fig1, 3))
+
+    def test_certain_edges_always_alive(self):
+        g = ProbabilisticDigraph(3, [(0, 1, 1.0), (1, 2, 1.0)])
+        for seed in range(20):
+            assert sample_world(g, seed).all()
+
+    def test_empirical_rate_matches_probability(self, fig1):
+        rng = np.random.default_rng(0)
+        masks = sample_worlds(fig1, 4000, rng)
+        rates = masks.mean(axis=0)
+        np.testing.assert_allclose(rates, fig1.probs, atol=0.05)
+
+    def test_sample_worlds_shape(self, fig1):
+        masks = sample_worlds(fig1, 7, seed=1)
+        assert masks.shape == (7, fig1.num_edges)
+
+
+class TestWorldProbability:
+    def test_all_alive(self, diamond):
+        mask = np.ones(diamond.num_edges, dtype=bool)
+        expected = 0.5 * 0.8 * 0.5 * 0.4
+        assert world_probability(diamond, mask) == pytest.approx(expected)
+
+    def test_all_dead(self, diamond):
+        mask = np.zeros(diamond.num_edges, dtype=bool)
+        expected = 0.5 * 0.2 * 0.5 * 0.6
+        assert world_probability(diamond, mask) == pytest.approx(expected)
+
+    def test_certain_edge_absent_has_probability_zero(self):
+        g = ProbabilisticDigraph(2, [(0, 1, 1.0)])
+        assert world_probability(g, np.array([False])) == 0.0
+
+    def test_shape_checked(self, diamond):
+        with pytest.raises(ValueError, match="shape"):
+            world_probability(diamond, np.array([True]))
+
+
+class TestEnumerateWorlds:
+    def test_probabilities_sum_to_one(self, diamond):
+        total = sum(p for _, p in enumerate_worlds(diamond))
+        assert total == pytest.approx(1.0)
+
+    def test_world_count(self, diamond):
+        worlds = list(enumerate_worlds(diamond))
+        assert len(worlds) == 2**diamond.num_edges
+
+    def test_guard_on_large_graphs(self):
+        g = ProbabilisticDigraph(30, [(i, i + 1, 0.5) for i in range(25)])
+        with pytest.raises(ValueError, match="refusing"):
+            list(enumerate_worlds(g))
+
+
+class TestWorldSampler:
+    def test_world_deterministic_in_index(self, fig1):
+        s = WorldSampler(fig1, seed=5)
+        assert np.array_equal(s.world_mask(3), s.world_mask(3))
+
+    def test_different_indices_differ(self, small_random):
+        s = WorldSampler(small_random, seed=5)
+        assert not np.array_equal(s.world_mask(0), s.world_mask(1))
+
+    def test_same_seed_same_stream(self, fig1):
+        a = WorldSampler(fig1, seed=9)
+        b = WorldSampler(fig1, seed=9)
+        assert np.array_equal(a.world_mask(2), b.world_mask(2))
+
+    def test_negative_index_rejected(self, fig1):
+        with pytest.raises(ValueError):
+            WorldSampler(fig1).world_mask(-1)
+
+    def test_world_graph_materialisation(self, fig1):
+        s = WorldSampler(fig1, seed=1)
+        mask = s.world_mask(0)
+        world = s.world_graph(0)
+        assert world.num_edges == int(mask.sum())
+
+    def test_masks_iterator(self, fig1):
+        s = WorldSampler(fig1, seed=1)
+        masks = list(s.masks(4))
+        assert len(masks) == 4
+        assert np.array_equal(masks[2], s.world_mask(2))

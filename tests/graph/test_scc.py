@@ -1,0 +1,114 @@
+"""Tests for repro.graph.scc — iterative Tarjan + id-order invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import cycle_graph, gnp_digraph, path_graph
+from repro.graph.scc import (
+    component_members,
+    is_valid_scc_labelling,
+    strongly_connected_components,
+)
+
+
+class TestBasics:
+    def test_cycle_is_one_component(self):
+        comp, k = strongly_connected_components(cycle_graph(5))
+        assert k == 1
+        assert len(set(comp.tolist())) == 1
+
+    def test_path_is_all_singletons(self):
+        comp, k = strongly_connected_components(path_graph(5))
+        assert k == 5
+        assert len(set(comp.tolist())) == 5
+
+    def test_two_cycles(self, two_cycles):
+        comp, k = strongly_connected_components(two_cycles)
+        assert k == 2
+        assert comp[0] == comp[1] == comp[2]
+        assert comp[3] == comp[4] == comp[5]
+        assert comp[0] != comp[3]
+        # Arc 2 -> 3 goes from the higher to the lower component id.
+        assert comp[2] > comp[3]
+
+    def test_empty_graph(self):
+        comp, k = strongly_connected_components(ProbabilisticDigraph(4))
+        assert k == 4
+
+    def test_reverse_topological_invariant(self, small_random):
+        comp, _ = strongly_connected_components(small_random)
+        assert is_valid_scc_labelling(small_random, comp)
+
+    def test_edge_mask_respected(self, two_cycles):
+        # Kill every arc: all singletons.
+        mask = np.zeros(two_cycles.num_edges, dtype=bool)
+        comp, k = strongly_connected_components(two_cycles, mask)
+        assert k == 6
+
+    def test_mask_shape_checked(self, two_cycles):
+        with pytest.raises(ValueError, match="shape"):
+            strongly_connected_components(two_cycles, np.array([True]))
+
+    def test_deep_path_no_recursion_error(self):
+        g = path_graph(30_000)
+        comp, k = strongly_connected_components(g)
+        assert k == 30_000
+
+
+class TestComponentMembers:
+    def test_members_partition_nodes(self, two_cycles):
+        comp, k = strongly_connected_components(two_cycles)
+        members = component_members(comp, k)
+        all_nodes = sorted(int(v) for m in members for v in m)
+        assert all_nodes == list(range(6))
+
+    def test_members_sorted(self, small_random):
+        comp, k = strongly_connected_components(small_random)
+        for m in component_members(comp, k):
+            assert np.all(np.diff(m) > 0) if m.size > 1 else True
+
+
+def _random_graph_strategy():
+    return st.builds(
+        lambda n, edges: (n, [(u % n, v % n) for u, v in edges if u % n != v % n]),
+        st.integers(2, 12),
+        st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=40),
+    )
+
+
+@given(_random_graph_strategy())
+def test_scc_agrees_with_networkx(data):
+    import networkx as nx
+
+    n, edges = data
+    edges = sorted(set(edges))
+    g = ProbabilisticDigraph(n, [(u, v, 1.0) for u, v in edges])
+    comp, k = strongly_connected_components(g)
+
+    nx_graph = nx.DiGraph()
+    nx_graph.add_nodes_from(range(n))
+    nx_graph.add_edges_from(edges)
+    expected = list(nx.strongly_connected_components(nx_graph))
+    assert k == len(expected)
+    # Same partition: nodes share a component iff networkx says so.
+    label_of = {}
+    for i, group in enumerate(expected):
+        for v in group:
+            label_of[v] = i
+    for u in range(n):
+        for v in range(n):
+            assert (comp[u] == comp[v]) == (label_of[u] == label_of[v])
+    assert is_valid_scc_labelling(g, comp)
+
+
+@given(st.integers(0, 2**32 - 1), st.floats(0.02, 0.2))
+def test_scc_invariant_on_random_masked_worlds(seed, density):
+    g = gnp_digraph(25, density, p=0.5, seed=seed % 10_000)
+    rng = np.random.default_rng(seed)
+    mask = rng.random(g.num_edges) < 0.5
+    comp, k = strongly_connected_components(g, mask)
+    assert is_valid_scc_labelling(g, comp, mask)
+    assert comp.min() >= 0 and comp.max() < k if g.num_nodes else True

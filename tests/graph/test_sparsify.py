@@ -1,0 +1,103 @@
+"""Tests for repro.graph.sparsify."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.sparsify import (
+    retained_probability_mass,
+    sparsify_fraction,
+    sparsify_top_probability,
+)
+
+
+@pytest.fixture
+def g() -> ProbabilisticDigraph:
+    return ProbabilisticDigraph(
+        5,
+        [
+            (0, 1, 0.9),
+            (0, 2, 0.1),
+            (1, 2, 0.8),
+            (1, 3, 0.2),
+            (2, 3, 0.7),
+            (3, 4, 0.05),
+        ],
+    )
+
+
+class TestTopProbability:
+    def test_keeps_strongest_arcs(self, g):
+        sparse = sparsify_top_probability(g, 3)
+        assert sparse.num_edges == 3
+        kept = {(u, v) for u, v, _ in sparse.edges()}
+        assert kept == {(0, 1), (1, 2), (2, 3)}
+
+    def test_budget_at_least_m_is_identity(self, g):
+        assert sparsify_top_probability(g, 100) is g
+
+    def test_min_out_degree_reserves_weak_nodes(self, g):
+        # Node 3's only arc has p=0.05 and would normally be dropped.
+        sparse = sparsify_top_probability(g, 4, min_out_degree=1)
+        assert sparse.has_edge(3, 4)
+        assert sparse.num_edges == 4
+
+    def test_reservation_exceeding_budget_rejected(self, g):
+        with pytest.raises(ValueError, match="reserves"):
+            sparsify_top_probability(g, 2, min_out_degree=2)
+
+    def test_probabilities_preserved(self, g):
+        sparse = sparsify_top_probability(g, 2)
+        for u, v, p in sparse.edges():
+            assert p == g.edge_probability(u, v)
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError):
+            sparsify_top_probability(g, 0)
+        with pytest.raises(ValueError):
+            sparsify_top_probability(g, 1, min_out_degree=-1)
+
+
+class TestFraction:
+    def test_fraction_rounds_to_edges(self, g):
+        sparse = sparsify_fraction(g, 0.5)
+        assert sparse.num_edges == 3
+
+    def test_full_fraction_identity(self, g):
+        assert sparsify_fraction(g, 1.0) is g
+
+    def test_fraction_bounds(self, g):
+        with pytest.raises(ValueError):
+            sparsify_fraction(g, 0.0)
+        with pytest.raises(ValueError):
+            sparsify_fraction(g, 1.5)
+
+
+class TestMass:
+    def test_retained_mass(self, g):
+        sparse = sparsify_top_probability(g, 3)
+        expected = (0.9 + 0.8 + 0.7) / (0.9 + 0.1 + 0.8 + 0.2 + 0.7 + 0.05)
+        assert retained_probability_mass(g, sparse) == pytest.approx(expected)
+
+    def test_identity_mass_is_one(self, g):
+        assert retained_probability_mass(g, g) == pytest.approx(1.0)
+
+
+class TestSpherePreservation:
+    def test_sparsified_spheres_stay_close(self, small_random):
+        """Keeping 70% of the mass-bearing arcs keeps spheres similar —
+        the sparsification ablation's core claim."""
+        from repro.cascades.index import CascadeIndex
+        from repro.core.typical_cascade import TypicalCascadeComputer
+        from repro.median.jaccard import jaccard_distance
+
+        sparse = sparsify_fraction(small_random, 0.7, min_out_degree=1)
+        full_index = CascadeIndex.build(small_random, 48, seed=1)
+        sparse_index = CascadeIndex.build(sparse, 48, seed=1)
+        full = TypicalCascadeComputer(full_index)
+        thin = TypicalCascadeComputer(sparse_index)
+        distances = [
+            jaccard_distance(full.compute(v).members, thin.compute(v).members)
+            for v in range(0, small_random.num_nodes, 5)
+        ]
+        assert float(np.mean(distances)) < 0.5

@@ -1,0 +1,115 @@
+"""Tests for repro.graph.transitive — closure/reduction on condensations."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.condensation import condense
+from repro.graph.generators import complete_dag, gnp_digraph, path_graph
+from repro.graph.transitive import (
+    closures_equal,
+    reduce_condensation,
+    transitive_closure,
+    transitive_reduction,
+)
+
+
+def _dag_arrays(graph):
+    """Condense a (probabilistic) DAG to get reverse-topo CSR arrays."""
+    cond = condense(graph)
+    return cond.indptr, cond.targets, cond
+
+
+class TestClosure:
+    def test_path_closure(self):
+        indptr, targets, _ = _dag_arrays(path_graph(4))
+        closure = transitive_closure(indptr, targets)
+        # In reverse-topo ids the path 0->1->2->3 becomes comps 3->2->1->0.
+        assert closure.sum() == 6  # 3+2+1 reachable pairs
+        assert not closure.diagonal().any()
+
+    def test_complete_dag_closure_is_full_triangle(self):
+        indptr, targets, _ = _dag_arrays(complete_dag(5))
+        closure = transitive_closure(indptr, targets)
+        assert closure.sum() == 10
+
+    def test_guard(self):
+        indptr, targets, _ = _dag_arrays(path_graph(10))
+        with pytest.raises(ValueError, match="max_nodes"):
+            transitive_closure(indptr, targets, max_nodes=5)
+
+    def test_invariant_violation_detected(self):
+        # Arc from lower to higher id violates the convention.
+        indptr = np.array([0, 1, 1])
+        targets = np.array([1])
+        with pytest.raises(ValueError, match="reverse-topological"):
+            transitive_closure(indptr, targets)
+
+
+class TestReduction:
+    def test_complete_dag_reduces_to_path(self):
+        indptr, targets, _ = _dag_arrays(complete_dag(6))
+        new_indptr, new_targets = transitive_reduction(indptr, targets)
+        assert new_targets.shape[0] == 5  # a 6-node chain
+
+    def test_path_is_already_reduced(self):
+        indptr, targets, _ = _dag_arrays(path_graph(6))
+        new_indptr, new_targets = transitive_reduction(indptr, targets)
+        assert np.array_equal(new_indptr, indptr)
+        assert np.array_equal(new_targets, targets)
+
+    def test_reduction_preserves_reachability(self):
+        indptr, targets, _ = _dag_arrays(complete_dag(7))
+        new_indptr, new_targets = transitive_reduction(indptr, targets)
+        assert closures_equal(indptr, targets, new_indptr, new_targets)
+
+    def test_empty_dag(self):
+        indptr = np.zeros(4, dtype=np.int64)
+        targets = np.zeros(0, dtype=np.int64)
+        new_indptr, new_targets = transitive_reduction(indptr, targets)
+        assert new_targets.size == 0
+
+
+class TestReduceCondensation:
+    def test_membership_untouched(self, small_random):
+        cond = condense(small_random)
+        reduced = reduce_condensation(cond)
+        assert np.array_equal(reduced.node_comp, cond.node_comp)
+        assert reduced.num_components == cond.num_components
+
+    def test_never_more_edges(self, small_random):
+        cond = condense(small_random)
+        reduced = reduce_condensation(cond)
+        assert reduced.num_edges <= cond.num_edges
+
+    def test_fallback_when_over_guard(self, small_random):
+        cond = condense(small_random)
+        untouched = reduce_condensation(cond, max_nodes=1)
+        assert untouched is cond
+
+
+@given(st.integers(0, 5000), st.floats(0.05, 0.4))
+def test_reduction_minimal_and_closure_preserving(seed, density):
+    """Property: reduction preserves reachability, and removing any kept
+    edge changes reachability (minimality/uniqueness on DAGs)."""
+    g = gnp_digraph(12, density, seed=seed)
+    rng = np.random.default_rng(seed)
+    mask = rng.random(g.num_edges) < 0.6
+    cond = condense(g, mask)
+    indptr, targets = cond.indptr, cond.targets
+    new_indptr, new_targets = transitive_reduction(indptr, targets)
+    assert closures_equal(indptr, targets, new_indptr, new_targets)
+
+    closure = transitive_closure(new_indptr, new_targets)
+    n = cond.num_components
+    sources = np.repeat(np.arange(n), np.diff(new_indptr))
+    for i in range(new_targets.shape[0]):
+        u, v = int(sources[i]), int(new_targets[i])
+        # Without the direct edge, v must not be reachable from u.
+        reach_via_others = any(
+            closure[int(w)][v] or int(w) == v
+            for j, w in enumerate(new_targets[new_indptr[u] : new_indptr[u + 1]])
+            if int(w) != v
+        )
+        assert not reach_via_others

@@ -1,0 +1,77 @@
+"""Tests for repro.influence.greedy_std — CELF vs plain greedy."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.graph.generators import star_graph
+from repro.influence.greedy_std import infmax_std
+
+
+class TestBasics:
+    def test_selects_k_seeds(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=1)
+        trace = infmax_std(index, 4)
+        assert len(trace.seeds) == 4
+        assert len(set(trace.seeds)) == 4
+        assert len(trace.spreads) == 4
+
+    def test_spread_curve_nondecreasing(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=1)
+        trace = infmax_std(index, 6)
+        assert np.all(np.diff(trace.spreads) >= -1e-12)
+
+    def test_star_hub_selected_first(self):
+        g = star_graph(12, p=0.9)
+        index = CascadeIndex.build(g, 64, seed=2)
+        trace = infmax_std(index, 1)
+        assert trace.seeds == [0]
+
+    def test_k_validation(self, small_random):
+        index = CascadeIndex.build(small_random, 4, seed=1)
+        with pytest.raises(ValueError):
+            infmax_std(index, 0)
+        with pytest.raises(ValueError, match="exceeds"):
+            infmax_std(index, 10_000)
+
+    def test_gains_match_spread_deltas(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=1)
+        trace = infmax_std(index, 5)
+        deltas = np.diff([0.0, *trace.spreads])
+        np.testing.assert_allclose(trace.gains, deltas, atol=1e-9)
+
+
+class TestCelfEquivalence:
+    def test_lazy_and_plain_agree_on_spread(self, small_random):
+        """CELF must produce the same greedy value curve as exhaustive
+        re-evaluation (it may differ in tie-broken seeds)."""
+        index = CascadeIndex.build(small_random, 24, seed=7)
+        lazy = infmax_std(index, 5, lazy=True)
+        plain = infmax_std(index, 5, lazy=False)
+        np.testing.assert_allclose(lazy.spreads, plain.spreads, atol=1e-9)
+
+    def test_lazy_uses_fewer_evaluations(self, small_random):
+        index = CascadeIndex.build(small_random, 24, seed=7)
+        lazy = infmax_std(index, 5, lazy=True)
+        plain = infmax_std(index, 5, lazy=False)
+        assert lazy.evaluations <= plain.evaluations
+
+
+class TestRankings:
+    def test_rankings_only_in_plain_mode(self, small_random):
+        index = CascadeIndex.build(small_random, 8, seed=7)
+        with pytest.raises(ValueError, match="lazy=False"):
+            infmax_std(index, 2, lazy=True, record_rankings=True)
+
+    def test_rankings_recorded_and_sorted(self, small_random):
+        index = CascadeIndex.build(small_random, 8, seed=7)
+        trace = infmax_std(index, 3, lazy=False, record_rankings=True)
+        assert len(trace.gain_rankings) == 3
+        for ranking in trace.gain_rankings:
+            assert np.all(np.diff(ranking) <= 1e-12)
+
+    def test_top_of_ranking_is_realised_gain(self, small_random):
+        index = CascadeIndex.build(small_random, 8, seed=7)
+        trace = infmax_std(index, 3, lazy=False, record_rankings=True)
+        for j in range(3):
+            assert trace.gain_rankings[j][0] == pytest.approx(trace.gains[j])

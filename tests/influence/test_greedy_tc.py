@@ -1,0 +1,71 @@
+"""Tests for repro.influence.greedy_tc — InfMax_TC (Algorithm 3)."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.core.sphere import SphereOfInfluence
+from repro.graph.generators import star_graph
+from repro.influence.greedy_tc import infmax_tc, infmax_tc_from_spheres
+
+
+def sphere(node, members) -> SphereOfInfluence:
+    return SphereOfInfluence(
+        sources=(node,),
+        members=np.array(sorted(members), dtype=np.int64),
+        cost=0.1,
+        num_samples=10,
+    )
+
+
+class TestFromSpheres:
+    def test_max_cover_over_spheres(self):
+        spheres = {
+            0: sphere(0, {0, 1, 2, 3}),
+            1: sphere(1, {1, 2}),
+            2: sphere(2, {4, 5}),
+        }
+        trace = infmax_tc_from_spheres(spheres, 2, 6)
+        assert list(trace.selected) == [0, 2]
+        assert trace.coverage[-1] == 6.0
+
+    def test_seed_implicitly_covers_itself(self):
+        spheres = {0: sphere(0, set()), 1: sphere(1, set())}
+        trace = infmax_tc_from_spheres(spheres, 2, 2)
+        assert trace.coverage[-1] == 2.0
+
+    def test_accepts_raw_arrays(self):
+        family = {0: np.array([0, 1]), 1: np.array([2])}
+        trace = infmax_tc_from_spheres(family, 1, 3)
+        assert list(trace.selected) == [0]
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            infmax_tc_from_spheres({0: sphere(0, {0})}, 0, 1)
+
+
+class TestEndToEnd:
+    def test_star_hub_first(self):
+        g = star_graph(10, p=0.95)
+        index = CascadeIndex.build(g, 64, seed=1)
+        trace, spheres = infmax_tc(index, 1)
+        assert list(trace.selected) == [0]
+        assert len(spheres) == 10
+
+    def test_returns_all_spheres(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=1)
+        trace, spheres = infmax_tc(index, 3)
+        assert set(spheres) == set(range(small_random.num_nodes))
+        assert len(trace.selected) == 3
+
+    def test_precomputed_spheres_reused(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=1)
+        _, spheres = infmax_tc(index, 2)
+        trace2, spheres2 = infmax_tc(index, 2, spheres=spheres)
+        assert spheres2 == dict(spheres)
+        assert len(trace2.selected) == 2
+
+    def test_coverage_bounded_by_universe(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=1)
+        trace, _ = infmax_tc(index, 5)
+        assert trace.coverage[-1] <= small_random.num_nodes

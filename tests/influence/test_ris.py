@@ -1,0 +1,63 @@
+"""Tests for repro.influence.ris — the RIS comparator."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import star_graph
+from repro.influence.ris import infmax_ris, sample_rr_set
+from repro.utils.rng import derive_rng
+
+
+class TestSampleRRSet:
+    def test_contains_target(self, small_random):
+        rng = derive_rng(0)
+        rr = sample_rr_set(small_random, 7, rng)
+        assert 7 in rr
+
+    def test_certain_path_rr_is_all_ancestors(self):
+        from repro.graph.generators import path_graph
+
+        g = path_graph(5, p=1.0)
+        rng = derive_rng(0)
+        rr = sample_rr_set(g, 4, rng)
+        assert rr.tolist() == [0, 1, 2, 3, 4]
+
+    def test_leaf_rr_on_star(self):
+        g = star_graph(6, p=1.0)
+        rng = derive_rng(0)
+        rr = sample_rr_set(g, 3, rng)
+        assert set(rr.tolist()) == {0, 3}
+
+
+class TestInfmaxRis:
+    def test_star_hub_selected(self):
+        g = star_graph(15, p=0.8)
+        result = infmax_ris(g, 1, num_rr_sets=2000, seed=1)
+        assert result.seeds == [0]
+
+    def test_spread_estimate_close_to_truth(self):
+        g = star_graph(11, p=0.5)
+        result = infmax_ris(g, 1, num_rr_sets=8000, seed=2)
+        # sigma({hub}) = 1 + 10 * 0.5 = 6.
+        assert result.estimated_spreads[0] == pytest.approx(6.0, abs=0.5)
+
+    def test_selects_k_distinct_seeds(self, small_random):
+        result = infmax_ris(small_random, 4, num_rr_sets=500, seed=3)
+        assert len(result.seeds) == 4
+        assert len(set(result.seeds)) == 4
+
+    def test_estimates_nondecreasing(self, small_random):
+        result = infmax_ris(small_random, 5, num_rr_sets=500, seed=3)
+        assert np.all(np.diff(result.estimated_spreads) >= -1e-9)
+
+    def test_validation(self, small_random):
+        with pytest.raises(ValueError):
+            infmax_ris(small_random, 0)
+        with pytest.raises(ValueError, match="exceeds"):
+            infmax_ris(small_random, 10_000, num_rr_sets=10)
+
+    def test_deterministic(self, small_random):
+        a = infmax_ris(small_random, 3, num_rr_sets=300, seed=9)
+        b = infmax_ris(small_random, 3, num_rr_sets=300, seed=9)
+        assert a.seeds == b.seeds

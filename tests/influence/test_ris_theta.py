@@ -1,0 +1,46 @@
+"""Tests for the TIM-style RR-sample budget estimation."""
+
+import pytest
+
+from repro.graph.generators import gnp_digraph, star_graph
+from repro.influence.ris import estimate_num_rr_sets, infmax_ris
+from repro.problearn.assign import assign_fixed
+
+
+class TestEstimate:
+    def test_positive_and_capped(self, small_random):
+        theta = estimate_num_rr_sets(small_random, 3, seed=1, max_rr_sets=5000)
+        assert 1 <= theta <= 5000
+
+    def test_tighter_epsilon_needs_more_samples(self, small_random):
+        loose = estimate_num_rr_sets(
+            small_random, 3, epsilon=0.5, seed=2, max_rr_sets=10**9
+        )
+        tight = estimate_num_rr_sets(
+            small_random, 3, epsilon=0.1, seed=2, max_rr_sets=10**9
+        )
+        assert tight >= loose
+
+    def test_high_influence_graph_needs_fewer(self):
+        """Larger KPT (easier instances) => smaller theta."""
+        weak = assign_fixed(gnp_digraph(60, 0.08, seed=3), 0.02)
+        strong = assign_fixed(gnp_digraph(60, 0.08, seed=3), 0.6)
+        theta_weak = estimate_num_rr_sets(weak, 2, seed=4, max_rr_sets=10**9)
+        theta_strong = estimate_num_rr_sets(strong, 2, seed=4, max_rr_sets=10**9)
+        assert theta_strong <= theta_weak
+
+    def test_validation(self, small_random):
+        with pytest.raises(ValueError):
+            estimate_num_rr_sets(small_random, 0)
+        with pytest.raises(ValueError, match="epsilon"):
+            estimate_num_rr_sets(small_random, 1, epsilon=1.5)
+
+    def test_tiny_graph(self):
+        g = star_graph(2, p=0.5)
+        assert estimate_num_rr_sets(g, 1, seed=5) >= 1
+
+    def test_budget_usable_end_to_end(self):
+        g = star_graph(12, p=0.7)
+        theta = estimate_num_rr_sets(g, 1, seed=6, max_rr_sets=4000)
+        result = infmax_ris(g, 1, num_rr_sets=theta, seed=7)
+        assert result.seeds == [0]

@@ -1,0 +1,72 @@
+"""Tests for repro.influence.saturation — the MG_10/MG_1 machinery."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.core.sphere import SphereOfInfluence
+from repro.influence.saturation import (
+    _ratio_from_ranking,
+    coverage_gain_ratios,
+    marginal_gain_ratios,
+)
+
+
+class TestRatio:
+    def test_basic_ratio(self):
+        ranking = np.array([10.0, 9, 8, 7, 6, 5, 4, 3, 2, 1])
+        assert _ratio_from_ranking(ranking, 10) == pytest.approx(0.1)
+
+    def test_short_ranking_is_saturated(self):
+        assert _ratio_from_ranking(np.array([5.0, 4.0]), 10) == 1.0
+
+    def test_zero_best_gain_is_saturated(self):
+        assert _ratio_from_ranking(np.zeros(20), 10) == 1.0
+
+    def test_flat_ranking_ratio_one(self):
+        assert _ratio_from_ranking(np.full(20, 3.0), 10) == 1.0
+
+
+class TestMarginalGainRatios:
+    def test_curve_shape_and_range(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=1)
+        curve = marginal_gain_ratios(index, 4, first_iteration=1)
+        assert curve.method == "InfMax_std"
+        assert curve.first_iteration == 1
+        assert curve.ratios.shape == (4,)
+        assert np.all((curve.ratios >= 0) & (curve.ratios <= 1))
+
+    def test_validation(self, small_random):
+        index = CascadeIndex.build(small_random, 4, seed=1)
+        with pytest.raises(ValueError):
+            marginal_gain_ratios(index, 0)
+
+
+class TestCoverageGainRatios:
+    def _spheres(self, n, members_fn):
+        return {
+            v: SphereOfInfluence(
+                sources=(v,),
+                members=np.array(sorted(members_fn(v)), dtype=np.int64),
+                cost=0.1,
+                num_samples=4,
+            )
+            for v in range(n)
+        }
+
+    def test_distinct_sizes_stay_discriminative(self):
+        # Sphere sizes 1..n: the ratio stays < 1 early on.
+        spheres = self._spheres(30, lambda v: set(range(v + 1)))
+        curve = coverage_gain_ratios(spheres, 30, 3, first_iteration=0)
+        assert curve.method == "InfMax_TC"
+        assert curve.ratios[0] < 1.0
+
+    def test_identical_spheres_saturate_immediately(self):
+        spheres = self._spheres(15, lambda v: {0, 1})
+        curve = coverage_gain_ratios(spheres, 15, 2, first_iteration=0)
+        assert curve.ratios[0] == 1.0
+
+    def test_runs_out_of_candidates_gracefully(self):
+        spheres = self._spheres(3, lambda v: {v})
+        curve = coverage_gain_ratios(spheres, 3, 10, first_iteration=0)
+        assert len(curve.ratios) <= 3

@@ -1,0 +1,92 @@
+"""Tests for repro.influence.spread — the incremental spread oracle."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.influence.spread import (
+    SpreadOracle,
+    evaluate_spread_curve,
+    monte_carlo_spread,
+)
+
+
+@pytest.fixture
+def oracle(small_random) -> SpreadOracle:
+    return SpreadOracle(CascadeIndex.build(small_random, 32, seed=3))
+
+
+class TestOracle:
+    def test_initial_state(self, oracle):
+        assert oracle.current_spread() == 0.0
+        assert oracle.seeds == []
+
+    def test_initial_gains_match_singleton_spread(self, oracle):
+        gains = oracle.initial_gains()
+        for v in (0, 7, 21):
+            assert gains[v] == pytest.approx(oracle.spread_of([v]))
+
+    def test_add_seed_realises_gain(self, oracle):
+        gain = oracle.add_seed(5)
+        assert oracle.current_spread() == pytest.approx(gain)
+        assert oracle.seeds == [5]
+
+    def test_marginal_gain_decreases_after_overlap(self, oracle):
+        g_before = oracle.marginal_gain(7)
+        oracle.add_seed(7)
+        assert oracle.marginal_gain(7) == 0.0
+        assert g_before > 0.0
+
+    def test_duplicate_seed_rejected(self, oracle):
+        oracle.add_seed(2)
+        with pytest.raises(ValueError, match="already"):
+            oracle.add_seed(2)
+
+    def test_spread_of_matches_committed_spread(self, oracle):
+        seeds = [1, 9, 14]
+        expected = oracle.spread_of(seeds)
+        for s in seeds:
+            oracle.add_seed(s)
+        assert oracle.current_spread() == pytest.approx(expected)
+
+    def test_submodularity_of_marginal_gains(self, small_random):
+        """gain(w | S) >= gain(w | T) whenever S subset of T — on the same
+        sampled worlds this holds exactly, not just in expectation."""
+        index = CascadeIndex.build(small_random, 16, seed=4)
+        for w in (3, 12, 25):
+            small = SpreadOracle(index)
+            small.add_seed(0)
+            big = SpreadOracle(index)
+            big.add_seed(0)
+            big.add_seed(1)
+            big.add_seed(2)
+            if w in (0, 1, 2):
+                continue
+            assert small.marginal_gain(w) >= big.marginal_gain(w) - 1e-12
+
+
+class TestSpreadAgreement:
+    def test_oracle_agrees_with_direct_mc(self, fig1):
+        index = CascadeIndex.build(fig1, 4000, seed=1)
+        oracle = SpreadOracle(index)
+        via_index = oracle.spread_of([4])
+        via_mc = monte_carlo_spread(fig1, [4], 4000, seed=2)
+        assert via_index == pytest.approx(via_mc, abs=0.1)
+
+
+class TestSpreadCurve:
+    def test_curve_monotone_nondecreasing(self, small_random):
+        curve = evaluate_spread_curve(
+            small_random, [0, 5, 10, 15], num_worlds=32, seed=6
+        )
+        assert np.all(np.diff(curve) >= -1e-12)
+
+    def test_curve_length(self, small_random):
+        curve = evaluate_spread_curve(small_random, [0, 1], num_worlds=8, seed=6)
+        assert curve.shape == (2,)
+
+    def test_shared_index_reused(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=6, reduce=False)
+        a = evaluate_spread_curve(small_random, [0, 1], index=index)
+        b = evaluate_spread_curve(small_random, [0, 1], index=index)
+        assert np.array_equal(a, b)

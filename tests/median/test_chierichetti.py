@@ -1,0 +1,146 @@
+"""Tests for repro.median.chierichetti — the approximate Jaccard median."""
+
+from itertools import chain, combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.median.chierichetti import (
+    best_of_samples,
+    jaccard_median,
+    majority_median,
+)
+from repro.median.jaccard import jaccard_distance
+from repro.median.samples import SampleCollection
+
+
+def brute_force_median(samples: list[frozenset], universe: int) -> float:
+    """Optimal empirical cost by exhaustive search over all subsets of the
+    union (the optimal median is always a subset of the union)."""
+    union = sorted(set(chain.from_iterable(samples)))
+    best = np.inf
+    for r in range(len(union) + 1):
+        for comb in combinations(union, r):
+            cost = float(
+                np.mean([jaccard_distance(set(comb), s) for s in samples])
+            )
+            best = min(best, cost)
+    return best
+
+
+def make(samples, n=12) -> SampleCollection:
+    return SampleCollection.from_iterables(n, samples)
+
+
+class TestExactCases:
+    def test_identical_samples_give_zero_cost(self):
+        sc = make([{1, 2, 3}] * 5)
+        result = jaccard_median(sc)
+        assert result.as_set() == {1, 2, 3}
+        assert result.cost == 0.0
+
+    def test_all_empty_samples(self):
+        sc = make([set(), set()])
+        result = jaccard_median(sc)
+        assert result.size == 0
+        assert result.cost == 0.0
+        assert result.strategy == "empty"
+
+    def test_single_sample(self):
+        sc = make([{4, 7}])
+        result = jaccard_median(sc)
+        assert result.as_set() == {4, 7}
+        assert result.cost == 0.0
+
+    def test_majority_element_structure(self):
+        # Element 1 in all samples, 2 in two of three: the majority median
+        # is a reasonable candidate and the sweep should do at least as well.
+        samples = [{1, 2}, {1, 2}, {1}]
+        sc = make(samples)
+        result = jaccard_median(sc)
+        maj = majority_median(sc)
+        assert result.cost <= maj.cost + 1e-12
+
+
+class TestApproximationQuality:
+    @pytest.mark.parametrize(
+        "samples",
+        [
+            [{1, 2, 3}, {1, 2}, {2, 3}, {1, 3}],
+            [{0}, {0, 1}, {0, 1, 2}, {0, 1, 2, 3}],
+            [{1, 2}, {3, 4}, {1, 4}],
+            [{5}, {6}, {7}],
+        ],
+    )
+    def test_close_to_brute_force(self, samples):
+        sc = make(samples)
+        result = jaccard_median(sc)
+        optimal = brute_force_median([frozenset(s) for s in samples], 12)
+        # The candidate families include the exact optimum in these small
+        # instances most of the time; always within the theoretical factor.
+        assert result.cost <= optimal * 1.5 + 1e-9
+        assert result.cost >= optimal - 1e-9
+
+    def test_never_worse_than_best_sample(self):
+        samples = [{1, 2, 3, 4}, {1, 2}, {2, 3}, {9}]
+        sc = make(samples)
+        assert jaccard_median(sc).cost <= best_of_samples(sc).cost + 1e-12
+
+    def test_never_worse_than_majority(self):
+        samples = [{1, 2}, {1, 3}, {1, 4}, {1, 5}]
+        sc = make(samples)
+        assert jaccard_median(sc).cost <= majority_median(sc).cost + 1e-12
+
+
+class TestResultObject:
+    def test_median_sorted(self):
+        result = jaccard_median(make([{5, 1, 9}, {1, 5}]))
+        m = result.median
+        assert np.all(np.diff(m) > 0) if m.size > 1 else True
+
+    def test_evaluated_counter_positive(self):
+        result = jaccard_median(make([{1, 2}]))
+        assert result.candidates_evaluated >= 1
+
+    def test_bad_ratio_rejected(self):
+        with pytest.raises(ValueError, match="size_grid_ratio"):
+            jaccard_median(make([{1}]), size_grid_ratio=1.0)
+
+    def test_cost_matches_reported_median(self):
+        sc = make([{1, 2, 3}, {2, 3, 4}, {3}])
+        result = jaccard_median(sc)
+        assert sc.mean_distance(result.median) == pytest.approx(result.cost)
+
+
+class TestHelpers:
+    def test_best_of_samples_is_a_sample(self):
+        samples = [{1, 2}, {2, 3, 4}, {5}]
+        sc = make(samples)
+        best = best_of_samples(sc)
+        assert best.as_set() in [frozenset(s) for s in samples]
+
+    def test_majority_median_is_half_threshold(self):
+        sc = make([{1, 2}, {1, 3}, {1}, {1, 2}])
+        maj = majority_median(sc)
+        assert maj.as_set() == {1, 2}  # 1 in 4/4, 2 in 2/4 >= half, 3 in 1/4
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.frozensets(st.integers(0, 7), max_size=6), min_size=1, max_size=6
+    )
+)
+def test_sweep_at_least_matches_brute_force_within_factor(samples):
+    """Property: the combined candidate families stay within 1.5x of the
+    exhaustive optimum on brute-forceable instances (the guarantee is
+    1 + O(eps), so this is a loose envelope)."""
+    sc = make(samples, n=8)
+    result = jaccard_median(sc)
+    optimal = brute_force_median([frozenset(s) for s in samples], 8)
+    if optimal == 0.0:
+        assert result.cost <= 1e-9
+    else:
+        assert result.cost <= 1.5 * optimal + 0.15

@@ -1,0 +1,81 @@
+"""Tests for repro.median.cost — the three cost estimators agree."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.ic import sample_cascades
+from repro.median.cost import (
+    empirical_cost,
+    exact_expected_cost,
+    monte_carlo_expected_cost,
+)
+from repro.median.jaccard import jaccard_distance
+from repro.median.samples import SampleCollection
+
+
+class TestEmpiricalCost:
+    def test_matches_manual_mean(self):
+        samples = [np.array([1, 2]), np.array([2, 3])]
+        candidate = [2]
+        expected = np.mean(
+            [jaccard_distance({2}, {1, 2}), jaccard_distance({2}, {2, 3})]
+        )
+        assert empirical_cost(candidate, samples, universe_size=5) == pytest.approx(
+            float(expected)
+        )
+
+    def test_accepts_sample_collection(self):
+        sc = SampleCollection(5, [np.array([1, 2])])
+        assert empirical_cost([1, 2], sc) == 0.0
+
+    def test_universe_inferred(self):
+        samples = [np.array([3]), np.array([7])]
+        cost = empirical_cost([3], samples)
+        assert cost == pytest.approx(0.5)
+
+
+class TestExactExpectedCost:
+    def test_deterministic_graph(self, diamond):
+        certain = diamond.with_probabilities(np.ones(diamond.num_edges))
+        assert exact_expected_cost(certain, 0, [0, 1, 2, 3]) == 0.0
+
+    def test_two_node_closed_form(self):
+        from repro.graph.digraph import ProbabilisticDigraph
+
+        g = ProbabilisticDigraph(2, [(0, 1, 0.4)])
+        # Candidate {0}: cascade {0} w.p. 0.6 (d=0), {0,1} w.p. 0.4 (d=1/2).
+        assert exact_expected_cost(g, 0, [0]) == pytest.approx(0.2)
+        # Candidate {0,1}: d=1/2 w.p. 0.6, d=0 w.p. 0.4.
+        assert exact_expected_cost(g, 0, [0, 1]) == pytest.approx(0.3)
+
+    def test_optimal_median_of_figure1(self, fig1):
+        """Cross-checked against exhaustive search in the smoke tests: the
+        optimal typical cascade of v5 is {v1, v2, v5}."""
+        cost = exact_expected_cost(fig1, 4, [0, 1, 4])
+        assert cost == pytest.approx(0.3511012, abs=1e-6)
+
+
+class TestMonteCarloExpectedCost:
+    def test_converges_to_exact(self, fig1):
+        exact = exact_expected_cost(fig1, 4, [0, 1, 4])
+        mc = monte_carlo_expected_cost(fig1, 4, [0, 1, 4], 6000, seed=0)
+        assert mc == pytest.approx(exact, abs=0.02)
+
+    def test_zero_for_certain_graph(self, diamond):
+        certain = diamond.with_probabilities(np.ones(diamond.num_edges))
+        assert monte_carlo_expected_cost(certain, 0, [0, 1, 2, 3], 50, seed=1) == 0.0
+
+    def test_deterministic_in_seed(self, fig1):
+        a = monte_carlo_expected_cost(fig1, 4, [4], 200, seed=5)
+        b = monte_carlo_expected_cost(fig1, 4, [4], 200, seed=5)
+        assert a == b
+
+
+class TestEstimatorConsistency:
+    def test_empirical_cost_of_sampled_cascades_near_exact(self, fig1):
+        """rho_bar over sampled cascades is an unbiased estimate of rho."""
+        cascades = sample_cascades(fig1, 4, 4000, seed=3)
+        candidate = [0, 1, 4]
+        emp = empirical_cost(candidate, cascades, universe_size=5)
+        exact = exact_expected_cost(fig1, 4, candidate)
+        assert emp == pytest.approx(exact, abs=0.02)

@@ -1,0 +1,83 @@
+"""Tests for repro.median.jaccard — including the metric axioms."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.median.jaccard import (
+    intersection_size,
+    jaccard_distance,
+    jaccard_similarity,
+    symmetric_difference_size,
+    union_size,
+)
+
+sets = st.frozensets(st.integers(0, 20), max_size=12)
+
+
+class TestBasics:
+    def test_identical_sets(self):
+        assert jaccard_distance({1, 2, 3}, {1, 2, 3}) == 0.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_distance({1, 2}, {3, 4}) == 1.0
+
+    def test_known_value(self):
+        # |A n B| = 1, |A u B| = 3.
+        assert jaccard_similarity({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+
+    def test_empty_vs_empty(self):
+        assert jaccard_distance(set(), set()) == 0.0
+        assert jaccard_similarity(set(), set()) == 1.0
+
+    def test_empty_vs_nonempty(self):
+        assert jaccard_distance(set(), {1}) == 1.0
+
+    def test_numpy_array_inputs(self):
+        a = np.array([1, 2, 5])
+        b = np.array([2, 5, 9])
+        assert jaccard_similarity(a, b) == pytest.approx(0.5)
+
+    def test_mixed_inputs(self):
+        assert jaccard_distance([1, 2], np.array([1, 2])) == 0.0
+
+    def test_helper_sizes(self):
+        assert intersection_size({1, 2, 3}, {2, 3, 4}) == 2
+        assert union_size({1, 2, 3}, {2, 3, 4}) == 4
+        assert symmetric_difference_size({1, 2, 3}, {2, 3, 4}) == 2
+
+
+class TestMetricAxioms:
+    @given(sets, sets)
+    def test_symmetry(self, a, b):
+        assert jaccard_distance(a, b) == pytest.approx(jaccard_distance(b, a))
+
+    @given(sets, sets)
+    def test_identity_of_indiscernibles(self, a, b):
+        d = jaccard_distance(a, b)
+        if a == b:
+            assert d == 0.0
+        else:
+            assert d > 0.0
+
+    @given(sets, sets, sets)
+    def test_triangle_inequality(self, a, b, c):
+        """The property Lemma 1 of the paper leans on."""
+        dab = jaccard_distance(a, b)
+        dbc = jaccard_distance(b, c)
+        dac = jaccard_distance(a, c)
+        assert dac <= dab + dbc + 1e-12
+
+    @given(sets, sets)
+    def test_range(self, a, b):
+        assert 0.0 <= jaccard_distance(a, b) <= 1.0
+
+    @given(sets, sets)
+    def test_distance_equals_symdiff_over_union(self, a, b):
+        union = union_size(a, b)
+        if union == 0:
+            assert jaccard_distance(a, b) == 0.0
+        else:
+            expected = symmetric_difference_size(a, b) / union
+            assert jaccard_distance(a, b) == pytest.approx(expected)

@@ -1,0 +1,55 @@
+"""Tests for repro.median.local_search."""
+
+import numpy as np
+import pytest
+
+from repro.median.chierichetti import jaccard_median
+from repro.median.local_search import local_search_refine
+from repro.median.samples import SampleCollection
+
+
+def make(samples, n=12) -> SampleCollection:
+    return SampleCollection.from_iterables(n, samples)
+
+
+class TestRefine:
+    def test_never_worse_than_start(self):
+        sc = make([{1, 2, 3}, {2, 3, 4}, {3, 4, 5}])
+        start = np.array([9], dtype=np.int64)  # a terrible start
+        refined = local_search_refine(sc, start)
+        assert refined.cost <= sc.mean_distance(np.array([9])) + 1e-12
+
+    def test_fixes_obviously_bad_start(self):
+        sc = make([{1, 2}] * 4)
+        refined = local_search_refine(sc, np.array([7], dtype=np.int64))
+        assert refined.as_set() == {1, 2}
+        assert refined.cost == pytest.approx(0.0)
+
+    def test_empty_start(self):
+        sc = make([{1}, {1, 2}])
+        refined = local_search_refine(sc, np.zeros(0, dtype=np.int64))
+        assert 1 in refined.as_set()
+
+    def test_zero_passes_returns_start_cost(self):
+        sc = make([{1, 2}, {3}])
+        start = np.array([1], dtype=np.int64)
+        refined = local_search_refine(sc, start, max_passes=0)
+        assert refined.as_set() == {1}
+        assert refined.cost == pytest.approx(sc.mean_distance(start))
+
+    def test_negative_passes_rejected(self):
+        sc = make([{1}])
+        with pytest.raises(ValueError, match="max_passes"):
+            local_search_refine(sc, np.array([1]), max_passes=-1)
+
+    def test_polish_does_not_hurt_sweep_result(self):
+        samples = [{1, 2, 3}, {1, 2}, {2, 3}, {1, 3}, {6}]
+        sc = make(samples)
+        sweep = jaccard_median(sc)
+        refined = local_search_refine(sc, sweep.median)
+        assert refined.cost <= sweep.cost + 1e-12
+
+    def test_reported_cost_is_recomputed(self):
+        sc = make([{1, 2}, {2, 3}])
+        refined = local_search_refine(sc, np.array([2], dtype=np.int64))
+        assert refined.cost == pytest.approx(sc.mean_distance(refined.median))

@@ -1,0 +1,104 @@
+"""Tests for repro.median.minhash."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.median.jaccard import jaccard_distance, jaccard_similarity
+from repro.median.minhash import (
+    MinHasher,
+    estimate_jaccard_distance,
+    estimate_jaccard_similarity,
+    estimate_mean_distance,
+)
+
+
+class TestMinHasher:
+    def test_signature_shape(self):
+        hasher = MinHasher(num_hashes=64, seed=1)
+        sig = hasher.signature(np.array([1, 5, 9]))
+        assert sig.shape == (64,)
+
+    def test_signature_deterministic(self):
+        a = MinHasher(64, seed=2).signature(np.array([1, 2, 3]))
+        b = MinHasher(64, seed=2).signature(np.array([1, 2, 3]))
+        assert np.array_equal(a, b)
+
+    def test_signature_order_invariant(self):
+        hasher = MinHasher(64, seed=3)
+        a = hasher.signature(np.array([5, 1, 9]))
+        b = hasher.signature(np.array([9, 5, 1]))
+        assert np.array_equal(a, b)
+
+    def test_identical_sets_collide_fully(self):
+        hasher = MinHasher(32, seed=4)
+        sig = hasher.signature(np.array([2, 4, 6]))
+        assert estimate_jaccard_similarity(sig, sig) == 1.0
+
+    def test_empty_set_sentinel(self):
+        hasher = MinHasher(8, seed=5)
+        sig = hasher.signature(np.zeros(0, dtype=np.int64))
+        assert np.all(sig == np.iinfo(np.int64).max)
+
+    def test_signatures_stack(self):
+        hasher = MinHasher(16, seed=6)
+        sigs = hasher.signatures([np.array([1]), np.array([2, 3])])
+        assert sigs.shape == (2, 16)
+
+    def test_large_elements_fallback_path(self):
+        hasher = MinHasher(8, seed=7)
+        big = np.array([2**40, 2**41], dtype=np.int64)
+        sig = hasher.signature(big)
+        assert sig.shape == (8,)
+
+
+class TestEstimation:
+    def test_unbiasedness_on_known_pair(self):
+        """With many hashes the estimate concentrates around true J."""
+        a = np.arange(0, 60)
+        b = np.arange(30, 90)  # |inter| = 30, |union| = 90 -> J = 1/3
+        hasher = MinHasher(2048, seed=8)
+        est = estimate_jaccard_similarity(hasher.signature(a), hasher.signature(b))
+        assert est == pytest.approx(1 / 3, abs=0.05)
+
+    def test_distance_complements_similarity(self):
+        hasher = MinHasher(256, seed=9)
+        sa = hasher.signature(np.array([1, 2]))
+        sb = hasher.signature(np.array([2, 3]))
+        assert estimate_jaccard_distance(sa, sb) == pytest.approx(
+            1 - estimate_jaccard_similarity(sa, sb)
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes differ"):
+            estimate_jaccard_similarity(np.zeros(4), np.zeros(8))
+
+    def test_mean_distance_matches_pairwise(self):
+        hasher = MinHasher(128, seed=10)
+        samples = [np.array([1, 2, 3]), np.array([4, 5])]
+        sigs = hasher.signatures(samples)
+        cand = hasher.signature(np.array([1, 2]))
+        expected = np.mean(
+            [estimate_jaccard_distance(cand, sigs[i]) for i in range(2)]
+        )
+        assert estimate_mean_distance(cand, sigs) == pytest.approx(float(expected))
+
+    def test_mean_distance_shape_checked(self):
+        with pytest.raises(ValueError, match="num_samples"):
+            estimate_mean_distance(np.zeros(4), np.zeros((2, 8)))
+
+
+@settings(max_examples=15)
+@given(
+    st.frozensets(st.integers(0, 40), min_size=1, max_size=25),
+    st.frozensets(st.integers(0, 40), min_size=1, max_size=25),
+)
+def test_estimate_tracks_true_jaccard(a, b):
+    """Property: 1024-hash estimates stay within 0.15 of the truth."""
+    hasher = MinHasher(1024, seed=11)
+    sa = hasher.signature(np.fromiter(sorted(a), dtype=np.int64))
+    sb = hasher.signature(np.fromiter(sorted(b), dtype=np.int64))
+    est = estimate_jaccard_similarity(sa, sb)
+    true = jaccard_similarity(a, b)
+    assert abs(est - true) <= 0.15

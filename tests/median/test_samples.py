@@ -1,0 +1,118 @@
+"""Tests for repro.median.samples — the packed sample collection."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.median.jaccard import jaccard_distance
+from repro.median.samples import SampleCollection
+
+
+def make(sets, n=10) -> SampleCollection:
+    return SampleCollection(n, [np.array(sorted(s), dtype=np.int64) for s in sets])
+
+
+class TestConstruction:
+    def test_basic(self):
+        sc = make([{1, 2}, {2, 3, 4}, set()])
+        assert sc.num_samples == 3
+        assert sc.universe_size == 10
+        assert sc.sizes.tolist() == [2, 3, 0]
+
+    def test_needs_at_least_one_sample(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SampleCollection(5, [])
+
+    def test_unsorted_sample_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            SampleCollection(5, [np.array([2, 1])])
+
+    def test_duplicate_elements_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            SampleCollection(5, [np.array([1, 1])])
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ValueError, match="universe"):
+            SampleCollection(5, [np.array([7])])
+
+    def test_from_iterables_sorts_and_dedups(self):
+        sc = SampleCollection.from_iterables(10, [[3, 1, 3], [2]])
+        assert sc.sample(0).tolist() == [1, 3]
+
+    def test_sample_accessor_bounds(self):
+        sc = make([{1}])
+        with pytest.raises(IndexError):
+            sc.sample(1)
+
+    def test_iteration(self):
+        sc = make([{1}, {2, 3}])
+        assert [s.tolist() for s in sc] == [[1], [2, 3]]
+
+
+class TestAggregates:
+    def test_union(self):
+        sc = make([{1, 2}, {2, 5}, {9}])
+        assert sc.union().tolist() == [1, 2, 5, 9]
+
+    def test_frequencies(self):
+        sc = make([{1, 2}, {2, 5}, {2}])
+        assert dict(zip(sc.union().tolist(), sc.frequencies().tolist())) == {
+            1: 1,
+            2: 3,
+            5: 1,
+        }
+
+    def test_all_empty_samples(self):
+        sc = make([set(), set()])
+        assert sc.union().size == 0
+        assert sc.frequencies().size == 0
+
+    def test_sample_ids_per_element(self):
+        sc = make([{1, 2}, {5}])
+        assert sc.sample_ids_per_element().tolist() == [0, 0, 1]
+
+
+class TestEvaluation:
+    def test_intersection_sizes_naive_agreement(self):
+        sc = make([{1, 2, 3}, {3, 4}, set(), {0, 9}])
+        candidate = np.array([0, 3, 4])
+        mask = sc.membership_mask(candidate)
+        expected = [1, 2, 0, 1]
+        assert sc.intersection_sizes(mask).tolist() == expected
+
+    def test_distances_match_jaccard(self):
+        samples = [{1, 2, 3}, {3, 4}, set(), {0, 9}]
+        sc = make(samples)
+        candidate = np.array([0, 3, 4])
+        dist = sc.distances(candidate)
+        for i, s in enumerate(samples):
+            assert dist[i] == pytest.approx(jaccard_distance(candidate, s))
+
+    def test_empty_candidate_vs_empty_sample(self):
+        sc = make([set(), {1}])
+        dist = sc.distances(np.zeros(0, dtype=np.int64))
+        assert dist.tolist() == [0.0, 1.0]
+
+    def test_mean_distance(self):
+        sc = make([{1}, {2}])
+        assert sc.mean_distance(np.array([1])) == pytest.approx(0.5)
+
+    def test_mask_shape_checked(self):
+        sc = make([{1}])
+        with pytest.raises(ValueError, match="shape"):
+            sc.intersection_sizes(np.zeros(3, dtype=bool))
+
+
+@given(
+    st.lists(st.frozensets(st.integers(0, 15), max_size=10), min_size=1, max_size=8),
+    st.frozensets(st.integers(0, 15), max_size=10),
+)
+def test_vectorised_distances_equal_reference(samples, candidate):
+    """Property: the packed evaluation equals per-pair Jaccard distances."""
+    sc = SampleCollection.from_iterables(16, samples)
+    cand = np.fromiter(sorted(candidate), dtype=np.int64)
+    dist = sc.distances(cand)
+    for i, s in enumerate(samples):
+        assert dist[i] == pytest.approx(jaccard_distance(cand, s))
+    assert sc.mean_distance(cand) == pytest.approx(float(dist.mean()))

@@ -1,0 +1,73 @@
+"""Tests for repro.problearn.assign."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.problearn.assign import (
+    assign_fixed,
+    assign_trivalency,
+    assign_weighted_cascade,
+)
+
+
+@pytest.fixture
+def g() -> ProbabilisticDigraph:
+    return ProbabilisticDigraph(
+        4, [(0, 1, 0.9), (2, 1, 0.9), (3, 1, 0.9), (0, 2, 0.9), (1, 3, 0.9)]
+    )
+
+
+class TestWeightedCascade:
+    def test_probability_is_inverse_indegree(self, g):
+        wc = assign_weighted_cascade(g)
+        # Node 1 has in-degree 3.
+        assert wc.edge_probability(0, 1) == pytest.approx(1 / 3)
+        assert wc.edge_probability(2, 1) == pytest.approx(1 / 3)
+        # Node 2 has in-degree 1.
+        assert wc.edge_probability(0, 2) == 1.0
+
+    def test_incoming_probabilities_sum_to_one(self, g):
+        wc = assign_weighted_cascade(g)
+        sums = np.zeros(4)
+        np.add.at(sums, np.asarray(wc.targets, dtype=np.int64), wc.probs)
+        for v in range(4):
+            if g.in_degrees()[v] > 0:
+                assert sums[v] == pytest.approx(1.0)
+
+    def test_topology_unchanged(self, g):
+        wc = assign_weighted_cascade(g)
+        assert wc.num_edges == g.num_edges
+        assert np.array_equal(wc.targets, g.targets)
+
+
+class TestFixed:
+    def test_constant(self, g):
+        fixed = assign_fixed(g, 0.1)
+        assert all(p == 0.1 for _, _, p in fixed.edges())
+
+    def test_default_is_point_one(self, g):
+        assert assign_fixed(g).edge_probability(0, 1) == 0.1
+
+    def test_validation(self, g):
+        with pytest.raises(ValueError):
+            assign_fixed(g, 0.0)
+
+
+class TestTrivalency:
+    def test_values_from_palette(self, g):
+        tri = assign_trivalency(g, seed=1)
+        assert set(np.unique(tri.probs)) <= {0.1, 0.01, 0.001}
+
+    def test_deterministic(self, g):
+        a = assign_trivalency(g, seed=2)
+        b = assign_trivalency(g, seed=2)
+        assert a == b
+
+    def test_custom_values(self, g):
+        tri = assign_trivalency(g, values=(0.5,), seed=0)
+        assert all(p == 0.5 for _, _, p in tri.edges())
+
+    def test_empty_values_rejected(self, g):
+        with pytest.raises(ValueError, match="empty"):
+            assign_trivalency(g, values=())

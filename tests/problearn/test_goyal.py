@@ -1,0 +1,96 @@
+"""Tests for repro.problearn.goyal — the frequentist learner."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import path_graph
+from repro.problearn.goyal import learn_goyal
+from repro.problearn.logs import ActionLog, generate_action_log
+
+
+def chain2() -> ProbabilisticDigraph:
+    return ProbabilisticDigraph(2, [(0, 1, 0.5)])
+
+
+class TestHandComputed:
+    def test_simple_credit(self):
+        """u acts on 4 items; v follows on 3 of them: p = 3/4."""
+        log = ActionLog()
+        for item in range(4):
+            log.add(0, item, 0)
+        for item in range(3):
+            log.add(1, item, 1)
+        learnt = learn_goyal(chain2(), log)
+        assert learnt.edge_probability(0, 1) == pytest.approx(0.75)
+
+    def test_no_credit_drops_edge(self):
+        log = ActionLog()
+        log.add(0, 1, 0)  # u acts, v never does
+        learnt = learn_goyal(chain2(), log)
+        assert learnt.num_edges == 0
+        assert learnt.num_nodes == 2
+
+    def test_min_probability_clamps_instead(self):
+        log = ActionLog()
+        log.add(0, 1, 0)
+        learnt = learn_goyal(chain2(), log, min_probability=0.01)
+        assert learnt.edge_probability(0, 1) == 0.01
+
+    def test_simultaneous_actions_get_no_credit(self):
+        log = ActionLog()
+        log.add(0, 1, 3)
+        log.add(1, 1, 3)  # same timestamp: no direction of influence
+        learnt = learn_goyal(chain2(), log)
+        assert learnt.num_edges == 0
+
+    def test_earlier_v_gets_no_credit(self):
+        log = ActionLog()
+        log.add(0, 1, 5)
+        log.add(1, 1, 2)
+        learnt = learn_goyal(chain2(), log)
+        assert learnt.num_edges == 0
+
+    def test_time_window_cuts_late_credit(self):
+        log = ActionLog()
+        log.add(0, 1, 0)
+        log.add(1, 1, 10)
+        with_window = learn_goyal(chain2(), log, time_window=3)
+        without = learn_goyal(chain2(), log)
+        assert with_window.num_edges == 0
+        assert without.edge_probability(0, 1) == 1.0
+
+    def test_probability_capped_at_one(self):
+        # v acts after u on the only item; A_u = 1, A_u2v = 1.
+        log = ActionLog()
+        log.add(0, 0, 0)
+        log.add(1, 0, 1)
+        learnt = learn_goyal(chain2(), log)
+        assert learnt.edge_probability(0, 1) == 1.0
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ValueError, match="time_window"):
+            learn_goyal(chain2(), ActionLog(), time_window=0)
+
+    def test_bad_min_probability(self):
+        with pytest.raises(ValueError, match="min_probability"):
+            learn_goyal(chain2(), ActionLog(), min_probability=2.0)
+
+
+class TestOnSyntheticLogs:
+    def test_recovers_rough_magnitude_on_chain(self):
+        """On a long chain with many episodes the frequentist estimate of a
+        mid-chain edge is in the neighbourhood of the ground truth."""
+        g = path_graph(6, p=0.6)
+        log = generate_action_log(g, 800, seed=0)
+        learnt = learn_goyal(g, log)
+        if learnt.has_edge(2, 3):
+            assert 0.3 < learnt.edge_probability(2, 3) < 0.9
+
+    def test_learnt_graph_is_subgraph(self, small_random):
+        log = generate_action_log(small_random, 50, seed=1)
+        learnt = learn_goyal(small_random, log)
+        for u, v, _ in learnt.edges():
+            assert small_random.has_edge(u, v)

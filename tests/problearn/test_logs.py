@@ -1,0 +1,99 @@
+"""Tests for repro.problearn.logs."""
+
+import pytest
+
+from repro.problearn.logs import Action, ActionLog, generate_action_log
+
+
+class TestActionLog:
+    def test_add_and_counts(self):
+        log = ActionLog()
+        log.add(1, 100, 0)
+        log.add(2, 100, 1)
+        log.add(1, 200, 0)
+        assert log.num_actions == 3
+        assert log.num_items == 2
+
+    def test_earliest_time_kept(self):
+        log = ActionLog()
+        log.add(1, 100, 5)
+        log.add(1, 100, 2)
+        log.add(1, 100, 9)
+        assert log.episode(100) == {1: 2}
+        assert log.num_actions == 1
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ActionLog().add(1, 1, -1)
+
+    def test_episode_missing_item(self):
+        with pytest.raises(KeyError):
+            ActionLog().episode(42)
+
+    def test_episode_returns_copy(self):
+        log = ActionLog()
+        log.add(1, 5, 0)
+        episode = log.episode(5)
+        episode[99] = 0
+        assert 99 not in log.episode(5)
+
+    def test_episodes_iteration_ordered(self):
+        log = ActionLog()
+        log.add(1, 30, 0)
+        log.add(1, 10, 0)
+        assert [item for item, _ in log.episodes()] == [10, 30]
+
+    def test_construct_from_actions(self):
+        log = ActionLog([Action(1, 2, 3), Action(4, 2, 1)])
+        assert log.episode(2) == {1: 3, 4: 1}
+
+    def test_user_action_counts(self):
+        log = ActionLog()
+        log.add(0, 1, 0)
+        log.add(0, 2, 0)
+        log.add(1, 1, 1)
+        counts = log.user_action_counts(3)
+        assert counts.tolist() == [2, 1, 0]
+
+    def test_len(self):
+        log = ActionLog()
+        log.add(1, 1, 0)
+        assert len(log) == 1
+
+
+class TestGenerateActionLog:
+    def test_every_item_has_an_episode(self, small_random):
+        log = generate_action_log(small_random, 10, seed=1)
+        assert log.num_items == 10
+
+    def test_seeds_at_time_zero(self, small_random):
+        log = generate_action_log(small_random, 5, seed=1, initial_adopters=2)
+        for _, episode in log.episodes():
+            assert sum(1 for t in episode.values() if t == 0) == 2
+
+    def test_activation_times_consistent_with_edges(self, small_random):
+        """Every non-seed activation at time t has an in-neighbour active at
+        time t-1 — the IC episode structure the learners rely on."""
+        log = generate_action_log(small_random, 8, seed=2)
+        reverse = small_random.reverse()
+        for _, episode in log.episodes():
+            for user, t in episode.items():
+                if t == 0:
+                    continue
+                parents = [
+                    int(u)
+                    for u in reverse.successors(user)
+                    if episode.get(int(u)) == t - 1
+                ]
+                assert parents, f"user {user} at t={t} has no parent"
+
+    def test_deterministic(self, small_random):
+        a = generate_action_log(small_random, 5, seed=3)
+        b = generate_action_log(small_random, 5, seed=3)
+        assert dict(a.episodes()) == dict(b.episodes())
+
+    def test_validation(self, small_random):
+        with pytest.raises(ValueError):
+            generate_action_log(small_random, 0)
+        with pytest.raises(ValueError, match="exceeds"):
+            generate_action_log(small_random, 1, initial_adopters=10_000)

@@ -1,0 +1,122 @@
+"""Tests for repro.problearn.saito — the EM learner."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.generators import path_graph
+from repro.problearn.logs import ActionLog, generate_action_log
+from repro.problearn.saito import learn_saito
+
+
+def chain2() -> ProbabilisticDigraph:
+    return ProbabilisticDigraph(2, [(0, 1, 0.5)])
+
+
+class TestClosedFormCases:
+    def test_single_parent_mle_is_success_rate(self):
+        """With one potential parent, EM reduces to the exact MLE
+        successes / attempts."""
+        log = ActionLog()
+        # 10 episodes: u at t=0 always; v at t=1 in 3 of them.
+        for item in range(10):
+            log.add(0, item, 0)
+            if item < 3:
+                log.add(1, item, 1)
+        fit = learn_saito(chain2(), log)
+        assert fit.graph.edge_probability(0, 1) == pytest.approx(0.3, abs=1e-6)
+
+    def test_never_activated_drops_edge(self):
+        log = ActionLog()
+        log.add(0, 0, 0)
+        fit = learn_saito(chain2(), log)
+        assert fit.graph.num_edges == 0
+        assert fit.probabilities.tolist() == [0.0]
+
+    def test_always_activated_gives_one(self):
+        log = ActionLog()
+        for item in range(5):
+            log.add(0, item, 0)
+            log.add(1, item, 1)
+        fit = learn_saito(chain2(), log)
+        assert fit.graph.edge_probability(0, 1) == pytest.approx(1.0, abs=1e-6)
+
+    def test_two_parents_split_credit(self):
+        """Both parents always active when v activates: by symmetry EM gives
+        both edges the same probability p with 1-(1-p)^2 = 1, i.e. p -> 1,
+        unless there are failures. Add failures to pin p below 1."""
+        g = ProbabilisticDigraph(3, [(0, 2, 0.5), (1, 2, 0.5)])
+        log = ActionLog()
+        # 4 episodes where both parents act and v follows; 4 where both act
+        # and v does not.
+        for item in range(8):
+            log.add(0, item, 0)
+            log.add(1, item, 0)
+            if item < 4:
+                log.add(2, item, 1)
+        fit = learn_saito(g, log)
+        p0 = fit.graph.edge_probability(0, 2)
+        p1 = fit.graph.edge_probability(1, 2)
+        assert p0 == pytest.approx(p1, abs=1e-9)
+        # Fixed point: P(v) = 1 - (1-p)^2 must equal the success rate 0.5
+        # at the symmetric MLE.
+        assert 1 - (1 - p0) ** 2 == pytest.approx(0.5, abs=1e-3)
+
+    def test_gap_in_timestamps_is_failed_attempt(self):
+        """v active at t=2 after u at t=0 is NOT credited to u (the Saito
+        model only allows infection one step later) and counts as a failed
+        attempt of u."""
+        log = ActionLog()
+        log.add(0, 0, 0)
+        log.add(1, 0, 2)
+        fit = learn_saito(chain2(), log)
+        assert fit.graph.num_edges == 0
+
+
+class TestFitDiagnostics:
+    def test_iterations_bounded(self, small_random):
+        log = generate_action_log(small_random, 20, seed=1)
+        fit = learn_saito(small_random, log, max_iterations=7)
+        assert 1 <= fit.iterations <= 7
+
+    def test_probabilities_aligned_with_input_arcs(self, small_random):
+        log = generate_action_log(small_random, 20, seed=1)
+        fit = learn_saito(small_random, log)
+        assert fit.probabilities.shape == (small_random.num_edges,)
+        assert np.all((fit.probabilities >= 0) & (fit.probabilities <= 1))
+
+    def test_log_likelihood_finite(self, small_random):
+        log = generate_action_log(small_random, 20, seed=1)
+        fit = learn_saito(small_random, log)
+        assert np.isfinite(fit.log_likelihood)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            learn_saito(chain2(), ActionLog(), tolerance=0.0)
+        with pytest.raises(ValueError):
+            learn_saito(chain2(), ActionLog(), max_iterations=0)
+
+
+class TestRecovery:
+    def test_recovers_planted_probability_on_chain(self):
+        """Many episodes on a certain-structure chain: EM should land near
+        the planted 0.6 for mid-chain edges with enough data."""
+        g = path_graph(5, p=0.6)
+        log = generate_action_log(g, 1500, seed=3)
+        fit = learn_saito(g, log)
+        if fit.graph.has_edge(1, 2):
+            assert fit.graph.edge_probability(1, 2) == pytest.approx(0.6, abs=0.1)
+
+    def test_em_estimates_at_most_goyal_on_shared_log(self, small_random):
+        """EM splits credit among co-parents, so on average its estimates do
+        not exceed the frequentist ones (the Figure 3 ordering)."""
+        from repro.problearn.goyal import learn_goyal
+
+        log = generate_action_log(small_random, 60, seed=5)
+        saito_fit = learn_saito(small_random, log)
+        goyal_graph = learn_goyal(small_random, log)
+        saito_mean = (
+            saito_fit.graph.probs.mean() if saito_fit.graph.num_edges else 0.0
+        )
+        goyal_mean = goyal_graph.probs.mean() if goyal_graph.num_edges else 0.0
+        assert saito_mean <= goyal_mean + 0.1

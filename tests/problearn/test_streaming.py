@@ -1,0 +1,94 @@
+"""Tests for repro.problearn.streaming — the STRIP-style learner."""
+
+import numpy as np
+import pytest
+
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.problearn.goyal import learn_goyal
+from repro.problearn.logs import ActionLog, generate_action_log
+from repro.problearn.streaming import StreamingInfluenceLearner
+
+
+def chain2() -> ProbabilisticDigraph:
+    return ProbabilisticDigraph(2, [(0, 1, 0.5)])
+
+
+class TestBasics:
+    def test_simple_credit(self):
+        learner = StreamingInfluenceLearner(chain2())
+        for item in range(4):
+            learner.process(0, item, 0)
+        for item in range(3):
+            learner.process(1, item, 1)
+        learnt = learner.estimates()
+        assert learnt.edge_probability(0, 1) == pytest.approx(0.75)
+
+    def test_duplicate_actions_ignored(self):
+        learner = StreamingInfluenceLearner(chain2())
+        learner.process(0, 0, 0)
+        learner.process(0, 0, 5)  # same user+item again
+        learner.process(1, 0, 1)
+        assert learner.num_processed == 2
+        assert learner.estimates().edge_probability(0, 1) == 1.0
+
+    def test_same_time_no_credit(self):
+        learner = StreamingInfluenceLearner(chain2())
+        learner.process(0, 0, 3)
+        learner.process(1, 0, 3)
+        assert learner.estimates().num_edges == 0
+
+    def test_unknown_user_ignored(self):
+        learner = StreamingInfluenceLearner(chain2())
+        learner.process(99, 0, 0)
+        assert learner.num_processed == 0
+
+    def test_min_probability_clamp(self):
+        learner = StreamingInfluenceLearner(chain2())
+        learner.process(0, 0, 0)
+        learnt = learner.estimates(min_probability=0.05)
+        assert learnt.edge_probability(0, 1) == 0.05
+
+
+class TestWindow:
+    def test_window_expires_old_credit(self):
+        learner = StreamingInfluenceLearner(chain2(), window=2)
+        learner.process(0, 0, 0)
+        learner.process(1, 0, 5)  # 5 steps later: outside the window
+        assert learner.estimates().num_edges == 0
+
+    def test_window_keeps_recent_credit(self):
+        learner = StreamingInfluenceLearner(chain2(), window=2)
+        learner.process(0, 0, 0)
+        learner.process(1, 0, 2)
+        assert learner.estimates().edge_probability(0, 1) == 1.0
+
+    def test_memory_bounded_by_finish_item(self):
+        learner = StreamingInfluenceLearner(chain2(), window=1)
+        for item in range(50):
+            learner.process(0, item, 0)
+            learner.finish_item(item)
+        assert learner.memory_footprint() == 0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            StreamingInfluenceLearner(chain2(), window=0)
+
+
+class TestBatchEquivalence:
+    def test_unbounded_window_matches_batch_goyal(self, small_random):
+        """The correctness anchor: one pass over the full log reproduces
+        the batch frequentist estimates exactly."""
+        log = generate_action_log(small_random, 40, seed=1)
+        learner = StreamingInfluenceLearner(small_random)
+        learner.process_log(log)
+        streamed = learner.estimates()
+        batch = learn_goyal(small_random, log)
+        assert streamed == batch
+
+    def test_windowed_matches_batch_with_time_window(self, small_random):
+        log = generate_action_log(small_random, 30, seed=2)
+        learner = StreamingInfluenceLearner(small_random, window=2)
+        learner.process_log(log)
+        streamed = learner.estimates()
+        batch = learn_goyal(small_random, log, time_window=2)
+        assert streamed == batch

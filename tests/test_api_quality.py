@@ -1,0 +1,82 @@
+"""API-quality gates: every public item is documented, importable and
+covered by ``__all__`` where one is declared."""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.graph",
+    "repro.cascades",
+    "repro.median",
+    "repro.core",
+    "repro.influence",
+    "repro.problearn",
+    "repro.datasets",
+    "repro.experiments",
+    "repro.utils",
+]
+
+
+def _iter_modules():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                if info.name == "__main__":
+                    continue  # executes the CLI on import
+                yield importlib.import_module(f"{package_name}.{info.name}")
+
+
+ALL_MODULES = list(_iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module.__name__} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_functions_and_classes_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its definition site
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if not (obj.__doc__ and obj.__doc__.strip()):
+                undocumented.append(name)
+        if inspect.isclass(obj):
+            for method_name, method in vars(obj).items():
+                if method_name.startswith("_"):
+                    continue
+                if inspect.isfunction(method) and not (
+                    method.__doc__ and method.__doc__.strip()
+                ):
+                    undocumented.append(f"{name}.{method_name}")
+    assert not undocumented, (
+        f"{module.__name__} has undocumented public items: {undocumented}"
+    )
+
+
+def test_all_exports_resolve():
+    for module in ALL_MODULES:
+        exported = getattr(module, "__all__", None)
+        if exported is None:
+            continue
+        for name in exported:
+            assert hasattr(module, name), f"{module.__name__}.__all__ lists {name}"
+
+
+def test_top_level_all_is_sorted_sanely():
+    # Not alphabetical by policy, but no duplicates.
+    assert len(repro.__all__) == len(set(repro.__all__))

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--settings", "Nope-S"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.scale == 0.2
+        assert args.samples == 64
+
+
+class TestCommands:
+    def test_list_settings(self, capsys):
+        assert main(["list-settings"]) == 0
+        out = capsys.readouterr().out
+        assert "Digg-S" in out and "Slashdot-F" in out
+
+    def test_sphere_command(self, capsys):
+        code = main(
+            [
+                "sphere",
+                "--setting",
+                "NetHEPT-W",
+                "--node",
+                "1",
+                "--scale",
+                "0.03",
+                "--samples",
+                "8",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Sphere of influence of node 1" in out
+        assert "cost" in out
+
+    def test_table2_subset(self, capsys):
+        code = main(
+            [
+                "table2",
+                "--scale",
+                "0.03",
+                "--samples",
+                "8",
+                "--settings",
+                "NetHEPT-W",
+                "--max-nodes",
+                "10",
+            ]
+        )
+        assert code == 0
+        assert "NetHEPT-W" in capsys.readouterr().out
+
+    def test_fig7_runs_small(self, capsys):
+        code = main(
+            [
+                "fig7",
+                "--scale",
+                "0.03",
+                "--samples",
+                "8",
+                "--settings",
+                "NetHEPT-F",
+            ]
+        )
+        assert code == 0
+        assert "marginal gain" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_report_writes_markdown(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "table1.txt").write_text("FAKE TABLE")
+        out = tmp_path / "EXPERIMENTS.md"
+        code = main(
+            ["report", "--results-dir", str(results), "--output", str(out)]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "FAKE TABLE" in out.read_text()

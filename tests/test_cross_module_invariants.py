@@ -1,0 +1,165 @@
+"""Cross-module invariants: properties that tie the subsystems together.
+
+Each test here spans at least two packages and pins down a consistency
+guarantee the system as a whole relies on (the per-module suites cover the
+local behaviour).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cascades.index import CascadeIndex
+from repro.cascades.reliability_search import reachability_frequencies
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.graph.generators import gnp_digraph
+from repro.graph.sampling import WorldSampler
+from repro.influence.spread import SpreadOracle
+from repro.median.chierichetti import best_of_samples, jaccard_median
+from repro.median.samples import SampleCollection
+from repro.problearn.assign import assign_fixed
+
+
+def random_graph(seed: int, n: int = 20, density: float = 0.12, p: float = 0.4):
+    return assign_fixed(gnp_digraph(n, density, seed=seed), p)
+
+
+@settings(max_examples=15)
+@given(st.integers(0, 10_000))
+def test_spread_oracle_consistent_with_index_sizes(seed):
+    """sigma({v}) from the oracle == mean cascade size from the index."""
+    graph = random_graph(seed)
+    index = CascadeIndex.build(graph, 8, seed=seed)
+    oracle = SpreadOracle(index)
+    gains = oracle.initial_gains()
+    sizes = index.all_cascade_sizes()
+    np.testing.assert_allclose(gains, sizes.mean(axis=1), atol=1e-12)
+
+
+@settings(max_examples=15)
+@given(st.integers(0, 10_000))
+def test_seed_set_cascade_is_union_of_member_cascades(seed):
+    graph = random_graph(seed)
+    index = CascadeIndex.build(graph, 4, seed=seed)
+    for world in range(4):
+        joint = index.seed_set_cascade([1, 3, 7], world)
+        union = np.union1d(
+            np.union1d(index.cascade(1, world), index.cascade(3, world)),
+            index.cascade(7, world),
+        )
+        assert np.array_equal(joint, union)
+
+
+@settings(max_examples=10)
+@given(st.integers(0, 10_000))
+def test_typical_cascade_cost_bounded_by_best_sample(seed):
+    """The median never does worse than the best input cascade."""
+    graph = random_graph(seed)
+    index = CascadeIndex.build(graph, 12, seed=seed)
+    samples = SampleCollection(graph.num_nodes, index.cascades(0))
+    median = jaccard_median(samples)
+    best = best_of_samples(samples)
+    assert median.cost <= best.cost + 1e-12
+
+
+@settings(max_examples=10)
+@given(st.integers(0, 10_000))
+def test_reachability_frequencies_consistent_with_cascades(seed):
+    """freq[v] equals the fraction of worlds whose cascade contains v."""
+    graph = random_graph(seed)
+    index = CascadeIndex.build(graph, 6, seed=seed)
+    freq = reachability_frequencies(index, 2)
+    counts = np.zeros(graph.num_nodes)
+    for world in range(6):
+        counts[index.cascade(2, world)] += 1
+    np.testing.assert_allclose(freq, counts / 6, atol=1e-12)
+
+
+@settings(max_examples=10)
+@given(st.integers(0, 10_000))
+def test_world_sampler_and_index_share_worlds(seed):
+    """CascadeIndex.build(seed) indexes exactly WorldSampler(seed)'s worlds."""
+    graph = random_graph(seed)
+    index = CascadeIndex.build(graph, 3, seed=seed)
+    sampler = WorldSampler(graph, seed=seed)
+    from repro.graph.reachability import reachable_array
+
+    for world in range(3):
+        mask = sampler.world_mask(world)
+        assert np.array_equal(
+            index.cascade(5, world), reachable_array(graph, 5, mask)
+        )
+
+
+def test_sphere_members_subset_of_ever_reached():
+    """A typical cascade only contains nodes that some sampled cascade
+    reached (the median never invents members)."""
+    graph = random_graph(77, n=30)
+    index = CascadeIndex.build(graph, 16, seed=77)
+    computer = TypicalCascadeComputer(index)
+    for node in range(0, 30, 7):
+        sphere = computer.compute(node)
+        union = np.unique(np.concatenate(index.cascades(node)))
+        assert set(sphere.members.tolist()) <= set(union.tolist())
+
+
+def test_lt_and_ic_agree_on_deterministic_trees():
+    """On a certain path (every node has in-degree <= 1, so the LT weight
+    of the single incoming arc is 1.0) both models activate exactly the
+    reachability set; on general certain graphs only IC does (LT divides
+    incoming weight among parents)."""
+    from repro.cascades.ic import simulate_ic
+    from repro.cascades.lt import simulate_lt
+    from repro.graph.generators import path_graph
+    from repro.graph.reachability import reachable_set
+
+    path = path_graph(12, p=1.0)
+    for source in (0, 5, 11):
+        expected = reachable_set(path, source)
+        ic_result, _ = simulate_ic(path, source, seed=1)
+        lt_result = simulate_lt(path, source, seed=1)
+        assert ic_result == expected
+        assert lt_result == expected
+
+    dense = assign_fixed(gnp_digraph(25, 0.1, seed=5), 1.0)
+    for source in (0, 7, 19):
+        ic_result, _ = simulate_ic(dense, source, seed=1)
+        assert ic_result == reachable_set(dense, source)
+
+
+def test_cli_and_harness_agree():
+    """The CLI's table2 output matches a direct harness call."""
+    import io
+    from contextlib import redirect_stdout
+
+    from repro.cli import main
+    from repro.datasets.registry import clear_cache
+    from repro.experiments.config import ExperimentConfig
+    from repro.experiments.table2 import format_table2, run_table2
+
+    clear_cache()
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        main(
+            [
+                "table2",
+                "--scale",
+                "0.03",
+                "--samples",
+                "8",
+                "--settings",
+                "NetHEPT-W",
+                "--max-nodes",
+                "10",
+            ]
+        )
+    direct = format_table2(
+        run_table2(
+            ExperimentConfig(scale=0.03, num_samples=8, num_eval_samples=8, k=5),
+            settings=("NetHEPT-W",),
+            max_nodes=10,
+        )
+    )
+    assert buffer.getvalue().strip() == direct.strip()
+    clear_cache()

@@ -1,0 +1,158 @@
+"""Numerical validation of the paper's theory (Section 3 + Appendix A).
+
+These tests check the *statements* of Lemmas 1, 3 and 4 and the empirical
+content of Theorem 2 on concrete distributions over sets, independent of
+any particular graph — exactly what the proofs quantify over.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cascades.index import CascadeIndex
+from repro.median.chierichetti import jaccard_median
+from repro.median.cost import monte_carlo_expected_cost
+from repro.median.jaccard import jaccard_distance
+from repro.median.samples import SampleCollection
+
+
+def rho(candidate: frozenset, distribution: list[tuple[frozenset, float]]) -> float:
+    """Exact expected Jaccard distance under a finite distribution."""
+    return sum(p * jaccard_distance(candidate, c) for c, p in distribution)
+
+
+def f_x(x: frozenset, y: frozenset, distribution) -> float:
+    """The surrogate f_X(Y) = E[|Y (+) C| / |X u C|] of Lemma 1."""
+    total = 0.0
+    for c, p in distribution:
+        denominator = len(x | c)
+        if denominator == 0:
+            continue
+        total += p * len(y ^ c) / denominator
+    return total
+
+
+# A small family of hand-built distributions over non-empty subsets of [6].
+DISTRIBUTIONS = [
+    [(frozenset({0, 1, 2}), 0.5), (frozenset({0, 1}), 0.3), (frozenset({0, 1, 2, 3}), 0.2)],
+    [(frozenset({0}), 0.6), (frozenset({0, 5}), 0.4)],
+    [(frozenset({1, 2}), 0.25), (frozenset({2, 3}), 0.25),
+     (frozenset({1, 3}), 0.25), (frozenset({1, 2, 3}), 0.25)],
+]
+
+subsets = st.frozensets(st.integers(0, 5), max_size=6)
+
+
+class TestLemma3:
+    @given(
+        st.frozensets(st.integers(0, 10), min_size=1, max_size=8),
+        st.frozensets(st.integers(0, 10), min_size=1, max_size=8),
+    )
+    def test_union_bound(self, a, b):
+        """|A u B| <= min(|A|, |B|) / (1 - d_J(A, B)) when A n B != {}."""
+        if not a & b:
+            return
+        d = jaccard_distance(a, b)
+        assert len(a | b) <= min(len(a), len(b)) / (1 - d) + 1e-9
+
+
+class TestLemma4:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    @pytest.mark.parametrize("x", [frozenset({0, 1}), frozenset({0, 1, 2})])
+    def test_inverse_union_bounds(self, distribution, x):
+        """1/|X| >= E[1/|X u C|] >= (1 - 2 sqrt(rho(X))) / |X|."""
+        expectation = sum(p / len(x | c) for c, p in distribution)
+        cost = rho(x, distribution)
+        assert expectation <= 1 / len(x) + 1e-12
+        assert expectation >= (1 - 2 * np.sqrt(cost)) / len(x) - 1e-12
+
+
+class TestLemma1:
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    @given(y=subsets, y2=subsets)
+    @settings(max_examples=25)
+    def test_part_a_distance_bounds(self, distribution, y, y2):
+        """d_J(Y, Y') <= min(rho(Y) + rho(Y'), 6(rho(X) + f_X(Y) + f_X(Y')))."""
+        x = frozenset({0, 1})
+        d = jaccard_distance(y, y2)
+        assert d <= rho(y, distribution) + rho(y2, distribution) + 1e-9
+        bound = 6 * (rho(x, distribution) + f_x(x, y, distribution) + f_x(x, y2, distribution))
+        assert d <= bound + 1e-9
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    @given(y=subsets)
+    @settings(max_examples=25)
+    def test_part_b_ratio_bounds(self, distribution, y):
+        """If X n Y != {}: 1 - d_J(X,Y) <= rho(Y)/f_X(Y) <= 1/(1 - d_J(X,Y))."""
+        x = frozenset({0, 1})
+        if not x & y:
+            return
+        fy = f_x(x, y, distribution)
+        ry = rho(y, distribution)
+        if fy <= 1e-12:
+            return
+        d = jaccard_distance(x, y)
+        if d >= 1.0 - 1e-12:
+            return
+        ratio = ry / fy
+        assert ratio >= (1 - d) - 1e-9
+        assert ratio <= 1 / (1 - d) + 1e-9
+
+    @pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+    def test_part_c_optimality_transfer(self, distribution):
+        """If rho(Y) <= rho(X) then f_X(Y) <= f_X(X) / (1 - 2 f_X(X))."""
+        x = frozenset({0, 1})
+        fxx = f_x(x, x, distribution)
+        if fxx >= 0.5:
+            return
+        from itertools import chain, combinations
+
+        universe = sorted(set(chain.from_iterable(c for c, _ in distribution)))
+        for r in range(len(universe) + 1):
+            for comb in combinations(universe, r):
+                y = frozenset(comb)
+                if rho(y, distribution) <= rho(x, distribution):
+                    assert f_x(x, y, distribution) <= fxx / (1 - 2 * fxx) + 1e-9
+
+
+class TestTheorem2Empirically:
+    def test_constant_samples_suffice_across_sizes(self, rng):
+        """The sample size needed for a near-optimal median does not grow
+        with the graph: medians from l=32 samples score within 15% of
+        medians from l=256 samples on graphs of 30 and 120 nodes."""
+        from repro.graph.generators import gnp_digraph
+        from repro.problearn.assign import assign_fixed
+
+        for n, density in ((30, 0.12), (120, 0.03)):
+            graph = assign_fixed(gnp_digraph(n, density, seed=n), 0.3)
+            index = CascadeIndex.build(graph, 256, seed=1)
+            node = 0
+            small = jaccard_median(
+                SampleCollection(n, [index.cascade(node, w) for w in range(32)])
+            )
+            large = jaccard_median(
+                SampleCollection(n, [index.cascade(node, w) for w in range(256)])
+            )
+            cost_small = monte_carlo_expected_cost(
+                graph, node, small.median, 600, seed=2
+            )
+            cost_large = monte_carlo_expected_cost(
+                graph, node, large.median, 600, seed=2
+            )
+            assert cost_small <= cost_large + 0.15 * max(cost_large, 0.1)
+
+    def test_in_sample_cost_underestimates_true_cost(self):
+        """Overfitting direction: the empirical cost of the fitted median
+        is (weakly) below its out-of-sample cost, as Section 3 discusses."""
+        from repro.graph.generators import gnp_digraph
+        from repro.problearn.assign import assign_fixed
+
+        graph = assign_fixed(gnp_digraph(50, 0.08, seed=9), 0.25)
+        index = CascadeIndex.build(graph, 16, seed=3)
+        samples = SampleCollection(50, index.cascades(0))
+        result = jaccard_median(samples)
+        out_of_sample = monte_carlo_expected_cost(
+            graph, 0, result.median, 1500, seed=4
+        )
+        assert result.cost <= out_of_sample + 0.05

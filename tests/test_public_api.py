@@ -1,0 +1,32 @@
+"""Tests of the top-level public API surface."""
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestEndToEndPipeline:
+    def test_quickstart_flow(self, fig1):
+        """The README quickstart, as a test: build an index, compute a
+        sphere, run both influence maximisers."""
+        index = repro.CascadeIndex.build(fig1, 200, seed=42)
+        computer = repro.TypicalCascadeComputer(index)
+        sphere = computer.compute(4)
+        assert sphere.as_set() == {0, 1, 4}
+
+        trace_std = repro.infmax_std(index, 2)
+        trace_tc, spheres = repro.infmax_tc(index, 2)
+        assert len(trace_std.seeds) == 2
+        assert len(trace_tc.selected) == 2
+        assert len(spheres) == 5
+
+    def test_jaccard_helpers_exported(self):
+        assert repro.jaccard_distance({1}, {1}) == 0.0
+        assert repro.jaccard_similarity({1}, {2}) == 0.0

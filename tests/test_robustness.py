@@ -1,0 +1,113 @@
+"""Failure injection and adversarial-input robustness.
+
+Production code meets corrupted files, degenerate graphs and hostile
+arguments; these tests pin down that every such case fails loudly (a clear
+exception) or degrades gracefully — never silently wrong.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.core.store import SphereStore
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.median.samples import SampleCollection
+
+
+class TestCorruptedFiles:
+    def test_truncated_index_file(self, small_random, tmp_path):
+        index = CascadeIndex.build(small_random, 4, seed=1)
+        path = tmp_path / "index.npz"
+        index.save(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(Exception):
+            CascadeIndex.load(path)
+
+    def test_wrong_format_index_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not an npz archive")
+        with pytest.raises(Exception):
+            CascadeIndex.load(path)
+
+    def test_npz_with_missing_arrays(self, tmp_path):
+        path = tmp_path / "partial.npz"
+        np.savez(path, graph_indptr=np.array([0, 0]))
+        with pytest.raises(KeyError):
+            CascadeIndex.load(path)
+
+    def test_corrupted_sphere_store(self, tmp_path):
+        path = tmp_path / "spheres.npz"
+        np.savez(path, nodes=np.array([0]))  # missing everything else
+        with pytest.raises(KeyError):
+            SphereStore.load(path)
+
+    def test_malformed_edge_list(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("0 1 not_a_number\n")
+        with pytest.raises(ValueError, match="line 1"):
+            read_edge_list(path)
+
+    def test_edge_list_roundtrip_survives_rewrites(self, small_random, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(small_random, path)
+        write_edge_list(read_edge_list(path), path)  # write-read-write
+        assert read_edge_list(path) == small_random
+
+
+class TestDegenerateGraphs:
+    def test_single_node_graph(self):
+        g = ProbabilisticDigraph(1)
+        index = CascadeIndex.build(g, 4, seed=1)
+        sphere = TypicalCascadeComputer(index).compute(0)
+        assert sphere.as_set() == {0}
+        assert sphere.cost == 0.0
+
+    def test_graph_with_all_isolated_nodes(self):
+        g = ProbabilisticDigraph(6)
+        index = CascadeIndex.build(g, 4, seed=1)
+        spheres = TypicalCascadeComputer(index).compute_all()
+        for node, sphere in spheres.items():
+            assert sphere.as_set() == {node}
+
+    def test_two_node_minimal_edge(self):
+        g = ProbabilisticDigraph(2, [(0, 1, 1e-9 + 1e-4)])
+        index = CascadeIndex.build(g, 8, seed=1)
+        sphere = TypicalCascadeComputer(index).compute(0)
+        assert 0 in sphere.as_set()
+
+    def test_near_certain_probabilities(self):
+        g = ProbabilisticDigraph(3, [(0, 1, 1.0 - 1e-12), (1, 2, 1.0)])
+        index = CascadeIndex.build(g, 8, seed=1)
+        sphere = TypicalCascadeComputer(index).compute(0)
+        assert sphere.as_set() == {0, 1, 2}
+
+    def test_complete_bidirectional_graph(self):
+        edges = [(u, v, 0.9) for u in range(5) for v in range(5) if u != v]
+        g = ProbabilisticDigraph(5, edges)
+        index = CascadeIndex.build(g, 16, seed=2)
+        sphere = TypicalCascadeComputer(index).compute(0)
+        assert sphere.size >= 4  # nearly always everything
+
+
+class TestHostileArguments:
+    def test_sample_collection_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            SampleCollection(4, [np.zeros((2, 2), dtype=np.int64)])
+
+    def test_float_node_ids_rejected_by_graph(self):
+        with pytest.raises((TypeError, ValueError)):
+            ProbabilisticDigraph(3, [(0.5, 1, 0.5)])
+
+    def test_negative_universe(self):
+        with pytest.raises(ValueError):
+            SampleCollection(-1, [np.zeros(0, dtype=np.int64)])
+
+    def test_index_on_zero_node_graph(self):
+        g = ProbabilisticDigraph(0)
+        index = CascadeIndex.build(g, 2, seed=1)
+        assert index.num_nodes == 0
+        with pytest.raises(ValueError):
+            index.cascade(0, 0)

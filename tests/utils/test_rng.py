@@ -1,0 +1,107 @@
+"""Tests for repro.utils.rng — determinism and stream independence."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import (
+    RngStream,
+    derive_rng,
+    permutation_from_seed,
+    sample_without_replacement,
+    spawn_rngs,
+)
+
+
+class TestDeriveRng:
+    def test_int_seed_is_deterministic(self):
+        a = derive_rng(42).random(5)
+        b = derive_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = derive_rng(1).random(5)
+        b = derive_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        gen = np.random.default_rng(0)
+        same = derive_rng(gen)
+        assert same is gen
+
+    def test_none_gives_fresh_generator(self):
+        assert isinstance(derive_rng(None), np.random.Generator)
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(5)
+        a = derive_rng(seq).random(3)
+        b = derive_rng(np.random.SeedSequence(5)).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 7)) == 7
+
+    def test_children_are_independent_and_deterministic(self):
+        first = [g.random(3) for g in spawn_rngs(11, 3)]
+        second = [g.random(3) for g in spawn_rngs(11, 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
+        assert not np.array_equal(first[0], first[1])
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rngs(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_rngs(0, 0) == []
+
+    def test_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 2)
+        assert len(children) == 2
+
+
+class TestRngStream:
+    def test_fork_deterministic_in_name(self):
+        a = RngStream(5).fork("worlds").random(4)
+        b = RngStream(5).fork("worlds").random(4)
+        assert np.array_equal(a, b)
+
+    def test_fork_differs_by_name(self):
+        stream = RngStream(5)
+        a = stream.fork("worlds").random(4)
+        b = stream.fork("cascades").random(4)
+        assert not np.array_equal(a, b)
+
+    def test_fork_order_independent(self):
+        s1 = RngStream(9)
+        first = s1.fork("a").random(2)
+        s1.fork("b")
+        s2 = RngStream(9)
+        s2.fork("b")
+        second = s2.fork("a").random(2)
+        assert np.array_equal(first, second)
+
+    def test_generators_yields_requested_count(self):
+        stream = RngStream(1)
+        gens = list(stream.generators("x", 4))
+        assert len(gens) == 4
+
+
+class TestHelpers:
+    def test_permutation_is_permutation(self):
+        perm = permutation_from_seed(20, 3)
+        assert sorted(perm.tolist()) == list(range(20))
+
+    def test_permutation_deterministic(self):
+        assert np.array_equal(permutation_from_seed(10, 3), permutation_from_seed(10, 3))
+
+    def test_sample_without_replacement_distinct(self):
+        sample = sample_without_replacement(list(range(50)), 10, seed=0)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_sample_too_large_rejected(self):
+        with pytest.raises(ValueError, match="cannot sample"):
+            sample_without_replacement([1, 2], 3)

@@ -1,0 +1,42 @@
+"""Tests for repro.utils.tables."""
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["a", "long_header"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "long_header" in lines[0]
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_title_renders(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_float_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in out
+        assert "1.235" not in out
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError, match="row 0 has"):
+            format_table(["a", "b"], [[1]])
+
+    def test_bool_rendered_as_word(self):
+        out = format_table(["x"], [[True]])
+        assert "True" in out
+
+
+class TestFormatSeries:
+    def test_columns_aligned(self):
+        out = format_series("k", [1, 2], {"y1": [0.5, 0.6], "y2": [1, 2]})
+        assert "y1" in out and "y2" in out
+        assert len(out.splitlines()) == 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="mismatched"):
+            format_series("k", [1, 2], {"y": [1]})

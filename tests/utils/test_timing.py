@@ -1,0 +1,55 @@
+"""Tests for repro.utils.timing."""
+
+import pytest
+
+from repro.utils.timing import Timer, time_call, timed
+
+
+class TestTimer:
+    def test_accumulates_across_cycles(self):
+        timer = Timer("t")
+        timer.start()
+        timer.stop()
+        first = timer.elapsed
+        timer.start()
+        timer.stop()
+        assert timer.elapsed >= first
+
+    def test_double_start_rejected(self):
+        timer = Timer("t").start()
+        with pytest.raises(RuntimeError, match="already running"):
+            timer.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError, match="not running"):
+            Timer("t").stop()
+
+    def test_context_manager(self):
+        timer = Timer("ctx")
+        with timer:
+            pass
+        assert timer.elapsed >= 0.0
+        assert not timer.running
+
+    def test_reset(self):
+        timer = Timer("t")
+        with timer:
+            pass
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+
+def test_timed_appends_to_sink():
+    sink: list[float] = []
+    with timed(sink):
+        pass
+    with timed(sink):
+        pass
+    assert len(sink) == 2
+    assert all(t >= 0.0 for t in sink)
+
+
+def test_time_call_returns_result_and_elapsed():
+    result, elapsed = time_call(lambda: 41 + 1)
+    assert result == 42
+    assert elapsed >= 0.0

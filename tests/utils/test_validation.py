@@ -1,0 +1,80 @@
+"""Tests for repro.utils.validation."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_node,
+    check_non_negative_int,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositiveInt:
+    def test_accepts_positive(self):
+        assert check_positive_int(3, "x") == 3
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive_int(bad, "x")
+
+    @pytest.mark.parametrize("bad", [1.5, "3", None, True])
+    def test_rejects_non_int(self, bad):
+        with pytest.raises(TypeError):
+            check_positive_int(bad, "x")
+
+
+class TestCheckNonNegativeInt:
+    def test_accepts_zero(self):
+        assert check_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative_int(-1, "x")
+
+
+class TestCheckProbability:
+    def test_accepts_one(self):
+        assert check_probability(1, "p") == 1.0
+
+    def test_rejects_zero_by_default(self):
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            check_probability(0.0, "p")
+
+    def test_allow_zero(self):
+        assert check_probability(0.0, "p", allow_zero=True) == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.0001, math.nan])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_probability(True, "p")
+
+    def test_fraction_alias_allows_zero(self):
+        assert check_fraction(0.0, "f") == 0.0
+
+
+class TestCheckNode:
+    def test_accepts_in_range(self):
+        assert check_node(3, 5) == 3
+
+    @pytest.mark.parametrize("bad", [-1, 5])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ValueError, match="out of range"):
+            check_node(bad, 5)
+
+    def test_accepts_numpy_int(self):
+        import numpy as np
+
+        assert check_node(np.int64(2), 5) == 2
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeError):
+            check_node("a", 5)
