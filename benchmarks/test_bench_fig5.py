@@ -6,7 +6,6 @@ cascades ... the larger the typical cascade, the more reliable it is
 cascade with large cost".
 """
 
-import numpy as np
 
 from repro.experiments.fig5 import format_fig5, run_fig5
 

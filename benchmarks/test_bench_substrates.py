@@ -1,7 +1,6 @@
 """Micro-benchmarks for the substrate layers: probability learning, world
 sampling, reliability search, distance-constrained queries and sketches."""
 
-import numpy as np
 import pytest
 
 from repro.cascades.distance_reliability import monte_carlo_distance_reliability

@@ -1,0 +1,55 @@
+"""``reprolint`` — AST-based determinism & correctness analysis for this repo.
+
+The paper's guarantees (the ``1 + O(alpha)`` Jaccard-median approximation of
+Theorem 2, the cascade-index equivalence of Algorithms 1/2) are reproducible
+only if every stochastic component draws from a deterministic, injectable
+RNG and every probability stays inside its domain.  ``repro.utils.rng``
+documents that contract; this package machine-checks it.
+
+Architecture:
+
+* :mod:`repro.analysis.diagnostics` — the :class:`Diagnostic` record and
+  severity levels.
+* :mod:`repro.analysis.context` — per-module parse context (AST, parent
+  links, import-alias resolution) shared by all checkers.
+* :mod:`repro.analysis.registry` — the pluggable checker registry; checkers
+  self-register via the :func:`~repro.analysis.registry.register` decorator.
+* :mod:`repro.analysis.suppress` — inline ``# reprolint: disable=<id>``
+  comment handling.
+* :mod:`repro.analysis.runner` — file discovery + orchestration.
+* :mod:`repro.analysis.checkers` — the built-in checker catalogue (REP1xx
+  through REP6xx).
+* :mod:`repro.analysis.cli` — ``python -m repro.analysis <paths>``.
+
+Run the analyzer over the library::
+
+    python -m repro.analysis src/repro
+
+Exit status is non-zero iff unsuppressed diagnostics were emitted, so the
+command doubles as a CI gate (see ``tests/analysis/test_gate.py``).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import (
+    CheckerRegistry,
+    default_registry,
+    register,
+)
+from repro.analysis.runner import analyze_file, analyze_paths, analyze_source
+
+__all__ = [
+    "Checker",
+    "CheckerRegistry",
+    "Diagnostic",
+    "ModuleContext",
+    "Severity",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "default_registry",
+    "register",
+]

@@ -1,0 +1,38 @@
+"""Built-in checker catalogue.
+
+Importing this package registers every built-in checker with
+:mod:`repro.analysis.registry` (each module applies the ``@register``
+decorator at import time).  Checker ids are grouped by hundreds:
+
+========  ==========================  =====================================
+id        name                        invariant
+========  ==========================  =====================================
+REP101    rng-discipline              no direct RNG construction outside
+                                      ``repro/utils/rng.py``
+REP102    seed-injectability          derive_rng/spawn_rngs callers declare
+                                      a seed/rng parameter
+REP201    iteration-order             set iteration must not reach ordered
+                                      output unsorted
+REP301    float-equality              no ==/!= on float expressions
+REP401    mutable-defaults            no mutable default arguments
+REP501    probability-literal         literal probabilities lie in [0, 1]
+REP502    probability-validation      graph/cascades entry points validate
+                                      probability parameters
+REP601    linear-scan-in-loop         no list scans inside hot-path loops
+REP602    array-growth-in-loop        no per-iteration array reallocation
+========  ==========================  =====================================
+"""
+
+from __future__ import annotations
+
+from repro.analysis.checkers import (  # noqa: F401  (imported for registration)
+    float_equality,
+    iteration_order,
+    mutable_defaults,
+    probability_domain,
+    quadratic_patterns,
+    rng_discipline,
+)
+from repro.analysis.checkers.base import Checker
+
+__all__ = ["Checker"]

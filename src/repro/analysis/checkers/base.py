@@ -1,0 +1,37 @@
+"""Checker interface.
+
+A checker is a stateless object with an ``id`` (the suppression/selection
+handle, e.g. ``REP101``), a human ``name``, and a :meth:`Checker.check`
+method mapping a :class:`~repro.analysis.context.ModuleContext` to an
+iterable of diagnostics.  Checkers must not keep per-file state on ``self``
+— the same instance is reused across every analyzed module.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+
+class Checker(abc.ABC):
+    """Base class for all reprolint checkers."""
+
+    #: Stable identifier used in reports and suppression comments.
+    id: str
+    #: Short kebab-case name shown by ``--list-checkers``.
+    name: str
+    #: One-line description of the invariant being enforced.
+    description: str
+    #: Default severity for this checker's diagnostics.
+    severity: Severity = Severity.ERROR
+
+    @abc.abstractmethod
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        """Yield diagnostics for one module."""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        """Module filter; override to scope a checker to certain paths."""
+        return True

@@ -1,0 +1,99 @@
+"""Float equality checker (REP301).
+
+Probabilities, Jaccard costs and spread estimates are floats produced by
+arithmetic; comparing them with ``==``/``!=`` is at best fragile and at
+worst a silent correctness bug (the seed-789 median regression fixed in
+this repo came from exactly such a hidden exact-comparison shortcut).  Use
+``math.isclose``/``np.isclose``, an explicit tolerance, or restructure to
+an inequality (``p <= 0.0``).
+
+An operand is considered float-valued when it is a float literal, a
+``float(...)`` cast, an arithmetic expression containing a float literal
+or a true division, or a name annotated ``float`` in the enclosing
+function's signature.  Comparing against the *integer* literals ``0``/``1``
+etc. is not flagged (int equality is exact); test modules are skipped
+entirely — asserting exact reproducibility there is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.context import FunctionNode, ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+
+def _annotated_float_params(fn: FunctionNode) -> frozenset[str]:
+    names = set()
+    args = fn.args
+    for param in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        ann = param.annotation
+        if isinstance(ann, ast.Name) and ann.id == "float":
+            names.add(param.arg)
+    return frozenset(names)
+
+
+def _is_float_valued(node: ast.expr, float_names: frozenset[str]) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return node.id in float_names
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.UnaryOp):
+        return _is_float_valued(node.operand, float_names)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_float_valued(node.left, float_names) or _is_float_valued(
+            node.right, float_names
+        )
+    return False
+
+
+@register
+class FloatEqualityChecker(Checker):
+    """REP301: no ``==``/``!=`` between float-valued expressions."""
+
+    id = "REP301"
+    name = "float-equality"
+    description = (
+        "== / != on float expressions (probabilities, costs); use isclose, "
+        "a tolerance, or an inequality"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.is_test_module
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            float_names = self._float_names_in_scope(ctx, node)
+            operands = [node.left, *node.comparators]
+            for left, op, right in zip(operands, node.ops, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_valued(left, float_names) or _is_float_valued(
+                    right, float_names
+                ):
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    yield ctx.diagnostic(
+                        node,
+                        self.id,
+                        f"exact float comparison with '{symbol}'; use "
+                        "math.isclose/np.isclose or an inequality",
+                    )
+                    break
+
+    @staticmethod
+    def _float_names_in_scope(ctx: ModuleContext, node: ast.AST) -> frozenset[str]:
+        names: set[str] = set()
+        for fn in ctx.enclosing_functions(node):
+            names.update(_annotated_float_params(fn))
+        return frozenset(names)

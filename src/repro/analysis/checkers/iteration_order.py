@@ -1,0 +1,229 @@
+"""Nondeterministic iteration-order checker (REP201).
+
+Python ``set``/``frozenset`` iteration order depends on element hashes and
+insertion history.  When that order reaches an output — a list that gets
+returned, graph edges being added, a ``yield`` — two runs with the same
+seed can produce differently-ordered (and, after downstream sampling,
+differently-*valued*) results.  The fix is ``sorted(...)`` at the point of
+iteration.
+
+The checker is deliberately two-sided to keep the signal clean:
+
+1. the iterable must be *known set-like*: a set/frozenset literal, a
+   ``set()``/``frozenset()`` call, a set comprehension, a set-method result
+   (``a.union(b)``, ``a - b`` is out of scope), or a local name whose every
+   assignment in the enclosing function is one of those;
+2. the order must *reach output*: the loop body appends/extends/inserts,
+   assigns into a subscript, or yields — or the set feeds an
+   order-preserving constructor (``list``, ``tuple``, ``np.array``,
+   ``np.fromiter``, ``enumerate``, ``itertools.chain``) or an unsorted
+   comprehension.
+
+Order-insensitive folds (``sum``, ``min``, ``max``, ``len``, ``any``,
+``all``, ``set``, ``frozenset``, ``sorted``) are never flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+#: Set methods returning sets (order still hash-dependent).
+_SET_RETURNING_METHODS = frozenset(
+    {"union", "intersection", "difference", "symmetric_difference", "copy"}
+)
+
+#: Consumers for which element order is irrelevant.
+_ORDER_INSENSITIVE_CONSUMERS = frozenset(
+    {
+        "sorted",
+        "sum",
+        "min",
+        "max",
+        "len",
+        "any",
+        "all",
+        "set",
+        "frozenset",
+        "math.fsum",
+        "numpy.sort",
+        "numpy.unique",
+    }
+)
+
+#: Consumers that materialise the (arbitrary) order into a sequence.
+_ORDER_PRESERVING_CONSUMERS = frozenset(
+    {
+        "list",
+        "tuple",
+        "enumerate",
+        "numpy.array",
+        "numpy.asarray",
+        "numpy.fromiter",
+        "itertools.chain",
+    }
+)
+
+_ACCUMULATING_METHODS = frozenset({"append", "extend", "insert", "appendleft", "add_edge"})
+
+
+def _set_assignments(fn: ast.AST, name: str) -> list[ast.expr] | None:
+    """Every value ever assigned to ``name`` inside ``fn`` (None if opaque).
+
+    Returns ``None`` when an assignment target we cannot see through (e.g.
+    tuple unpacking, augmented assignment) writes the name.
+    """
+    values: list[ast.expr] = []
+    for node in ast.walk(fn):
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        elif isinstance(node, (ast.AugAssign,)):
+            targets, value = [node.target], None
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == name:
+                if value is None:
+                    return None
+                values.append(value)
+            elif any(
+                isinstance(t, ast.Name) and t.id == name
+                for t in ast.walk(target)
+                if t is not target
+            ):
+                return None  # written through unpacking: opaque
+    return values
+
+
+class _SetLikeness:
+    """Decides whether an expression is known to evaluate to a set."""
+
+    def __init__(self, ctx: ModuleContext) -> None:
+        self.ctx = ctx
+
+    def is_set_like(self, node: ast.expr, fn: ast.AST | None, depth: int = 0) -> bool:
+        if depth > 4:
+            return False
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            resolved = self.ctx.resolve_call(node)
+            if resolved in _SET_CONSTRUCTORS:
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SET_RETURNING_METHODS
+                and fn is not None
+                and self.is_set_like(node.func.value, fn, depth + 1)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.Name) and fn is not None:
+            values = _set_assignments(fn, node.id)
+            if values:  # None (opaque) and [] (never assigned here) both fail
+                return all(self.is_set_like(v, fn, depth + 1) for v in values)
+        return False
+
+
+@register
+class IterationOrderChecker(Checker):
+    """REP201: hash-ordered iteration must not reach ordered output."""
+
+    id = "REP201"
+    name = "iteration-order"
+    description = (
+        "iterating a set where order reaches output (appends, yields, arrays) "
+        "without sorted(...) is run-to-run nondeterministic"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.is_test_module
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        likeness = _SetLikeness(ctx)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.For):
+                fn = self._enclosing_scope(ctx, node)
+                if likeness.is_set_like(node.iter, fn) and self._loop_reaches_output(
+                    node
+                ):
+                    yield ctx.diagnostic(
+                        node.iter,
+                        self.id,
+                        "iteration over a set reaches ordered output; "
+                        "wrap the iterable in sorted(...)",
+                    )
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+                fn = self._enclosing_scope(ctx, node)
+                first = node.generators[0]
+                if likeness.is_set_like(first.iter, fn) and not self._comp_is_folded(
+                    ctx, node
+                ):
+                    yield ctx.diagnostic(
+                        first.iter,
+                        self.id,
+                        "comprehension over a set materialises hash order; "
+                        "wrap the iterable in sorted(...)",
+                    )
+            elif isinstance(node, ast.Call):
+                resolved = ctx.resolve_call(node)
+                if resolved in _ORDER_PRESERVING_CONSUMERS and node.args:
+                    fn = self._enclosing_scope(ctx, node)
+                    if likeness.is_set_like(node.args[0], fn):
+                        yield ctx.diagnostic(
+                            node,
+                            self.id,
+                            f"{resolved}(...) of a set materialises hash order; "
+                            "use sorted(...) instead",
+                        )
+
+    @staticmethod
+    def _enclosing_scope(ctx: ModuleContext, node: ast.AST) -> ast.AST:
+        functions = ctx.enclosing_functions(node)
+        return functions[0] if functions else ctx.tree
+
+    @staticmethod
+    def _loop_reaches_output(loop: ast.For) -> bool:
+        for node in ast.walk(loop):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if isinstance(node, ast.Return) and node.value is not None:
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ACCUMULATING_METHODS
+            ):
+                return True
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                if any(isinstance(t, ast.Subscript) for t in targets):
+                    # Writes like out[i] = ... are only order-dependent when
+                    # the index advances with the loop; a write keyed by the
+                    # loop element itself (mask[v] = True) is commutative.
+                    for t in targets:
+                        if isinstance(t, ast.Subscript) and not isinstance(
+                            t.slice, (ast.Name, ast.Constant)
+                        ):
+                            return True
+        return False
+
+    def _comp_is_folded(self, ctx: ModuleContext, comp: ast.AST) -> bool:
+        """True when the comprehension feeds an order-insensitive consumer."""
+        parent = ctx.parents.get(comp)
+        if isinstance(parent, ast.Call):
+            resolved = ctx.resolve_call(parent)
+            if resolved in _ORDER_INSENSITIVE_CONSUMERS:
+                return True
+        return isinstance(parent, (ast.SetComp, ast.DictComp))

@@ -1,0 +1,68 @@
+"""Mutable default argument checker (REP401).
+
+A mutable default (``def f(xs=[])``) is evaluated once at definition time
+and shared across calls — classic aliasing bug, and in this codebase a
+determinism hazard too: a cache-like default that accumulates state makes
+a function's output depend on call history rather than on its arguments
+and seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+_MUTABLE_CONSTRUCTORS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "collections.OrderedDict",
+        "collections.deque",
+        "collections.Counter",
+        "numpy.zeros",
+        "numpy.ones",
+        "numpy.empty",
+        "numpy.array",
+    }
+)
+
+
+def _is_mutable_default(ctx: ModuleContext, node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        resolved = ctx.resolve_call(node)
+        return resolved in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+@register
+class MutableDefaultChecker(Checker):
+    """REP401: no mutable default argument values."""
+
+    id = "REP401"
+    name = "mutable-defaults"
+    description = "mutable default argument (list/dict/set/array); default to None"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            defaults = [*args.defaults, *[d for d in args.kw_defaults if d is not None]]
+            for default in defaults:
+                if _is_mutable_default(ctx, default):
+                    yield ctx.diagnostic(
+                        default,
+                        self.id,
+                        f"mutable default argument in '{node.name}'; use None "
+                        "and construct inside the body",
+                    )

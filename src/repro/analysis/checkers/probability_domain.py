@@ -1,0 +1,182 @@
+"""Probability-domain hygiene checkers (REP501, REP502).
+
+The paper's model is ``p : E -> (0, 1]`` and every estimator output lives
+in ``[0, 1]``; a probability outside the unit interval is always a bug.
+
+* **REP501** — a *literal* probability outside ``[0, 1]``: any numeric
+  literal bound to a probability-named parameter, either at a call site
+  (``assign_fixed(g, p=1.5)``) or as a parameter default
+  (``def f(p=2.0)``).  Applies everywhere, including tests — an invalid
+  fixture invalidates whatever it fixes.
+* **REP502** — an *unvalidated* probability parameter on a public function
+  or constructor in the ``graph``/``cascades`` packages: the parameter is
+  used in computation without first passing through
+  ``check_probability``/``check_fraction`` and without being forwarded to
+  another callable (which is then responsible for validating).  These two
+  packages are where probabilities enter the system — everything downstream
+  (index, influence, median) trusts them.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.context import FunctionNode, ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+
+def _is_probability_name(name: str) -> bool:
+    return (
+        name in ("p", "prob", "probability")
+        or name.endswith("_prob")
+        or name.endswith("_probability")
+    )
+
+
+def _literal_number(node: ast.expr) -> float | None:
+    """Numeric value of a literal (handling unary +/-), else None."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        inner = _literal_number(node.operand)
+        if inner is None:
+            return None
+        return -inner if isinstance(node.op, ast.USub) else inner
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        if isinstance(node.value, bool):
+            return None
+        return float(node.value)
+    return None
+
+
+@register
+class ProbabilityLiteralChecker(Checker):
+    """REP501: literal probabilities must lie in [0, 1]."""
+
+    id = "REP501"
+    name = "probability-literal"
+    description = "literal probability outside [0, 1] at a call site or default"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg is None or not _is_probability_name(kw.arg):
+                        continue
+                    value = _literal_number(kw.value)
+                    if value is not None and not 0.0 <= value <= 1.0:
+                        yield ctx.diagnostic(
+                            kw.value,
+                            self.id,
+                            f"literal probability {kw.arg}={value:g} outside [0, 1]",
+                        )
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_defaults(ctx, node)
+
+    def _check_defaults(
+        self, ctx: ModuleContext, fn: FunctionNode
+    ) -> Iterable[Diagnostic]:
+        args = fn.args
+        positional = [*args.posonlyargs, *args.args]
+        for param, default in zip(positional[len(positional) - len(args.defaults) :], args.defaults):
+            yield from self._check_one_default(ctx, fn, param, default)
+        for param, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                yield from self._check_one_default(ctx, fn, param, default)
+
+    def _check_one_default(
+        self, ctx: ModuleContext, fn: FunctionNode, param: ast.arg, default: ast.expr
+    ) -> Iterable[Diagnostic]:
+        if not _is_probability_name(param.arg):
+            return
+        value = _literal_number(default)
+        if value is not None and not 0.0 <= value <= 1.0:
+            yield ctx.diagnostic(
+                default,
+                self.id,
+                f"default probability {param.arg}={value:g} of '{fn.name}' "
+                "outside [0, 1]",
+            )
+
+
+#: Callables accepted as validating a probability argument.
+_VALIDATORS = frozenset(
+    {
+        "check_probability",
+        "check_fraction",
+        "repro.utils.validation.check_probability",
+        "repro.utils.validation.check_fraction",
+    }
+)
+
+
+@register
+class UnvalidatedProbabilityChecker(Checker):
+    """REP502: graph/cascades entry points must validate probability params."""
+
+    id = "REP502"
+    name = "probability-validation"
+    description = (
+        "public graph/cascades functions must run probability parameters "
+        "through check_probability/check_fraction before computing with them"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package("graph", "cascades") and not ctx.is_test_module
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name.startswith("_") and node.name != "__init__":
+                continue
+            if ctx.enclosing_functions(node):
+                continue  # nested helpers inherit the caller's validation
+            for param in (*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs):
+                if not _is_probability_name(param.arg):
+                    continue
+                if self._is_validated(ctx, node, param.arg):
+                    continue
+                if self._only_forwarded(node, param.arg):
+                    continue
+                yield ctx.diagnostic(
+                    param,
+                    self.id,
+                    f"probability parameter '{param.arg}' of '{node.name}' is "
+                    "used without check_probability/check_fraction validation",
+                )
+
+    @staticmethod
+    def _is_validated(ctx: ModuleContext, fn: FunctionNode, name: str) -> bool:
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.resolve_call(node) not in _VALIDATORS:
+                continue
+            if node.args and isinstance(node.args[0], ast.Name) and node.args[0].id == name:
+                return True
+        return False
+
+    @staticmethod
+    def _only_forwarded(fn: FunctionNode, name: str) -> bool:
+        """True when every read of ``name`` forwards it to another callable.
+
+        Delegation moves the validation obligation to the callee, which this
+        checker (or the callee's own tests) covers; what REP502 forbids is
+        *computing* with an unchecked probability.
+        """
+        reads = 0
+        forwarded = 0
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg in (*node.args, *[kw.value for kw in node.keywords]):
+                if isinstance(arg, ast.Name) and arg.id == name:
+                    forwarded += 1
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Name) and node.id == name and isinstance(
+                node.ctx, ast.Load
+            ):
+                reads += 1
+        return reads > 0 and reads == forwarded

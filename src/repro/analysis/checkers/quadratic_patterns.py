@@ -1,0 +1,151 @@
+"""Hot-path quadratic-pattern checkers (REP601, REP602).
+
+The ``graph``/``cascades``/``influence`` packages are the system's inner
+loops — a cascade index build runs them millions of times.  Two accidental
+O(n^2) shapes keep sneaking into such code:
+
+* **REP601** — linear scans inside a loop: ``xs.index(v)`` or ``v in xs``
+  where ``xs`` is a locally-built ``list``.  Each is O(len) per iteration;
+  use a set/dict for membership or precompute an index map.
+* **REP602** — array growth inside a loop: ``np.concatenate``/``np.append``
+  (each call copies everything accumulated so far) or ``arr += [...]``-style
+  list growth feeding an array.  Collect parts in a list and concatenate
+  once after the loop.
+
+Both checkers fire only inside ``for``/``while`` bodies in the hot
+packages, and REP601's membership rule requires the container to be
+provably a list (literal, ``list()`` call, or a name all of whose local
+assignments are lists) so set/dict membership — the fix — never triggers
+it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import register
+
+HOT_PACKAGES = ("graph", "cascades", "influence")
+
+_GROWTH_CALLS = frozenset({"numpy.concatenate", "numpy.append", "numpy.hstack", "numpy.vstack"})
+
+
+def _list_assignments(scope: ast.AST, name: str) -> list[ast.expr]:
+    values: list[ast.expr] = []
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    values.append(node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name) and node.target.id == name:
+                values.append(node.value)
+    return values
+
+
+def _is_list_expr(ctx: ModuleContext, node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.ListComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return ctx.resolve_call(node) == "list"
+    return False
+
+
+def _is_known_list(ctx: ModuleContext, scope: ast.AST, node: ast.expr) -> bool:
+    if _is_list_expr(ctx, node):
+        return True
+    if isinstance(node, ast.Name):
+        values = _list_assignments(scope, node.id)
+        return bool(values) and all(_is_list_expr(ctx, v) for v in values)
+    return False
+
+
+class _HotLoopChecker(Checker):
+    """Shared scoping: only hot packages, only inside loops."""
+
+    severity = Severity.WARNING
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_package(*HOT_PACKAGES) and not ctx.is_test_module
+
+    def _scope(self, ctx: ModuleContext, node: ast.AST) -> ast.AST:
+        functions = ctx.enclosing_functions(node)
+        return functions[0] if functions else ctx.tree
+
+
+@register
+class LinearScanInLoopChecker(_HotLoopChecker):
+    """REP601: O(n) list scans repeated inside a loop."""
+
+    id = "REP601"
+    name = "linear-scan-in-loop"
+    description = (
+        "list.index / 'in <list>' inside a hot-path loop is quadratic; "
+        "use a set/dict or a precomputed index map"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not ctx.enclosing_loops(node):
+                continue
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "index"
+                and _is_known_list(ctx, self._scope(ctx, node), node.func.value)
+            ):
+                yield ctx.diagnostic(
+                    node,
+                    self.id,
+                    "list.index(...) inside a loop is a repeated linear scan; "
+                    "precompute a value -> position dict",
+                    self.severity,
+                )
+            elif isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+            ):
+                scope = self._scope(ctx, node)
+                for op, comparator in zip(node.ops, node.comparators):
+                    if not isinstance(op, (ast.In, ast.NotIn)):
+                        continue
+                    if _is_known_list(ctx, scope, comparator):
+                        yield ctx.diagnostic(
+                            node,
+                            self.id,
+                            "membership test against a list inside a loop is "
+                            "quadratic; keep a parallel set",
+                            self.severity,
+                        )
+
+
+@register
+class ArrayGrowthInLoopChecker(_HotLoopChecker):
+    """REP602: per-iteration array reallocation."""
+
+    id = "REP602"
+    name = "array-growth-in-loop"
+    description = (
+        "np.concatenate/np.append inside a hot-path loop copies O(total) per "
+        "iteration; batch parts and concatenate once"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not ctx.enclosing_loops(node):
+                continue
+            resolved = ctx.resolve_call(node)
+            if resolved in _GROWTH_CALLS:
+                short = resolved.replace("numpy.", "np.")
+                yield ctx.diagnostic(
+                    node,
+                    self.id,
+                    f"{short} inside a loop reallocates the accumulated array "
+                    "every iteration; collect parts and concatenate after the loop",
+                    self.severity,
+                )

@@ -1,0 +1,197 @@
+"""RNG discipline checkers (REP101, REP102).
+
+The library's determinism contract (``repro/utils/rng.py``): every
+stochastic component takes a ``seed``/``rng`` argument and coerces it with
+``derive_rng``/``spawn_rngs``.  Randomness constructed anywhere else — a
+bare ``np.random.default_rng()``, the legacy ``np.random.<dist>`` globals,
+or the stdlib ``random`` module — cannot be injected by experiments and
+silently breaks seed reproducibility.
+
+* **REP101** — direct RNG construction/use outside ``repro/utils/rng.py``:
+  ``numpy.random.default_rng``, ``numpy.random.RandomState``, any legacy
+  ``numpy.random`` distribution global (``numpy.random.random``,
+  ``numpy.random.choice``, ...), any ``random.*`` stdlib call, and
+  ``numpy.random.SeedSequence()`` *without* explicit entropy (with
+  explicit entropy it is deterministic and allowed — the world sampler
+  derives per-world children that way).
+* **REP102** — a function body calls ``derive_rng``/``spawn_rngs``/
+  ``RngStream`` but no enclosing function declares a ``seed``/``rng``-like
+  parameter and the call's seed argument is not a compile-time constant:
+  the randomness is real but not injectable from the outside.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.checkers.base import Checker
+from repro.analysis.context import FunctionNode, ModuleContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import register
+
+#: The one module allowed to construct generators directly.
+RNG_MODULE_SUFFIX = "repro/utils/rng.py"
+
+#: Deterministic-by-construction numpy.random attributes (never flagged).
+_ALLOWED_NUMPY_RANDOM = frozenset({"Generator", "BitGenerator", "PCG64", "Philox"})
+
+#: stdlib ``random`` helpers that involve no global-state randomness.
+_ALLOWED_STDLIB_RANDOM = frozenset({"Random", "SystemRandom", "getstate", "setstate"})
+
+#: Callables that coerce seeds under the contract.
+_DERIVERS = frozenset(
+    {
+        "derive_rng",
+        "spawn_rngs",
+        "repro.utils.rng.derive_rng",
+        "repro.utils.rng.spawn_rngs",
+        "RngStream",
+        "repro.utils.rng.RngStream",
+    }
+)
+
+_SEED_PARAM_NAMES = frozenset({"seed", "rng", "seed_like", "random_state", "seeds"})
+
+
+def _function_params(fn: FunctionNode) -> Iterable[ast.arg]:
+    args = fn.args
+    yield from args.posonlyargs
+    yield from args.args
+    yield from args.kwonlyargs
+    if args.vararg:
+        yield args.vararg
+    if args.kwarg:
+        yield args.kwarg
+
+
+def _declares_seed_param(fn: FunctionNode) -> bool:
+    for param in _function_params(fn):
+        if param.arg in _SEED_PARAM_NAMES:
+            return True
+        annotation = param.annotation
+        if annotation is not None and "SeedLike" in ast.dump(annotation):
+            return True
+    return False
+
+
+@register
+class DirectRngChecker(Checker):
+    """REP101: all generator construction must live in ``utils/rng.py``."""
+
+    id = "REP101"
+    name = "rng-discipline"
+    description = (
+        "no direct numpy.random / stdlib random calls outside repro/utils/rng.py; "
+        "route through derive_rng/spawn_rngs"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not ctx.path_endswith(RNG_MODULE_SUFFIX)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node)
+            if resolved is None:
+                continue
+            if resolved == "random" and "random" not in ctx.import_aliases:
+                continue  # a local callable that happens to be named 'random'
+            verdict = self._classify(resolved, node)
+            if verdict is not None:
+                yield ctx.diagnostic(node, self.id, verdict)
+
+    def _classify(self, resolved: str, node: ast.Call) -> str | None:
+        if resolved.startswith("numpy.random."):
+            attr = resolved.removeprefix("numpy.random.")
+            if attr in _ALLOWED_NUMPY_RANDOM:
+                return None
+            if attr == "SeedSequence":
+                if node.args or node.keywords:
+                    return None  # explicit entropy: deterministic derivation
+                return (
+                    "numpy.random.SeedSequence() without entropy draws from the OS; "
+                    "pass explicit entropy or use derive_rng"
+                )
+            return (
+                f"direct call to numpy.random.{attr}; construct generators via "
+                "repro.utils.rng.derive_rng/spawn_rngs so seeds stay injectable"
+            )
+        if resolved == "random" or resolved.startswith("random."):
+            attr = resolved.removeprefix("random.")
+            if attr in _ALLOWED_STDLIB_RANDOM:
+                return None
+            return (
+                f"stdlib random.{attr} uses hidden global state; use the "
+                "numpy Generator passed down from derive_rng instead"
+            )
+        return None
+
+
+@register
+class SeedInjectabilityChecker(Checker):
+    """REP102: functions that derive randomness must accept a seed."""
+
+    id = "REP102"
+    name = "seed-injectability"
+    description = (
+        "functions calling derive_rng/spawn_rngs must take a seed/rng parameter "
+        "(or derive from a constant) so callers control determinism"
+    )
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not (ctx.path_endswith(RNG_MODULE_SUFFIX) or ctx.is_test_module)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Diagnostic]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = ctx.resolve_call(node)
+            if resolved not in _DERIVERS:
+                continue
+            if self._seed_is_injectable(node):
+                continue
+            enclosing = ctx.enclosing_functions(node)
+            if not enclosing:
+                yield ctx.diagnostic(
+                    node,
+                    self.id,
+                    "randomness derived at module scope with no injectable seed",
+                )
+                continue
+            if any(_declares_seed_param(fn) for fn in enclosing):
+                continue
+            yield ctx.diagnostic(
+                node,
+                self.id,
+                f"'{enclosing[0].name}' derives randomness but declares no "
+                "seed/rng parameter; callers cannot make it reproducible",
+            )
+
+    @staticmethod
+    def _seed_is_injectable(node: ast.Call) -> bool:
+        """True when the seed expression is deterministic or injected.
+
+        Three shapes qualify: a bare literal (``derive_rng(42)`` — constant,
+        hence reproducible); an expression mentioning a seed/rng-named
+        attribute (``derive_rng(config.seed + 10)`` — the offset keeps
+        streams disjoint while the config seed stays in control); or a
+        seed/rng-named local (``derive_rng(seed)`` where ``seed`` came from
+        an enclosing scope the parameter check may not see).
+        """
+        candidates: list[ast.expr] = list(node.args[:1])
+        candidates.extend(
+            kw.value for kw in node.keywords if kw.arg in ("seed", "entropy")
+        )
+        for arg in candidates:
+            if isinstance(arg, ast.Constant) and arg.value is not None:
+                return True
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Attribute) and (
+                    "seed" in sub.attr or "rng" in sub.attr
+                ):
+                    return True
+                if isinstance(sub, ast.Name) and sub.id in _SEED_PARAM_NAMES:
+                    return True
+        return False

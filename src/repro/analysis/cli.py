@@ -1,0 +1,114 @@
+"""``reprolint`` command line: ``python -m repro.analysis <paths>``.
+
+Exit codes: 0 — clean; 1 — diagnostics found; 2 — usage error.  The text
+format is one ``path:line:col: ID severity: message`` per finding (stable
+order), followed by a one-line tally; ``--format json`` emits a machine
+readable list for tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.registry import default_registry
+from repro.analysis.runner import analyze_paths
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "reprolint: AST-based determinism & correctness analysis "
+            "for the repro library"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated checker ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated checker ids to skip",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--no-suppress",
+        action="store_true",
+        help="ignore inline '# reprolint: disable' comments",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="print the checker catalogue and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    registry = default_registry()
+    if options.list_checkers:
+        for checker in sorted(registry, key=lambda c: c.id):
+            print(f"{checker.id}  {checker.name:24s} {checker.description}")
+        return 0
+
+    try:
+        registry = registry.select(
+            _split_ids(options.select), _split_ids(options.ignore)
+        )
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+
+    try:
+        diagnostics = analyze_paths(
+            options.paths,
+            registry=registry,
+            respect_suppressions=not options.no_suppress,
+        )
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+
+    if options.format == "json":
+        print(json.dumps([d.as_dict() for d in diagnostics], indent=2))
+    else:
+        for diagnostic in diagnostics:
+            print(diagnostic.format())
+        errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+        warnings = len(diagnostics) - errors
+        if diagnostics:
+            print(
+                f"reprolint: {len(diagnostics)} finding(s) "
+                f"({errors} error, {warnings} warning)"
+            )
+        else:
+            print("reprolint: clean")
+    return 1 if diagnostics else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,182 @@
+"""Per-module analysis context shared by every checker.
+
+One :class:`ModuleContext` is built per analyzed file.  It owns the parsed
+AST and lazily computes the facts most checkers need:
+
+* a child -> parent node map (``ast`` has no parent links);
+* the import-alias table, so ``np.random.default_rng`` resolves to the
+  canonical dotted name ``numpy.random.default_rng`` whatever the module
+  called ``numpy``;
+* the chain of enclosing function definitions for any node.
+
+Checkers stay stateless; everything position- or module-dependent lives
+here, which is what makes the registry pluggable.
+"""
+
+from __future__ import annotations
+
+import ast
+from functools import cached_property
+from pathlib import PurePosixPath
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+
+class ModuleContext:
+    """Parsed module plus the derived lookup tables checkers rely on."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+
+    @classmethod
+    def from_source(cls, path: str, source: str) -> "ModuleContext":
+        return cls(path, source, ast.parse(source, filename=path))
+
+    # -- path-derived facts --------------------------------------------------
+
+    @cached_property
+    def posix_path(self) -> PurePosixPath:
+        return PurePosixPath(str(self.path).replace("\\", "/"))
+
+    @cached_property
+    def package_parts(self) -> tuple[str, ...]:
+        """Path components — used for package-scoped checker rules."""
+        return self.posix_path.parts
+
+    def in_package(self, *names: str) -> bool:
+        """True iff any of ``names`` appears as a directory component."""
+        return any(name in self.package_parts[:-1] for name in names)
+
+    @property
+    def is_test_module(self) -> bool:
+        return (
+            self.in_package("tests")
+            or self.posix_path.name.startswith("test_")
+            or self.posix_path.name == "conftest.py"
+        )
+
+    def path_endswith(self, suffix: str) -> bool:
+        """Match a file by trailing path, e.g. ``repro/utils/rng.py``."""
+        tail = PurePosixPath(suffix).parts
+        return self.package_parts[-len(tail) :] == tail
+
+    # -- structural lookups --------------------------------------------------
+
+    @cached_property
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child -> parent map over the whole tree."""
+        table: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                table[child] = parent
+        return table
+
+    def ancestors(self, node: ast.AST) -> list[ast.AST]:
+        """Parent chain from ``node`` (exclusive) up to the module root."""
+        chain: list[ast.AST] = []
+        current = self.parents.get(node)
+        while current is not None:
+            chain.append(current)
+            current = self.parents.get(current)
+        return chain
+
+    def enclosing_functions(self, node: ast.AST) -> list[FunctionNode]:
+        """Innermost-first function definitions lexically containing ``node``."""
+        return [a for a in self.ancestors(node) if isinstance(a, FunctionNode)]
+
+    def enclosing_loops(self, node: ast.AST) -> list[ast.For | ast.While]:
+        """Innermost-first ``for``/``while`` loops containing ``node``.
+
+        The chain stops at the nearest enclosing function boundary: a loop
+        in an outer function does not make a nested function's body "inside
+        a loop" for hot-path purposes.
+        """
+        loops: list[ast.For | ast.While] = []
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+            if isinstance(ancestor, (ast.For, ast.While)):
+                loops.append(ancestor)
+        return loops
+
+    # -- import-alias resolution ----------------------------------------------
+
+    @cached_property
+    def import_aliases(self) -> dict[str, str]:
+        """Local name -> canonical dotted module/object path.
+
+        Handles ``import numpy as np`` (``np`` -> ``numpy``), ``from numpy
+        import random`` (``random`` -> ``numpy.random``) and ``from
+        numpy.random import default_rng as mk`` (``mk`` ->
+        ``numpy.random.default_rng``).  Relative imports resolve to their
+        dotted tail, which is all the built-in checkers match on.
+        """
+        table: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom):
+                module = node.module or ""
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    full = f"{module}.{alias.name}" if module else alias.name
+                    table[alias.asname or alias.name] = full
+        return table
+
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """Literal dotted form of a Name/Attribute chain, or ``None``."""
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if isinstance(current, ast.Name):
+            parts.append(current.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Canonical dotted name of an expression, through import aliases.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` when the
+        module did ``import numpy as np``.
+        """
+        dotted = self.dotted_name(node)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        base = self.import_aliases.get(head, head)
+        return f"{base}.{rest}" if rest else base
+
+    def resolve_call(self, node: ast.Call) -> str | None:
+        """Canonical dotted name of a call's callee."""
+        return self.resolve(node.func)
+
+    # -- diagnostic construction ----------------------------------------------
+
+    def diagnostic(
+        self,
+        node: ast.AST,
+        checker_id: str,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Diagnostic:
+        """Build a :class:`Diagnostic` anchored at ``node``."""
+        return Diagnostic(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            checker_id=checker_id,
+            message=message,
+            severity=severity,
+        )

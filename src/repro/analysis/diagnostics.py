@@ -1,0 +1,59 @@
+"""Diagnostic records emitted by checkers.
+
+A :class:`Diagnostic` pins a finding to a file, line and column and carries
+the checker id so suppression comments and ``--select``/``--ignore`` filters
+can address it.  Ordering is by location, which gives the CLI a stable,
+diff-friendly report.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break the determinism/correctness contract outright
+    (direct RNG construction, probability out of domain); ``WARNING``
+    findings are smells that need either a fix or a justified suppression
+    (quadratic growth patterns on hot paths).  Both gate CI — the split
+    exists for reporting, not for leniency.
+    """
+
+    WARNING = 1
+    ERROR = 2
+
+    def label(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: where, what, which checker, how severe."""
+
+    path: str
+    line: int
+    col: int
+    checker_id: str = field(compare=False)
+    message: str = field(compare=False)
+    severity: Severity = field(compare=False, default=Severity.ERROR)
+
+    def format(self) -> str:
+        """Render as ``path:line:col: ID severity: message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.checker_id} {self.severity.label()}: {self.message}"
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly representation (``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "checker_id": self.checker_id,
+            "severity": self.severity.label(),
+            "message": self.message,
+        }

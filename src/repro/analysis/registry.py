@@ -1,0 +1,110 @@
+"""Pluggable checker registry.
+
+Checkers self-register at import time via the :func:`register` decorator::
+
+    @register
+    class MyChecker(Checker):
+        id = "REP901"
+        ...
+
+:func:`default_registry` imports the built-in catalogue
+(:mod:`repro.analysis.checkers`) and returns a registry holding one
+instance of each.  Callers may also build ad-hoc registries (the fixture
+tests do) to run a single checker in isolation.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Type
+
+from repro.analysis.checkers.base import Checker
+
+_ID_PATTERN = re.compile(r"^[A-Z]{2,8}\d{3}$")
+
+#: Classes registered via the decorator, in registration order.
+_REGISTERED: list[Type[Checker]] = []
+
+
+def register(cls: Type[Checker]) -> Type[Checker]:
+    """Class decorator adding ``cls`` to the built-in checker catalogue."""
+    validate_checker_class(cls)
+    if any(existing.id == cls.id for existing in _REGISTERED):
+        raise ValueError(f"duplicate checker id {cls.id!r}")
+    _REGISTERED.append(cls)
+    return cls
+
+
+def validate_checker_class(cls: Type[Checker]) -> None:
+    """Reject malformed checker classes with a precise error."""
+    for attr in ("id", "name", "description"):
+        value = getattr(cls, attr, None)
+        if not isinstance(value, str) or not value:
+            raise TypeError(f"checker {cls.__name__} must define a non-empty {attr!r}")
+    if not _ID_PATTERN.match(cls.id):
+        raise ValueError(
+            f"checker id {cls.id!r} must look like 'REP101' "
+            "(2-8 capitals + 3 digits)"
+        )
+
+
+class CheckerRegistry:
+    """Ordered, id-addressable collection of checker instances."""
+
+    def __init__(self, checkers: Iterable[Checker] = ()) -> None:
+        self._by_id: dict[str, Checker] = {}
+        for checker in checkers:
+            self.add(checker)
+
+    def add(self, checker: Checker) -> None:
+        validate_checker_class(type(checker))
+        if checker.id in self._by_id:
+            raise ValueError(f"duplicate checker id {checker.id!r}")
+        self._by_id[checker.id] = checker
+
+    def __iter__(self) -> Iterator[Checker]:
+        return iter(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, checker_id: str) -> bool:
+        return checker_id in self._by_id
+
+    def get(self, checker_id: str) -> Checker:
+        try:
+            return self._by_id[checker_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown checker id {checker_id!r}; "
+                f"known: {', '.join(sorted(self._by_id))}"
+            ) from None
+
+    def ids(self) -> list[str]:
+        return sorted(self._by_id)
+
+    def select(
+        self,
+        select: Iterable[str] | None = None,
+        ignore: Iterable[str] | None = None,
+    ) -> "CheckerRegistry":
+        """Sub-registry restricted to ``select`` minus ``ignore``.
+
+        Unknown ids raise ``KeyError`` so typos in CI configuration fail
+        loudly instead of silently disabling a gate.
+        """
+        wanted = list(select) if select is not None else self.ids()
+        dropped = frozenset(ignore or ())
+        for checker_id in [*wanted, *dropped]:
+            self.get(checker_id)
+        return CheckerRegistry(
+            self._by_id[cid] for cid in self._by_id if cid in wanted and cid not in dropped
+        )
+
+
+def default_registry() -> CheckerRegistry:
+    """Registry holding one instance of every built-in checker."""
+    # Importing the package triggers the @register decorators.
+    import repro.analysis.checkers  # noqa: F401
+
+    return CheckerRegistry(cls() for cls in _REGISTERED)

@@ -1,0 +1,112 @@
+"""File discovery and checker orchestration.
+
+:func:`analyze_source` runs a registry over one in-memory module (the unit
+the fixture tests exercise); :func:`analyze_file` adds disk IO and
+syntax-error reporting; :func:`analyze_paths` walks directories.  All three
+apply the inline-suppression table before returning, unless asked not to.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.context import ModuleContext
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.registry import CheckerRegistry, default_registry
+from repro.analysis.suppress import scan_suppressions
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".hypothesis", "build", "dist", ".venv", "venv"}
+)
+
+
+def analyze_source(
+    source: str,
+    path: str = "<string>",
+    registry: CheckerRegistry | None = None,
+    respect_suppressions: bool = True,
+) -> list[Diagnostic]:
+    """Run every applicable checker over one module's source text."""
+    registry = registry if registry is not None else default_registry()
+    try:
+        ctx = ModuleContext.from_source(path, source)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+                checker_id="REP001",
+                message=f"syntax error: {exc.msg}",
+                severity=Severity.ERROR,
+            )
+        ]
+    diagnostics: list[Diagnostic] = []
+    for checker in registry:
+        if not checker.applies_to(ctx):
+            continue
+        diagnostics.extend(checker.check(ctx))
+    if respect_suppressions:
+        diagnostics = scan_suppressions(source).filter(diagnostics)
+    return sorted(diagnostics)
+
+
+def analyze_file(
+    path: str | Path,
+    registry: CheckerRegistry | None = None,
+    respect_suppressions: bool = True,
+) -> list[Diagnostic]:
+    """Analyze one file on disk."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    return analyze_source(
+        source,
+        path=str(path),
+        registry=registry,
+        respect_suppressions=respect_suppressions,
+    )
+
+
+def discover_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not SKIP_DIRS.intersection(candidate.parts):
+                    found.add(candidate)
+        elif path.suffix == ".py":
+            found.add(path)
+    return sorted(found)
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    registry: CheckerRegistry | None = None,
+    respect_suppressions: bool = True,
+) -> list[Diagnostic]:
+    """Analyze every ``.py`` file under ``paths`` (files or directories)."""
+    registry = registry if registry is not None else default_registry()
+    diagnostics: list[Diagnostic] = []
+    for path in discover_files(paths):
+        diagnostics.extend(
+            analyze_file(
+                path, registry=registry, respect_suppressions=respect_suppressions
+            )
+        )
+    return sorted(diagnostics)
+
+
+def parse_ok(source: str) -> bool:
+    """Cheap syntax probe used by the fixture tests."""
+    try:
+        ast.parse(source)
+    except SyntaxError:
+        return False
+    return True

@@ -1,0 +1,88 @@
+"""Inline suppression comments.
+
+A violation is silenced by a comment on the *reported* physical line::
+
+    thresholds[thresholds == 0.0] = 1.0  # reprolint: disable=REP301
+
+Several ids may be listed (``disable=REP301,REP601``), and a bare
+``# reprolint: disable`` suppresses every checker on that line.  A
+module-wide opt-out uses ``disable-file`` anywhere in the module::
+
+    # reprolint: disable-file=REP601
+
+Suppressions are extracted with :mod:`tokenize` rather than a regex over
+raw lines so that ``reprolint:`` markers inside string literals are never
+mistaken for directives.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import Diagnostic
+
+_DIRECTIVE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-file)?)\s*(?:=\s*(?P<ids>[A-Za-z0-9_,\s]+))?"
+)
+
+#: Sentinel id meaning "every checker".
+ALL = "all"
+
+
+@dataclass
+class SuppressionTable:
+    """Suppressed checker ids per physical line, plus file-wide ids."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_wide: frozenset[str] = frozenset()
+
+    def is_suppressed(self, diagnostic: Diagnostic) -> bool:
+        """True iff ``diagnostic`` is silenced by a directive."""
+        for ids in (self.file_wide, self.by_line.get(diagnostic.line, frozenset())):
+            if ALL in ids or diagnostic.checker_id in ids:
+                return True
+        return False
+
+    def filter(self, diagnostics: list[Diagnostic]) -> list[Diagnostic]:
+        """Drop every suppressed diagnostic."""
+        return [d for d in diagnostics if not self.is_suppressed(d)]
+
+
+def _parse_ids(raw: str | None) -> frozenset[str]:
+    if raw is None:
+        return frozenset({ALL})
+    ids = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    return ids or frozenset({ALL})
+
+
+def scan_suppressions(source: str) -> SuppressionTable:
+    """Extract every suppression directive from ``source``.
+
+    Tolerates syntactically broken files (tokenize errors) by returning an
+    empty table — the runner reports the syntax error separately.
+    """
+    table = SuppressionTable()
+    file_wide: set[str] = set()
+    by_line: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _DIRECTIVE.search(tok.string)
+            if match is None:
+                continue
+            ids = _parse_ids(match.group("ids"))
+            if match.group("kind") == "disable-file":
+                file_wide.update(ids)
+            else:
+                line = tok.start[0]
+                by_line.setdefault(line, set()).update(ids)
+    except tokenize.TokenError:
+        pass
+    table.file_wide = frozenset(file_wide)
+    table.by_line = {line: frozenset(ids) for line, ids in by_line.items()}
+    return table

@@ -74,7 +74,7 @@ def exact_distance_reliability(
     check_non_negative_int(max_hops, "max_hops")
     total = 0.0
     for mask, prob in enumerate_worlds(graph, max_edges=max_edges):
-        if prob == 0.0:
+        if prob <= 0.0:  # skip zero-probability worlds
             continue
         dist = hop_distances(graph, source, mask, max_hops=max_hops)
         if dist[target] >= 0:

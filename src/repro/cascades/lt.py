@@ -61,7 +61,7 @@ def simulate_lt(
     n = graph.num_nodes
     thresholds = rng.random(n)
     # U(0,1] rather than [0,1): a zero threshold would auto-activate nodes.
-    thresholds[thresholds == 0.0] = 1.0
+    thresholds[thresholds <= 0.0] = 1.0
 
     active = np.zeros(n, dtype=bool)
     pressure = np.zeros(n, dtype=np.float64)  # active incoming weight so far

@@ -33,7 +33,7 @@ def exact_reliability(
     target = check_node(target, graph.num_nodes, "target")
     total = 0.0
     for mask, prob in enumerate_worlds(graph, max_edges=max_edges):
-        if prob == 0.0:
+        if prob <= 0.0:  # skip zero-probability worlds
             continue
         if reachable_mask(graph, source, mask)[target]:
             total += prob
@@ -76,7 +76,7 @@ def exact_cascade_distribution(
     sources = [check_node(s, graph.num_nodes, "source") for s in sources]
     dist: dict[frozenset[int], float] = defaultdict(float)
     for mask, prob in enumerate_worlds(graph, max_edges=max_edges):
-        if prob == 0.0:
+        if prob <= 0.0:  # skip zero-probability worlds
             continue
         dist[reachable_set(graph, sources, mask)] += prob
     return dict(dist)

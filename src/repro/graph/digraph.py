@@ -20,7 +20,7 @@ Use :class:`repro.graph.builder.GraphBuilder` for incremental construction.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator
 
 import numpy as np
 

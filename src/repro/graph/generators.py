@@ -208,7 +208,9 @@ def copying_model_digraph(
                 v = int(rng.integers(0, u))
             if v != u:
                 targets.add(v)
-        for v in targets:
+        # Sorted: set iteration order would leak hash order into the edge
+        # list and the adjacency used by later prototype copies.
+        for v in sorted(targets):
             builder.add_edge(u, v, p)
             adjacency[u].append(v)
     return builder.build()

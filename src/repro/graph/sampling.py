@@ -108,10 +108,11 @@ class WorldSampler:
         """Edge mask of world ``index`` (deterministic in (seed, index))."""
         if index < 0:
             raise ValueError(f"index must be non-negative, got {index}")
-        child = np.random.SeedSequence(
-            entropy=self._seed_sequence.entropy, spawn_key=(index,)
+        rng = derive_rng(
+            np.random.SeedSequence(
+                entropy=self._seed_sequence.entropy, spawn_key=(index,)
+            )
         )
-        rng = np.random.default_rng(child)
         return rng.random(self._graph.num_edges) < self._graph.probs
 
     def world_graph(self, index: int) -> ProbabilisticDigraph:

@@ -89,6 +89,6 @@ def retained_probability_mass(
 ) -> float:
     """Fraction of the total arc-probability mass the sparsifier kept."""
     total = float(original.probs.sum())
-    if total == 0.0:
+    if total <= 0.0:
         return 1.0
     return float(sparsified.probs.sum()) / total

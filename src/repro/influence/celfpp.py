@@ -17,7 +17,6 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.cascades.index import CascadeIndex
 from repro.influence.greedy_std import GreedyTrace

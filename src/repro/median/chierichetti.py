@@ -134,15 +134,17 @@ def jaccard_median(
 
     # --- family 3: the input samples themselves --------------------------------
     if include_samples:
-        seen_sizes: set[tuple[int, int]] = set()
+        # Dedup on full content: keying on (size, first element) can collide
+        # two *different* cascades and silently drop the best input sample,
+        # breaking the "never worse than best_of_samples" guarantee of the
+        # classical 2-approximation family.
+        seen: set[bytes] = set()
         for i in range(samples.num_samples):
             s = samples.sample(i)
-            # Cheap dedup: identical (size, first-element) pairs are usually
-            # identical cascades from the same component.
-            key = (int(s.size), int(s[0]) if s.size else -1)
-            if key in seen_sizes:
+            key = s.tobytes()
+            if key in seen:
                 continue
-            seen_sizes.add(key)
+            seen.add(key)
             consider(s.copy(), "sample")
 
     return MedianResult(best_median, best_cost, best_strategy, evaluated)

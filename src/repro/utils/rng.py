@@ -9,7 +9,7 @@ worlds, the same logs and the same seed sets.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Sequence, Union
+from typing import Iterator, Sequence, Union
 
 import numpy as np
 

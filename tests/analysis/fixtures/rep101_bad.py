@@ -1,0 +1,13 @@
+"""REP101 positive fixture: direct RNG construction outside utils/rng."""
+
+import random
+
+import numpy as np
+
+
+def sample_sizes(n):
+    rng = np.random.default_rng()  # flagged: direct construction
+    legacy = np.random.random(n)  # flagged: legacy global distribution
+    jitter = random.random()  # flagged: stdlib global state
+    seq = np.random.SeedSequence()  # flagged: OS-entropy SeedSequence
+    return rng.integers(0, n), legacy, jitter, seq

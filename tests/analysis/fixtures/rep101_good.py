@@ -1,0 +1,16 @@
+"""REP101 negative fixture: randomness routed through the rng contract."""
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, derive_rng
+
+
+def sample_sizes(n, seed: SeedLike = None):
+    rng = derive_rng(seed)
+    child = np.random.SeedSequence(entropy=7, spawn_key=(1,))  # explicit entropy: ok
+    follower = derive_rng(child)
+    return rng.integers(0, n), follower.random(n)
+
+
+def typed_helper(rng: np.random.Generator) -> float:  # type reference: ok
+    return float(rng.random())

@@ -1,0 +1,9 @@
+"""REP102 positive fixture: derived randomness with no injectable seed."""
+
+from repro.utils.rng import derive_rng
+
+
+def shuffle_nodes(nodes):
+    rng = derive_rng()  # flagged: no seed parameter anywhere
+    order = rng.permutation(len(nodes))
+    return [nodes[int(i)] for i in order]

@@ -1,0 +1,25 @@
+"""REP102 negative fixture: seeds injectable in every supported shape."""
+
+from repro.utils.rng import SeedLike, derive_rng, spawn_rngs
+
+
+def shuffle_nodes(nodes, seed: SeedLike = None):
+    rng = derive_rng(seed)  # ok: seed parameter
+    order = rng.permutation(len(nodes))
+    return [nodes[int(i)] for i in order]
+
+
+def fixed_stream():
+    return derive_rng(1234)  # ok: constant seed is deterministic
+
+
+def fan_out(config, count):
+    return spawn_rngs(config.seed + 5, count)  # ok: seed attribute expression
+
+
+class Sampler:
+    def __init__(self, seed: SeedLike = None):
+        self._seed = seed
+
+    def draw(self, n):
+        return derive_rng(self._seed).random(n)  # ok: injected via constructor

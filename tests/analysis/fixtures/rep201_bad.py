@@ -1,0 +1,26 @@
+"""REP201 positive fixture: set order reaching ordered output."""
+
+import numpy as np
+
+
+def collect(edges):
+    targets = {v for _, v in edges}
+    out = []
+    for v in targets:  # flagged: hash order reaches the returned list
+        out.append(v)
+    return out
+
+
+def materialise(nodes):
+    pending = set(nodes)
+    return list(pending)  # flagged: list() freezes hash order
+
+
+def as_array(nodes):
+    return np.array({n + 1 for n in nodes})  # flagged: array freezes hash order
+
+
+def emit(nodes):
+    seen = set(nodes)
+    for v in seen:  # flagged: yield order is hash order
+        yield v

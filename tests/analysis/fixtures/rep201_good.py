@@ -1,0 +1,30 @@
+"""REP201 negative fixture: sorted iteration or order-insensitive folds."""
+
+
+def collect(edges):
+    targets = {v for _, v in edges}
+    out = []
+    for v in sorted(targets):  # ok: explicit ordering
+        out.append(v)
+    return out
+
+
+def total(nodes):
+    pending = set(nodes)
+    return sum(x * 2 for x in pending)  # ok: order-insensitive fold
+
+
+def biggest(nodes):
+    pending = set(nodes)
+    count = 0
+    for v in pending:  # ok: commutative accumulation, no ordered output
+        count += v
+    return count
+
+
+def over_list(nodes):
+    ordered = list(nodes)
+    out = []
+    for v in ordered:  # ok: lists preserve their order
+        out.append(v)
+    return out

@@ -1,0 +1,14 @@
+"""REP301 positive fixture: exact float comparisons."""
+
+
+def classify(prob: float, cost):
+    if prob == 0.0:  # flagged: float literal equality
+        return "impossible"
+    if cost != 1.0:  # flagged
+        return "partial"
+    if float(cost) == prob:  # flagged: float() cast operand
+        return "tie"
+    ratio = cost / 2
+    if ratio == prob:  # flagged: true-division operand
+        return "half"
+    return "other"

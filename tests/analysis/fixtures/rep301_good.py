@@ -1,0 +1,15 @@
+"""REP301 negative fixture: tolerant or integer comparisons."""
+
+import math
+
+
+def classify(prob: float, cost, count: int):
+    if prob <= 0.0:  # ok: inequality
+        return "impossible"
+    if math.isclose(cost, 1.0):  # ok: tolerant comparison
+        return "full"
+    if count == 0:  # ok: int equality is exact
+        return "empty"
+    if count != 1:  # ok
+        return "many"
+    return "other"

@@ -1,0 +1,17 @@
+"""REP401 positive fixture: mutable defaults."""
+
+import numpy as np
+
+
+def gather(items, acc=[]):  # flagged: list literal default
+    acc.extend(items)
+    return acc
+
+
+def tally(counts={}, *, seen=set()):  # flagged twice
+    return counts, seen
+
+
+def buffer(values, out=np.zeros(4)):  # flagged: shared array default
+    out[: len(values)] = values
+    return out

@@ -1,0 +1,16 @@
+"""REP401 negative fixture: None defaults constructed in the body."""
+
+
+def gather(items, acc=None):
+    acc = [] if acc is None else acc
+    acc.extend(items)
+    return acc
+
+
+def tally(counts=None, *, seen=frozenset()):  # frozenset is immutable: ok
+    counts = {} if counts is None else counts
+    return counts, seen
+
+
+def label(name: str = "default", scale: float = 1.0, flag: bool = False):
+    return name, scale, flag

@@ -1,0 +1,11 @@
+"""REP501 positive fixture: literal probabilities outside [0, 1]."""
+
+
+def build_fixture(assign):
+    high = assign(p=1.5)  # flagged
+    negative = assign(copy_prob=-0.25)  # flagged
+    return high, negative
+
+
+def spread_model(graph, p: float = 2.0):  # flagged: default outside [0, 1]
+    return graph, p

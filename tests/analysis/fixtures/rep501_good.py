@@ -1,0 +1,12 @@
+"""REP501 negative fixture: in-range literals, non-probability names."""
+
+
+def build_fixture(assign, resize):
+    edge = assign(p=0.35)  # ok: in range
+    full = assign(probability=1.0)  # ok: boundary included
+    scaled = resize(factor=2.5)  # ok: not a probability name
+    return edge, full, scaled
+
+
+def spread_model(graph, p: float = 0.1):  # ok
+    return graph, p

@@ -1,0 +1,10 @@
+"""REP502 positive fixture: probability param computed with, unvalidated."""
+
+
+def edge_weight(base: float, p: float):
+    return base * (1.0 - p)  # flagged: p used in arithmetic, never validated
+
+
+class Assigner:
+    def __init__(self, p: float):
+        self.scaled = p * 0.5  # flagged: constructor computes with raw p

@@ -1,0 +1,22 @@
+"""REP502 negative fixture: validated, forwarded, or private."""
+
+from repro.utils.validation import check_probability
+
+
+def edge_weight(base: float, p: float):
+    p = check_probability(p, "p")  # ok: validated before use
+    return base * (1.0 - p)
+
+
+def add_both_directions(builder, u, v, p: float):
+    builder.add_edge(u, v, p)  # ok: forwarded — callee validates
+    builder.add_edge(v, u, p)
+
+
+def _internal_weight(base: float, p: float):
+    return base * p  # ok: private helper, caller validated
+
+
+class Assigner:
+    def __init__(self, p: float):
+        self.p = check_probability(p, "p")  # ok

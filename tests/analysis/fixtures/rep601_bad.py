@@ -1,0 +1,19 @@
+"""REP601 positive fixture: linear list scans inside loops."""
+
+
+def align(sources, targets):
+    order = list(targets)
+    positions = []
+    for s in sources:
+        positions.append(order.index(s))  # flagged: repeated linear scan
+    return positions
+
+
+def intersect(frontier, visited_nodes):
+    visited = [v for v in visited_nodes]
+    hits = 0
+    while frontier:
+        node = frontier.pop()
+        if node in visited:  # flagged: list membership in loop
+            hits += 1
+    return hits

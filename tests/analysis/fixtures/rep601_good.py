@@ -1,0 +1,24 @@
+"""REP601 negative fixture: constant-time lookups inside loops."""
+
+
+def align(sources, targets):
+    position_of = {t: i for i, t in enumerate(targets)}
+    positions = []
+    for s in sources:
+        positions.append(position_of[s])  # ok: dict lookup
+    return positions
+
+
+def intersect(frontier, visited_nodes):
+    visited = set(visited_nodes)
+    hits = 0
+    while frontier:
+        node = frontier.pop()
+        if node in visited:  # ok: set membership
+            hits += 1
+    return hits
+
+
+def once(sources, targets):
+    order = list(targets)
+    return order.index(sources[0])  # ok: not inside a loop

@@ -1,0 +1,17 @@
+"""REP602 positive fixture: per-iteration array reallocation."""
+
+import numpy as np
+
+
+def accumulate(chunks):
+    acc = np.zeros(0, dtype=np.int64)
+    for chunk in chunks:
+        acc = np.concatenate((acc, chunk))  # flagged: O(total) per iteration
+    return acc
+
+
+def widen(rows):
+    table = np.zeros((0, 4))
+    for row in rows:
+        table = np.vstack([table, row])  # flagged
+    return table

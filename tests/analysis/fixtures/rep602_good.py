@@ -1,0 +1,15 @@
+"""REP602 negative fixture: batch parts, concatenate once."""
+
+import numpy as np
+
+
+def accumulate(chunks):
+    parts = []
+    for chunk in chunks:
+        parts.append(chunk)  # ok: amortised list growth
+    return np.concatenate(parts) if parts else np.zeros(0, dtype=np.int64)
+
+
+def widen(rows):
+    collected = [row for row in rows]
+    return np.vstack(collected) if collected else np.zeros((0, 4))

@@ -1,0 +1,110 @@
+"""Fixture-backed proof that every checker fires and stays silent correctly.
+
+Each checker id has a ``repNNN_bad.py`` / ``repNNN_good.py`` pair under
+``fixtures/``.  The bad fixture must produce at least one diagnostic *from
+that checker*; the good fixture must produce none.  Fixtures are analyzed
+under a virtual ``src/repro/graph/...`` path so that package-scoped
+checkers (REP502, REP601/602) and the test-module exclusions apply the
+same way they do on the real tree.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_source, default_registry
+from repro.analysis.registry import CheckerRegistry
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: Virtual path applying graph-package scoping to the fixture source.
+VIRTUAL_PATH = "src/repro/graph/fixture_module.py"
+
+CHECKER_IDS = sorted(
+    path.stem.removeprefix("rep").removesuffix("_bad")
+    for path in FIXTURES.glob("rep*_bad.py")
+)
+
+
+def run_single_checker(checker_id: str, source: str) -> list:
+    registry = CheckerRegistry([default_registry().get(checker_id)])
+    return analyze_source(source, path=VIRTUAL_PATH, registry=registry)
+
+
+def fixture_source(checker_id: str, kind: str) -> str:
+    return (FIXTURES / f"rep{checker_id}_{kind}.py").read_text(encoding="utf-8")
+
+
+@pytest.mark.parametrize("number", CHECKER_IDS)
+def test_every_checker_has_a_fixture_pair(number):
+    assert (FIXTURES / f"rep{number}_bad.py").exists()
+    assert (FIXTURES / f"rep{number}_good.py").exists()
+
+
+@pytest.mark.parametrize("number", CHECKER_IDS)
+def test_checker_fires_on_bad_fixture(number):
+    checker_id = f"REP{number}"
+    diagnostics = run_single_checker(checker_id, fixture_source(number, "bad"))
+    assert diagnostics, f"{checker_id} produced no diagnostics on its bad fixture"
+    assert all(d.checker_id == checker_id for d in diagnostics)
+
+
+@pytest.mark.parametrize("number", CHECKER_IDS)
+def test_checker_silent_on_good_fixture(number):
+    checker_id = f"REP{number}"
+    diagnostics = run_single_checker(checker_id, fixture_source(number, "good"))
+    assert diagnostics == [], (
+        f"{checker_id} fired on its good fixture: "
+        + "; ".join(d.format() for d in diagnostics)
+    )
+
+
+def test_fixture_catalogue_covers_all_registered_checkers():
+    registered = {checker.id for checker in default_registry()}
+    covered = {f"REP{number}" for number in CHECKER_IDS}
+    assert covered == registered
+
+
+# -- targeted behaviours beyond fire/silent ----------------------------------
+
+
+def test_rep101_flag_count_matches_bad_sites():
+    diagnostics = run_single_checker("REP101", fixture_source("101", "bad"))
+    assert len(diagnostics) == 4  # default_rng, legacy global, stdlib, SeedSequence()
+
+
+def test_rep101_exempts_rng_module_itself():
+    source = "import numpy as np\nrng = np.random.default_rng(3)\n"
+    registry = CheckerRegistry([default_registry().get("REP101")])
+    diagnostics = analyze_source(
+        source, path="src/repro/utils/rng.py", registry=registry
+    )
+    assert diagnostics == []
+
+
+def test_rep301_skips_test_modules():
+    source = "def check(x: float):\n    assert x == 0.25\n"
+    registry = CheckerRegistry([default_registry().get("REP301")])
+    assert analyze_source(source, path="tests/graph/test_x.py", registry=registry) == []
+    assert analyze_source(source, path=VIRTUAL_PATH, registry=registry) != []
+
+
+def test_rep502_scoped_to_graph_and_cascades():
+    source = fixture_source("502", "bad")
+    registry = CheckerRegistry([default_registry().get("REP502")])
+    assert analyze_source(source, path="src/repro/median/mod.py", registry=registry) == []
+    assert analyze_source(source, path="src/repro/cascades/mod.py", registry=registry) != []
+
+
+def test_rep601_scoped_to_hot_packages():
+    source = fixture_source("601", "bad")
+    registry = CheckerRegistry([default_registry().get("REP601")])
+    assert analyze_source(source, path="src/repro/median/mod.py", registry=registry) == []
+    assert analyze_source(source, path="src/repro/influence/mod.py", registry=registry) != []
+
+
+def test_diagnostics_carry_location_and_sort_stably():
+    diagnostics = run_single_checker("REP301", fixture_source("301", "bad"))
+    assert diagnostics == sorted(diagnostics)
+    assert all(d.line > 0 and d.col > 0 for d in diagnostics)
+    assert all(d.path == VIRTUAL_PATH for d in diagnostics)

@@ -1,0 +1,105 @@
+"""CLI behaviour: exit codes, formats, selection."""
+
+import io
+import json
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro.analysis.cli import main
+
+CLEAN = "def add(a: int, b: int) -> int:\n    return a + b\n"
+DIRTY = "import numpy as np\nrng = np.random.default_rng()\n"
+
+
+def run_cli(argv):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(argv)
+    return code, buffer.getvalue()
+
+
+@pytest.fixture
+def tree(tmp_path):
+    package = tmp_path / "src" / "repro" / "graph"
+    package.mkdir(parents=True)
+    (package / "clean.py").write_text(CLEAN)
+    (package / "dirty.py").write_text(DIRTY)
+    return tmp_path / "src" / "repro"
+
+
+def test_clean_file_exits_zero(tmp_path):
+    target = tmp_path / "clean.py"
+    target.write_text(CLEAN)
+    code, out = run_cli([str(target)])
+    assert code == 0
+    assert "reprolint: clean" in out
+
+
+def test_violations_exit_one_with_report(tree):
+    code, out = run_cli([str(tree)])
+    assert code == 1
+    assert "REP101" in out
+    assert "dirty.py" in out
+    assert "finding(s)" in out
+
+
+def test_json_format(tree):
+    code, out = run_cli([str(tree), "--format", "json"])
+    assert code == 1
+    payload = json.loads(out)
+    assert payload and payload[0]["checker_id"] == "REP101"
+    assert payload[0]["severity"] == "error"
+
+
+def test_select_limits_checkers(tree):
+    code, out = run_cli([str(tree), "--select", "REP301"])
+    assert code == 0
+    assert "REP101" not in out
+
+
+def test_ignore_drops_checker(tree):
+    code, _ = run_cli([str(tree), "--ignore", "REP101,REP102"])
+    assert code == 0
+
+
+def test_unknown_checker_id_is_usage_error(tree):
+    with pytest.raises(SystemExit) as exc:
+        run_cli([str(tree), "--select", "REP123"])
+    assert exc.value.code == 2
+
+
+def test_missing_path_is_usage_error():
+    with pytest.raises(SystemExit) as exc:
+        run_cli(["definitely/not/a/path"])
+    assert exc.value.code == 2
+
+
+def test_list_checkers(tmp_path):
+    code, out = run_cli(["--list-checkers"])
+    assert code == 0
+    for checker_id in ("REP101", "REP201", "REP301", "REP401", "REP501", "REP601"):
+        assert checker_id in out
+
+
+def test_no_suppress_flag(tmp_path):
+    target = tmp_path / "suppressed.py"
+    target.write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # reprolint: disable=REP101\n"
+    )
+    assert run_cli([str(target)])[0] == 0
+    assert run_cli([str(target), "--no-suppress"])[0] == 1
+
+
+def test_module_entry_point_runs():
+    import subprocess
+    import sys
+
+    result = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--list-checkers"],
+        capture_output=True,
+        text=True,
+    )
+    assert result.returncode == 0
+    assert "REP101" in result.stdout

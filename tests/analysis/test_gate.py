@@ -1,0 +1,28 @@
+"""The permanent regression barrier: ``src/repro`` stays reprolint-clean.
+
+If this test fails, either fix the violation or add an inline
+``# reprolint: disable=<id>`` with a justification — see README
+"Determinism contract & static analysis".
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths, default_registry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SOURCE_TREE = REPO_ROOT / "src" / "repro"
+
+
+def test_source_tree_exists():
+    assert SOURCE_TREE.is_dir()
+
+
+def test_at_least_six_checkers_gate_the_tree():
+    assert len(default_registry()) >= 6
+
+
+def test_src_repro_is_violation_clean():
+    diagnostics = analyze_paths([SOURCE_TREE])
+    assert diagnostics == [], "reprolint violations:\n" + "\n".join(
+        d.format() for d in diagnostics
+    )

@@ -1,0 +1,84 @@
+"""Registry construction, validation and selection."""
+
+import pytest
+
+from repro.analysis import Checker, default_registry
+from repro.analysis.registry import CheckerRegistry, validate_checker_class
+
+
+class _Dummy(Checker):
+    id = "XYZ901"
+    name = "dummy"
+    description = "test checker"
+
+    def check(self, ctx):
+        return []
+
+
+def test_default_registry_has_at_least_six_checkers():
+    registry = default_registry()
+    assert len(registry) >= 6
+    families = {checker.id[:4] for checker in registry}
+    # One family per hundred: REP1 rng, REP2 iteration, REP3 float-eq,
+    # REP4 mutable defaults, REP5 probability, REP6 quadratic.
+    assert {"REP1", "REP2", "REP3", "REP4", "REP5", "REP6"} <= families
+
+
+def test_default_registry_is_fresh_per_call():
+    a, b = default_registry(), default_registry()
+    assert a is not b
+    assert a.ids() == b.ids()
+
+
+def test_get_unknown_id_raises_with_catalogue():
+    with pytest.raises(KeyError, match="REP101"):
+        default_registry().get("NOPE999")
+
+
+def test_duplicate_id_rejected():
+    registry = CheckerRegistry([_Dummy()])
+    with pytest.raises(ValueError, match="duplicate"):
+        registry.add(_Dummy())
+
+
+def test_malformed_checker_rejected():
+    class NoId(Checker):
+        name = "x"
+        description = "y"
+
+        def check(self, ctx):
+            return []
+
+    with pytest.raises(TypeError, match="id"):
+        validate_checker_class(NoId)
+
+    class BadId(NoId):
+        id = "lowercase1"
+
+    with pytest.raises(ValueError, match="BadId|look like"):
+        validate_checker_class(BadId)
+
+
+def test_select_subset():
+    registry = default_registry().select(["REP101", "REP301"])
+    assert registry.ids() == ["REP101", "REP301"]
+
+
+def test_ignore_subset():
+    registry = default_registry()
+    trimmed = registry.select(ignore=["REP601", "REP602"])
+    assert "REP601" not in trimmed.ids()
+    assert len(trimmed) == len(registry) - 2
+
+
+def test_select_unknown_id_fails_loudly():
+    with pytest.raises(KeyError):
+        default_registry().select(["REP123"])
+    with pytest.raises(KeyError):
+        default_registry().select(ignore=["REP123"])
+
+
+def test_third_party_checker_pluggable():
+    registry = CheckerRegistry([_Dummy()])
+    assert "XYZ901" in registry
+    assert registry.get("XYZ901").name == "dummy"

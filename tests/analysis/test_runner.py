@@ -1,0 +1,47 @@
+"""Runner: discovery, syntax errors, ordering."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import analyze_paths, analyze_source
+from repro.analysis.runner import discover_files
+
+
+def test_syntax_error_reported_not_raised():
+    diagnostics = analyze_source("def broken(:\n", path="src/repro/graph/x.py")
+    assert len(diagnostics) == 1
+    assert diagnostics[0].checker_id == "REP001"
+    assert "syntax error" in diagnostics[0].message
+
+
+def test_discover_skips_cache_dirs(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "__pycache__").mkdir()
+    (tmp_path / "pkg" / "__pycache__" / "mod.py").write_text("x = 1\n")
+    (tmp_path / "pkg" / "notes.txt").write_text("not python\n")
+    found = discover_files([tmp_path])
+    assert [p.name for p in found] == ["mod.py"]
+
+
+def test_discover_accepts_explicit_files(tmp_path):
+    target = tmp_path / "one.py"
+    target.write_text("x = 1\n")
+    assert discover_files([target]) == [target]
+
+
+def test_discover_missing_path_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        discover_files([tmp_path / "absent.py"])
+
+
+def test_analyze_paths_sorted_across_files(tmp_path):
+    package = tmp_path / "src" / "repro" / "graph"
+    package.mkdir(parents=True)
+    bad = "import numpy as np\nrng = np.random.default_rng()\n"
+    (package / "b_mod.py").write_text(bad)
+    (package / "a_mod.py").write_text(bad)
+    diagnostics = analyze_paths([tmp_path])
+    paths = [Path(d.path).name for d in diagnostics]
+    assert paths == sorted(paths)

@@ -1,0 +1,63 @@
+"""Inline ``# reprolint: disable`` mechanics."""
+
+from repro.analysis import analyze_source
+from repro.analysis.suppress import scan_suppressions
+
+BAD_LINE = "rng = np.random.default_rng()"
+PATH = "src/repro/graph/mod.py"
+
+
+def _analyze(source: str, **kwargs):
+    return analyze_source("import numpy as np\n" + source, path=PATH, **kwargs)
+
+
+def test_unsuppressed_violation_reported():
+    assert any(d.checker_id == "REP101" for d in _analyze(BAD_LINE + "\n"))
+
+
+def test_same_line_disable_by_id():
+    assert _analyze(BAD_LINE + "  # reprolint: disable=REP101\n") == []
+
+
+def test_disable_with_multiple_ids():
+    source = BAD_LINE + "  # reprolint: disable=REP999, REP101\n"
+    assert _analyze(source) == []
+
+
+def test_bare_disable_suppresses_everything_on_line():
+    assert _analyze(BAD_LINE + "  # reprolint: disable\n") == []
+
+
+def test_disable_of_other_id_does_not_suppress():
+    diagnostics = _analyze(BAD_LINE + "  # reprolint: disable=REP301\n")
+    assert any(d.checker_id == "REP101" for d in diagnostics)
+
+
+def test_disable_on_other_line_does_not_suppress():
+    source = "# reprolint: disable=REP101 applies here only\n" + BAD_LINE + "\n"
+    diagnostics = _analyze(source)
+    assert any(d.checker_id == "REP101" for d in diagnostics)
+
+
+def test_file_wide_disable():
+    source = "# reprolint: disable-file=REP101\n" + BAD_LINE + "\n"
+    assert _analyze(source) == []
+
+
+def test_no_suppress_flag_reveals_suppressed():
+    source = BAD_LINE + "  # reprolint: disable=REP101\n"
+    diagnostics = _analyze(source, respect_suppressions=False)
+    assert any(d.checker_id == "REP101" for d in diagnostics)
+
+
+def test_directive_inside_string_literal_is_inert():
+    source = 'msg = "# reprolint: disable=REP101"\n' + BAD_LINE + "\n"
+    diagnostics = _analyze(source)
+    assert any(d.checker_id == "REP101" for d in diagnostics)
+
+
+def test_scan_reports_line_numbers():
+    table = scan_suppressions("x = 1\ny = 2  # reprolint: disable=REP301\n")
+    assert 2 in table.by_line
+    assert table.by_line[2] == frozenset({"REP301"})
+    assert table.file_wide == frozenset()

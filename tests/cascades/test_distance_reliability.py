@@ -10,7 +10,6 @@ from repro.cascades.distance_reliability import (
     monte_carlo_distance_reliability,
 )
 from repro.cascades.reliability import exact_reliability
-from repro.graph.digraph import ProbabilisticDigraph
 from repro.graph.generators import path_graph
 
 

@@ -11,7 +11,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.cascades.index import CascadeIndex
-from repro.graph.digraph import ProbabilisticDigraph
 from repro.graph.generators import gnp_digraph
 from repro.graph.reachability import reachable_array
 from repro.graph.sampling import WorldSampler

@@ -1,7 +1,6 @@
 """Tests for repro.cascades.reliability, including a numeric verification of
 the Theorem 1 reduction (s-t reliability from two expected costs)."""
 
-import numpy as np
 import pytest
 
 from repro.cascades.reliability import (
@@ -11,7 +10,7 @@ from repro.cascades.reliability import (
     reachability_probabilities,
 )
 from repro.graph.digraph import ProbabilisticDigraph
-from repro.graph.generators import figure1_graph, path_graph
+from repro.graph.generators import path_graph
 from repro.median.cost import exact_expected_cost
 
 

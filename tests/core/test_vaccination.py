@@ -7,7 +7,6 @@ from repro.core.vaccination import (
     degree_vaccination_baseline,
     greedy_vaccination,
 )
-from repro.graph.digraph import ProbabilisticDigraph
 from repro.graph.generators import path_graph, star_graph
 
 

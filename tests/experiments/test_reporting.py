@@ -1,6 +1,5 @@
 """Tests for repro.experiments.reporting."""
 
-import pathlib
 
 from repro.experiments.reporting import (
     build_experiments_markdown,

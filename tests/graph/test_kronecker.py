@@ -1,6 +1,5 @@
 """Tests for the stochastic Kronecker generator."""
 
-import numpy as np
 import pytest
 
 from repro.graph.generators import stochastic_kronecker_digraph

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graph.digraph import ProbabilisticDigraph
 from repro.graph.generators import gnp_digraph, path_graph
 from repro.graph.reachability import (
     reachable_array,

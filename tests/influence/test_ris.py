@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.graph.digraph import ProbabilisticDigraph
 from repro.graph.generators import star_graph
 from repro.influence.ris import infmax_ris, sample_rr_set
 from repro.utils.rng import derive_rng

@@ -1,6 +1,5 @@
 """Tests for repro.problearn.goyal — the frequentist learner."""
 
-import numpy as np
 import pytest
 
 from repro.graph.digraph import ProbabilisticDigraph

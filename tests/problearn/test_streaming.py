@@ -1,11 +1,10 @@
 """Tests for repro.problearn.streaming — the STRIP-style learner."""
 
-import numpy as np
 import pytest
 
 from repro.graph.digraph import ProbabilisticDigraph
 from repro.problearn.goyal import learn_goyal
-from repro.problearn.logs import ActionLog, generate_action_log
+from repro.problearn.logs import generate_action_log
 from repro.problearn.streaming import StreamingInfluenceLearner
 
 

@@ -28,6 +28,16 @@ class TestDeriveRng:
         same = derive_rng(gen)
         assert same is gen
 
+    def test_generator_passthrough_is_not_a_copy(self):
+        """Draws through the derived handle advance the original stream."""
+        gen = np.random.default_rng(7)
+        reference = np.random.default_rng(7)
+        derive_rng(gen).random(5)  # consume through the derived handle
+        # The shared state moved on: the next draw differs from a fresh
+        # stream's first draw but matches a reference advanced identically.
+        reference.random(5)
+        assert np.array_equal(gen.random(3), reference.random(3))
+
     def test_none_gives_fresh_generator(self):
         assert isinstance(derive_rng(None), np.random.Generator)
 
@@ -48,6 +58,27 @@ class TestSpawnRngs:
         for a, b in zip(first, second):
             assert np.array_equal(a, b)
         assert not np.array_equal(first[0], first[1])
+
+    def test_children_pairwise_distinct(self):
+        draws = [g.random(8) for g in spawn_rngs(23, 6)]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.array_equal(draws[i], draws[j]), (i, j)
+
+    def test_children_pairwise_uncorrelated(self):
+        """Streams from one seed look independent (small cross-correlation)."""
+        draws = [g.standard_normal(4096) for g in spawn_rngs(5, 4)]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                corr = np.corrcoef(draws[i], draws[j])[0, 1]
+                assert abs(corr) < 0.08, (i, j, corr)
+
+    def test_from_generator_is_reproducible(self):
+        """Equal-state parent generators spawn identical children."""
+        first = [g.random(4) for g in spawn_rngs(np.random.default_rng(9), 3)]
+        second = [g.random(4) for g in spawn_rngs(np.random.default_rng(9), 3)]
+        for a, b in zip(first, second):
+            assert np.array_equal(a, b)
 
     def test_negative_count_rejected(self):
         with pytest.raises(ValueError, match="non-negative"):
