@@ -1,0 +1,115 @@
+"""Micro-benchmarks of the persistent index store (repro.store).
+
+Measures the store's four lifecycle costs — serial vs parallel build, save,
+cold memory-mapped load, per-cascade query on a loaded index — and pins the
+design's headline property: load time is set by the header parse plus a
+handful of ``mmap`` calls, so it stays flat as the member-array payload
+grows.
+"""
+
+import shutil
+import time
+
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.graph.generators import powerlaw_outdegree_digraph
+from repro.problearn.assign import assign_fixed
+from repro.store import read_index, write_index
+
+
+@pytest.fixture(scope="module")
+def graph():
+    base = powerlaw_outdegree_digraph(400, mean_degree=8.0, seed=1)
+    return assign_fixed(base, 0.1)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return CascadeIndex.build(graph, 32, seed=2)
+
+
+@pytest.fixture(scope="module")
+def store_path(index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("store") / "idx"
+    write_index(index, path)
+    return path
+
+
+def test_bench_build_serial(benchmark, graph):
+    built = benchmark.pedantic(
+        lambda: CascadeIndex.build(graph, 16, seed=3), rounds=3, iterations=1
+    )
+    assert built.num_worlds == 16
+
+
+def test_bench_build_parallel(benchmark, graph):
+    built = benchmark.pedantic(
+        lambda: CascadeIndex.build(graph, 16, seed=3, n_jobs=2),
+        rounds=3,
+        iterations=1,
+    )
+    assert built.num_worlds == 16
+
+
+def test_bench_save(benchmark, index, tmp_path):
+    counter = iter(range(10**6))
+
+    def save():
+        return write_index(index, tmp_path / f"idx{next(counter)}")
+
+    header = benchmark.pedantic(save, rounds=3, iterations=1)
+    assert header.num_worlds == 32
+
+
+def test_bench_cold_load(benchmark, store_path):
+    loaded = benchmark(lambda: read_index(store_path))
+    assert loaded.num_worlds == 32
+
+
+def test_bench_loaded_cascade_query(benchmark, store_path):
+    loaded = read_index(store_path)
+
+    def extract():
+        total = 0
+        for node in range(0, 400, 13):
+            total += loaded.cascade(node, node % loaded.num_worlds).size
+        return total
+
+    total = benchmark(extract)
+    assert total > 0
+
+
+def test_load_time_independent_of_payload(graph, tmp_path):
+    """The zero-copy contract: opening a ~30x larger store must not be
+    ~30x slower, because no member/DAG payload is read at open time."""
+    small = CascadeIndex.build(graph, 4, seed=5)
+    large = CascadeIndex.build(graph, 120, seed=5)
+    small_path = tmp_path / "small"
+    large_path = tmp_path / "large"
+    write_index(small, small_path)
+    write_index(large, large_path)
+
+    def best_of(path, repeats=5):
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            read_index(path)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    best_of(small_path, repeats=1)  # warm the import/numpy paths
+    t_small = best_of(small_path)
+    t_large = best_of(large_path)
+    payload_ratio = sum(
+        f.stat().st_size for f in large_path.iterdir()
+    ) / sum(f.stat().st_size for f in small_path.iterdir())
+    assert payload_ratio > 10  # the comparison is meaningful
+    # Generous bound: open cost may wobble with header size and FS cache,
+    # but must stay far below the payload growth.
+    assert t_large < t_small * 5, (
+        f"load went from {t_small * 1e3:.2f}ms to {t_large * 1e3:.2f}ms for a "
+        f"{payload_ratio:.0f}x payload — loading is not payload-independent"
+    )
+    shutil.rmtree(small_path)
+    shutil.rmtree(large_path)

@@ -9,6 +9,9 @@ Public API tour:
   — Algorithm 2: spheres of influence via sampling + Jaccard median.
 * :func:`repro.infmax_std` / :func:`repro.infmax_tc` — the two influence
   maximisers of Section 6.4.
+* :mod:`repro.store` — the persistent memory-mapped index store
+  (:meth:`CascadeIndex.save` / :meth:`CascadeIndex.load`,
+  :func:`repro.build_index`, :func:`repro.append_worlds`).
 * :mod:`repro.datasets` — the 12 benchmark settings.
 * :mod:`repro.experiments` — one harness per paper table/figure.
 """
@@ -18,8 +21,11 @@ from repro.graph.builder import GraphBuilder
 from repro.cascades.index import CascadeIndex
 from repro.cascades.ic import sample_cascade, sample_cascades, simulate_ic
 from repro.core.sphere import SphereOfInfluence
+from repro.core.store import SphereStore
 from repro.core.typical_cascade import TypicalCascadeComputer, compute_typical_cascade
 from repro.core.stability import seed_set_stability, sphere_stability
+from repro.store import append_worlds, build_index
+from repro.store.provenance import IndexProvenance
 from repro.median.chierichetti import jaccard_median, MedianResult
 from repro.median.samples import SampleCollection
 from repro.median.jaccard import jaccard_distance, jaccard_similarity
@@ -37,6 +43,10 @@ __all__ = [
     "sample_cascades",
     "simulate_ic",
     "SphereOfInfluence",
+    "SphereStore",
+    "IndexProvenance",
+    "append_worlds",
+    "build_index",
     "TypicalCascadeComputer",
     "compute_typical_cascade",
     "seed_set_stability",

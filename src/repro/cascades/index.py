@@ -45,18 +45,35 @@ class CascadeIndex:
         *,
         reduced: bool,
         sampler: WorldSampler | None = None,
+        members: Sequence[Sequence[np.ndarray]] | None = None,
+        node_comp: np.ndarray | None = None,
     ) -> None:
+        """``members`` and ``node_comp`` are trusted pre-built structures
+        supplied by the persistent store's memory-mapped loader; when given,
+        ``condensations`` is used as-is (it may be a lazy sequence) and
+        nothing is materialised eagerly.  Plain construction computes both.
+        """
         if not condensations:
             raise ValueError("index needs at least one sampled world")
         self._graph = graph
-        self._conds = list(condensations)
         self._reduced = reduced
         self._sampler = sampler
-        self._members: list[list[np.ndarray]] = [c.members() for c in self._conds]
-        # Figure 2's matrix I[v, i]: component of node v in world i.
-        self._node_comp = np.column_stack([c.node_comp for c in self._conds]).astype(
-            np.int32
-        )
+        self._store_header = None
+        if members is None:
+            self._conds = list(condensations)
+            self._members: Sequence[Sequence[np.ndarray]] = [
+                c.members() for c in self._conds
+            ]
+        else:
+            self._conds = condensations
+            self._members = members
+        if node_comp is None:
+            # Figure 2's matrix I[v, i]: component of node v in world i.
+            self._node_comp = np.column_stack(
+                [c.node_comp for c in self._conds]
+            ).astype(np.int32)
+        else:
+            self._node_comp = node_comp
 
     # -- construction -------------------------------------------------------
 
@@ -67,16 +84,35 @@ class CascadeIndex:
         num_samples: int,
         seed: SeedLike = None,
         reduce: bool = True,
+        *,
+        n_jobs: int | None = 1,
     ) -> "CascadeIndex":
-        """Algorithm 1: sample worlds, condense, optionally reduce."""
+        """Algorithm 1: sample worlds, condense, optionally reduce.
+
+        ``n_jobs`` fans the per-world condensation work across a process
+        pool (``None``/``0`` = all cores).  Worlds are deterministic in
+        ``(seed, world_index)``, so the result is bit-identical to the
+        serial build for every worker count.
+        """
         check_positive_int(num_samples, "num_samples")
         sampler = WorldSampler(graph, seed)
-        condensations = []
-        for i in range(num_samples):
-            cond = condense(graph, sampler.world_mask(i))
-            if reduce:
-                cond = reduce_condensation(cond)
-            condensations.append(cond)
+        if n_jobs == 1:
+            condensations = []
+            for i in range(num_samples):
+                cond = condense(graph, sampler.world_mask(i))
+                if reduce:
+                    cond = reduce_condensation(cond)
+                condensations.append(cond)
+        else:
+            from repro.store.build import sampled_condensations
+
+            condensations = sampled_condensations(
+                graph,
+                num_samples,
+                entropy=sampler.seed_entropy,
+                reduce=reduce,
+                n_jobs=n_jobs,
+            )
         return cls(graph, condensations, reduced=reduce, sampler=sampler)
 
     def extend(self, additional_samples: int) -> None:
@@ -124,10 +160,33 @@ class CascadeIndex:
     def reduced(self) -> bool:
         return self._reduced
 
+    @property
+    def component_matrix(self) -> np.ndarray:
+        """Figure 2's ``I[v, i]`` matrix, shape ``(n, l)`` (do not mutate)."""
+        return self._node_comp
+
+    @property
+    def seed_entropy(self):
+        """Entropy of the sampler's seed sequence, or ``None`` when the
+        index was not built in-process (it fully determines every world;
+        the persistent store records it to keep appends deterministic)."""
+        return self._sampler.seed_entropy if self._sampler is not None else None
+
+    @property
+    def store_header(self):
+        """Parsed :class:`~repro.store.header.IndexStoreHeader` when this
+        index was opened from a persistent store, else ``None``."""
+        return self._store_header
+
     def condensation(self, world: int) -> Condensation:
         """The stored SCC condensation of world ``world``."""
         self._check_world(world)
         return self._conds[world]
+
+    def world_members(self, world: int) -> Sequence[np.ndarray]:
+        """Per-component sorted member lists of world ``world``."""
+        self._check_world(world)
+        return self._members[world]
 
     def component_of(self, node: int, world: int) -> int:
         """The matrix lookup I[v, i] of Figure 2."""
@@ -261,8 +320,32 @@ class CascadeIndex:
 
     # -- serialisation ----------------------------------------------------------
 
-    def save(self, path: PathLike) -> None:
-        """Persist to a compressed ``.npz`` (topology + per-world DAGs)."""
+    def save(self, path: PathLike, *, format: str | None = None, overwrite: bool = False) -> None:
+        """Persist the index.
+
+        Two formats are supported and picked by ``format`` (or, when
+        ``None``, by the path: a ``.npz`` suffix selects the legacy
+        archive, anything else the store directory):
+
+        * ``"store"`` — the versioned columnar directory of
+          :mod:`repro.store`: checksummed header, memory-mapped zero-copy
+          :meth:`load`, :func:`~repro.store.append.append_worlds` support.
+          Preferred for anything that will be reloaded.
+        * ``"npz"`` — a single compressed archive (topology + per-world
+          DAGs); loading re-derives members and sizes in memory.
+        """
+        if format is None:
+            format = "npz" if str(os.fspath(path)).endswith(".npz") else "store"
+        if format == "store":
+            from repro.store.format import write_index
+
+            write_index(self, path, overwrite=overwrite)
+            return
+        if format != "npz":
+            raise ValueError(f"format must be 'store' or 'npz', got {format!r}")
+        self._save_npz(path)
+
+    def _save_npz(self, path: PathLike) -> None:
         arrays: dict[str, np.ndarray] = {
             "graph_indptr": self._graph.indptr,
             "graph_targets": self._graph.targets,
@@ -276,33 +359,51 @@ class CascadeIndex:
         np.savez_compressed(path, **arrays)
 
     @classmethod
-    def load(cls, path: PathLike) -> "CascadeIndex":
-        """Inverse of :meth:`save`."""
+    def load(cls, path: PathLike, *, verify: str = "fast") -> "CascadeIndex":
+        """Inverse of :meth:`save` for both formats.
+
+        A store directory is opened zero-copy via ``numpy`` memmaps (see
+        :func:`repro.store.read_index`; ``verify`` selects ``"fast"`` size
+        checks or ``"full"`` SHA-256 validation).  A ``.npz`` archive is
+        decompressed fully into memory.
+        """
+        if os.path.isdir(path):
+            from repro.store.format import read_index
+
+            return read_index(path, verify=verify)
         with np.load(path) as data:
-            n = int(data["graph_indptr"].shape[0]) - 1
-            graph = ProbabilisticDigraph._from_csr_unchecked(
-                n,
-                data["graph_indptr"],
-                data["graph_targets"],
-                data["graph_probs"],
-            )
-            node_comp = data["node_comp"]
-            reduced = bool(int(data["reduced"][0]))
-            conds = []
-            num_worlds = node_comp.shape[1]
-            for i in range(num_worlds):
-                comp = node_comp[:, i].astype(np.int64)
-                num_components = int(comp.max()) + 1 if comp.size else 0
-                comp_sizes = np.bincount(comp, minlength=num_components).astype(
-                    np.int64
+            try:
+                n = int(data["graph_indptr"].shape[0]) - 1
+                graph = ProbabilisticDigraph._from_csr_unchecked(
+                    n,
+                    data["graph_indptr"],
+                    data["graph_targets"],
+                    data["graph_probs"],
                 )
-                conds.append(
-                    Condensation(
-                        node_comp=comp,
-                        num_components=num_components,
-                        indptr=data[f"w{i}_indptr"],
-                        targets=data[f"w{i}_targets"],
-                        comp_sizes=comp_sizes,
+                node_comp = data["node_comp"]
+                reduced = bool(int(data["reduced"][0]))
+                conds = []
+                num_worlds = node_comp.shape[1]
+                for i in range(num_worlds):
+                    comp = node_comp[:, i].astype(np.int64)
+                    num_components = int(comp.max()) + 1 if comp.size else 0
+                    comp_sizes = np.bincount(comp, minlength=num_components).astype(
+                        np.int64
                     )
-                )
+                    conds.append(
+                        Condensation(
+                            node_comp=comp,
+                            num_components=num_components,
+                            indptr=data[f"w{i}_indptr"],
+                            targets=data[f"w{i}_targets"],
+                            comp_sizes=comp_sizes,
+                        )
+                    )
+            except KeyError as exc:
+                from repro.store.errors import StoreFormatError
+
+                raise StoreFormatError(
+                    f"{os.fspath(path)} is not a complete cascade-index archive: "
+                    f"missing array — {exc.args[0]}"
+                ) from exc
         return cls(graph, conds, reduced=reduced)

@@ -6,6 +6,10 @@ Usage::
     python -m repro table2 --scale 0.2 --samples 64 --max-nodes 100
     python -m repro fig6 --settings Digg-S Slashdot-W --k 30
     python -m repro sphere --setting NetHEPT-W --node 5
+    python -m repro index build --setting NetHEPT-W --samples 64 --out idx/
+    python -m repro index info idx/ --verify full
+    python -m repro index append idx/ --samples 64
+    python -m repro index query idx/ --node 5 --sphere --infmax 10
     python -m repro list-settings
 
 Every subcommand prints the same rows/series the paper reports; see
@@ -55,7 +59,7 @@ def _settings_argument(parser: argparse.ArgumentParser, default=None) -> None:
         default=default,
         choices=CLI_SETTINGS,
         metavar="SETTING",
-        help=f"subset of the 12 settings (default: harness default)",
+        help="subset of the 12 settings (default: harness default)",
     )
 
 
@@ -88,10 +92,54 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sphere", help="sphere of influence of one node")
     _add_common(p)
-    p.add_argument("--setting", required=True, choices=CLI_SETTINGS)
+    p.add_argument("--setting", choices=CLI_SETTINGS,
+                   help="dataset setting to build an index for")
     p.add_argument("--node", type=int, required=True)
+    p.add_argument("--index", default=None, metavar="PATH",
+                   help="saved cascade index to query instead of building "
+                        "one from --setting")
 
     sub.add_parser("list-settings", help="list the 12 dataset settings")
+
+    p = sub.add_parser(
+        "index", help="build, inspect, grow and query persistent cascade indexes"
+    )
+    isub = p.add_subparsers(dest="index_command", required=True)
+
+    ib = isub.add_parser("build", help="sample worlds and save a store directory")
+    _add_common(ib)
+    ib.add_argument("--setting", required=True, choices=CLI_SETTINGS)
+    ib.add_argument("--out", required=True, metavar="PATH",
+                    help="store directory to write")
+    ib.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for the build (0 = all cores)")
+    ib.add_argument("--no-reduce", action="store_true",
+                    help="skip the transitive reduction of the DAGs")
+    ib.add_argument("--force", action="store_true",
+                    help="overwrite an existing store at --out")
+
+    ii = isub.add_parser("info", help="print a saved store's header")
+    ii.add_argument("path", metavar="PATH")
+    ii.add_argument("--verify", choices=("fast", "full"), default="fast",
+                    help="'full' re-hashes every array file (default: fast)")
+
+    ia = isub.add_parser("append", help="grow a saved store by fresh worlds")
+    ia.add_argument("path", metavar="PATH")
+    ia.add_argument("--samples", type=int, required=True,
+                    help="number of additional worlds to append")
+    ia.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for the new worlds (0 = all cores)")
+
+    iq = isub.add_parser("query", help="query a saved store without rebuilding")
+    iq.add_argument("path", metavar="PATH")
+    iq.add_argument("--node", type=int, default=None,
+                    help="node whose cascades/sphere to report")
+    iq.add_argument("--world", type=int, default=None,
+                    help="with --node: print cascade(node, world) members")
+    iq.add_argument("--sphere", action="store_true",
+                    help="with --node: compute its sphere of influence")
+    iq.add_argument("--infmax", type=int, default=None, metavar="K",
+                    help="run InfMax_TC for a size-K seed set")
 
     p = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from results/ artefacts"
@@ -130,7 +178,7 @@ def _run_fig4(args) -> str:
     kwargs = {}
     if args.settings:
         kwargs["settings"] = tuple(args.settings)
-    if args.max_nodes:
+    if args.max_nodes is not None:
         kwargs["max_nodes"] = args.max_nodes
     return format_fig4(run_fig4(_base_config(args), **kwargs))
 
@@ -176,16 +224,133 @@ def _run_sphere(args) -> str:
     from repro.core.typical_cascade import TypicalCascadeComputer
     from repro.datasets.registry import load_setting
 
-    setting = load_setting(args.setting, scale=args.scale)
-    index = CascadeIndex.build(setting.graph, args.samples, seed=args.seed)
+    if args.index is not None:
+        index = CascadeIndex.load(args.index)
+        source = args.index
+    elif args.setting is not None:
+        setting = load_setting(args.setting, scale=args.scale)
+        index = CascadeIndex.build(setting.graph, args.samples, seed=args.seed)
+        source = f"{args.setting} (scale {args.scale})"
+    else:
+        raise SystemExit("sphere: one of --setting or --index is required")
     sphere = TypicalCascadeComputer(index).compute(args.node)
     lines = [
-        f"Sphere of influence of node {args.node} in {args.setting} "
-        f"(scale {args.scale}, {args.samples} samples):",
+        f"Sphere of influence of node {args.node} in {source} "
+        f"({index.num_worlds} samples):",
         f"  size: {sphere.size}",
         f"  cost (stability): {sphere.cost:.4f}",
         f"  members: {sphere.members.tolist()}",
     ]
+    return "\n".join(lines)
+
+
+def _run_index(args) -> str:
+    handlers = {
+        "build": _run_index_build,
+        "info": _run_index_info,
+        "append": _run_index_append,
+        "query": _run_index_query,
+    }
+    return handlers[args.index_command](args)
+
+
+def _format_header(header, path: str) -> str:
+    payload = sum(info.num_bytes for info in header.arrays.values())
+    entropy = header.seed_entropy
+    lines = [
+        f"cascade-index store at {path}:",
+        f"  format version: {header.format_version}",
+        f"  nodes: {header.num_nodes}, edges: {header.num_edges}, "
+        f"worlds: {header.num_worlds}",
+        f"  transitively reduced: {header.reduced}",
+        f"  seed entropy: {entropy if entropy is not None else '(not recorded)'}",
+        f"  graph fingerprint: {header.graph_fingerprint}",
+        f"  content digest: {header.content_digest}",
+        f"  payload: {len(header.arrays)} arrays, {payload} bytes",
+    ]
+    return "\n".join(lines)
+
+
+def _run_index_build(args) -> str:
+    from repro.datasets.registry import load_setting
+    from repro.store import build_index, read_header
+
+    setting = load_setting(args.setting, scale=args.scale)
+    index = build_index(
+        setting.graph,
+        args.samples,
+        seed=args.seed,
+        reduce=not args.no_reduce,
+        n_jobs=args.jobs if args.jobs != 0 else None,
+    )
+    index.save(args.out, format="store", overwrite=args.force)
+    return _format_header(read_header(args.out), args.out)
+
+
+def _run_index_info(args) -> str:
+    from repro.store import check_files, read_header
+
+    header = read_header(args.path)
+    check_files(args.path, header, verify=args.verify)
+    verified = "full sha256" if args.verify == "full" else "file sizes"
+    return _format_header(header, args.path) + f"\n  verified: {verified}"
+
+
+def _run_index_append(args) -> str:
+    from repro.store import append_worlds
+
+    header = append_worlds(
+        args.path,
+        args.samples,
+        n_jobs=args.jobs if args.jobs != 0 else None,
+    )
+    return (
+        f"appended {args.samples} worlds\n"
+        + _format_header(header, args.path)
+    )
+
+
+def _run_index_query(args) -> str:
+    from repro.cascades.index import CascadeIndex
+    from repro.core.typical_cascade import TypicalCascadeComputer
+    from repro.influence.greedy_tc import infmax_tc
+
+    index = CascadeIndex.load(args.path)
+    lines: list[str] = []
+    if args.node is not None:
+        if args.world is not None:
+            cascade = index.cascade(args.node, args.world)
+            lines.append(
+                f"cascade of node {args.node} in world {args.world}: "
+                f"size {cascade.size}, members {cascade.tolist()}"
+            )
+        else:
+            sizes = [index.cascade_size(args.node, w)
+                     for w in range(index.num_worlds)]
+            mean = sum(sizes) / len(sizes)
+            lines.append(
+                f"cascade sizes of node {args.node} over {index.num_worlds} "
+                f"worlds: min {min(sizes)}, mean {mean:.2f}, max {max(sizes)}"
+            )
+        if args.sphere:
+            sphere = TypicalCascadeComputer(index).compute(args.node)
+            lines.append(
+                f"sphere of node {args.node}: size {sphere.size}, "
+                f"cost {sphere.cost:.4f}, members {sphere.members.tolist()}"
+            )
+    if args.infmax is not None:
+        trace, _spheres = infmax_tc(index, args.infmax)
+        lines.append(
+            f"InfMax_TC seeds (k={args.infmax}): {list(trace.selected)}"
+        )
+        lines.append(
+            f"coverage: {int(trace.coverage[-1])} of {index.num_nodes} nodes"
+        )
+    if not lines:
+        raise SystemExit(
+            "index query: nothing to do — pass --node [--world/--sphere] "
+            "and/or --infmax K"
+        )
     return "\n".join(lines)
 
 
@@ -216,6 +381,7 @@ _DISPATCH = {
     "fig7": _run_fig7,
     "fig8": _run_fig8,
     "sphere": _run_sphere,
+    "index": _run_index,
     "list-settings": _run_list_settings,
     "report": _run_report,
 }

@@ -16,14 +16,27 @@ from typing import Iterator, Mapping, Union
 import numpy as np
 
 from repro.core.sphere import SphereOfInfluence
+from repro.store.errors import StoreFormatError
+from repro.store.provenance import IndexProvenance
 
 PathLike = Union[str, os.PathLike]
 
 
 class SphereStore:
-    """An immutable collection of single-node spheres with npz persistence."""
+    """An immutable collection of single-node spheres with npz persistence.
 
-    def __init__(self, spheres: Mapping[int, SphereOfInfluence]) -> None:
+    ``provenance`` optionally records which cascade index the spheres were
+    computed from (:class:`~repro.store.provenance.IndexProvenance`); it is
+    persisted alongside the spheres, so a saved store stays auditable back
+    to the sampled worlds that produced it.
+    """
+
+    def __init__(
+        self,
+        spheres: Mapping[int, SphereOfInfluence],
+        *,
+        provenance: IndexProvenance | None = None,
+    ) -> None:
         if not spheres:
             raise ValueError("store needs at least one sphere")
         for node, sphere in spheres.items():
@@ -33,6 +46,12 @@ class SphereStore:
                     "the store holds single-node spheres keyed by source"
                 )
         self._spheres = {int(node): sphere for node, sphere in spheres.items()}
+        self._provenance = provenance
+
+    @property
+    def provenance(self) -> IndexProvenance | None:
+        """Identity of the index these spheres came from, when recorded."""
+        return self._provenance
 
     # -- mapping surface ------------------------------------------------------
 
@@ -80,7 +99,7 @@ class SphereStore:
     # -- persistence ------------------------------------------------------------
 
     def save(self, path: PathLike) -> None:
-        """Persist every sphere into one compressed ``.npz`` archive."""
+        """Persist every sphere (and any provenance) into one ``.npz``."""
         nodes = self.nodes()
         members = [self._spheres[v].members for v in nodes]
         sizes = np.array([m.size for m in members], dtype=np.int64)
@@ -89,6 +108,9 @@ class SphereStore:
         concat = (
             np.concatenate(members) if indptr[-1] > 0 else np.zeros(0, np.int64)
         )
+        extra: dict[str, np.ndarray] = {}
+        if self._provenance is not None:
+            extra["provenance"] = np.array([self._provenance.to_json()])
         np.savez_compressed(
             path,
             nodes=np.asarray(nodes, dtype=np.int64),
@@ -107,25 +129,40 @@ class SphereStore:
             sample_size_max=np.array(
                 [self._spheres[v].sample_size_max for v in nodes], dtype=np.int64
             ),
+            **extra,
         )
 
     @classmethod
     def load(cls, path: PathLike) -> "SphereStore":
-        """Inverse of :meth:`save`."""
+        """Inverse of :meth:`save`.
+
+        Raises :class:`~repro.store.errors.StoreFormatError` (a
+        ``ValueError``) with the missing array named when the archive is
+        truncated or not a sphere store at all.
+        """
         with np.load(path) as data:
-            nodes = data["nodes"]
-            indptr = data["indptr"]
-            concat = data["members"]
-            spheres = {}
-            for i, node in enumerate(nodes):
-                node = int(node)
-                spheres[node] = SphereOfInfluence(
-                    sources=(node,),
-                    members=concat[indptr[i] : indptr[i + 1]].copy(),
-                    cost=float(data["costs"][i]),
-                    num_samples=int(data["num_samples"][i]),
-                    sample_size_mean=float(data["sample_size_mean"][i]),
-                    sample_size_std=float(data["sample_size_std"][i]),
-                    sample_size_max=int(data["sample_size_max"][i]),
-                )
-        return cls(spheres)
+            try:
+                nodes = data["nodes"]
+                indptr = data["indptr"]
+                concat = data["members"]
+                spheres = {}
+                for i, node in enumerate(nodes):
+                    node = int(node)
+                    spheres[node] = SphereOfInfluence(
+                        sources=(node,),
+                        members=concat[indptr[i] : indptr[i + 1]].copy(),
+                        cost=float(data["costs"][i]),
+                        num_samples=int(data["num_samples"][i]),
+                        sample_size_mean=float(data["sample_size_mean"][i]),
+                        sample_size_std=float(data["sample_size_std"][i]),
+                        sample_size_max=int(data["sample_size_max"][i]),
+                    )
+                provenance = None
+                if "provenance" in data.files:
+                    provenance = IndexProvenance.from_json(str(data["provenance"][0]))
+            except KeyError as exc:
+                raise StoreFormatError(
+                    f"{os.fspath(path)} is not a complete sphere store: "
+                    f"missing array — {exc.args[0]}"
+                ) from exc
+        return cls(spheres, provenance=provenance)

@@ -10,7 +10,8 @@ cost (the stability measure).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+import os
+from typing import Callable, Iterable, Sequence, Union
 
 import numpy as np
 
@@ -28,7 +29,10 @@ class TypicalCascadeComputer:
     """Computes spheres of influence from a pre-built cascade index.
 
     Parameters:
-        index: a :class:`~repro.cascades.index.CascadeIndex`.
+        index: a :class:`~repro.cascades.index.CascadeIndex`, or the path
+            of a saved one (store directory or ``.npz``) to load — the
+            persistent-index workflow: build once, then serve every
+            campaign's sphere queries from the same saved index.
         size_grid_ratio: density of the median's size sweep.
         refine: when True, polish every median with one local-search pass
             (slower; used by the ablation studies).
@@ -36,10 +40,12 @@ class TypicalCascadeComputer:
 
     def __init__(
         self,
-        index: CascadeIndex,
+        index: Union[CascadeIndex, str, os.PathLike],
         size_grid_ratio: float = 1.15,
         refine: bool = False,
     ) -> None:
+        if not isinstance(index, CascadeIndex):
+            index = CascadeIndex.load(index)
         self._index = index
         self._size_grid_ratio = size_grid_ratio
         self._refine = refine
@@ -102,6 +108,26 @@ class TypicalCascadeComputer:
             if on_progress is not None:
                 on_progress(int(node), sphere)
         return spheres
+
+    def compute_store(self, nodes: Iterable[int] | None = None):
+        """:meth:`compute_all` packaged as a provenance-carrying
+        :class:`~repro.core.store.SphereStore`.
+
+        The store records which index produced it (content digest, graph
+        fingerprint, seed entropy, world count) — for an index opened from
+        a persistent store the identity comes straight from its header;
+        otherwise the live index is hashed.
+        """
+        from repro.core.store import SphereStore
+        from repro.store.provenance import IndexProvenance
+
+        header = self._index.store_header
+        provenance = (
+            IndexProvenance.from_header(header)
+            if header is not None
+            else IndexProvenance.from_index(self._index)
+        )
+        return SphereStore(self.compute_all(nodes), provenance=provenance)
 
 
 def compute_typical_cascade(

@@ -77,8 +77,11 @@ def enumerate_worlds(
             f"refusing to enumerate 2^{m} worlds (limit 2^{max_edges}); "
             "raise max_edges explicitly if you really mean it"
         )
+    # Arc i of world `bits` is bit i of `bits`; one vectorised shift per
+    # world instead of a per-bit Python loop.
+    bit_positions = np.arange(m, dtype=np.int64)
     for bits in range(1 << m):
-        mask = np.array([(bits >> i) & 1 == 1 for i in range(m)], dtype=bool)
+        mask = (bits >> bit_positions) & 1 == 1
         yield mask, world_probability(graph, mask)
 
 
@@ -103,6 +106,13 @@ class WorldSampler:
     @property
     def graph(self) -> ProbabilisticDigraph:
         return self._graph
+
+    @property
+    def seed_entropy(self):
+        """Entropy of the root seed sequence — with the world index, the
+        sole input to :meth:`world_mask`.  Recording it (the persistent
+        index store does) is enough to re-derive any world later."""
+        return self._seed_sequence.entropy
 
     def world_mask(self, index: int) -> np.ndarray:
         """Edge mask of world ``index`` (deterministic in (seed, index))."""

@@ -9,7 +9,8 @@ place of the seed set's own typical cascade.
 
 from __future__ import annotations
 
-from typing import Mapping
+import os
+from typing import Mapping, Union
 
 import numpy as np
 
@@ -47,13 +48,17 @@ def infmax_tc_from_spheres(
 
 
 def infmax_tc(
-    index: CascadeIndex,
+    index: Union[CascadeIndex, str, os.PathLike],
     k: int,
     size_grid_ratio: float = 1.15,
     spheres: Mapping[int, SphereOfInfluence] | None = None,
 ) -> tuple[CoverTrace, dict[int, SphereOfInfluence]]:
     """End-to-end InfMax_TC: compute all spheres from ``index`` (unless
     supplied) and run greedy max-cover over them.
+
+    ``index`` may also be the path of a saved index (store directory or
+    ``.npz``); it is loaded with :meth:`CascadeIndex.load`, so a single
+    precomputed index on disk can serve many campaigns.
 
     Coverage ties are broken by each node's mean sampled-cascade size —
     statistics the index already holds — so that in the late, saturated
@@ -64,6 +69,8 @@ def infmax_tc(
     stability analysis (Figure 8) without recomputing them.
     """
     check_positive_int(k, "k")
+    if not isinstance(index, CascadeIndex):
+        index = CascadeIndex.load(index)
     if spheres is None:
         computer = TypicalCascadeComputer(index, size_grid_ratio=size_grid_ratio)
         spheres = computer.compute_all()

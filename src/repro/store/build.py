@@ -1,0 +1,156 @@
+"""Parallel, deterministic construction of cascade-index worlds.
+
+Sampling world ``i`` depends only on ``(seed entropy, i)`` — the contract
+of :class:`~repro.graph.sampling.WorldSampler` — and condensation plus
+transitive reduction are pure functions of the sampled mask.  The build
+therefore parallelises embarrassingly: worlds are partitioned into
+contiguous chunks, each worker re-derives its own sampler from the shared
+entropy, and results are reassembled in world order.  The output is
+**bit-identical** to the serial build regardless of worker count or
+scheduling (asserted by ``tests/store/test_build_parallel.py`` and the CI
+parity gate).
+
+Workers receive the graph's CSR arrays once via the pool initializer, not
+per task, so the per-chunk IPC cost is just the returned condensations.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.graph.condensation import Condensation, condense
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.graph.sampling import WorldSampler
+from repro.graph.transitive import reduce_condensation
+from repro.store.header import EntropyLike
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive_int
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cascades.index import CascadeIndex
+
+#: Chunks per worker: enough slack that an unlucky worker with the densest
+#: worlds does not serialise the whole pool behind it.
+_CHUNKS_PER_WORKER = 4
+
+#: Per-process state installed by :func:`_init_worker`.
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def _init_worker(
+    num_nodes: int,
+    indptr: np.ndarray,
+    targets: np.ndarray,
+    probs: np.ndarray,
+    entropy: EntropyLike,
+    reduce: bool,
+) -> None:
+    graph = ProbabilisticDigraph._from_csr_unchecked(num_nodes, indptr, targets, probs)
+    _WORKER_STATE["graph"] = graph
+    _WORKER_STATE["sampler"] = WorldSampler(
+        graph, np.random.SeedSequence(entropy=entropy)
+    )
+    _WORKER_STATE["reduce"] = reduce
+
+
+def _condense_one(
+    graph: ProbabilisticDigraph,
+    sampler: WorldSampler,
+    world: int,
+    reduce: bool,
+) -> Condensation:
+    cond = condense(graph, sampler.world_mask(world))
+    if reduce:
+        cond = reduce_condensation(cond)
+    return cond
+
+
+def _condense_range(bounds: tuple[int, int]) -> list[Condensation]:
+    graph = _WORKER_STATE["graph"]
+    sampler = _WORKER_STATE["sampler"]
+    reduce = _WORKER_STATE["reduce"]
+    start, stop = bounds
+    return [_condense_one(graph, sampler, i, reduce) for i in range(start, stop)]
+
+
+def _chunk_bounds(start: int, count: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``[start, start + count)`` into ``chunks`` contiguous ranges."""
+    edges = np.linspace(start, start + count, chunks + 1).astype(np.int64)
+    return [
+        (int(edges[i]), int(edges[i + 1]))
+        for i in range(chunks)
+        if edges[i + 1] > edges[i]
+    ]
+
+
+def resolve_jobs(n_jobs: int | None) -> int:
+    """Normalise an ``n_jobs`` argument: ``None``/``0`` means all cores."""
+    if n_jobs is None or n_jobs == 0:
+        return os.cpu_count() or 1
+    if n_jobs < 0:
+        raise ValueError(f"n_jobs must be positive, None or 0, got {n_jobs}")
+    return n_jobs
+
+
+def sampled_condensations(
+    graph: ProbabilisticDigraph,
+    num_samples: int,
+    *,
+    entropy: EntropyLike,
+    reduce: bool = True,
+    n_jobs: int | None = 1,
+    start: int = 0,
+) -> list[Condensation]:
+    """Condensations of worlds ``start .. start + num_samples`` of ``entropy``.
+
+    The workhorse behind :meth:`CascadeIndex.build(n_jobs=...)
+    <repro.cascades.index.CascadeIndex.build>` and
+    :func:`~repro.store.append.append_worlds`.  ``entropy`` is the recorded
+    ``SeedSequence.entropy`` of the index's sampler, which fully determines
+    every world; the result is identical for every ``n_jobs``.
+    """
+    check_positive_int(num_samples, "num_samples")
+    if start < 0:
+        raise ValueError(f"start must be non-negative, got {start}")
+    n_jobs = min(resolve_jobs(n_jobs), num_samples)
+    if n_jobs == 1:
+        sampler = WorldSampler(graph, np.random.SeedSequence(entropy=entropy))
+        return [
+            _condense_one(graph, sampler, i, reduce)
+            for i in range(start, start + num_samples)
+        ]
+    bounds = _chunk_bounds(start, num_samples, n_jobs * _CHUNKS_PER_WORKER)
+    with ProcessPoolExecutor(
+        max_workers=n_jobs,
+        initializer=_init_worker,
+        initargs=(
+            graph.num_nodes,
+            np.asarray(graph.indptr),
+            np.asarray(graph.targets),
+            np.asarray(graph.probs),
+            entropy,
+            reduce,
+        ),
+    ) as pool:
+        chunks = list(pool.map(_condense_range, bounds))
+    return [cond for chunk in chunks for cond in chunk]
+
+
+def build_index(
+    graph: ProbabilisticDigraph,
+    num_samples: int,
+    seed: SeedLike = None,
+    reduce: bool = True,
+    *,
+    n_jobs: int | None = 1,
+) -> "CascadeIndex":
+    """Build a :class:`CascadeIndex`, fanning the per-world work over
+    ``n_jobs`` processes.  Convenience alias for
+    ``CascadeIndex.build(..., n_jobs=n_jobs)``."""
+    from repro.cascades.index import CascadeIndex
+
+    return CascadeIndex.build(graph, num_samples, seed=seed, reduce=reduce, n_jobs=n_jobs)

@@ -1,0 +1,37 @@
+"""Exception hierarchy of the persistent index store.
+
+Every failure mode an operator can hit when opening somebody else's index
+file maps to a distinct exception, so callers can distinguish "this is not
+an index at all" (:class:`StoreFormatError`) from "this was an index but it
+is damaged" (:class:`StoreIntegrityError`) from "this index belongs to a
+different graph" (:class:`FingerprintMismatchError`).
+
+All of them subclass :class:`ValueError` (via :class:`StoreError`) so a
+bare ``except ValueError`` in legacy call sites keeps working.
+"""
+
+from __future__ import annotations
+
+
+class StoreError(ValueError):
+    """Base class for every persistent-store failure."""
+
+
+class StoreFormatError(StoreError):
+    """The file/directory is not a valid store of the expected format.
+
+    Raised for missing files, unknown magic strings, unsupported format
+    versions, and archives missing required arrays.
+    """
+
+
+class StoreIntegrityError(StoreError):
+    """The store is structurally valid but its content fails validation.
+
+    Raised when a checksum or byte-size recorded in the header does not
+    match the data on disk — a torn write, truncation or bit rot.
+    """
+
+
+class FingerprintMismatchError(StoreError):
+    """The store was built from a different graph than the one supplied."""

@@ -1,0 +1,105 @@
+"""Content addressing for graphs and cascade indexes.
+
+Two digests anchor the store's provenance chain:
+
+* :func:`graph_fingerprint` — a SHA-256 over the CSR arrays of a
+  :class:`~repro.graph.digraph.ProbabilisticDigraph`.  Two graphs with the
+  same fingerprint have identical topology and probabilities, so an index
+  header carrying the fingerprint proves which graph it was sampled from.
+* :func:`index_digest` — a SHA-256 over the *logical* content of a cascade
+  index (the ``I[v, i]`` matrix plus every world's condensation DAG).  It
+  is computable both from an in-memory :class:`CascadeIndex` and from the
+  on-disk arrays, and is bit-for-bit identical for the two — the property
+  the parallel-vs-serial build parity check and the sphere-store
+  provenance link both rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import TYPE_CHECKING, Iterable, Union
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.graph.condensation import Condensation
+    from repro.graph.digraph import ProbabilisticDigraph
+
+PathLike = Union[str, os.PathLike]
+
+_DIGEST_PREFIX = "sha256:"
+
+#: Streaming chunk for file digests — 4 MiB keeps memory flat on huge files.
+_FILE_CHUNK_BYTES = 4 * 1024 * 1024
+
+
+def _canonical_bytes(array: np.ndarray, dtype: np.dtype | str) -> bytes:
+    """C-contiguous little-endian bytes of ``array`` viewed as ``dtype``."""
+    canonical = np.ascontiguousarray(array, dtype=np.dtype(dtype).newbyteorder("<"))
+    return canonical.tobytes()
+
+
+def graph_fingerprint(graph: "ProbabilisticDigraph") -> str:
+    """Deterministic SHA-256 of a graph's node count and CSR arrays."""
+    hasher = hashlib.sha256()
+    hasher.update(b"repro-graph-v1")
+    hasher.update(int(graph.num_nodes).to_bytes(8, "little"))
+    hasher.update(_canonical_bytes(graph.indptr, np.int64))
+    hasher.update(_canonical_bytes(graph.targets, np.int32))
+    hasher.update(_canonical_bytes(graph.probs, np.float64))
+    return _DIGEST_PREFIX + hasher.hexdigest()
+
+
+def index_digest(
+    node_comp: np.ndarray,
+    condensations: Iterable["Condensation"],
+    *,
+    graph_fp: str,
+    reduced: bool,
+) -> str:
+    """Logical SHA-256 of an index: graph identity, matrix, per-world DAGs.
+
+    Member lists and component sizes are derivable from ``node_comp`` and
+    are deliberately excluded, so the digest is cheap to recompute and
+    stable across storage layouts.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(b"repro-cascade-index-v1")
+    hasher.update(graph_fp.encode("ascii"))
+    hasher.update(b"reduced" if reduced else b"full")
+    hasher.update(_canonical_bytes(node_comp, np.int32))
+    count = 0
+    for cond in condensations:
+        hasher.update(_canonical_bytes(cond.indptr, np.int64))
+        hasher.update(_canonical_bytes(cond.targets, np.int64))
+        count += 1
+    hasher.update(count.to_bytes(8, "little"))
+    return _DIGEST_PREFIX + hasher.hexdigest()
+
+
+def digest_of_index(index) -> str:
+    """:func:`index_digest` of a live :class:`CascadeIndex` (duck-typed)."""
+    return index_digest(
+        index.component_matrix,
+        (index.condensation(w) for w in range(index.num_worlds)),
+        graph_fp=graph_fingerprint(index.graph),
+        reduced=index.reduced,
+    )
+
+
+def digest_file(path: PathLike) -> str:
+    """Streaming SHA-256 of a file's bytes."""
+    hasher = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_FILE_CHUNK_BYTES)
+            if not chunk:
+                break
+            hasher.update(chunk)
+    return _DIGEST_PREFIX + hasher.hexdigest()
+
+
+def digest_text(payload: str) -> str:
+    """SHA-256 of a UTF-8 string (used for the header's self-checksum)."""
+    return _DIGEST_PREFIX + hashlib.sha256(payload.encode("utf-8")).hexdigest()

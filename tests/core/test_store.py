@@ -7,6 +7,7 @@ from repro.cascades.index import CascadeIndex
 from repro.core.sphere import SphereOfInfluence
 from repro.core.store import SphereStore
 from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.store.errors import StoreFormatError
 
 
 def sphere(node, members, cost=0.2, size_stats=(2.0, 1.0, 4)) -> SphereOfInfluence:
@@ -104,3 +105,52 @@ class TestPersistence:
         path = tmp_path / "empty.npz"
         store.save(path)
         assert SphereStore.load(path)[3].size == 0
+
+    def test_single_node_store_roundtrip(self, tmp_path):
+        store = SphereStore({0: sphere(0, {0}, cost=0.0)})
+        path = tmp_path / "one.npz"
+        store.save(path)
+        loaded = SphereStore.load(path)
+        assert len(loaded) == 1
+        assert loaded[0].as_set() == {0}
+        assert loaded.most_reliable(1, min_size=1) == [0]
+
+    def test_truncated_archive_clear_error(self, store, tmp_path):
+        path = tmp_path / "spheres.npz"
+        store.save(path)
+        partial = tmp_path / "partial.npz"
+        with np.load(path) as data:
+            np.savez(partial, nodes=data["nodes"], indptr=data["indptr"])
+        with pytest.raises(StoreFormatError, match="missing array — members"):
+            SphereStore.load(partial)
+
+    def test_non_store_archive_clear_error(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, whatever=np.arange(3))
+        with pytest.raises(StoreFormatError, match="not a complete sphere store"):
+            SphereStore.load(path)
+
+
+class TestProvenance:
+    def test_roundtrip_preserves_provenance(self, small_random, tmp_path):
+        index = CascadeIndex.build(small_random, 8, seed=5)
+        store = TypicalCascadeComputer(index).compute_store(nodes=range(6))
+        assert store.provenance is not None
+        assert store.provenance.num_worlds == 8
+        path = tmp_path / "prov.npz"
+        store.save(path)
+        loaded = SphereStore.load(path)
+        assert loaded.provenance == store.provenance
+
+    def test_provenance_matches_store_header(self, small_random, tmp_path):
+        index = CascadeIndex.build(small_random, 8, seed=5)
+        index.save(tmp_path / "idx")
+        reloaded = CascadeIndex.load(tmp_path / "idx")
+        from_memory = TypicalCascadeComputer(index).compute_store(nodes=[0])
+        from_disk = TypicalCascadeComputer(reloaded).compute_store(nodes=[0])
+        assert from_memory.provenance.matches(from_disk.provenance)
+
+    def test_absent_provenance_loads_as_none(self, store, tmp_path):
+        path = tmp_path / "plain.npz"
+        store.save(path)
+        assert SphereStore.load(path).provenance is None

@@ -1,0 +1,77 @@
+"""Tests for repro.store.build — the parallel deterministic build pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.store import build_index
+from repro.store.build import _chunk_bounds, resolve_jobs, sampled_condensations
+from repro.store.fingerprint import digest_of_index
+
+
+class TestChunking:
+    def test_bounds_cover_range_exactly(self):
+        for count, chunks in [(7, 3), (1, 1), (16, 16), (5, 8)]:
+            bounds = _chunk_bounds(0, count, chunks)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == count
+            for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+                assert stop == start
+
+    def test_bounds_respect_start_offset(self):
+        bounds = _chunk_bounds(10, 6, 2)
+        assert bounds[0][0] == 10
+        assert bounds[-1][1] == 16
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(None) >= 1
+        assert resolve_jobs(0) >= 1
+
+
+class TestParallelParity:
+    def test_parallel_build_bit_identical_to_serial(self, small_random):
+        serial = CascadeIndex.build(small_random, 6, seed=2016)
+        parallel = CascadeIndex.build(small_random, 6, seed=2016, n_jobs=2)
+        np.testing.assert_array_equal(
+            parallel.component_matrix, serial.component_matrix
+        )
+        for w in range(6):
+            s, p = serial.condensation(w), parallel.condensation(w)
+            np.testing.assert_array_equal(p.node_comp, s.node_comp)
+            np.testing.assert_array_equal(p.indptr, s.indptr)
+            np.testing.assert_array_equal(p.targets, s.targets)
+            np.testing.assert_array_equal(p.comp_sizes, s.comp_sizes)
+        assert digest_of_index(parallel) == digest_of_index(serial)
+
+    def test_parity_without_reduction(self, small_random):
+        serial = CascadeIndex.build(small_random, 4, seed=9, reduce=False)
+        parallel = CascadeIndex.build(
+            small_random, 4, seed=9, reduce=False, n_jobs=2
+        )
+        assert digest_of_index(parallel) == digest_of_index(serial)
+
+    def test_build_index_helper_matches_classmethod(self, small_random):
+        via_helper = build_index(small_random, 4, seed=77, n_jobs=2)
+        via_method = CascadeIndex.build(small_random, 4, seed=77)
+        assert digest_of_index(via_helper) == digest_of_index(via_method)
+
+    def test_sampled_condensations_start_offset(self, small_random):
+        full = sampled_condensations(small_random, 6, entropy=55)
+        tail = sampled_condensations(small_random, 2, entropy=55, start=4)
+        for got, want in zip(tail, full[4:]):
+            np.testing.assert_array_equal(got.node_comp, want.node_comp)
+            np.testing.assert_array_equal(got.targets, want.targets)
+
+    def test_spawned_entropy_tuple_survives_roundtrip(self, small_random, tmp_path):
+        child = np.random.SeedSequence(4).spawn(1)[0]  # tuple-valued spawn_key
+        index = CascadeIndex.build(small_random, 3, seed=child)
+        assert index.seed_entropy == 4
+        index.save(tmp_path / "idx")
+        loaded = CascadeIndex.load(tmp_path / "idx")
+        assert loaded.seed_entropy == 4
+
+    def test_invalid_sample_count_rejected(self, small_random):
+        with pytest.raises(ValueError):
+            sampled_condensations(small_random, 0, entropy=1)

@@ -78,6 +78,83 @@ class TestCommands:
         assert "marginal gain" in capsys.readouterr().out
 
 
+class TestIndexCommands:
+    @pytest.fixture
+    def built(self, tmp_path, capsys):
+        path = tmp_path / "idx"
+        assert main(
+            [
+                "index", "build",
+                "--setting", "NetHEPT-W",
+                "--scale", "0.03",
+                "--samples", "6",
+                "--seed", "11",
+                "--out", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_build_reports_header(self, tmp_path, capsys):
+        path = tmp_path / "idx"
+        code = main(
+            [
+                "index", "build",
+                "--setting", "NetHEPT-W",
+                "--scale", "0.03",
+                "--samples", "6",
+                "--seed", "11",
+                "--out", str(path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worlds: 6" in out
+        assert "content digest: sha256:" in out
+        assert (path / "header.json").is_file()
+
+    def test_info_full_verify(self, built, capsys):
+        assert main(["index", "info", str(built), "--verify", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "seed entropy: 11" in out
+        assert "verified: full sha256" in out
+
+    def test_append_grows_store(self, built, capsys):
+        assert main(["index", "append", str(built), "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "appended 2 worlds" in out
+        assert "worlds: 8" in out
+
+    def test_query_cascade_sphere_infmax(self, built, capsys):
+        code = main(
+            [
+                "index", "query", str(built),
+                "--node", "1",
+                "--world", "0",
+                "--sphere",
+                "--infmax", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cascade of node 1 in world 0" in out
+        assert "sphere of node 1" in out
+        assert "InfMax_TC seeds (k=2)" in out
+
+    def test_query_without_work_errors(self, built):
+        with pytest.raises(SystemExit):
+            main(["index", "query", str(built)])
+
+    def test_sphere_accepts_saved_index(self, built, capsys):
+        assert main(["sphere", "--index", str(built), "--node", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Sphere of influence of node 1" in out
+
+    def test_sphere_requires_setting_or_index(self):
+        with pytest.raises(SystemExit):
+            main(["sphere", "--node", "1"])
+
+
 class TestReportCommand:
     def test_report_writes_markdown(self, tmp_path, capsys):
         results = tmp_path / "results"

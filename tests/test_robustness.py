@@ -14,6 +14,7 @@ from repro.core.typical_cascade import TypicalCascadeComputer
 from repro.graph.digraph import ProbabilisticDigraph
 from repro.graph.io import read_edge_list, write_edge_list
 from repro.median.samples import SampleCollection
+from repro.store.errors import StoreFormatError
 
 
 class TestCorruptedFiles:
@@ -35,13 +36,13 @@ class TestCorruptedFiles:
     def test_npz_with_missing_arrays(self, tmp_path):
         path = tmp_path / "partial.npz"
         np.savez(path, graph_indptr=np.array([0, 0]))
-        with pytest.raises(KeyError):
+        with pytest.raises(StoreFormatError, match="missing array"):
             CascadeIndex.load(path)
 
     def test_corrupted_sphere_store(self, tmp_path):
         path = tmp_path / "spheres.npz"
         np.savez(path, nodes=np.array([0]))  # missing everything else
-        with pytest.raises(KeyError):
+        with pytest.raises(StoreFormatError, match="missing array"):
             SphereStore.load(path)
 
     def test_malformed_edge_list(self, tmp_path):
