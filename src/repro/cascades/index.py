@@ -366,44 +366,61 @@ class CascadeIndex:
         :func:`repro.store.read_index`; ``verify`` selects ``"fast"`` size
         checks or ``"full"`` SHA-256 validation).  A ``.npz`` archive is
         decompressed fully into memory.
+
+        Every flavour of unreadable archive — truncated zip, garbage bytes,
+        missing arrays, corrupt compressed members — raises
+        :class:`~repro.store.errors.StoreFormatError` (a ``ValueError``);
+        a missing path stays ``FileNotFoundError``.
         """
         if os.path.isdir(path):
             from repro.store.format import read_index
 
             return read_index(path, verify=verify)
-        with np.load(path) as data:
-            try:
-                n = int(data["graph_indptr"].shape[0]) - 1
-                graph = ProbabilisticDigraph._from_csr_unchecked(
-                    n,
-                    data["graph_indptr"],
-                    data["graph_targets"],
-                    data["graph_probs"],
-                )
-                node_comp = data["node_comp"]
-                reduced = bool(int(data["reduced"][0]))
-                conds = []
-                num_worlds = node_comp.shape[1]
-                for i in range(num_worlds):
-                    comp = node_comp[:, i].astype(np.int64)
-                    num_components = int(comp.max()) + 1 if comp.size else 0
-                    comp_sizes = np.bincount(comp, minlength=num_components).astype(
-                        np.int64
-                    )
-                    conds.append(
-                        Condensation(
-                            node_comp=comp,
-                            num_components=num_components,
-                            indptr=data[f"w{i}_indptr"],
-                            targets=data[f"w{i}_targets"],
-                            comp_sizes=comp_sizes,
-                        )
-                    )
-            except KeyError as exc:
-                from repro.store.errors import StoreFormatError
+        import zipfile
+        import zlib
 
-                raise StoreFormatError(
-                    f"{os.fspath(path)} is not a complete cascade-index archive: "
-                    f"missing array — {exc.args[0]}"
-                ) from exc
+        from repro.store.errors import StoreFormatError
+
+        try:
+            with np.load(path) as data:
+                try:
+                    n = int(data["graph_indptr"].shape[0]) - 1
+                    graph = ProbabilisticDigraph._from_csr_unchecked(
+                        n,
+                        data["graph_indptr"],
+                        data["graph_targets"],
+                        data["graph_probs"],
+                    )
+                    node_comp = data["node_comp"]
+                    reduced = bool(int(data["reduced"][0]))
+                    conds = []
+                    num_worlds = node_comp.shape[1]
+                    for i in range(num_worlds):
+                        comp = node_comp[:, i].astype(np.int64)
+                        num_components = int(comp.max()) + 1 if comp.size else 0
+                        comp_sizes = np.bincount(
+                            comp, minlength=num_components
+                        ).astype(np.int64)
+                        conds.append(
+                            Condensation(
+                                node_comp=comp,
+                                num_components=num_components,
+                                indptr=data[f"w{i}_indptr"],
+                                targets=data[f"w{i}_targets"],
+                                comp_sizes=comp_sizes,
+                            )
+                        )
+                except KeyError as exc:
+                    raise StoreFormatError(
+                        f"{os.fspath(path)} is not a complete cascade-index "
+                        f"archive: missing array — {exc.args[0]}"
+                    ) from exc
+        except FileNotFoundError:
+            raise
+        except StoreFormatError:
+            raise
+        except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
+            raise StoreFormatError(
+                f"{os.fspath(path)} is not a readable cascade-index archive: {exc}"
+            ) from exc
         return cls(graph, conds, reduced=reduced)

@@ -6,7 +6,10 @@ Usage::
     python -m repro table2 --scale 0.2 --samples 64 --max-nodes 100
     python -m repro fig6 --settings Digg-S Slashdot-W --k 30
     python -m repro sphere --setting NetHEPT-W --node 5
+    python -m repro sphere --setting NetHEPT-W --all --out spheres.npz --resume
     python -m repro index build --setting NetHEPT-W --samples 64 --out idx/
+    python -m repro index build --setting NetHEPT-W --samples 256 --out idx/ \\
+        --batch-size 64 --resume
     python -m repro index info idx/ --verify full
     python -m repro index append idx/ --samples 64
     python -m repro index query idx/ --node 5 --sphere --infmax 10
@@ -14,6 +17,12 @@ Usage::
 
 Every subcommand prints the same rows/series the paper reports; see
 ``python -m repro --help`` for the full surface.
+
+Operational errors — a missing store path, a truncated or corrupt archive,
+a checkpoint that belongs to a different index — exit with code 2 and a
+one-line message on stderr instead of a traceback (the
+:class:`~repro.store.errors.StoreError` hierarchy plus
+``FileNotFoundError``).  Genuine bugs still traceback.
 """
 
 from __future__ import annotations
@@ -90,14 +99,29 @@ def build_parser() -> argparse.ArgumentParser:
             p.add_argument("--max-nodes", type=int, default=None,
                            help="subsample this many nodes (default: all)")
 
-    p = sub.add_parser("sphere", help="sphere of influence of one node")
+    p = sub.add_parser(
+        "sphere", help="sphere of influence of one node, or a resumable sweep"
+    )
     _add_common(p)
     p.add_argument("--setting", choices=CLI_SETTINGS,
                    help="dataset setting to build an index for")
-    p.add_argument("--node", type=int, required=True)
+    p.add_argument("--node", type=int, default=None,
+                   help="node whose sphere to compute")
+    p.add_argument("--all", action="store_true",
+                   help="sweep every node into a sphere store (see --out)")
     p.add_argument("--index", default=None, metavar="PATH",
                    help="saved cascade index to query instead of building "
                         "one from --setting")
+    p.add_argument("--out", default=None, metavar="PATH",
+                   help="with --all: .npz file to save the sphere store to")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="with --all: journal completed spheres here "
+                        "(default: <out>.ckpt)")
+    p.add_argument("--checkpoint-every", type=int, default=64,
+                   help="with --all: spheres per checkpoint shard (default 64)")
+    p.add_argument("--resume", action="store_true",
+                   help="with --all: reuse spheres already journaled in "
+                        "--checkpoint-dir instead of refusing to overwrite")
 
     sub.add_parser("list-settings", help="list the 12 dataset settings")
 
@@ -117,6 +141,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="skip the transitive reduction of the DAGs")
     ib.add_argument("--force", action="store_true",
                     help="overwrite an existing store at --out")
+    ib.add_argument("--batch-size", type=int, default=0,
+                    help="commit the store every N worlds so a crash loses "
+                         "at most one batch (0 = one monolithic commit)")
+    ib.add_argument("--resume", action="store_true",
+                    help="continue a partial store at --out from its "
+                         "recorded world count")
 
     ii = isub.add_parser("info", help="print a saved store's header")
     ii.add_argument("path", metavar="PATH")
@@ -224,6 +254,8 @@ def _run_sphere(args) -> str:
     from repro.core.typical_cascade import TypicalCascadeComputer
     from repro.datasets.registry import load_setting
 
+    if args.all == (args.node is not None):
+        raise SystemExit("sphere: exactly one of --node or --all is required")
     if args.index is not None:
         index = CascadeIndex.load(args.index)
         source = args.index
@@ -233,7 +265,10 @@ def _run_sphere(args) -> str:
         source = f"{args.setting} (scale {args.scale})"
     else:
         raise SystemExit("sphere: one of --setting or --index is required")
-    sphere = TypicalCascadeComputer(index).compute(args.node)
+    computer = TypicalCascadeComputer(index)
+    if args.all:
+        return _run_sphere_sweep(args, computer, source)
+    sphere = computer.compute(args.node)
     lines = [
         f"Sphere of influence of node {args.node} in {source} "
         f"({index.num_worlds} samples):",
@@ -242,6 +277,36 @@ def _run_sphere(args) -> str:
         f"  members: {sphere.members.tolist()}",
     ]
     return "\n".join(lines)
+
+
+def _run_sphere_sweep(args, computer, source: str) -> str:
+    """``sphere --all``: a checkpointed sweep over every node."""
+    import pathlib
+
+    from repro.runtime.checkpoint import JOURNAL_NAME
+
+    if args.out is None:
+        raise SystemExit("sphere --all: --out is required")
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None:
+        checkpoint_dir = f"{args.out}.ckpt"
+    journal = pathlib.Path(checkpoint_dir) / JOURNAL_NAME
+    if journal.exists() and not args.resume:
+        raise SystemExit(
+            f"sphere --all: {checkpoint_dir} already holds a checkpoint "
+            "journal; pass --resume to continue it (or remove the directory)"
+        )
+    store = computer.compute_store(
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
+    store.save(args.out)
+    return (
+        f"swept {len(store)} spheres of {source} "
+        f"({computer.index.num_worlds} samples) into {args.out}\n"
+        f"  checkpoints: {checkpoint_dir}\n"
+        f"  digest: {store.digest()}"
+    )
 
 
 def _run_index(args) -> str:
@@ -276,6 +341,21 @@ def _run_index_build(args) -> str:
     from repro.store import build_index, read_header
 
     setting = load_setting(args.setting, scale=args.scale)
+    if args.resume or args.batch_size:
+        from repro.runtime.build_resume import resumable_index_build
+
+        header = resumable_index_build(
+            setting.graph,
+            args.samples,
+            seed=args.seed,
+            out=args.out,
+            reduce=not args.no_reduce,
+            n_jobs=args.jobs if args.jobs != 0 else None,
+            batch_size=args.batch_size,
+            resume=args.resume,
+            overwrite=args.force,
+        )
+        return _format_header(header, args.out)
     index = build_index(
         setting.graph,
         args.samples,
@@ -388,9 +468,21 @@ _DISPATCH = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Operational failures (unreadable/corrupt stores, missing paths, stale
+    checkpoints — the :class:`~repro.store.errors.StoreError` hierarchy and
+    ``FileNotFoundError``) print one line on stderr and return 2; anything
+    else is a bug and keeps its traceback.
+    """
+    from repro.store.errors import StoreError
+
     args = build_parser().parse_args(argv)
-    output = _DISPATCH[args.command](args)
+    try:
+        output = _DISPATCH[args.command](args)
+    except (StoreError, FileNotFoundError) as exc:
+        print(f"repro {args.command}: error: {exc}", file=sys.stderr)
+        return 2
     print(output)
     return 0
 

@@ -10,7 +10,10 @@ sampling metadata, loadable in milliseconds for the next campaign.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import zipfile
+import zlib
 from typing import Iterator, Mapping, Union
 
 import numpy as np
@@ -96,6 +99,59 @@ class SphereStore:
         eligible.sort(key=lambda v: (self._spheres[v].cost, v))
         return eligible[:count]
 
+    def digest(self) -> str:
+        """Canonical SHA-256 of the store's logical content.
+
+        Computed over the sorted node ids, every sphere's members/cost/
+        sampling metadata and the provenance record — independent of how the
+        store was produced, so an interrupted-then-resumed sweep and an
+        uninterrupted one can be compared with a single string equality
+        (the resume-determinism tests and the CI fault-injection gate do).
+        """
+        nodes = self.nodes()
+        members = [self._spheres[v].members for v in nodes]
+        sizes = [m.size for m in members]
+        hasher = hashlib.sha256()
+        hasher.update(b"repro-sphere-store-v1")
+        for name, array, dtype in (
+            ("nodes", np.asarray(nodes), np.int64),
+            ("sizes", np.asarray(sizes), np.int64),
+            (
+                "members",
+                np.concatenate(members) if members else np.zeros(0, np.int64),
+                np.int64,
+            ),
+            ("costs", self.costs(), np.float64),
+            (
+                "num_samples",
+                np.asarray([self._spheres[v].num_samples for v in nodes]),
+                np.int64,
+            ),
+            (
+                "sample_size_mean",
+                np.asarray([self._spheres[v].sample_size_mean for v in nodes]),
+                np.float64,
+            ),
+            (
+                "sample_size_std",
+                np.asarray([self._spheres[v].sample_size_std for v in nodes]),
+                np.float64,
+            ),
+            (
+                "sample_size_max",
+                np.asarray([self._spheres[v].sample_size_max for v in nodes]),
+                np.int64,
+            ),
+        ):
+            hasher.update(name.encode("ascii"))
+            canonical = np.ascontiguousarray(
+                array, dtype=np.dtype(dtype).newbyteorder("<")
+            )
+            hasher.update(canonical.tobytes())
+        if self._provenance is not None:
+            hasher.update(self._provenance.to_json().encode("utf-8"))
+        return "sha256:" + hasher.hexdigest()
+
     # -- persistence ------------------------------------------------------------
 
     def save(self, path: PathLike) -> None:
@@ -137,32 +193,45 @@ class SphereStore:
         """Inverse of :meth:`save`.
 
         Raises :class:`~repro.store.errors.StoreFormatError` (a
-        ``ValueError``) with the missing array named when the archive is
-        truncated or not a sphere store at all.
+        ``ValueError``) when the archive is truncated, corrupt or not a
+        sphere store at all — one public exception type for every flavour
+        of unreadable file (missing path excepted: that stays
+        ``FileNotFoundError``).
         """
-        with np.load(path) as data:
-            try:
-                nodes = data["nodes"]
-                indptr = data["indptr"]
-                concat = data["members"]
-                spheres = {}
-                for i, node in enumerate(nodes):
-                    node = int(node)
-                    spheres[node] = SphereOfInfluence(
-                        sources=(node,),
-                        members=concat[indptr[i] : indptr[i + 1]].copy(),
-                        cost=float(data["costs"][i]),
-                        num_samples=int(data["num_samples"][i]),
-                        sample_size_mean=float(data["sample_size_mean"][i]),
-                        sample_size_std=float(data["sample_size_std"][i]),
-                        sample_size_max=int(data["sample_size_max"][i]),
-                    )
-                provenance = None
-                if "provenance" in data.files:
-                    provenance = IndexProvenance.from_json(str(data["provenance"][0]))
-            except KeyError as exc:
-                raise StoreFormatError(
-                    f"{os.fspath(path)} is not a complete sphere store: "
-                    f"missing array — {exc.args[0]}"
-                ) from exc
+        try:
+            with np.load(path) as data:
+                try:
+                    nodes = data["nodes"]
+                    indptr = data["indptr"]
+                    concat = data["members"]
+                    spheres = {}
+                    for i, node in enumerate(nodes):
+                        node = int(node)
+                        spheres[node] = SphereOfInfluence(
+                            sources=(node,),
+                            members=concat[indptr[i] : indptr[i + 1]].copy(),
+                            cost=float(data["costs"][i]),
+                            num_samples=int(data["num_samples"][i]),
+                            sample_size_mean=float(data["sample_size_mean"][i]),
+                            sample_size_std=float(data["sample_size_std"][i]),
+                            sample_size_max=int(data["sample_size_max"][i]),
+                        )
+                    provenance = None
+                    if "provenance" in data.files:
+                        provenance = IndexProvenance.from_json(
+                            str(data["provenance"][0])
+                        )
+                except KeyError as exc:
+                    raise StoreFormatError(
+                        f"{os.fspath(path)} is not a complete sphere store: "
+                        f"missing array — {exc.args[0]}"
+                    ) from exc
+        except FileNotFoundError:
+            raise
+        except StoreFormatError:
+            raise
+        except (zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError) as exc:
+            raise StoreFormatError(
+                f"{os.fspath(path)} is not a readable sphere store: {exc}"
+            ) from exc
         return cls(spheres, provenance=provenance)

@@ -109,7 +109,23 @@ class TypicalCascadeComputer:
                 on_progress(int(node), sphere)
         return spheres
 
-    def compute_store(self, nodes: Iterable[int] | None = None):
+    def _provenance(self):
+        from repro.store.provenance import IndexProvenance
+
+        header = self._index.store_header
+        return (
+            IndexProvenance.from_header(header)
+            if header is not None
+            else IndexProvenance.from_index(self._index)
+        )
+
+    def compute_store(
+        self,
+        nodes: Iterable[int] | None = None,
+        *,
+        checkpoint_dir: Union[str, os.PathLike, None] = None,
+        checkpoint_every: int = 64,
+    ):
         """:meth:`compute_all` packaged as a provenance-carrying
         :class:`~repro.core.store.SphereStore`.
 
@@ -117,17 +133,48 @@ class TypicalCascadeComputer:
         fingerprint, seed entropy, world count) — for an index opened from
         a persistent store the identity comes straight from its header;
         otherwise the live index is hashed.
+
+        With ``checkpoint_dir`` set, the sweep is crash-safe: every
+        ``checkpoint_every`` spheres are journaled durably
+        (:class:`~repro.runtime.checkpoint.SphereCheckpoint`), and a rerun
+        against the same directory recomputes only what is missing.  Each
+        node's sphere is a pure function of the index, so a
+        killed-then-resumed sweep returns a store whose :meth:`~repro.core.
+        store.SphereStore.digest` equals an uninterrupted run's.  The
+        checkpoint must belong to this index (provenance digests are
+        compared) or :class:`~repro.runtime.errors.CheckpointError` is
+        raised.
         """
         from repro.core.store import SphereStore
-        from repro.store.provenance import IndexProvenance
 
-        header = self._index.store_header
-        provenance = (
-            IndexProvenance.from_header(header)
-            if header is not None
-            else IndexProvenance.from_index(self._index)
-        )
-        return SphereStore(self.compute_all(nodes), provenance=provenance)
+        provenance = self._provenance()
+        if checkpoint_dir is None:
+            return SphereStore(self.compute_all(nodes), provenance=provenance)
+
+        from repro.runtime.checkpoint import SphereCheckpoint
+
+        check_positive_int(checkpoint_every, "checkpoint_every")
+        checkpoint = SphereCheckpoint(checkpoint_dir, provenance)
+        recovered = checkpoint.load()
+        if nodes is None:
+            nodes = range(self._index.num_nodes)
+        node_list = [int(node) for node in nodes]
+        spheres: dict[int, SphereOfInfluence] = {}
+        batch: dict[int, SphereOfInfluence] = {}
+        for node in node_list:
+            hit = recovered.get(node)
+            if hit is not None:
+                spheres[node] = hit
+                continue
+            batch[node] = self.compute(node)
+            if len(batch) >= checkpoint_every:
+                checkpoint.write_shard(batch)
+                spheres.update(batch)
+                batch = {}
+        if batch:
+            checkpoint.write_shard(batch)
+            spheres.update(batch)
+        return SphereStore(spheres, provenance=provenance)
 
 
 def compute_typical_cascade(

@@ -1,0 +1,215 @@
+"""Crash-safe journaled checkpoints for the all-nodes sphere sweep.
+
+Algorithm 2 over a million-node graph runs for hours; a preemption at hour
+three must not discard hours one and two.  A :class:`SphereCheckpoint`
+turns the sweep into a sequence of durable *shards*:
+
+* every ``checkpoint_every`` computed spheres are written to a shard file
+  (a regular :class:`~repro.core.store.SphereStore` ``.npz``) — staged to a
+  temp name and ``os.replace``d into place, the same discipline as
+  :func:`~repro.store.append.append_worlds`;
+* ``journal.json`` — rewritten atomically after each shard — is the source
+  of truth: it lists every durable shard with its byte size and SHA-256,
+  plus the :class:`~repro.store.provenance.IndexProvenance` of the index
+  the spheres came from.
+
+Crash anywhere and the invariant holds: journaled shards are complete and
+validated, anything else on disk is garbage to be overwritten.  A resumed
+sweep loads the journaled spheres, recomputes only the rest, and — because
+each node's sphere is a pure function of the index — produces a
+:class:`SphereStore` whose digest is identical to an uninterrupted run's.
+
+Resume refuses to mix indexes: the journal's provenance must match the
+live index's content digest, else :class:`CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING, Mapping
+
+from repro.runtime.errors import CheckpointError, InjectedFault
+from repro.runtime.faults import take_fault
+from repro.store.fingerprint import digest_file, digest_text
+from repro.store.provenance import IndexProvenance
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.sphere import SphereOfInfluence
+
+JOURNAL_NAME = "journal.json"
+JOURNAL_MAGIC = "repro-sphere-checkpoint"
+JOURNAL_VERSION = 1
+
+#: Injection site torn by the fault harness to exercise crash recovery.
+FAULT_SITE_SHARD = "checkpoint.shard"
+
+
+def _shard_name(position: int) -> str:
+    return f"shard-{position:05d}.npz"
+
+
+class SphereCheckpoint:
+    """One checkpoint directory: journal + shard files for a sphere sweep."""
+
+    def __init__(self, directory: str | os.PathLike, provenance: IndexProvenance) -> None:
+        self._root = Path(os.fspath(directory))
+        self._provenance = provenance
+        self._num_shards = 0
+
+    @property
+    def directory(self) -> Path:
+        return self._root
+
+    @property
+    def num_shards(self) -> int:
+        """Journaled shard count (advances as :meth:`write_shard` commits)."""
+        return self._num_shards
+
+    # -- journal ------------------------------------------------------------
+
+    def _journal_path(self) -> Path:
+        return self._root / JOURNAL_NAME
+
+    def _read_journal(self) -> list[dict] | None:
+        """Parse and validate the journal; ``None`` when none exists yet."""
+        path = self._journal_path()
+        if not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(
+                f"{path} is not readable JSON ({exc}); the checkpoint cannot "
+                "be trusted — remove the directory to restart from scratch"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("magic") != JOURNAL_MAGIC:
+            raise CheckpointError(f"{path} is not a sphere-checkpoint journal")
+        if payload.get("version") != JOURNAL_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint journal version {payload.get('version')!r}"
+            )
+        recorded = payload.pop("checksum", None)
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        if recorded is None or digest_text(body) != recorded:
+            raise CheckpointError(
+                f"{path} fails its self-checksum — the journal was corrupted "
+                "or hand-edited; remove the directory to restart from scratch"
+            )
+        journal_prov = IndexProvenance.from_json(payload["provenance"])
+        if not journal_prov.matches(self._provenance):
+            raise CheckpointError(
+                "checkpoint belongs to a different cascade index "
+                f"(journal digest {journal_prov.content_digest}, live index "
+                f"{self._provenance.content_digest}); refusing to resume"
+            )
+        shards = payload["shards"]
+        if not isinstance(shards, list):
+            raise CheckpointError(f"{path}: 'shards' must be a list")
+        return shards
+
+    def _write_journal(self, shards: list[dict]) -> None:
+        payload = {
+            "magic": JOURNAL_MAGIC,
+            "version": JOURNAL_VERSION,
+            "provenance": self._provenance.to_json(),
+            "shards": shards,
+        }
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        payload["checksum"] = digest_text(body)
+        tmp = self._root / (JOURNAL_NAME + ".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True, indent=2))
+        os.replace(tmp, self._journal_path())
+
+    # -- recovery -----------------------------------------------------------
+
+    def load(self) -> dict[int, "SphereOfInfluence"]:
+        """Spheres recovered from every journaled shard.
+
+        Fresh directory (no journal) → ``{}``.  Shard files on disk that the
+        journal does not mention are debris from a torn write and are
+        ignored (the sweep overwrites them).  A *journaled* shard that is
+        missing or fails its size/SHA-256 check is real corruption:
+        :class:`CheckpointError`, because a checkpoint that lies once cannot
+        be trusted at all.
+        """
+        from repro.core.store import SphereStore
+
+        shards = self._read_journal()
+        if shards is None:
+            self._num_shards = 0
+            return {}
+        spheres: dict[int, "SphereOfInfluence"] = {}
+        for record in shards:
+            name = str(record["name"])
+            path = self._root / name
+            if not path.is_file():
+                raise CheckpointError(
+                    f"journaled shard {name} is missing from {self._root}"
+                )
+            size = int(path.stat().st_size)
+            if size != int(record["num_bytes"]):
+                raise CheckpointError(
+                    f"journaled shard {name} is {size} bytes, journal records "
+                    f"{record['num_bytes']} — the checkpoint is corrupted"
+                )
+            if digest_file(path) != str(record["sha256"]):
+                raise CheckpointError(
+                    f"journaled shard {name} fails its SHA-256 check — the "
+                    "checkpoint is corrupted"
+                )
+            shard = SphereStore.load(path)
+            for node, sphere in shard.items():
+                spheres[int(node)] = sphere
+        self._num_shards = len(shards)
+        return spheres
+
+    # -- durability ---------------------------------------------------------
+
+    def write_shard(self, spheres: Mapping[int, "SphereOfInfluence"]) -> str:
+        """Persist one batch of spheres durably; returns the shard name.
+
+        Stage-then-rename for the shard, then the journal (itself atomic)
+        commits it.  The deterministic fault harness can tear the rename
+        (site ``"checkpoint.shard"``): the truncated file lands under the
+        final name but is never journaled, which is exactly the torn state
+        :meth:`load` must survive.
+        """
+        from repro.core.store import SphereStore
+
+        if not spheres:
+            raise ValueError("a checkpoint shard needs at least one sphere")
+        self._root.mkdir(parents=True, exist_ok=True)
+        shards = self._read_journal() or []
+        name = _shard_name(len(shards))
+        final = self._root / name
+        tmp = self._root / (name + ".tmp")
+        # Stage via an open handle: np.savez would append ".npz" to a bare
+        # temp *path*, breaking the stage-then-rename pairing.
+        with open(tmp, "wb") as handle:
+            SphereStore(spheres, provenance=self._provenance).save(handle)
+        spec = take_fault(FAULT_SITE_SHARD, key=name)
+        if spec is not None and spec.kind == "torn":
+            payload = tmp.read_bytes()
+            final.write_bytes(payload[: len(payload) // 2])
+            tmp.unlink()
+            raise InjectedFault(
+                f"injected torn shard write at {FAULT_SITE_SHARD!r} (key={name!r})"
+            )
+        if spec is not None:
+            raise InjectedFault(
+                f"injected {spec.kind} at {FAULT_SITE_SHARD!r} (key={name!r})"
+            )
+        os.replace(tmp, final)
+        shards.append(
+            {
+                "name": name,
+                "num_spheres": len(spheres),
+                "num_bytes": int(final.stat().st_size),
+                "sha256": digest_file(final),
+            }
+        )
+        self._write_journal(shards)
+        self._num_shards = len(shards)
+        return name

@@ -1,0 +1,276 @@
+"""Deterministic fault injection: every recovery path runs in tests.
+
+Fault tolerance that is never exercised is a comment, not a property.  This
+module lets tests (and the CI gate) name *exact* failure points — "crash the
+worker processing the chunk starting at world 8, on its first two attempts",
+"tear the second checkpoint shard write" — and have production code fail
+there, deterministically, with zero randomness and zero overhead when no
+plan is armed.
+
+A :class:`FaultPlan` is a tuple of :class:`FaultSpec` entries.  Each names a
+*site* (a string like ``"build.chunk"`` that production code passes at its
+injection point), an optional *key* narrowing the site to one unit of work,
+the *attempts* on which to fire, and a *kind*:
+
+``crash``
+    ``os._exit`` the current process — from a pool worker this produces the
+    ``BrokenProcessPool`` the supervisor must recover from.
+``error``
+    raise :class:`~repro.runtime.errors.InjectedFault` — a transient
+    worker-side exception, retryable at chunk granularity.
+``sleep``
+    block for ``seconds`` — simulates a hung chunk for timeout handling.
+``torn``
+    only meaningful at write sites: the writer persists a truncated
+    payload and then raises, simulating a crash mid-write.
+
+Plans travel through the ``REPRO_FAULTS`` environment variable, so pool
+workers spawned after :func:`fault_scope` arms a plan inherit it
+automatically.  Sites that cannot pass an explicit attempt number use a
+per-process occurrence counter instead; counters reset whenever the armed
+plan changes, so consecutive scopes do not bleed into each other.
+
+Injection points are deterministic by construction: a site fires iff the
+plan names it, the key matches, and the attempt matches — no clocks, no
+RNGs.  The same plan against the same workload fails at the same points
+every run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, Sequence, Union
+
+from repro.runtime.errors import InjectedFault
+
+#: Environment variable carrying the armed plan's JSON across processes.
+ENV_VAR = "REPRO_FAULTS"
+
+#: Exit status of an injected ``crash`` — recognisable in worker logs.
+CRASH_EXIT_CODE = 87
+
+VALID_KINDS = ("crash", "error", "sleep", "torn")
+
+KeyLike = Union[int, str, None]
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One named failure: where (site, key), when (attempts), what (kind)."""
+
+    site: str
+    kind: str
+    key: KeyLike = None
+    attempts: tuple[int, ...] = (0,)
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.site:
+            raise ValueError("fault site must be a non-empty string")
+        if self.kind not in VALID_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {VALID_KINDS}, got {self.kind!r}"
+            )
+        if not self.attempts:
+            raise ValueError("fault attempts must name at least one attempt")
+        if any(a < 0 for a in self.attempts):
+            raise ValueError(f"fault attempts must be non-negative: {self.attempts}")
+        if self.seconds < 0:
+            raise ValueError(f"fault seconds must be non-negative, got {self.seconds}")
+
+    def matches(self, site: str, key: KeyLike, attempt: int) -> bool:
+        if site != self.site or attempt not in self.attempts:
+            return False
+        return self.key is None or self.key == key
+
+    def to_mapping(self) -> dict:
+        return {
+            "site": self.site,
+            "kind": self.kind,
+            "key": self.key,
+            "attempts": list(self.attempts),
+            "seconds": self.seconds,
+        }
+
+    @classmethod
+    def from_mapping(cls, raw: dict) -> "FaultSpec":
+        key = raw.get("key")
+        if key is not None and not isinstance(key, (int, str)):
+            raise ValueError(f"fault key must be int, str or null, got {key!r}")
+        return cls(
+            site=str(raw["site"]),
+            kind=str(raw["kind"]),
+            key=key,
+            attempts=tuple(int(a) for a in raw.get("attempts", (0,))),
+            seconds=float(raw.get("seconds", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of failure points, serialisable for worker export."""
+
+    faults: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def of(cls, *faults: FaultSpec) -> "FaultPlan":
+        return cls(faults=tuple(faults))
+
+    def match(self, site: str, key: KeyLike, attempt: int) -> FaultSpec | None:
+        """First spec firing at this (site, key, attempt), or ``None``."""
+        for spec in self.faults:
+            if spec.matches(site, key, attempt):
+                return spec
+        return None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"faults": [spec.to_mapping() for spec in self.faults]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            payload = json.loads(text)
+            raw_faults = payload["faults"]
+            if not isinstance(raw_faults, list):
+                raise ValueError("'faults' must be a list")
+            return cls(
+                faults=tuple(FaultSpec.from_mapping(raw) for raw in raw_faults)
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed fault plan: {exc}") from exc
+
+
+class FaultInjector:
+    """Per-process injection engine.
+
+    Parses the armed plan lazily from the environment (re-parsing only when
+    the raw value changes, which also resets the occurrence counters) and
+    interprets matched specs at each injection point.
+    """
+
+    def __init__(self) -> None:
+        self._raw: str | None = None
+        self._plan: FaultPlan | None = None
+        self._counts: dict[tuple[str, KeyLike], int] = {}
+
+    def plan(self) -> FaultPlan | None:
+        raw = os.environ.get(ENV_VAR)
+        if raw != self._raw:
+            self._raw = raw
+            self._plan = FaultPlan.from_json(raw) if raw else None
+            self._counts = {}
+        return self._plan
+
+    def reset(self) -> None:
+        """Forget cached plan and counters (a new scope starts clean)."""
+        self._raw = None
+        self._plan = None
+        self._counts = {}
+
+    def take(self, site: str, key: KeyLike = None, attempt: int | None = None) -> FaultSpec | None:
+        """Consume one occurrence of ``site``/``key``; return the matched spec.
+
+        When ``attempt`` is ``None`` the injector's per-process occurrence
+        counter supplies it (sites like checkpoint writes, where the caller
+        has no natural attempt number).  Returns ``None`` when no plan is
+        armed or nothing matches — the fast path is one env lookup.
+        """
+        plan = self.plan()
+        if plan is None:
+            return None
+        if attempt is None:
+            counter_key = (site, key)
+            attempt = self._counts.get(counter_key, 0)
+            self._counts[counter_key] = attempt + 1
+        return plan.match(site, key, attempt)
+
+    def fire(self, site: str, key: KeyLike = None, attempt: int | None = None) -> None:
+        """Standard injection point: crash, raise or hang per the plan."""
+        spec = self.take(site, key, attempt=attempt)
+        if spec is None:
+            return
+        if spec.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if spec.kind == "sleep":
+            time.sleep(spec.seconds)
+            return
+        raise InjectedFault(
+            f"injected {spec.kind} at site {site!r} (key={key!r}, attempt={attempt})"
+        )
+
+    def write_bytes(self, path: os.PathLike, payload: bytes, *, site: str, key: KeyLike = None) -> None:
+        """Write ``payload`` to ``path`` — unless the plan tears this write.
+
+        A matched ``torn`` spec persists only the first half of the payload
+        and raises :class:`InjectedFault`, simulating a crash mid-write.
+        Other kinds behave as in :meth:`fire`.
+        """
+        spec = self.take(site, key)
+        if spec is not None and spec.kind == "torn":
+            Path(path).write_bytes(payload[: len(payload) // 2])
+            raise InjectedFault(
+                f"injected torn write at site {site!r} (key={key!r})"
+            )
+        if spec is not None:
+            if spec.kind == "crash":
+                os._exit(CRASH_EXIT_CODE)
+            if spec.kind == "sleep":
+                time.sleep(spec.seconds)
+            else:
+                raise InjectedFault(
+                    f"injected {spec.kind} at site {site!r} (key={key!r})"
+                )
+        Path(path).write_bytes(payload)
+
+
+#: The process-wide injector every production injection point goes through.
+_INJECTOR = FaultInjector()
+
+
+def maybe_fire(site: str, key: KeyLike = None, attempt: int | None = None) -> None:
+    """Module-level convenience over the process-wide injector."""
+    _INJECTOR.fire(site, key, attempt=attempt)
+
+
+def take_fault(site: str, key: KeyLike = None, attempt: int | None = None) -> FaultSpec | None:
+    """Consume and return the matched spec for site-specific handling."""
+    return _INJECTOR.take(site, key, attempt=attempt)
+
+
+def faulty_write_bytes(path: os.PathLike, payload: bytes, *, site: str, key: KeyLike = None) -> None:
+    """Write bytes through the injector (torn-write injection point)."""
+    _INJECTOR.write_bytes(path, payload, site=site, key=key)
+
+
+@contextmanager
+def fault_scope(plan: FaultPlan | Sequence[FaultSpec] | None) -> Iterator[None]:
+    """Arm ``plan`` for the duration of the block (and for child processes).
+
+    Sets ``REPRO_FAULTS`` so process pools created inside the block inherit
+    the plan, and restores the previous value (plus fresh injector
+    counters) on exit.  ``None`` disarms injection inside the block.
+    """
+    if plan is not None and not isinstance(plan, FaultPlan):
+        plan = FaultPlan(faults=tuple(plan))
+    previous = os.environ.get(ENV_VAR)
+    if plan is None:
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = plan.to_json()
+    _INJECTOR.reset()
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = previous
+        _INJECTOR.reset()

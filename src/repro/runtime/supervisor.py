@@ -1,0 +1,230 @@
+"""Chunk-granular supervision of process-pool work.
+
+``ProcessPoolExecutor.map`` is all-or-nothing: one OOM-killed worker raises
+``BrokenProcessPool`` and the entire computation is lost.  This module
+replaces it with a submit/retry loop built around one assumption the caller
+must guarantee — **every chunk is a pure function of its payload** — which
+is exactly the cascade-index build's contract (a chunk is determined by
+``(seed entropy, world range)``).  Under that contract every recovery
+action below preserves bit-identical output, because results are always
+reassembled in payload order and a re-executed chunk returns the same
+value:
+
+* a chunk whose worker raised is resubmitted, with bounded exponential
+  backoff, up to ``max_chunk_retries`` times, then executed serially
+  in-process (a poison chunk degrades gracefully instead of burning pools);
+* a broken pool (crashed/OOM-killed worker) is replaced by a fresh pool
+  and every unfinished chunk is resubmitted;
+* a pool making no progress for ``stall_timeout`` seconds is presumed hung,
+  its workers are terminated, and a fresh pool takes over;
+* after ``max_pool_restarts`` pool replacements the supervisor stops
+  trusting multiprocessing entirely and finishes the remaining chunks
+  serially in the parent process.
+
+Retry attempt numbers are forwarded to the worker function, which lets the
+deterministic fault harness (:mod:`repro.runtime.faults`) target "attempt 0
+of chunk 3" precisely — and means an injected crash plan naturally stops
+firing once its attempts are spent.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+from repro.runtime.errors import SupervisorError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Grace period when joining terminated worker processes.
+_TERMINATE_JOIN_SECONDS = 5.0
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Knobs of the supervised execution loop.
+
+    ``stall_timeout`` is the per-wait progress deadline: if no chunk
+    completes for that many seconds the pool is presumed hung and recycled
+    (``None`` disables the deadline).  ``max_chunk_retries`` bounds pool
+    re-submissions per chunk before the chunk falls back to in-process
+    execution.  Backoff before retry ``k`` is
+    ``min(backoff_base * 2**(k-1), backoff_max)`` seconds — deterministic,
+    no jitter, so supervised runs stay reproducible.
+    """
+
+    stall_timeout: float | None = None
+    max_chunk_retries: int = 3
+    backoff_base: float = 0.05
+    backoff_max: float = 2.0
+    max_pool_restarts: int = 2
+
+    def __post_init__(self) -> None:
+        if self.stall_timeout is not None and self.stall_timeout <= 0:
+            raise ValueError(
+                f"stall_timeout must be positive or None, got {self.stall_timeout}"
+            )
+        if self.max_chunk_retries < 0:
+            raise ValueError(
+                f"max_chunk_retries must be non-negative, got {self.max_chunk_retries}"
+            )
+        if self.max_pool_restarts < 0:
+            raise ValueError(
+                f"max_pool_restarts must be non-negative, got {self.max_pool_restarts}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff_base and backoff_max must be non-negative")
+
+
+#: Defaults: three retries per chunk, two pool restarts, no stall deadline.
+DEFAULT_CONFIG = SupervisorConfig()
+
+
+def backoff_delay(config: SupervisorConfig, failures: int) -> float:
+    """Deterministic bounded exponential backoff before retry ``failures``."""
+    if failures <= 0:
+        return 0.0
+    return min(config.backoff_base * (2.0 ** (failures - 1)), config.backoff_max)
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: cancel queued work, kill live workers."""
+    processes = list((getattr(pool, "_processes", None) or {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        process.terminate()
+    for process in processes:
+        process.join(timeout=_TERMINATE_JOIN_SECONDS)
+
+
+def supervise_chunks(
+    payloads: Sequence[T],
+    pool_factory: Callable[[], ProcessPoolExecutor],
+    task_fn: Callable[[T, int], R],
+    serial_fn: Callable[[T, int], R],
+    *,
+    config: SupervisorConfig | None = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> list[R]:
+    """Run ``task_fn(payload, attempt)`` for every payload, fault-tolerantly.
+
+    ``task_fn`` must be picklable (it executes in pool workers);
+    ``serial_fn`` is its in-process equivalent, used for poison chunks and
+    for the post-pool serial fallback.  Both receive the chunk's current
+    attempt number.  Results come back in payload order; chunk purity makes
+    the output independent of scheduling, crashes and retries.
+
+    Raises :class:`SupervisorError` only via the serial path — once a chunk
+    runs in-process, its exception is real and propagates wrapped.
+    """
+    if config is None:
+        config = DEFAULT_CONFIG
+    results: list[R | None] = [None] * len(payloads)
+    finished = [False] * len(payloads)
+    attempts = [0] * len(payloads)
+    pool_failures = 0
+    pool: ProcessPoolExecutor | None = None
+    serial_mode = False
+    try:
+        while True:
+            remaining = [i for i in range(len(payloads)) if not finished[i]]
+            if not remaining:
+                break
+            if serial_mode:
+                for idx in remaining:
+                    results[idx] = _run_serial(serial_fn, payloads[idx], attempts[idx])
+                    finished[idx] = True
+                continue
+            # Chunks that exhausted their pool budget degrade to in-process
+            # execution before the next pool epoch.
+            for idx in remaining:
+                if attempts[idx] > config.max_chunk_retries:
+                    results[idx] = _run_serial(serial_fn, payloads[idx], attempts[idx])
+                    finished[idx] = True
+            remaining = [i for i in remaining if not finished[i]]
+            if not remaining:
+                continue
+            if pool is None:
+                pool = pool_factory()
+            broke = _pool_epoch(
+                pool, payloads, task_fn, results, finished, attempts, remaining,
+                config, sleep,
+            )
+            if broke:
+                _terminate_pool(pool)
+                pool = None
+                for idx in range(len(payloads)):
+                    if not finished[idx]:
+                        attempts[idx] += 1
+                pool_failures += 1
+                if pool_failures > config.max_pool_restarts:
+                    serial_mode = True
+                else:
+                    sleep(backoff_delay(config, pool_failures))
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+    return results  # type: ignore[return-value]  # every slot is filled above
+
+
+def _run_serial(serial_fn: Callable[[T, int], R], payload: T, attempt: int) -> R:
+    try:
+        return serial_fn(payload, attempt)
+    except Exception as exc:
+        raise SupervisorError(
+            f"chunk failed even in serial fallback (attempt {attempt}): {exc}"
+        ) from exc
+
+
+def _pool_epoch(
+    pool: ProcessPoolExecutor,
+    payloads: Sequence[T],
+    task_fn: Callable[[T, int], R],
+    results: list,
+    finished: list[bool],
+    attempts: list[int],
+    remaining: Sequence[int],
+    config: SupervisorConfig,
+    sleep: Callable[[float], None],
+) -> bool:
+    """One pool lifetime: submit remaining chunks, harvest until done or broken.
+
+    Returns ``True`` when the pool must be replaced (a worker died or the
+    pool stalled); per-chunk worker exceptions are retried inside the epoch
+    without recycling the pool.
+    """
+    futures: dict[Future, int] = {}
+    try:
+        for idx in remaining:
+            futures[pool.submit(task_fn, payloads[idx], attempts[idx])] = idx
+    except (BrokenProcessPool, RuntimeError):
+        return True
+    while futures:
+        done, _ = wait(
+            set(futures), timeout=config.stall_timeout, return_when=FIRST_COMPLETED
+        )
+        if not done:
+            return True  # no progress within the stall deadline: presumed hung
+        for future in done:
+            idx = futures.pop(future)
+            try:
+                results[idx] = future.result()
+                finished[idx] = True
+            except BrokenProcessPool:
+                return True
+            except Exception:
+                attempts[idx] += 1
+                if attempts[idx] > config.max_chunk_retries:
+                    # Out of pool budget: leave it unfinished — the outer
+                    # loop degrades it to in-process execution.
+                    continue
+                sleep(backoff_delay(config, attempts[idx]))
+                try:
+                    futures[pool.submit(task_fn, payloads[idx], attempts[idx])] = idx
+                except (BrokenProcessPool, RuntimeError):
+                    return True
+    return False

@@ -16,12 +16,14 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
 from repro.graph.condensation import Condensation
 from repro.graph.digraph import ProbabilisticDigraph
+from repro.runtime.faults import maybe_fire
+from repro.runtime.supervisor import SupervisorConfig
 from repro.store.build import sampled_condensations
 from repro.store.errors import StoreError
 from repro.store.fingerprint import digest_file, index_digest
@@ -38,6 +40,9 @@ from repro.utils.validation import check_positive_int
 
 #: Row-block size for streaming the node_comp rewrite.
 _ROW_BLOCK = 65536
+
+#: Fault-injection site fired before each column is staged.
+FAULT_SITE_STAGE = "append.stage"
 
 
 def _info_for(path: Path) -> ArrayInfo:
@@ -113,6 +118,7 @@ def append_worlds(
     *,
     n_jobs: int | None = 1,
     verify: str = "fast",
+    supervisor: SupervisorConfig | None = None,
 ) -> IndexStoreHeader:
     """Grow the store at ``path`` by ``additional_samples`` fresh worlds.
 
@@ -120,6 +126,12 @@ def append_worlds(
     ``num_worlds + additional_samples`` samples and the same seed.  Returns
     the updated header.  Raises :class:`StoreError` when the store predates
     seed-entropy recording (nothing deterministic to extend from).
+
+    An exception anywhere before the final swap leaves the store
+    byte-identical to its pre-append state: every staged ``*.npy.tmp`` file
+    is removed on the way out.  ``supervisor`` tunes the fault-tolerant
+    parallel sampling of the new worlds (see
+    :func:`~repro.store.build.sampled_condensations`).
     """
     check_positive_int(additional_samples, "additional_samples")
     root = Path(os.fspath(path))
@@ -145,45 +157,58 @@ def append_worlds(
         reduce=header.reduced,
         n_jobs=n_jobs,
         start=header.num_worlds,
+        supervisor=supervisor,
     )
 
-    staged: dict[str, tuple[Path, ArrayInfo]] = {
-        "node_comp": _append_node_comp(root, [c.node_comp for c in new_conds]),
-        "dag_indptr": _append_concat(
+    stages: list[tuple[str, Callable[[], tuple[Path, ArrayInfo]]]] = [
+        ("node_comp", lambda: _append_node_comp(
+            root, [c.node_comp for c in new_conds]
+        )),
+        ("dag_indptr", lambda: _append_concat(
             root, "dag_indptr", [c.indptr for c in new_conds]
-        ),
-        "dag_indptr_offsets": _append_offsets(
+        )),
+        ("dag_indptr_offsets", lambda: _append_offsets(
             root, "dag_indptr_offsets", [c.indptr.shape[0] for c in new_conds]
-        ),
-        "dag_targets": _append_concat(
+        )),
+        ("dag_targets", lambda: _append_concat(
             root, "dag_targets", [c.targets for c in new_conds]
-        ),
-        "dag_targets_offsets": _append_offsets(
+        )),
+        ("dag_targets_offsets", lambda: _append_offsets(
             root, "dag_targets_offsets", [c.targets.shape[0] for c in new_conds]
-        ),
-        "members": _append_concat(
-            root,
-            "members",
-            [np.concatenate(c.members()) for c in new_conds],
-        ),
-        "members_offsets": _append_offsets(
+        )),
+        ("members", lambda: _append_concat(
+            root, "members", [np.concatenate(c.members()) for c in new_conds]
+        )),
+        ("members_offsets", lambda: _append_offsets(
             root, "members_offsets", [graph.num_nodes] * len(new_conds)
-        ),
-        "members_indptr": _append_concat(
-            root,
-            "members_indptr",
-            [_cond_members_indptr(c) for c in new_conds],
-        ),
-        "members_indptr_offsets": _append_offsets(
+        )),
+        ("members_indptr", lambda: _append_concat(
+            root, "members_indptr", [_cond_members_indptr(c) for c in new_conds]
+        )),
+        ("members_indptr_offsets", lambda: _append_offsets(
             root,
             "members_indptr_offsets",
             [c.num_components + 1 for c in new_conds],
-        ),
-    }
+        )),
+    ]
 
-    # Point of no return: swap the staged files in, header last.
-    for name, (tmp, _info) in staged.items():
-        os.replace(tmp, _array_file(root, name))
+    staged: dict[str, tuple[Path, ArrayInfo]] = {}
+    swapped = False
+    try:
+        for name, stage in stages:
+            maybe_fire(FAULT_SITE_STAGE, key=name)
+            staged[name] = stage()
+
+        # Point of no return: swap the staged files in, header last.
+        for name, (tmp, _info) in staged.items():
+            os.replace(tmp, _array_file(root, name))
+        swapped = True
+    finally:
+        if not swapped:
+            # A failed staging pass must leave the store byte-identical:
+            # remove every temp file, including one a stage was mid-writing.
+            for leftover in sorted(root.glob("*.npy.tmp")):
+                leftover.unlink()
 
     arrays = dict(header.arrays)
     for name, (_tmp, info) in staged.items():

@@ -12,6 +12,13 @@ parity gate).
 
 Workers receive the graph's CSR arrays once via the pool initializer, not
 per task, so the per-chunk IPC cost is just the returned condensations.
+
+Execution is *supervised* (:mod:`repro.runtime.supervisor`): chunks are
+submitted individually and a crashed worker, a hung pool or a transient
+chunk error costs only that chunk a retry — never the build.  Chunk purity
+makes every recovery action output-preserving, so the bit-identity
+guarantee holds under supervision, retries and even injected faults
+(site ``"build.chunk"`` of :mod:`repro.runtime.faults`).
 """
 
 from __future__ import annotations
@@ -26,12 +33,17 @@ from repro.graph.condensation import Condensation, condense
 from repro.graph.digraph import ProbabilisticDigraph
 from repro.graph.sampling import WorldSampler
 from repro.graph.transitive import reduce_condensation
+from repro.runtime.faults import maybe_fire
+from repro.runtime.supervisor import SupervisorConfig, supervise_chunks
 from repro.store.header import EntropyLike
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive_int
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cascades.index import CascadeIndex
+
+#: Fault-injection site fired once per chunk attempt (worker- or serial-side).
+FAULT_SITE_CHUNK = "build.chunk"
 
 #: Chunks per worker: enough slack that an unlucky worker with the densest
 #: worlds does not serialise the whole pool behind it.
@@ -69,7 +81,10 @@ def _condense_one(
     return cond
 
 
-def _condense_range(bounds: tuple[int, int]) -> list[Condensation]:
+def _condense_range(bounds: tuple[int, int], attempt: int = 0) -> list[Condensation]:
+    """Worker-side chunk body; ``attempt`` lets the fault harness target
+    "chunk starting at world s, attempt a" deterministically."""
+    maybe_fire(FAULT_SITE_CHUNK, key=bounds[0], attempt=attempt)
     graph = _WORKER_STATE["graph"]
     sampler = _WORKER_STATE["sampler"]
     reduce = _WORKER_STATE["reduce"]
@@ -104,6 +119,7 @@ def sampled_condensations(
     reduce: bool = True,
     n_jobs: int | None = 1,
     start: int = 0,
+    supervisor: SupervisorConfig | None = None,
 ) -> list[Condensation]:
     """Condensations of worlds ``start .. start + num_samples`` of ``entropy``.
 
@@ -112,6 +128,13 @@ def sampled_condensations(
     :func:`~repro.store.append.append_worlds`.  ``entropy`` is the recorded
     ``SeedSequence.entropy`` of the index's sampler, which fully determines
     every world; the result is identical for every ``n_jobs``.
+
+    Parallel execution runs under :func:`~repro.runtime.supervisor.
+    supervise_chunks` (tunable via ``supervisor``): a crashed or OOM-killed
+    worker is retried on a fresh pool, and after repeated pool failures the
+    remaining chunks complete serially in-process — because each chunk is a
+    pure function of ``(entropy, world range)``, the output is bit-identical
+    either way.
     """
     check_positive_int(num_samples, "num_samples")
     if start < 0:
@@ -124,19 +147,33 @@ def sampled_condensations(
             for i in range(start, start + num_samples)
         ]
     bounds = _chunk_bounds(start, num_samples, n_jobs * _CHUNKS_PER_WORKER)
-    with ProcessPoolExecutor(
-        max_workers=n_jobs,
-        initializer=_init_worker,
-        initargs=(
-            graph.num_nodes,
-            np.asarray(graph.indptr),
-            np.asarray(graph.targets),
-            np.asarray(graph.probs),
-            entropy,
-            reduce,
-        ),
-    ) as pool:
-        chunks = list(pool.map(_condense_range, bounds))
+
+    def pool_factory() -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=n_jobs,
+            initializer=_init_worker,
+            initargs=(
+                graph.num_nodes,
+                np.asarray(graph.indptr),
+                np.asarray(graph.targets),
+                np.asarray(graph.probs),
+                entropy,
+                reduce,
+            ),
+        )
+
+    fallback_sampler = WorldSampler(graph, np.random.SeedSequence(entropy=entropy))
+
+    def serial_fn(chunk_bounds: tuple[int, int], attempt: int) -> list[Condensation]:
+        maybe_fire(FAULT_SITE_CHUNK, key=chunk_bounds[0], attempt=attempt)
+        lo, hi = chunk_bounds
+        return [
+            _condense_one(graph, fallback_sampler, i, reduce) for i in range(lo, hi)
+        ]
+
+    chunks = supervise_chunks(
+        bounds, pool_factory, _condense_range, serial_fn, config=supervisor
+    )
     return [cond for chunk in chunks for cond in chunk]
 
 

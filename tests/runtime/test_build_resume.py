@@ -1,0 +1,163 @@
+"""Tests for repro.runtime.build_resume — batched, resumable index builds."""
+
+import numpy as np
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.runtime.build_resume import resumable_index_build
+from repro.runtime.errors import InjectedFault
+from repro.runtime.faults import FaultPlan, FaultSpec, fault_scope
+from repro.runtime.supervisor import SupervisorConfig
+from repro.store import read_header, read_index
+from repro.store.append import FAULT_SITE_STAGE
+from repro.store.build import FAULT_SITE_CHUNK
+from repro.store.errors import StoreError, StoreFormatError
+from repro.store.fingerprint import digest_of_index
+
+
+@pytest.fixture
+def direct_digest(small_random):
+    return digest_of_index(CascadeIndex.build(small_random, 10, seed=31))
+
+
+class TestBatchedBuild:
+    @pytest.mark.parametrize("batch_size", [0, 1, 3, 10, 64])
+    def test_every_batch_size_matches_monolithic(
+        self, small_random, tmp_path, direct_digest, batch_size
+    ):
+        header = resumable_index_build(
+            small_random,
+            10,
+            seed=31,
+            out=tmp_path / "idx",
+            batch_size=batch_size,
+        )
+        assert header.num_worlds == 10
+        assert header.content_digest == direct_digest
+
+    def test_seed_required(self, small_random, tmp_path):
+        with pytest.raises(ValueError, match="explicit seed"):
+            resumable_index_build(small_random, 4, seed=None, out=tmp_path / "idx")
+
+    def test_negative_batch_size_rejected(self, small_random, tmp_path):
+        with pytest.raises(ValueError, match="batch_size"):
+            resumable_index_build(
+                small_random, 4, seed=1, out=tmp_path / "idx", batch_size=-1
+            )
+
+
+class TestResume:
+    def test_resume_extends_partial_store(
+        self, small_random, tmp_path, direct_digest
+    ):
+        out = tmp_path / "idx"
+        resumable_index_build(small_random, 4, seed=31, out=out)
+        header = resumable_index_build(
+            small_random, 10, seed=31, out=out, batch_size=3, resume=True
+        )
+        assert header.num_worlds == 10
+        assert header.content_digest == direct_digest
+
+    def test_resume_of_complete_store_is_a_no_op(self, small_random, tmp_path):
+        out = tmp_path / "idx"
+        first = resumable_index_build(small_random, 6, seed=31, out=out)
+        again = resumable_index_build(
+            small_random, 6, seed=31, out=out, resume=True
+        )
+        assert again.content_digest == first.content_digest
+
+    def test_killed_mid_batch_then_resumed_matches_direct(
+        self, small_random, tmp_path, direct_digest
+    ):
+        out = tmp_path / "idx"
+        plan = FaultPlan.of(
+            FaultSpec(site=FAULT_SITE_STAGE, kind="error", key="dag_targets")
+        )
+        with fault_scope(plan), pytest.raises(InjectedFault):
+            resumable_index_build(
+                small_random, 10, seed=31, out=out, batch_size=4
+            )
+        # the kill hit the second batch; the first survived durably
+        assert read_header(out).num_worlds == 4
+        header = resumable_index_build(
+            small_random, 10, seed=31, out=out, batch_size=4, resume=True
+        )
+        assert header.content_digest == direct_digest
+
+    def test_first_batch_debris_is_cleared(
+        self, small_random, tmp_path, direct_digest
+    ):
+        out = tmp_path / "idx"
+        out.mkdir()
+        # a first-batch crash leaves bare column files and no header
+        np.save(out / "node_comp.npy", np.zeros((3, 2), dtype=np.int32))
+        (out / "members.npy.tmp").write_bytes(b"partial")
+        header = resumable_index_build(
+            small_random, 10, seed=31, out=out, batch_size=5, resume=True
+        )
+        assert header.content_digest == direct_digest
+
+    def test_foreign_directory_refused(self, small_random, tmp_path):
+        out = tmp_path / "idx"
+        out.mkdir()
+        (out / "precious-notes.txt").write_text("not ours to delete")
+        with pytest.raises(StoreFormatError):
+            resumable_index_build(
+                small_random, 4, seed=31, out=out, resume=True
+            )
+        assert (out / "precious-notes.txt").exists()
+
+
+class TestResumeGuards:
+    @pytest.fixture
+    def partial(self, small_random, tmp_path):
+        out = tmp_path / "idx"
+        resumable_index_build(small_random, 4, seed=31, out=out)
+        return out
+
+    def test_different_seed_refused(self, small_random, partial):
+        with pytest.raises(StoreError, match="seed entropy differs"):
+            resumable_index_build(
+                small_random, 10, seed=32, out=partial, resume=True
+            )
+
+    def test_different_reduce_flag_refused(self, small_random, partial):
+        with pytest.raises(StoreError, match="reduction flag differs"):
+            resumable_index_build(
+                small_random, 10, seed=31, out=partial, reduce=False, resume=True
+            )
+
+    def test_different_graph_refused(self, fig1, partial):
+        with pytest.raises(StoreError, match="different graph"):
+            resumable_index_build(fig1, 10, seed=31, out=partial, resume=True)
+
+    def test_shrinking_refused(self, small_random, partial):
+        with pytest.raises(StoreError, match="more than the requested"):
+            resumable_index_build(
+                small_random, 2, seed=31, out=partial, resume=True
+            )
+
+
+class TestSupervisedParallelResume:
+    def test_injected_worker_crashes_keep_digest(
+        self, small_random, tmp_path, direct_digest
+    ):
+        """Acceptance-shaped: two injected worker crashes (attempts 0 and 1
+        of one chunk) during a parallel batched build must not change the
+        store's content digest."""
+        out = tmp_path / "idx"
+        plan = FaultPlan.of(
+            FaultSpec(site=FAULT_SITE_CHUNK, kind="crash", key=0, attempts=(0, 1))
+        )
+        with fault_scope(plan):
+            header = resumable_index_build(
+                small_random,
+                10,
+                seed=31,
+                out=out,
+                batch_size=5,
+                n_jobs=2,
+                supervisor=SupervisorConfig(backoff_base=0.01),
+            )
+        assert header.content_digest == direct_digest
+        read_index(out, verify="full")  # every array validates

@@ -1,0 +1,169 @@
+"""Tests for repro.runtime.checkpoint — journaled sphere-sweep durability."""
+
+import json
+
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.graph.generators import gnp_digraph
+from repro.runtime.checkpoint import (
+    FAULT_SITE_SHARD,
+    JOURNAL_NAME,
+    SphereCheckpoint,
+    _shard_name,
+)
+from repro.runtime.errors import CheckpointError, InjectedFault
+from repro.runtime.faults import FaultPlan, FaultSpec, fault_scope
+
+
+@pytest.fixture(scope="module")
+def computer() -> TypicalCascadeComputer:
+    graph = gnp_digraph(18, 0.15, p=0.5, seed=3)
+    return TypicalCascadeComputer(CascadeIndex.build(graph, 6, seed=5))
+
+
+@pytest.fixture(scope="module")
+def clean_digest(computer) -> str:
+    return computer.compute_store().digest()
+
+
+@pytest.fixture
+def checkpoint(computer, tmp_path) -> SphereCheckpoint:
+    return SphereCheckpoint(tmp_path / "ck", computer._provenance())
+
+
+class TestShardCycle:
+    def test_fresh_directory_recovers_nothing(self, checkpoint):
+        assert checkpoint.load() == {}
+        assert checkpoint.num_shards == 0
+
+    def test_write_then_load_round_trips(self, computer, checkpoint):
+        spheres = {n: computer.compute(n) for n in (0, 1, 2)}
+        name = checkpoint.write_shard(spheres)
+        assert name == _shard_name(0)
+        recovered = checkpoint.load()
+        assert set(recovered) == {0, 1, 2}
+        assert recovered[1].as_set() == spheres[1].as_set()
+        assert checkpoint.num_shards == 1
+
+    def test_shards_accumulate(self, computer, checkpoint):
+        checkpoint.write_shard({0: computer.compute(0)})
+        checkpoint.write_shard({1: computer.compute(1)})
+        assert set(checkpoint.load()) == {0, 1}
+        assert checkpoint.num_shards == 2
+
+    def test_empty_shard_rejected(self, checkpoint):
+        with pytest.raises(ValueError, match="at least one sphere"):
+            checkpoint.write_shard({})
+
+
+class TestCorruptionDetection:
+    def test_garbage_journal_refused(self, computer, checkpoint):
+        checkpoint.write_shard({0: computer.compute(0)})
+        (checkpoint.directory / JOURNAL_NAME).write_text("{not json")
+        with pytest.raises(CheckpointError, match="not readable JSON"):
+            checkpoint.load()
+
+    def test_hand_edited_journal_fails_self_checksum(self, computer, checkpoint):
+        checkpoint.write_shard({0: computer.compute(0)})
+        path = checkpoint.directory / JOURNAL_NAME
+        payload = json.loads(path.read_text())
+        payload["shards"][0]["num_spheres"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointError, match="self-checksum"):
+            checkpoint.load()
+
+    def test_journaled_shard_truncation_detected(self, computer, checkpoint):
+        name = checkpoint.write_shard({0: computer.compute(0)})
+        shard = checkpoint.directory / name
+        shard.write_bytes(shard.read_bytes()[:-10])
+        with pytest.raises(CheckpointError, match="corrupted"):
+            checkpoint.load()
+
+    def test_journaled_shard_missing_detected(self, computer, checkpoint):
+        name = checkpoint.write_shard({0: computer.compute(0)})
+        (checkpoint.directory / name).unlink()
+        with pytest.raises(CheckpointError, match="missing"):
+            checkpoint.load()
+
+    def test_unjournaled_debris_is_ignored(self, computer, checkpoint):
+        checkpoint.write_shard({0: computer.compute(0)})
+        # a torn write that died before journaling: half a shard under the
+        # final name of the *next* shard
+        (checkpoint.directory / _shard_name(1)).write_bytes(b"half a shard")
+        assert set(checkpoint.load()) == {0}
+
+    def test_checkpoint_of_other_index_refused(self, checkpoint):
+        graph = gnp_digraph(18, 0.15, p=0.5, seed=777)
+        other = TypicalCascadeComputer(CascadeIndex.build(graph, 6, seed=5))
+        other_ck = SphereCheckpoint(checkpoint.directory, other._provenance())
+        other_ck.write_shard({0: other.compute(0)})
+        with pytest.raises(CheckpointError, match="different cascade index"):
+            checkpoint.load()
+
+
+class TestComputeStoreResume:
+    def test_without_checkpoint_dir_unchanged(self, computer, clean_digest):
+        assert computer.compute_store().digest() == clean_digest
+
+    def test_checkpointed_sweep_matches_clean(self, computer, clean_digest, tmp_path):
+        store = computer.compute_store(
+            checkpoint_dir=tmp_path / "ck", checkpoint_every=5
+        )
+        assert store.digest() == clean_digest
+
+    def test_fully_recovered_rerun_matches_clean(
+        self, computer, clean_digest, tmp_path
+    ):
+        computer.compute_store(checkpoint_dir=tmp_path / "ck", checkpoint_every=5)
+        rerun = computer.compute_store(
+            checkpoint_dir=tmp_path / "ck", checkpoint_every=5
+        )
+        assert rerun.digest() == clean_digest
+
+    def test_checkpoint_every_validated(self, computer, tmp_path):
+        with pytest.raises(ValueError):
+            computer.compute_store(checkpoint_dir=tmp_path / "ck", checkpoint_every=0)
+
+    def test_node_subset_resumes_too(self, computer, tmp_path):
+        subset = [4, 2, 9, 0]
+        clean = computer.compute_store(subset)
+        plan = FaultPlan.of(
+            FaultSpec(site=FAULT_SITE_SHARD, kind="error", key=_shard_name(1))
+        )
+        with fault_scope(plan), pytest.raises(InjectedFault):
+            computer.compute_store(
+                subset, checkpoint_dir=tmp_path / "ck", checkpoint_every=2
+            )
+        resumed = computer.compute_store(
+            subset, checkpoint_dir=tmp_path / "ck", checkpoint_every=2
+        )
+        assert resumed.digest() == clean.digest()
+
+    @pytest.mark.parametrize("kind", ["error", "torn"])
+    def test_killed_at_every_shard_boundary_resumes_identically(
+        self, computer, clean_digest, tmp_path, kind
+    ):
+        """Satellite property test: for EVERY checkpoint boundary, a sweep
+        killed exactly there (clean kill or torn shard write) and then
+        resumed produces a store digest equal to an uninterrupted run's."""
+        every = 5
+        num_nodes = computer.index.num_nodes
+        boundaries = range((num_nodes + every - 1) // every)
+        for boundary in boundaries:
+            ck = tmp_path / f"{kind}-{boundary}"
+            plan = FaultPlan.of(
+                FaultSpec(
+                    site=FAULT_SITE_SHARD, kind=kind, key=_shard_name(boundary)
+                )
+            )
+            with fault_scope(plan), pytest.raises(InjectedFault):
+                computer.compute_store(checkpoint_dir=ck, checkpoint_every=every)
+            resumed = computer.compute_store(
+                checkpoint_dir=ck, checkpoint_every=every
+            )
+            assert resumed.digest() == clean_digest, (
+                f"resume after {kind} kill at shard boundary {boundary} "
+                "diverged from the uninterrupted sweep"
+            )

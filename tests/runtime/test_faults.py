@@ -1,0 +1,178 @@
+"""Tests for repro.runtime.faults — the deterministic injection harness."""
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.errors import InjectedFault
+from repro.runtime.faults import (
+    ENV_VAR,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    fault_scope,
+    faulty_write_bytes,
+    maybe_fire,
+    take_fault,
+)
+
+
+class TestFaultSpec:
+    def test_defaults_fire_on_first_attempt_any_key(self):
+        spec = FaultSpec(site="s", kind="error")
+        assert spec.matches("s", None, 0)
+        assert spec.matches("s", "anything", 0)
+        assert not spec.matches("s", None, 1)
+        assert not spec.matches("other", None, 0)
+
+    def test_key_narrows_match(self):
+        spec = FaultSpec(site="s", kind="error", key=3)
+        assert spec.matches("s", 3, 0)
+        assert not spec.matches("s", 4, 0)
+
+    def test_attempts_tuple_controls_when(self):
+        spec = FaultSpec(site="s", kind="error", attempts=(1, 2))
+        assert not spec.matches("s", None, 0)
+        assert spec.matches("s", None, 1)
+        assert spec.matches("s", None, 2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"site": "", "kind": "error"},
+            {"site": "s", "kind": "explode"},
+            {"site": "s", "kind": "error", "attempts": ()},
+            {"site": "s", "kind": "error", "attempts": (-1,)},
+            {"site": "s", "kind": "sleep", "seconds": -1.0},
+        ],
+    )
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+
+class TestFaultPlanSerialisation:
+    def test_json_round_trip(self):
+        plan = FaultPlan.of(
+            FaultSpec(site="build.chunk", kind="crash", key=8, attempts=(0, 1)),
+            FaultSpec(site="checkpoint.shard", kind="torn", key="shard-00001.npz"),
+            FaultSpec(site="s", kind="sleep", seconds=0.25),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "not json",
+            "[]",
+            json.dumps({"no_faults": []}),
+            json.dumps({"faults": "nope"}),
+            json.dumps({"faults": [{"site": "s", "kind": "bogus"}]}),
+            json.dumps({"faults": [{"site": "s", "kind": "error", "key": [1]}]}),
+        ],
+    )
+    def test_malformed_json_rejected(self, text):
+        with pytest.raises(ValueError, match="malformed fault plan"):
+            FaultPlan.from_json(text)
+
+    def test_match_returns_first_firing_spec(self):
+        first = FaultSpec(site="s", kind="error")
+        second = FaultSpec(site="s", kind="crash")
+        plan = FaultPlan.of(first, second)
+        assert plan.match("s", None, 0) is first
+        assert plan.match("s", None, 9) is None
+
+
+class TestFaultScope:
+    def test_unarmed_is_a_no_op(self):
+        maybe_fire("anywhere", key=1)  # must not raise
+        assert take_fault("anywhere") is None
+
+    def test_armed_plan_fires_then_restores(self):
+        plan = FaultPlan.of(FaultSpec(site="s", kind="error"))
+        with fault_scope(plan):
+            assert os.environ[ENV_VAR] == plan.to_json()
+            with pytest.raises(InjectedFault):
+                maybe_fire("s")
+        assert ENV_VAR not in os.environ
+        maybe_fire("s")  # disarmed again
+
+    def test_scope_accepts_bare_spec_sequence(self):
+        with fault_scope([FaultSpec(site="s", kind="error")]):
+            with pytest.raises(InjectedFault):
+                maybe_fire("s")
+
+    def test_none_disarms_inside_scope(self):
+        outer = FaultPlan.of(FaultSpec(site="s", kind="error"))
+        with fault_scope(outer):
+            with fault_scope(None):
+                maybe_fire("s")  # no plan armed here
+            with pytest.raises(InjectedFault):
+                maybe_fire("s")  # outer plan restored
+
+    def test_consecutive_scopes_reset_occurrence_counters(self):
+        plan = FaultPlan.of(FaultSpec(site="s", kind="error", attempts=(0,)))
+        for _ in range(2):  # second scope must fire again from attempt 0
+            with fault_scope(plan):
+                with pytest.raises(InjectedFault):
+                    maybe_fire("s")
+
+
+class TestInjectorCounters:
+    def test_implicit_attempts_count_per_site_and_key(self):
+        injector = FaultInjector()
+        plan = FaultPlan.of(FaultSpec(site="s", kind="error", attempts=(1,)))
+        with fault_scope(plan):
+            assert injector.take("s", key="a") is None  # attempt 0
+            spec = injector.take("s", key="a")  # attempt 1 fires
+            assert spec is not None and spec.kind == "error"
+            assert injector.take("s", key="b") is None  # separate counter
+
+    def test_explicit_attempt_bypasses_counter(self):
+        injector = FaultInjector()
+        plan = FaultPlan.of(FaultSpec(site="s", kind="error", attempts=(2,)))
+        with fault_scope(plan):
+            assert injector.take("s", attempt=0) is None
+            assert injector.take("s", attempt=2) is not None
+            assert injector.take("s", attempt=2) is not None  # stateless
+
+    def test_sleep_spec_delays_then_continues(self):
+        plan = FaultPlan.of(FaultSpec(site="s", kind="sleep", seconds=0.0))
+        with fault_scope(plan):
+            maybe_fire("s")  # must return normally, not raise
+
+
+class TestTornWrites:
+    def test_torn_write_persists_half_and_raises(self, tmp_path):
+        target = tmp_path / "payload.bin"
+        payload = bytes(range(64))
+        plan = FaultPlan.of(FaultSpec(site="w", kind="torn", key="payload"))
+        with fault_scope(plan):
+            with pytest.raises(InjectedFault, match="torn"):
+                faulty_write_bytes(target, payload, site="w", key="payload")
+        assert target.read_bytes() == payload[:32]
+
+    def test_untorn_write_is_exact(self, tmp_path):
+        target = tmp_path / "payload.bin"
+        payload = b"intact"
+        faulty_write_bytes(target, payload, site="w", key="payload")
+        assert target.read_bytes() == payload
+
+    def test_same_plan_fires_at_same_points_every_run(self, tmp_path):
+        """Determinism pin: two identical runs tear identically."""
+        plan = FaultPlan.of(
+            FaultSpec(site="w", kind="torn", key="k", attempts=(1,))
+        )
+        outcomes = []
+        for run in range(2):
+            torn_at = []
+            with fault_scope(plan):
+                for i in range(3):
+                    target = tmp_path / f"run{run}-{i}.bin"
+                    try:
+                        faulty_write_bytes(target, b"12345678", site="w", key="k")
+                    except InjectedFault:
+                        torn_at.append(i)
+            outcomes.append(torn_at)
+        assert outcomes[0] == outcomes[1] == [1]

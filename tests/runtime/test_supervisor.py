@@ -1,0 +1,173 @@
+"""Tests for repro.runtime.supervisor — chunk-granular fault-tolerant pools.
+
+Worker functions live at module level so pool workers can import them
+regardless of the multiprocessing start method.
+"""
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.runtime.errors import SupervisorError
+from repro.runtime.supervisor import (
+    DEFAULT_CONFIG,
+    SupervisorConfig,
+    backoff_delay,
+    supervise_chunks,
+)
+
+#: Fast-retry config for tests: no real waiting between attempts.
+FAST = SupervisorConfig(backoff_base=0.0, backoff_max=0.0)
+
+
+def _pool() -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=2)
+
+
+def square(x, attempt):
+    return x * x
+
+
+def square_serial(x, attempt):
+    return x * x
+
+
+def flaky_square(x, attempt):
+    """Raises on the first attempt of payload 2 — a transient worker error."""
+    if x == 2 and attempt == 0:
+        raise RuntimeError("transient")
+    return x * x
+
+
+def crash_once(x, attempt):
+    """Hard-exits the worker on the first attempt of payload 3."""
+    if x == 3 and attempt == 0:
+        os._exit(87)
+    return x * x
+
+
+def always_crash(x, attempt):
+    os._exit(87)
+
+
+def always_raise(x, attempt):
+    raise RuntimeError("poison")
+
+
+def sleep_once(x, attempt):
+    """Hangs payload 1's first attempt long enough to trip a stall deadline."""
+    if x == 1 and attempt == 0:
+        import time
+
+        time.sleep(30.0)
+    return x * x
+
+
+class TestHappyPath:
+    def test_results_in_payload_order(self):
+        payloads = list(range(7))
+        out = supervise_chunks(payloads, _pool, square, square_serial, config=FAST)
+        assert out == [x * x for x in payloads]
+
+    def test_empty_payloads(self):
+        assert supervise_chunks([], _pool, square, square_serial, config=FAST) == []
+
+
+class TestRecovery:
+    def test_transient_worker_error_is_retried(self):
+        payloads = [1, 2, 3]
+        out = supervise_chunks(
+            payloads, _pool, flaky_square, square_serial, config=FAST
+        )
+        assert out == [1, 4, 9]
+
+    def test_crashed_worker_gets_fresh_pool(self):
+        payloads = [1, 2, 3, 4]
+        out = supervise_chunks(
+            payloads, _pool, crash_once, square_serial, config=FAST
+        )
+        assert out == [1, 4, 9, 16]
+
+    def test_poison_chunk_degrades_to_serial(self):
+        config = SupervisorConfig(
+            max_chunk_retries=1, backoff_base=0.0, backoff_max=0.0
+        )
+        out = supervise_chunks(
+            [1, 2], _pool, always_raise, square_serial, config=config
+        )
+        assert out == [1, 4]
+
+    def test_repeated_pool_loss_falls_back_to_serial(self):
+        config = SupervisorConfig(
+            max_pool_restarts=1, backoff_base=0.0, backoff_max=0.0
+        )
+        out = supervise_chunks(
+            [1, 2, 3], _pool, always_crash, square_serial, config=config
+        )
+        assert out == [1, 4, 9]
+
+    def test_stalled_pool_is_recycled(self):
+        config = SupervisorConfig(
+            stall_timeout=0.5, backoff_base=0.0, backoff_max=0.0
+        )
+        out = supervise_chunks(
+            [1, 2], _pool, sleep_once, square_serial, config=config
+        )
+        assert out == [1, 4]
+
+    def test_serial_failure_raises_supervisor_error(self):
+        config = SupervisorConfig(
+            max_chunk_retries=0, backoff_base=0.0, backoff_max=0.0
+        )
+        with pytest.raises(SupervisorError, match="serial fallback"):
+            supervise_chunks([1], _pool, always_raise, always_raise, config=config)
+
+
+class TestBackoff:
+    def test_deterministic_bounded_exponential(self):
+        config = SupervisorConfig(backoff_base=0.1, backoff_max=0.5)
+        assert backoff_delay(config, 0) == 0.0
+        assert backoff_delay(config, 1) == pytest.approx(0.1)
+        assert backoff_delay(config, 2) == pytest.approx(0.2)
+        assert backoff_delay(config, 3) == pytest.approx(0.4)
+        assert backoff_delay(config, 4) == pytest.approx(0.5)  # capped
+        assert backoff_delay(config, 10) == pytest.approx(0.5)
+
+    def test_retry_sleeps_use_injected_clock(self):
+        slept = []
+        config = SupervisorConfig(
+            max_chunk_retries=2, backoff_base=0.25, backoff_max=1.0
+        )
+        out = supervise_chunks(
+            [1, 2, 3],
+            _pool,
+            flaky_square,
+            square_serial,
+            config=config,
+            sleep=slept.append,
+        )
+        assert out == [1, 4, 9]
+        assert slept == [0.25]  # exactly one retry of payload 2, attempt 1
+
+
+class TestConfigValidation:
+    def test_defaults_are_sane(self):
+        assert DEFAULT_CONFIG.max_chunk_retries == 3
+        assert DEFAULT_CONFIG.max_pool_restarts == 2
+        assert DEFAULT_CONFIG.stall_timeout is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"stall_timeout": 0.0},
+            {"stall_timeout": -1.0},
+            {"max_chunk_retries": -1},
+            {"max_pool_restarts": -1},
+            {"backoff_base": -0.1},
+            {"backoff_max": -0.1},
+        ],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisorConfig(**kwargs)

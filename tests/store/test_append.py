@@ -4,9 +4,21 @@ import numpy as np
 import pytest
 
 from repro.cascades.index import CascadeIndex
+from repro.runtime.errors import InjectedFault
+from repro.runtime.faults import FaultPlan, FaultSpec, fault_scope
 from repro.store import append_worlds, read_header, read_index, write_index
+from repro.store.append import FAULT_SITE_STAGE
 from repro.store.errors import StoreError, StoreIntegrityError
 from repro.store.fingerprint import digest_of_index
+
+
+def _dir_bytes(root):
+    """Every file under ``root`` with its exact bytes — the identity check."""
+    return {
+        p.relative_to(root).as_posix(): p.read_bytes()
+        for p in sorted(root.rglob("*"))
+        if p.is_file()
+    }
 
 
 @pytest.fixture
@@ -90,6 +102,37 @@ class TestAppendGuards:
         victim.write_bytes(victim.read_bytes()[:-8])
         with pytest.raises(StoreIntegrityError):
             append_worlds(store_path, 2)
+
+
+class TestFailedAppendCleanup:
+    @pytest.mark.parametrize("victim", ["node_comp", "dag_targets", "members"])
+    def test_failed_append_leaves_store_byte_identical(self, store_path, victim):
+        """An exception mid-staging must leave no trace: same files, same
+        bytes, no ``*.npy.tmp`` leftovers — satellite of the fault-tolerant
+        runtime (see ``append_worlds``'s try/finally)."""
+        before = _dir_bytes(store_path)
+        plan = FaultPlan.of(
+            FaultSpec(site=FAULT_SITE_STAGE, kind="error", key=victim)
+        )
+        with fault_scope(plan), pytest.raises(InjectedFault):
+            append_worlds(store_path, 2)
+        assert _dir_bytes(store_path) == before
+        # and the cleaned-up store still appends fine afterwards
+        header = append_worlds(store_path, 2)
+        assert header.num_worlds == 7
+
+    def test_cleaned_after_failure_matches_direct_build(
+        self, small_random, store_path
+    ):
+        plan = FaultPlan.of(
+            FaultSpec(site=FAULT_SITE_STAGE, kind="error", key="members_offsets")
+        )
+        with fault_scope(plan), pytest.raises(InjectedFault):
+            append_worlds(store_path, 3)
+        append_worlds(store_path, 3)
+        direct = CascadeIndex.build(small_random, 8, seed=31)
+        appended = read_index(store_path, verify="full")
+        assert digest_of_index(appended) == digest_of_index(direct)
 
 
 class TestLoadedIndexExtend:

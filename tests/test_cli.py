@@ -154,6 +154,128 @@ class TestIndexCommands:
         with pytest.raises(SystemExit):
             main(["sphere", "--node", "1"])
 
+    def test_sphere_requires_node_xor_all(self, built):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["sphere", "--index", str(built)])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["sphere", "--index", str(built), "--node", "1", "--all"])
+
+
+class TestErrorHygiene:
+    """Operational failures exit 2 with one stderr line, never a traceback."""
+
+    def test_missing_store_path(self, capsys):
+        assert main(["index", "info", "/no/such/store"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro index: error:")
+        assert err.count("\n") == 1
+
+    def test_corrupt_index_archive(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"garbage, not a zip archive")
+        assert main(["sphere", "--index", str(bad), "--node", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "not a readable" in err
+        assert "Traceback" not in err
+
+    def test_missing_index_file(self, tmp_path, capsys):
+        assert main(
+            ["sphere", "--index", str(tmp_path / "nope.npz"), "--node", "0"]
+        ) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_torn_store_append(self, tmp_path, capsys):
+        path = tmp_path / "idx"
+        assert main(
+            [
+                "index", "build",
+                "--setting", "NetHEPT-W",
+                "--scale", "0.03",
+                "--samples", "4",
+                "--out", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        victim = path / "members.npy"
+        victim.write_bytes(victim.read_bytes()[:-8])
+        assert main(["index", "append", str(path), "--samples", "2"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro index: error:")
+        assert "Traceback" not in err
+
+
+class TestResumableCommands:
+    @pytest.fixture
+    def built(self, tmp_path, capsys):
+        path = tmp_path / "base-idx"
+        assert main(
+            [
+                "index", "build",
+                "--setting", "NetHEPT-W",
+                "--scale", "0.03",
+                "--samples", "6",
+                "--seed", "11",
+                "--out", str(path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        return path
+
+    def test_batched_build_then_resume_grows_store(self, tmp_path, capsys):
+        path = tmp_path / "idx"
+        common = [
+            "index", "build",
+            "--setting", "NetHEPT-W",
+            "--scale", "0.03",
+            "--seed", "11",
+            "--out", str(path),
+            "--batch-size", "3",
+        ]
+        assert main(common + ["--samples", "6"]) == 0
+        assert "worlds: 6" in capsys.readouterr().out
+        assert main(common + ["--samples", "10", "--resume"]) == 0
+        assert "worlds: 10" in capsys.readouterr().out
+
+    def test_resumed_build_matches_monolithic(self, tmp_path, capsys):
+        from repro.store import read_header
+
+        batched = tmp_path / "batched"
+        mono = tmp_path / "mono"
+        base = [
+            "index", "build",
+            "--setting", "NetHEPT-W",
+            "--scale", "0.03",
+            "--samples", "8",
+            "--seed", "11",
+        ]
+        assert main(base + ["--out", str(batched), "--batch-size", "3"]) == 0
+        assert main(base + ["--out", str(mono)]) == 0
+        capsys.readouterr()
+        assert (
+            read_header(batched).content_digest == read_header(mono).content_digest
+        )
+
+    def test_sphere_all_sweep_refuse_and_resume(self, built, tmp_path, capsys):
+        out = tmp_path / "spheres.npz"
+        sweep = ["sphere", "--index", str(built), "--all", "--out", str(out),
+                 "--checkpoint-every", "8"]
+        assert main(sweep) == 0
+        first = capsys.readouterr().out
+        assert "digest: sha256:" in first
+        assert out.exists()
+        # a second sweep against the same checkpoint dir refuses without --resume
+        with pytest.raises(SystemExit, match="pass --resume"):
+            main(sweep)
+        # with --resume it recovers everything and lands on the same digest
+        assert main(sweep + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        digest = [ln for ln in first.splitlines() if "digest:" in ln]
+        assert digest and digest[0] in second
+
+    def test_sphere_all_requires_out(self, built):
+        with pytest.raises(SystemExit, match="--out is required"):
+            main(["sphere", "--index", str(built), "--all"])
+
 
 class TestReportCommand:
     def test_report_writes_markdown(self, tmp_path, capsys):

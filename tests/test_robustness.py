@@ -24,14 +24,34 @@ class TestCorruptedFiles:
         index.save(path)
         raw = path.read_bytes()
         path.write_bytes(raw[: len(raw) // 2])
-        with pytest.raises(Exception):
+        with pytest.raises(StoreFormatError, match="not a readable"):
             CascadeIndex.load(path)
 
     def test_wrong_format_index_file(self, tmp_path):
         path = tmp_path / "garbage.npz"
         path.write_bytes(b"this is not an npz archive")
-        with pytest.raises(Exception):
+        with pytest.raises(StoreFormatError, match="not a readable"):
             CascadeIndex.load(path)
+
+    def test_missing_index_file_stays_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            CascadeIndex.load(tmp_path / "never-written.npz")
+
+    def test_truncated_sphere_store(self, small_random, tmp_path):
+        index = CascadeIndex.build(small_random, 4, seed=1)
+        store = TypicalCascadeComputer(index).compute_store([0, 1])
+        path = tmp_path / "spheres.npz"
+        store.save(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(StoreFormatError, match="not a readable"):
+            SphereStore.load(path)
+
+    def test_garbage_sphere_store(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"\x00\x01 definitely not a zip")
+        with pytest.raises(StoreFormatError, match="not a readable"):
+            SphereStore.load(path)
 
     def test_npz_with_missing_arrays(self, tmp_path):
         path = tmp_path / "partial.npz"
