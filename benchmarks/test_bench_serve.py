@@ -1,0 +1,117 @@
+"""Micro-benchmarks of the online sphere-query service (repro.serve).
+
+Measures the three sphere-serving tiers the design separates — precomputed
+store, warm LRU cache, cold on-demand compute — plus batch-endpoint
+throughput over real HTTP.  The headline property being pinned: the
+precomputed-store and warm-cache paths are pure lookups (orders of
+magnitude under the Jaccard-median compute), which is what lets one server
+absorb read-heavy traffic.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.graph.generators import powerlaw_outdegree_digraph
+from repro.problearn.assign import assign_fixed
+from repro.serve.app import SphereService, make_server
+
+WARM_NODES = tuple(range(24))
+
+
+@pytest.fixture(scope="module")
+def graph():
+    base = powerlaw_outdegree_digraph(300, mean_degree=6.0, seed=1)
+    return assign_fixed(base, 0.1)
+
+
+@pytest.fixture(scope="module")
+def index(graph):
+    return CascadeIndex.build(graph, 32, seed=2)
+
+
+@pytest.fixture(scope="module")
+def sphere_store(index):
+    return TypicalCascadeComputer(index).compute_store(nodes=WARM_NODES)
+
+
+@pytest.fixture()
+def http_server(index, sphere_store):
+    service = SphereService(
+        index, spheres=sphere_store, cache_size=256, max_inflight=8
+    )
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield service, base
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def get(base, path):
+    with urllib.request.urlopen(base + path, timeout=30) as response:
+        return response.read()
+
+
+def test_bench_precomputed_store_path(benchmark, http_server):
+    """Sphere served straight from the mmap-backed store: zero computes."""
+    service, base = http_server
+    body = benchmark(lambda: get(base, f"/sphere/{WARM_NODES[0]}"))
+    assert json.loads(body)["node"] == WARM_NODES[0]
+    assert service.computes_total.value() == 0
+
+
+def test_bench_warm_cache_path(benchmark, http_server):
+    """Cold node computed once, then every request is an LRU cache hit."""
+    service, base = http_server
+    node = 200
+    get(base, f"/sphere/{node}")  # populate the cache
+    body = benchmark(lambda: get(base, f"/sphere/{node}"))
+    assert json.loads(body)["node"] == node
+    assert service.computes_total.value() == 1
+
+
+def test_bench_cold_compute_path(benchmark, index):
+    """On-demand compute with caching disabled: the full median cost."""
+    service = SphereService(index, cache_size=0, max_inflight=8)
+    server = make_server(service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    try:
+        node = 250
+        body = benchmark(lambda: get(base, f"/sphere/{node}"))
+        assert json.loads(body)["node"] == node
+        assert service.computes_total.value() >= 1
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def test_bench_batch_endpoint_throughput(benchmark, http_server):
+    """POST /spheres over the warm set: requests amortised per batch."""
+    service, base = http_server
+    payload = json.dumps({"nodes": list(WARM_NODES)}).encode("ascii")
+
+    def post_batch():
+        request = urllib.request.Request(
+            base + "/spheres",
+            data=payload,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.read()
+
+    body = benchmark(post_batch)
+    decoded = json.loads(body)
+    assert decoded["count"] == len(WARM_NODES)
+    assert all("error" not in entry for entry in decoded["results"])
+    assert service.computes_total.value() == 0

@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""CI gate for the online sphere-query service (.github/workflows/ci.yml).
+
+Runs the real ``python -m repro serve`` process end to end against a tiny
+persistent index + precomputed sphere store, and fails loudly on any
+deviation:
+
+1. every endpoint answers (healthz, sphere, cascades, batch,
+   most-reliable, metrics);
+2. warm-path proof: with ``--spheres`` loaded, sphere queries perform
+   **zero** ``TypicalCascadeComputer`` calls
+   (``repro_serve_computes_total`` stays 0);
+3. a cold query is shed with ``429`` + ``Retry-After`` (the server runs
+   with ``--max-inflight 0``) and the shed counter moves;
+4. ``index query --json`` and ``GET /sphere/{node}`` return
+   byte-identical JSON;
+5. SIGTERM shuts the server down cleanly (exit code 0).
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_serve.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.cascades.index import CascadeIndex
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.graph.generators import powerlaw_outdegree_digraph
+from repro.problearn.assign import assign_fixed
+
+SAMPLES = 8
+SEED = 20160626
+WARM_NODES = tuple(range(12))
+
+
+def check(label: str, ok: bool) -> None:
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if not ok:
+        sys.exit(1)
+
+
+def fetch(base: str, path: str, *, method: str = "GET", body=None):
+    """(status, headers, body_bytes); HTTP error statuses are returned."""
+    data = json.dumps(body).encode("ascii") if body is not None else None
+    request = urllib.request.Request(base + path, data=data, method=method)
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+def metric_value(metrics_text: str, sample: str) -> float:
+    for line in metrics_text.splitlines():
+        if line.startswith(sample + " "):
+            return float(line.split()[-1])
+    raise AssertionError(f"sample {sample!r} not found in /metrics")
+
+
+def subprocess_env() -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def start_server(index_path: Path, spheres_path: Path) -> tuple:
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(index_path),
+            "--spheres", str(spheres_path),
+            "--port", "0", "--max-inflight", "0", "--retry-after", "2",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        env=subprocess_env(),
+        text=True,
+    )
+    banner = process.stdout.readline()
+    if "http://" not in banner:
+        process.kill()
+        raise AssertionError(f"no listening banner, got: {banner!r}")
+    base = banner.rsplit(" on ", 1)[1].strip()
+    return process, base, banner
+
+
+def main() -> int:
+    graph = assign_fixed(
+        powerlaw_outdegree_digraph(80, mean_degree=5.0, seed=7), 0.15
+    )
+    index = CascadeIndex.build(graph, SAMPLES, seed=SEED)
+    computer = TypicalCascadeComputer(index)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        index_path = Path(tmp) / "idx"
+        spheres_path = Path(tmp) / "spheres.npz"
+        index.save(index_path, format="store")
+        computer.compute_store(nodes=WARM_NODES).save(spheres_path)
+        print(f"store: {graph.num_nodes} nodes, {SAMPLES} worlds, "
+              f"{len(WARM_NODES)} precomputed spheres")
+
+        process, base, banner = start_server(index_path, spheres_path)
+        try:
+            print(f"server: {banner.strip()}")
+
+            print("endpoints:")
+            status, _, body = fetch(base, "/healthz")
+            health = json.loads(body)
+            check("healthz is ok", status == 200 and health["status"] == "ok")
+            check(
+                "healthz reports the precomputed spheres",
+                health["precomputed_spheres"] == len(WARM_NODES),
+            )
+
+            warm_bodies = [fetch(base, f"/sphere/{v}") for v in WARM_NODES[:4]]
+            check(
+                "warm sphere queries answer 200",
+                all(status == 200 for status, _, _ in warm_bodies),
+            )
+            status, _, body = fetch(base, "/cascades/3")
+            check(
+                "cascades stats answer",
+                status == 200 and json.loads(body)["num_worlds"] == SAMPLES,
+            )
+            status, _, body = fetch(base, "/cascades/3?world=1")
+            check("cascades world answer", status == 200)
+            status, _, body = fetch(base, "/most-reliable?count=3")
+            check(
+                "most-reliable answers from the store",
+                status == 200 and len(json.loads(body)["nodes"]) <= 3,
+            )
+            status, _, body = fetch(
+                base, "/spheres", method="POST",
+                body={"nodes": list(WARM_NODES[:3])},
+            )
+            check(
+                "batch endpoint answers all nodes",
+                status == 200 and json.loads(body)["count"] == 3,
+            )
+            status, _, _ = fetch(base, f"/sphere/{graph.num_nodes + 5}")
+            check("missing node is 404", status == 404)
+
+            print("shed path (--max-inflight 0):")
+            cold = max(WARM_NODES) + 1
+            status, headers, body = fetch(base, f"/sphere/{cold}")
+            check("cold sphere query is shed with 429", status == 429)
+            check(
+                "429 carries Retry-After",
+                headers.get("Retry-After") == "2",
+            )
+
+            print("metrics:")
+            status, _, body = fetch(base, "/metrics")
+            check("metrics endpoint answers", status == 200)
+            text = body.decode()
+            check(
+                "warm-path proof: zero TypicalCascadeComputer calls",
+                metric_value(text, "repro_serve_computes_total") == 0,
+            )
+            check(
+                "store hits counted",
+                metric_value(text, "repro_serve_store_hits_total") >= 4,
+            )
+            check(
+                "shed counter moved",
+                metric_value(text, "repro_serve_shed_total") >= 1,
+            )
+            check(
+                "request counter moved",
+                metric_value(
+                    text,
+                    'repro_serve_requests_total{endpoint="sphere",status="200"}',
+                ) >= 4,
+            )
+
+            print("CLI/server JSON parity:")
+            node = WARM_NODES[1]
+            _, _, http_body = fetch(base, f"/sphere/{node}")
+            cli = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "index", "query",
+                    str(index_path), "--node", str(node), "--sphere", "--json",
+                ],
+                capture_output=True,
+                env=subprocess_env(),
+            )
+            check("CLI query --json exits 0", cli.returncode == 0)
+            check(
+                "CLI and server JSON byte-identical",
+                cli.stdout.rstrip(b"\n") == http_body,
+            )
+
+            print("graceful shutdown:")
+            process.send_signal(signal.SIGTERM)
+            try:
+                code = process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                check("SIGTERM shuts down within 30s", False)
+            check("exit code 0 after SIGTERM", code == 0)
+            remaining = process.stdout.read()
+            check(
+                "drain message printed",
+                "shut down cleanly" in remaining,
+            )
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+    print("all serve checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

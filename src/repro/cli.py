@@ -13,6 +13,8 @@ Usage::
     python -m repro index info idx/ --verify full
     python -m repro index append idx/ --samples 64
     python -m repro index query idx/ --node 5 --sphere --infmax 10
+    python -m repro index query idx/ --node 5 --sphere --json
+    python -m repro serve idx/ --spheres spheres.npz --port 8314
     python -m repro list-settings
 
 Every subcommand prints the same rows/series the paper reports; see
@@ -170,6 +172,30 @@ def build_parser() -> argparse.ArgumentParser:
                     help="with --node: compute its sphere of influence")
     iq.add_argument("--infmax", type=int, default=None, metavar="K",
                     help="run InfMax_TC for a size-K seed set")
+    iq.add_argument("--json", action="store_true",
+                    help="print the query as canonical JSON, byte-identical "
+                         "to the serve endpoint's response (one sub-query "
+                         "per invocation; --infmax unsupported)")
+
+    p = sub.add_parser(
+        "serve", help="HTTP/JSON query service over a saved index"
+    )
+    p.add_argument("store", metavar="PATH",
+                   help="saved cascade index (store directory or .npz)")
+    p.add_argument("--spheres", default=None, metavar="PATH",
+                   help="precomputed sphere store (.npz); its nodes are "
+                        "served without any on-demand computation")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8314,
+                   help="bind port, 0 = ephemeral (default 8314)")
+    p.add_argument("--cache-size", type=int, default=1024,
+                   help="LRU result-cache capacity, 0 disables (default 1024)")
+    p.add_argument("--max-inflight", type=int, default=8,
+                   help="cold computes in flight before requests are shed "
+                        "with 429 (default 8)")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   help="Retry-After hint (seconds) on shed requests")
 
     p = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from results/ artefacts"
@@ -392,32 +418,39 @@ def _run_index_append(args) -> str:
 
 def _run_index_query(args) -> str:
     from repro.cascades.index import CascadeIndex
-    from repro.core.typical_cascade import TypicalCascadeComputer
     from repro.influence.greedy_tc import infmax_tc
+    from repro.serve import query as q
 
     index = CascadeIndex.load(args.path)
+    if args.json:
+        return _run_index_query_json(args, index)
     lines: list[str] = []
-    if args.node is not None:
-        if args.world is not None:
-            cascade = index.cascade(args.node, args.world)
-            lines.append(
-                f"cascade of node {args.node} in world {args.world}: "
-                f"size {cascade.size}, members {cascade.tolist()}"
-            )
-        else:
-            sizes = [index.cascade_size(args.node, w)
-                     for w in range(index.num_worlds)]
-            mean = sum(sizes) / len(sizes)
-            lines.append(
-                f"cascade sizes of node {args.node} over {index.num_worlds} "
-                f"worlds: min {min(sizes)}, mean {mean:.2f}, max {max(sizes)}"
-            )
-        if args.sphere:
-            sphere = TypicalCascadeComputer(index).compute(args.node)
-            lines.append(
-                f"sphere of node {args.node}: size {sphere.size}, "
-                f"cost {sphere.cost:.4f}, members {sphere.members.tolist()}"
-            )
+    try:
+        if args.node is not None:
+            if args.world is not None:
+                world = q.cascade_world_payload(index, args.node, args.world)
+                lines.append(
+                    f"cascade of node {world['node']} in world "
+                    f"{world['world']}: size {world['size']}, "
+                    f"members {world['members']}"
+                )
+            else:
+                stats = q.cascade_stats_payload(index, args.node)
+                lines.append(
+                    f"cascade sizes of node {stats['node']} over "
+                    f"{stats['num_worlds']} worlds: min {stats['size_min']}, "
+                    f"mean {stats['size_mean']:.2f}, max {stats['size_max']}"
+                )
+            if args.sphere:
+                sphere = q.sphere_payload(
+                    args.node, _query_computer(index).compute(args.node)
+                )
+                lines.append(
+                    f"sphere of node {sphere['node']}: size {sphere['size']}, "
+                    f"cost {sphere['cost']:.4f}, members {sphere['members']}"
+                )
+    except KeyError as exc:
+        raise SystemExit(f"index query: {exc.args[0]}") from exc
     if args.infmax is not None:
         trace, _spheres = infmax_tc(index, args.infmax)
         lines.append(
@@ -432,6 +465,67 @@ def _run_index_query(args) -> str:
             "and/or --infmax K"
         )
     return "\n".join(lines)
+
+
+def _query_computer(index):
+    from repro.core.typical_cascade import TypicalCascadeComputer
+
+    return TypicalCascadeComputer(index)
+
+
+def _run_index_query_json(args, index) -> str:
+    """``index query --json``: one canonical-JSON document per invocation,
+    byte-identical to the corresponding serve endpoint's response body."""
+    from repro.serve import query as q
+
+    if args.infmax is not None:
+        raise SystemExit("index query --json: --infmax is not supported")
+    if args.node is None:
+        raise SystemExit("index query --json: --node is required")
+    if args.sphere and args.world is not None:
+        raise SystemExit(
+            "index query --json: pass exactly one of --world or --sphere"
+        )
+    try:
+        if args.sphere:
+            node = q.require_node(args.node, index.num_nodes)
+            payload = q.sphere_payload(node, _query_computer(index).compute(node))
+        elif args.world is not None:
+            payload = q.cascade_world_payload(index, args.node, args.world)
+        else:
+            payload = q.cascade_stats_payload(index, args.node)
+    except KeyError as exc:
+        raise SystemExit(f"index query: {exc.args[0]}") from exc
+    return q.canonical_json(payload).decode("ascii")
+
+
+def _run_serve(args) -> str:
+    from repro.serve.app import SphereService, make_server, run_until_signal
+
+    service = SphereService(
+        args.store,
+        spheres=args.spheres,
+        cache_size=args.cache_size,
+        max_inflight=args.max_inflight,
+        retry_after=args.retry_after,
+    )
+    server = make_server(service, args.host, args.port)
+    host, port = server.server_address[:2]
+    spheres_note = (
+        f", {len(service.spheres)} precomputed spheres"
+        if service.spheres is not None
+        else ""
+    )
+    # Printed (and flushed) before blocking so wrappers scripting the server
+    # can scrape the bound port — --port 0 binds an ephemeral one.
+    print(
+        f"serving {args.store} ({service.index.num_nodes} nodes, "
+        f"{service.index.num_worlds} worlds{spheres_note}) "
+        f"on http://{host}:{port}",
+        flush=True,
+    )
+    run_until_signal(server)
+    return "serve: drained in-flight requests and shut down cleanly"
 
 
 def _run_report(args) -> str:
@@ -462,6 +556,7 @@ _DISPATCH = {
     "fig8": _run_fig8,
     "sphere": _run_sphere,
     "index": _run_index,
+    "serve": _run_serve,
     "list-settings": _run_list_settings,
     "report": _run_report,
 }

@@ -65,7 +65,19 @@ class SphereStore:
         return int(node) in self._spheres
 
     def __getitem__(self, node: int) -> SphereOfInfluence:
-        return self._spheres[int(node)]
+        sphere = self._spheres.get(int(node))
+        if sphere is None:
+            raise KeyError(
+                f"node {int(node)} not in store ({len(self._spheres)} nodes)"
+            )
+        return sphere
+
+    def get(
+        self, node: int, default: SphereOfInfluence | None = None
+    ) -> SphereOfInfluence | None:
+        """The sphere of ``node``, or ``default`` when absent — the cheap
+        miss path the serving layer probes before computing on demand."""
+        return self._spheres.get(int(node), default)
 
     def __iter__(self) -> Iterator[int]:
         return iter(sorted(self._spheres))

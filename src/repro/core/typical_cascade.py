@@ -36,6 +36,14 @@ class TypicalCascadeComputer:
         size_grid_ratio: density of the median's size sweep.
         refine: when True, polish every median with one local-search pass
             (slower; used by the ablation studies).
+
+    Thread safety: :meth:`compute`, :meth:`compute_seed_set` and the index
+    read path they use (``CascadeIndex.cascades`` / ``cascade`` /
+    ``cascade_size``) keep all mutable state in locals, and a store-loaded
+    index materialises its lazy per-world views under a lock — so one
+    computer may serve concurrent queries from many threads (the online
+    service does).  What is *not* safe concurrently with reads is mutating
+    the index via ``CascadeIndex.extend``.
     """
 
     def __init__(

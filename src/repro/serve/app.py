@@ -1,0 +1,303 @@
+"""The online sphere-query service.
+
+:class:`SphereService` is the transport-independent core: it answers sphere
+and cascade queries over a loaded :class:`~repro.cascades.index.
+CascadeIndex`, serving precomputed spheres straight out of a memory-mapped
+:class:`~repro.core.store.SphereStore` when one is attached and falling
+back to on-demand computation through a
+:class:`~repro.core.typical_cascade.TypicalCascadeComputer` otherwise.  The
+on-demand path is protected by three layers, outermost first:
+
+1. a bounded LRU result cache (:mod:`repro.serve.cache`);
+2. single-flight coalescing (:mod:`repro.serve.coalesce`) — N concurrent
+   requests for the same cold node run exactly one computation;
+3. admission control — once ``max_inflight`` distinct computations are in
+   flight, further cold requests are shed with
+   :class:`~repro.serve.errors.ShedLoad` (HTTP ``429 Retry-After``) instead
+   of queueing threads without bound.
+
+:func:`make_server` wraps a service in a draining ``ThreadingHTTPServer``;
+:func:`run_until_signal` runs it until SIGTERM/SIGINT, finishing in-flight
+requests before returning (graceful shutdown).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+from http.server import ThreadingHTTPServer
+from typing import Any, Iterable, Union
+
+from repro.cascades.index import CascadeIndex
+from repro.core.sphere import SphereOfInfluence
+from repro.core.store import SphereStore
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.serve import query as q
+from repro.serve.cache import MISSING, LRUCache
+from repro.serve.coalesce import SingleFlight
+from repro.serve.errors import BadRequest, NodeNotFound, ShedLoad
+from repro.serve.metrics import MetricsRegistry
+
+PathLike = Union[str, os.PathLike]
+
+
+class SphereService:
+    """Query façade over an index plus optional precomputed sphere store.
+
+    Thread safety: every public method may be called concurrently; see the
+    read-path audit note on :class:`~repro.core.typical_cascade.
+    TypicalCascadeComputer` (the index read path is immutable or
+    lock-protected; the service never calls ``extend``).
+    """
+
+    def __init__(
+        self,
+        index: Union[CascadeIndex, PathLike],
+        *,
+        spheres: Union[SphereStore, PathLike, None] = None,
+        cache_size: int = 1024,
+        max_inflight: int = 8,
+        retry_after: float = 1.0,
+        size_grid_ratio: float = 1.15,
+        registry: MetricsRegistry | None = None,
+        source: str | None = None,
+    ) -> None:
+        if not isinstance(index, CascadeIndex):
+            if source is None:
+                source = os.fspath(index)
+            index = CascadeIndex.load(index)
+        if spheres is not None and not isinstance(spheres, SphereStore):
+            spheres = SphereStore.load(spheres)
+        if max_inflight < 0:
+            raise ValueError(f"max_inflight must be >= 0, got {max_inflight}")
+        self._index = index
+        self._spheres = spheres
+        self._computer = TypicalCascadeComputer(
+            index, size_grid_ratio=size_grid_ratio
+        )
+        self._retry_after = float(retry_after)
+        self._source = source if source is not None else "in-memory index"
+
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self.requests_total = reg.counter(
+            "repro_serve_requests_total", "HTTP requests by endpoint and status."
+        )
+        self.request_seconds = reg.histogram(
+            "repro_serve_request_seconds", "Request latency by endpoint."
+        )
+        self.store_hits_total = reg.counter(
+            "repro_serve_store_hits_total",
+            "Sphere queries answered from the precomputed sphere store.",
+        )
+        self.computes_total = reg.counter(
+            "repro_serve_computes_total",
+            "On-demand TypicalCascadeComputer.compute calls actually run.",
+        )
+        self.coalesced_total = reg.counter(
+            "repro_serve_coalesced_total",
+            "Sphere requests that piggybacked on another request's compute.",
+        )
+        self.shed_total = reg.counter(
+            "repro_serve_shed_total",
+            "Cold sphere computations rejected by admission control.",
+        )
+        cache_hits = reg.counter(
+            "repro_serve_cache_hits_total", "LRU result-cache hits."
+        )
+        cache_misses = reg.counter(
+            "repro_serve_cache_misses_total", "LRU result-cache misses."
+        )
+        cache_evictions = reg.counter(
+            "repro_serve_cache_evictions_total", "LRU result-cache evictions."
+        )
+        self.cache = LRUCache(
+            cache_size,
+            on_hit=cache_hits.inc,
+            on_miss=cache_misses.inc,
+            on_evict=cache_evictions.inc,
+        )
+        self._flight = SingleFlight()
+        # Admission control over *distinct* in-flight computations (a burst
+        # of coalesced followers consumes one slot, not N).
+        self._slots = threading.Semaphore(max_inflight)
+        self._max_inflight = int(max_inflight)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def index(self) -> CascadeIndex:
+        return self._index
+
+    @property
+    def spheres(self) -> SphereStore | None:
+        return self._spheres
+
+    @property
+    def source(self) -> str:
+        return self._source
+
+    @property
+    def max_inflight(self) -> int:
+        return self._max_inflight
+
+    # -- core lookups --------------------------------------------------------
+
+    def _check_node(self, node: int) -> int:
+        try:
+            return q.require_node(node, self._index.num_nodes)
+        except KeyError as exc:
+            raise NodeNotFound(exc.args[0]) from exc
+
+    def get_sphere(self, node: int) -> SphereOfInfluence:
+        """The sphere of ``node``: store, then cache, then coalesced compute.
+
+        With the node present in the attached sphere store this performs
+        **zero** computer calls (the warm-path guarantee the smoke test
+        pins via ``repro_serve_computes_total``).
+        """
+        node = self._check_node(node)
+        if self._spheres is not None:
+            hit = self._spheres.get(node)
+            if hit is not None:
+                self.store_hits_total.inc()
+                return hit
+        hit = self.cache.get(node)
+        if hit is not MISSING:
+            return hit
+
+        def compute() -> SphereOfInfluence:
+            if not self._slots.acquire(blocking=False):
+                self.shed_total.inc()
+                raise ShedLoad(
+                    f"compute queue full ({self._max_inflight} in flight); "
+                    "retry shortly",
+                    retry_after=self._retry_after,
+                )
+            try:
+                self.computes_total.inc()
+                sphere = self._computer.compute(node)
+            finally:
+                self._slots.release()
+            self.cache.put(node, sphere)
+            return sphere
+
+        sphere, leader = self._flight.do(node, compute)
+        if not leader:
+            self.coalesced_total.inc()
+        return sphere
+
+    # -- endpoint payloads ---------------------------------------------------
+
+    def sphere(self, node: int) -> dict[str, Any]:
+        return q.sphere_payload(node, self.get_sphere(node))
+
+    def cascades(self, node: int, world: int | None = None) -> dict[str, Any]:
+        try:
+            if world is None:
+                return q.cascade_stats_payload(self._index, node)
+            return q.cascade_world_payload(self._index, node, world)
+        except KeyError as exc:
+            raise NodeNotFound(exc.args[0]) from exc
+
+    def sphere_batch(self, nodes: Iterable[Any]) -> dict[str, Any]:
+        """``POST /spheres``: per-node results, errors embedded per entry."""
+        nodes = list(nodes)
+        if not nodes:
+            raise BadRequest("batch needs a non-empty 'nodes' list")
+        results: list[dict[str, Any]] = []
+        for raw in nodes:
+            if isinstance(raw, bool) or not isinstance(raw, int):
+                raise BadRequest(f"node ids must be integers, got {raw!r}")
+            try:
+                results.append(self.sphere(raw))
+            except NodeNotFound as exc:
+                results.append(
+                    {"node": int(raw), "error": {"status": exc.status,
+                                                 "message": exc.message}}
+                )
+            except ShedLoad as exc:
+                results.append(
+                    {"node": int(raw), "error": {"status": exc.status,
+                                                 "message": exc.message}}
+                )
+        return {"count": len(results), "results": results}
+
+    def most_reliable(self, count: int, min_size: int = 2) -> dict[str, Any]:
+        if self._spheres is None:
+            raise BadRequest(
+                "most-reliable needs a precomputed sphere store; start the "
+                "server with --spheres"
+            )
+        if count <= 0:
+            raise BadRequest(f"count must be positive, got {count}")
+        if min_size < 1:
+            raise BadRequest(f"min-size must be >= 1, got {min_size}")
+        return q.most_reliable_payload(self._spheres, count, min_size)
+
+    def healthz(self) -> dict[str, Any]:
+        return {
+            "status": "ok",
+            "source": self._source,
+            "num_nodes": self._index.num_nodes,
+            "num_worlds": self._index.num_worlds,
+            "precomputed_spheres": (
+                len(self._spheres) if self._spheres is not None else 0
+            ),
+            "cache": self.cache.stats(),
+            "max_inflight": self._max_inflight,
+        }
+
+    def metrics_text(self) -> str:
+        return self.registry.render()
+
+
+class DrainingHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server whose ``server_close`` waits for handlers.
+
+    ``ThreadingHTTPServer`` marks handler threads as daemons, which makes
+    ``server_close`` abandon in-flight requests; flipping ``daemon_threads``
+    off restores ``socketserver``'s thread tracking, so shutdown drains —
+    every accepted request finishes before the process exits.
+    """
+
+    daemon_threads = False
+    allow_reuse_address = True
+
+    def __init__(self, address, handler_class, service: SphereService) -> None:
+        self.service = service
+        super().__init__(address, handler_class)
+
+
+def make_server(
+    service: SphereService, host: str = "127.0.0.1", port: int = 0
+) -> DrainingHTTPServer:
+    """Bind a draining server for ``service`` (``port=0`` = ephemeral)."""
+    from repro.serve.handlers import SphereRequestHandler
+
+    return DrainingHTTPServer((host, port), SphereRequestHandler, service)
+
+
+def run_until_signal(
+    server: DrainingHTTPServer,
+    signals: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+) -> None:
+    """Serve until one of ``signals`` arrives, then drain and close.
+
+    ``BaseServer.shutdown`` blocks until the serve loop exits, so calling
+    it from a signal handler running *in* the serving main thread would
+    deadlock; the handler hands it to a helper thread instead.  Must be
+    called from the main thread (CPython delivers signals there).
+    """
+
+    def request_shutdown(signum, frame):
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {s: signal.signal(s, request_shutdown) for s in signals}
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        server.server_close()

@@ -1,0 +1,80 @@
+"""Single-flight request coalescing.
+
+When N concurrent requests ask for the same not-yet-cached node, computing
+its sphere N times is pure waste: the computation is deterministic, so one
+result serves everybody.  :class:`SingleFlight` guarantees that per key at
+most one computation is in flight — the first caller (the *leader*) runs
+the function, everyone else (the *followers*) blocks on the leader's result
+and receives the very same object (or exception).
+
+The in-flight entry is removed *before* followers are released, so a
+request arriving after completion starts a fresh flight — results are never
+served stale from here (caching is the cache's job, one layer up).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Hashable
+
+
+class _Flight:
+    __slots__ = ("done", "value", "error", "waiters")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.waiters = 0
+
+
+class SingleFlight:
+    """Per-key deduplication of concurrent identical computations."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[Hashable, _Flight] = {}
+
+    def do(self, key: Hashable, fn: Callable[[], Any]) -> tuple[Any, bool]:
+        """Run ``fn`` once per concurrent burst of calls sharing ``key``.
+
+        Returns ``(result, leader)`` where ``leader`` is True for the one
+        call that actually executed ``fn``.  If ``fn`` raises, every caller
+        of the burst sees the same exception.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                flight.waiters += 1
+                lead = False
+            else:
+                flight = _Flight()
+                self._flights[key] = flight
+                lead = True
+        if not lead:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value, False
+
+        try:
+            flight.value = fn()
+        except BaseException as exc:
+            flight.error = exc
+            raise
+        finally:
+            with self._lock:
+                del self._flights[key]
+            flight.done.set()
+        return flight.value, True
+
+    def inflight(self) -> int:
+        """Number of keys currently being computed (diagnostics/tests)."""
+        with self._lock:
+            return len(self._flights)
+
+    def waiters(self, key: Hashable) -> int:
+        """Followers currently blocked on ``key``'s flight (tests)."""
+        with self._lock:
+            flight = self._flights.get(key)
+            return flight.waiters if flight is not None else 0

@@ -1,0 +1,45 @@
+"""Exception hierarchy of the online query service.
+
+Every error a handler can surface to a client maps to one exception type
+carrying its HTTP status, so the routing layer turns failures into JSON
+error bodies with a single ``except ServeError`` — no status-code logic
+scattered through the handlers.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(Exception):
+    """Base class for every client-visible service failure."""
+
+    #: HTTP status the routing layer responds with.
+    status = 500
+
+    def __init__(self, message: str) -> None:
+        super().__init__(message)
+        self.message = message
+
+
+class BadRequest(ServeError):
+    """The request itself is malformed (unparseable body, bad parameter)."""
+
+    status = 400
+
+
+class NodeNotFound(ServeError):
+    """The queried node (or world) does not exist in the served index."""
+
+    status = 404
+
+
+class ShedLoad(ServeError):
+    """Admission control rejected the request: the in-flight compute queue
+    is at its configured depth.  Carries the ``Retry-After`` hint (seconds)
+    the handler sends so well-behaved clients back off instead of retrying
+    immediately."""
+
+    status = 429
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)

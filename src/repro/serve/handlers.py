@@ -1,0 +1,196 @@
+"""HTTP request routing for the sphere-query service.
+
+One ``BaseHTTPRequestHandler`` subclass maps the URL surface onto
+:class:`~repro.serve.app.SphereService` methods:
+
+====== ======================== ==========================================
+method path                     service call
+====== ======================== ==========================================
+GET    /healthz                 :meth:`SphereService.healthz`
+GET    /metrics                 :meth:`SphereService.metrics_text`
+GET    /sphere/{node}           :meth:`SphereService.sphere`
+GET    /cascades/{node}         :meth:`SphereService.cascades`
+GET    /cascades/{node}?world=i :meth:`SphereService.cascades`
+GET    /most-reliable           :meth:`SphereService.most_reliable`
+POST   /spheres                 :meth:`SphereService.sphere_batch`
+====== ======================== ==========================================
+
+Every JSON body is rendered by :func:`~repro.serve.query.canonical_json`,
+so a handler response and the CLI's ``index query --json`` output are
+byte-identical for the same query.  Failures are JSON error documents
+``{"error": {"status": ..., "message": ...}}``; ``429`` additionally
+carries a ``Retry-After`` header.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.errors import BadRequest, NodeNotFound, ServeError, ShedLoad
+from repro.serve.query import canonical_json
+
+#: Max accepted ``POST /spheres`` body (1 MiB — thousands of node ids).
+MAX_BODY_BYTES = 1 << 20
+
+
+def _parse_int(raw: str, name: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise BadRequest(f"{name} must be an integer, got {raw!r}") from None
+
+
+class SphereRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's :class:`SphereService`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-serve/1.0"
+
+    # Per-request access logging off by default: the service is instrumented
+    # through /metrics instead, and the hammer tests would flood stderr.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    @property
+    def service(self):
+        return self.server.service
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any, **kwargs) -> None:
+        self._send(status, canonical_json(payload), **kwargs)
+
+    def _send_error_payload(self, exc: ServeError) -> None:
+        extra: tuple[tuple[str, str], ...] = ()
+        if isinstance(exc, ShedLoad):
+            extra = (("Retry-After", format(exc.retry_after, "g")),)
+        self._send_json(
+            exc.status,
+            {"error": {"status": exc.status, "message": exc.message}},
+            extra_headers=extra,
+        )
+
+    def _dispatch(self, endpoint: str, handler) -> None:
+        """Run one routed handler, recording latency and outcome metrics."""
+        service = self.service
+        start = time.perf_counter()
+        status = 500
+        try:
+            status = handler()
+        except ServeError as exc:
+            status = exc.status
+            self._send_error_payload(exc)
+        except BrokenPipeError:
+            pass  # client went away mid-response; nothing left to send
+        finally:
+            service.request_seconds.observe(
+                time.perf_counter() - start, endpoint=endpoint
+            )
+            service.requests_total.inc(endpoint=endpoint, status=str(status))
+
+    def _query_params(self) -> dict[str, str]:
+        parsed = parse_qs(urlsplit(self.path).query, keep_blank_values=False)
+        return {name: values[-1] for name, values in parsed.items()}
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz":
+            self._dispatch("healthz", self._handle_healthz)
+        elif path == "/metrics":
+            self._dispatch("metrics", self._handle_metrics)
+        elif len(parts) == 2 and parts[0] == "sphere":
+            self._dispatch("sphere", lambda: self._handle_sphere(parts[1]))
+        elif len(parts) == 2 and parts[0] == "cascades":
+            self._dispatch("cascades", lambda: self._handle_cascades(parts[1]))
+        elif path == "/most-reliable":
+            self._dispatch("most_reliable", self._handle_most_reliable)
+        else:
+            self._dispatch("unknown", self._handle_unknown)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/")
+        if path == "/spheres":
+            self._dispatch("spheres_batch", self._handle_batch)
+        else:
+            self._dispatch("unknown", self._handle_unknown)
+
+    # -- endpoint bodies (each returns the response status it sent) ----------
+
+    def _handle_healthz(self) -> int:
+        self._send_json(200, self.service.healthz())
+        return 200
+
+    def _handle_metrics(self) -> int:
+        body = self.service.metrics_text().encode("utf-8")
+        self._send(200, body, content_type="text/plain; version=0.0.4")
+        return 200
+
+    def _handle_sphere(self, raw_node: str) -> int:
+        node = _parse_int(raw_node, "node")
+        self._send_json(200, self.service.sphere(node))
+        return 200
+
+    def _handle_cascades(self, raw_node: str) -> int:
+        node = _parse_int(raw_node, "node")
+        params = self._query_params()
+        world = None
+        if "world" in params:
+            world = _parse_int(params["world"], "world")
+        self._send_json(200, self.service.cascades(node, world))
+        return 200
+
+    def _handle_most_reliable(self) -> int:
+        params = self._query_params()
+        count = _parse_int(params.get("count", "10"), "count")
+        min_size = _parse_int(params.get("min-size", "2"), "min-size")
+        self._send_json(200, self.service.most_reliable(count, min_size))
+        return 200
+
+    def _handle_batch(self) -> int:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise BadRequest("Content-Length must be an integer") from None
+        if length <= 0:
+            raise BadRequest("POST /spheres needs a JSON body")
+        if length > MAX_BODY_BYTES:
+            raise BadRequest(
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict) or "nodes" not in payload:
+            raise BadRequest('body must be a JSON object {"nodes": [...]}')
+        nodes = payload["nodes"]
+        if not isinstance(nodes, list):
+            raise BadRequest("'nodes' must be a list of integers")
+        self._send_json(200, self.service.sphere_batch(nodes))
+        return 200
+
+    def _handle_unknown(self) -> int:
+        raise NodeNotFound(f"no route for {self.command} {self.path}")

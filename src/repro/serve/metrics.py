@@ -1,0 +1,188 @@
+"""Minimal thread-safe metrics registry with Prometheus text rendering.
+
+The service needs counters (requests, cache hits, sheds, computes) and
+latency histograms without growing a third-party dependency, so this module
+implements the two metric kinds the Prometheus text exposition format
+(version 0.0.4) defines for them.  Everything is lock-protected and the
+rendered output is canonically ordered (sorted metric names, sorted label
+sets), so ``GET /metrics`` is deterministic for a deterministic workload.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Iterable, Mapping
+
+#: Default latency buckets (seconds): sub-millisecond cache hits through
+#: multi-second cold computes on large indexes.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+_LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, str]) -> _LabelKey:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: _LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [*key, *extra]
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    # %g collapses 3.0 -> "3" without a float == comparison.
+    return format(value, "g")
+
+
+class Counter:
+    """Monotonic counter, optionally labelled.
+
+    ``inc(**labels)`` creates one child per distinct label set; the
+    unlabelled usage (``inc()``) is the common case and renders as a single
+    sample.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._values: dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def total(self) -> float:
+        """Sum over every label set (convenience for tests/assertions)."""
+        with self._lock:
+            return sum(self._values.values())
+
+    def render(self) -> Iterable[str]:
+        with self._lock:
+            snapshot = sorted(self._values.items())
+        if not snapshot:
+            snapshot = [((), 0.0)]
+        for key, value in snapshot:
+            yield f"{self.name}{_render_labels(key)} {_format_value(value)}"
+
+
+class Histogram:
+    """Cumulative-bucket histogram in the Prometheus style."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be a sorted non-empty tuple")
+        self.name = name
+        self.help_text = help_text
+        self._buckets = tuple(float(b) for b in buckets)
+        self._lock = threading.Lock()
+        # Per label set: per-finite-bucket counts + overflow slot, sum, count.
+        self._series: dict[_LabelKey, tuple[list[int], list[float]]] = {}
+
+    def observe(self, value: float, **labels: str) -> None:
+        value = float(value)
+        slot = bisect_left(self._buckets, value)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = ([0] * (len(self._buckets) + 1), [0.0, 0.0])
+                self._series[key] = series
+            counts, sum_count = series
+            counts[slot] += 1
+            sum_count[0] += value
+            sum_count[1] += 1.0
+
+    def count(self, **labels: str) -> int:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            return int(series[1][1]) if series is not None else 0
+
+    def render(self) -> Iterable[str]:
+        with self._lock:
+            snapshot = [
+                (key, list(counts), list(sum_count))
+                for key, (counts, sum_count) in sorted(self._series.items())
+            ]
+        for key, counts, sum_count in snapshot:
+            cumulative = 0
+            for threshold, count in zip(self._buckets, counts):
+                cumulative += count
+                le = (("le", _format_value(threshold)),)
+                yield (
+                    f"{self.name}_bucket{_render_labels(key, le)} {cumulative}"
+                )
+            cumulative += counts[-1]
+            yield f'{self.name}_bucket{_render_labels(key, (("le", "+Inf"),))} {cumulative}'
+            yield f"{self.name}_sum{_render_labels(key)} {_format_value(sum_count[0])}"
+            yield f"{self.name}_count{_render_labels(key)} {int(sum_count[1])}"
+
+
+class MetricsRegistry:
+    """Names -> metrics, rendered together as one exposition document."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Counter | Histogram] = {}
+
+    def counter(self, name: str, help_text: str) -> Counter:
+        return self._register(name, lambda: Counter(name, help_text), Counter)
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._register(
+            name, lambda: Histogram(name, help_text, buckets), Histogram
+        )
+
+    def _register(self, name, factory, expected):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = factory()
+                self._metrics[name] = metric
+            elif not isinstance(metric, expected):
+                raise ValueError(
+                    f"metric {name} already registered as {metric.kind}"
+                )
+            return metric
+
+    def get(self, name: str) -> Counter | Histogram | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        """The full registry in Prometheus text format (0.0.4)."""
+        with self._lock:
+            metrics = [self._metrics[name] for name in sorted(self._metrics)]
+        lines: list[str] = []
+        for metric in metrics:
+            lines.append(f"# HELP {metric.name} {metric.help_text}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

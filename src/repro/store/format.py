@@ -34,6 +34,7 @@ of the member-array payload.
 from __future__ import annotations
 
 import os
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar, Union
 
@@ -109,15 +110,22 @@ class _LazyWorldList(Sequence[T]):
     store-loaded indexes: item ``i`` is created by ``factory(i)`` the first
     time it is requested and cached; :meth:`append` supports in-memory
     :meth:`~repro.cascades.index.CascadeIndex.extend` on loaded indexes.
+
+    Reads are safe from concurrent threads (the serving layer queries one
+    loaded index from a thread pool): materialisation is double-checked
+    under a lock, so every caller observes the one canonical object per
+    world.  ``append`` is *not* thread-safe against readers — ``extend`` on
+    a served index is the caller's race to avoid.
     """
 
-    __slots__ = ("_count", "_factory", "_cache", "_extra")
+    __slots__ = ("_count", "_factory", "_cache", "_extra", "_materialize_lock")
 
     def __init__(self, count: int, factory: Callable[[int], T]) -> None:
         self._count = int(count)
         self._factory = factory
         self._cache: dict[int, T] = {}
         self._extra: list[T] = []
+        self._materialize_lock = threading.Lock()
 
     def __len__(self) -> int:
         return self._count + len(self._extra)
@@ -134,8 +142,11 @@ class _LazyWorldList(Sequence[T]):
             return self._extra[i - self._count]
         hit = self._cache.get(i)
         if hit is None:
-            hit = self._factory(i)
-            self._cache[i] = hit
+            with self._materialize_lock:
+                hit = self._cache.get(i)
+                if hit is None:
+                    hit = self._factory(i)
+                    self._cache[i] = hit
         return hit
 
     def append(self, item: T) -> None:

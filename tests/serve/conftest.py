@@ -1,0 +1,113 @@
+"""Shared fixtures for the serving tests: one small deterministic index,
+a partial precomputed sphere store (so hot *and* cold paths exist), and
+helpers to run a real HTTP server on an ephemeral port."""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.graph.generators import powerlaw_outdegree_digraph
+from repro.problearn.assign import assign_fixed
+from repro.serve.app import SphereService, make_server
+
+#: Nodes whose spheres are precomputed into the store (the warm set).
+WARM_NODES = tuple(range(12))
+
+
+@pytest.fixture(scope="session")
+def graph():
+    base = powerlaw_outdegree_digraph(60, mean_degree=5.0, seed=7)
+    return assign_fixed(base, 0.15)
+
+
+@pytest.fixture(scope="session")
+def index(graph):
+    return CascadeIndex.build(graph, 8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def computer(index):
+    return TypicalCascadeComputer(index)
+
+
+@pytest.fixture(scope="session")
+def sphere_store(computer):
+    return computer.compute_store(nodes=WARM_NODES)
+
+
+@pytest.fixture(scope="session")
+def sphere_store_path(sphere_store, tmp_path_factory):
+    path = tmp_path_factory.mktemp("spheres") / "spheres.npz"
+    sphere_store.save(path)
+    return path
+
+
+@pytest.fixture(scope="session")
+def index_store_path(index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("index") / "idx"
+    index.save(path, format="store")
+    return path
+
+
+def make_service(index, **kwargs) -> SphereService:
+    kwargs.setdefault("cache_size", 64)
+    kwargs.setdefault("max_inflight", 8)
+    return SphereService(index, **kwargs)
+
+
+class RunningServer:
+    """A live server plus a tiny urllib client for the tests."""
+
+    def __init__(self, service: SphereService):
+        self.service = service
+        self.server = make_server(service)
+        self.port = self.server.server_address[1]
+        self.base = f"http://127.0.0.1:{self.port}"
+        self._thread = threading.Thread(
+            target=self.server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def request(self, path: str, *, method: str = "GET", body=None):
+        """(status, headers, body_bytes); HTTP errors returned, not raised."""
+        data = None
+        headers = {}
+        if body is not None:
+            data = json.dumps(body).encode("ascii")
+            headers["Content-Type"] = "application/json"
+        req = urllib.request.Request(
+            self.base + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=30) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), exc.read()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture
+def running_server(index, sphere_store):
+    servers = []
+
+    def start(**kwargs) -> RunningServer:
+        kwargs.setdefault("spheres", sphere_store)
+        service = make_service(index, **kwargs)
+        server = RunningServer(service)
+        servers.append(server)
+        return server
+
+    yield start
+    for server in servers:
+        server.close()

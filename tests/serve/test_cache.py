@@ -1,0 +1,111 @@
+"""Unit tests for the bounded thread-safe LRU cache."""
+
+import threading
+
+import pytest
+
+from repro.serve.cache import MISSING, LRUCache
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is MISSING
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert len(cache) == 1
+
+    def test_custom_default(self):
+        assert LRUCache(4).get("a", default=None) is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            LRUCache(-1)
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is MISSING
+        assert len(cache) == 0
+
+
+class TestEviction:
+    def test_lru_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISSING
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_put_refreshes_existing_key(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not insert: no eviction
+        assert cache.get("b") == 2
+        assert cache.get("a") == 10
+
+    def test_size_never_exceeds_capacity(self):
+        cache = LRUCache(3)
+        for i in range(50):
+            cache.put(i, i)
+            assert len(cache) <= 3
+        assert cache.stats()["evictions"] == 47
+
+
+class TestStatsAndCallbacks:
+    def test_counters(self):
+        cache = LRUCache(1)
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 1
+        assert stats["size"] == 1
+        assert stats["capacity"] == 1
+
+    def test_callbacks_fire(self):
+        events = []
+        cache = LRUCache(
+            1,
+            on_hit=lambda: events.append("hit"),
+            on_miss=lambda: events.append("miss"),
+            on_evict=lambda: events.append("evict"),
+        )
+        cache.get("a")
+        cache.put("a", 1)
+        cache.get("a")
+        cache.put("b", 2)
+        assert events == ["miss", "hit", "evict"]
+
+
+class TestConcurrency:
+    def test_hammered_cache_stays_bounded_and_consistent(self):
+        cache = LRUCache(8)
+        errors = []
+
+        def spin(offset):
+            try:
+                for i in range(300):
+                    key = (offset + i) % 20
+                    cache.put(key, key * 2)
+                    value = cache.get(key, default=None)
+                    # Concurrent eviction may drop it, but never corrupt it.
+                    assert value is None or value == key * 2
+                    assert len(cache) <= 8
+            except AssertionError as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=spin, args=(j,)) for j in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 8

@@ -1,0 +1,126 @@
+"""Unit tests for single-flight request coalescing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.serve.coalesce import SingleFlight
+
+
+def wait_for_waiters(flight: SingleFlight, key, count: int, timeout=10.0):
+    """Poll until ``count`` followers are blocked on ``key`` (bounded)."""
+    deadline = time.monotonic() + timeout
+    while flight.waiters(key) < count:
+        assert time.monotonic() < deadline, "followers never joined the flight"
+        time.sleep(0.001)
+
+
+class TestSerial:
+    def test_runs_function_and_reports_leader(self):
+        flight = SingleFlight()
+        value, leader = flight.do("k", lambda: 42)
+        assert value == 42
+        assert leader is True
+        assert flight.inflight() == 0
+
+    def test_sequential_calls_each_run(self):
+        flight = SingleFlight()
+        calls = []
+        for i in range(3):
+            value, leader = flight.do("k", lambda i=i: calls.append(i) or i)
+            assert leader is True
+        assert calls == [0, 1, 2]
+
+    def test_exception_propagates_and_clears_flight(self):
+        flight = SingleFlight()
+        with pytest.raises(RuntimeError, match="boom"):
+            flight.do("k", self._boom)
+        assert flight.inflight() == 0
+        value, leader = flight.do("k", lambda: "recovered")
+        assert value == "recovered"
+
+    @staticmethod
+    def _boom():
+        raise RuntimeError("boom")
+
+
+class TestConcurrent:
+    def test_burst_runs_exactly_once(self):
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+        calls = []
+
+        def slow_compute():
+            calls.append(1)
+            entered.set()
+            assert release.wait(timeout=10)
+            return "result"
+
+        results = []
+
+        def worker():
+            results.append(flight.do("k", slow_compute))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        threads[0].start()
+        assert entered.wait(timeout=10)  # leader is inside the compute
+        for t in threads[1:]:
+            t.start()
+        # Wait until every follower has joined the in-flight entry, then
+        # release the leader — deterministic exactly-once.
+        wait_for_waiters(flight, "k", 7)
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(calls) == 1
+        assert len(results) == 8
+        assert all(value == "result" for value, _ in results)
+        assert sum(1 for _, leader in results if leader) == 1
+
+    def test_burst_failure_reaches_every_caller(self):
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def failing_compute():
+            entered.set()
+            assert release.wait(timeout=10)
+            raise RuntimeError("shared failure")
+
+        outcomes = []
+
+        def worker():
+            try:
+                flight.do("k", failing_compute)
+                outcomes.append("ok")
+            except RuntimeError:
+                outcomes.append("error")
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        threads[0].start()
+        assert entered.wait(timeout=10)
+        for t in threads[1:]:
+            t.start()
+        wait_for_waiters(flight, "k", 3)
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert outcomes == ["error"] * 4
+        assert flight.inflight() == 0
+
+    def test_distinct_keys_do_not_coalesce(self):
+        flight = SingleFlight()
+        leaders = []
+
+        def worker(key):
+            _, leader = flight.do(key, lambda: key)
+            leaders.append(leader)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert leaders == [True] * 6

@@ -1,0 +1,120 @@
+"""The concurrency hammer: many threads, mixed hot/cold/missing nodes.
+
+Asserts the serving invariants end to end:
+
+* responses are deterministic — every thread sees byte-identical JSON for
+  the same node, equal to a serial reference;
+* the coalescer + cache run each cold node's computation exactly once;
+* warm (precomputed-store) nodes never touch the computer;
+* the LRU cache never exceeds its capacity bound.
+"""
+
+import threading
+from collections import Counter as TallyCounter
+
+from repro.serve.errors import NodeNotFound
+from repro.serve.query import canonical_json
+
+from tests.serve.conftest import WARM_NODES, make_service
+
+HOT = list(WARM_NODES[:4])
+COLD = [30, 31, 32, 33, 34, 35]
+MISSING = [-3, 60, 777]
+NUM_THREADS = 16
+ROUNDS = 8
+
+
+class CountingComputer:
+    """Wraps the real computer, tallying compute calls per node."""
+
+    def __init__(self, computer):
+        self._computer = computer
+        self._lock = threading.Lock()
+        self.calls = TallyCounter()
+
+    def compute(self, node):
+        with self._lock:
+            self.calls[int(node)] += 1
+        return self._computer.compute(node)
+
+
+def test_hammer_mixed_workload(index, computer, sphere_store):
+    service = make_service(index, spheres=sphere_store, cache_size=64,
+                           max_inflight=NUM_THREADS)
+    counting = CountingComputer(computer)
+    service._computer = counting
+
+    # Serial reference bodies, computed through a separate service.
+    reference_service = make_service(index, spheres=sphere_store)
+    reference = {
+        node: canonical_json(reference_service.sphere(node))
+        for node in HOT + COLD
+    }
+
+    start = threading.Barrier(NUM_THREADS)
+    failures = []
+
+    def worker(worker_id):
+        start.wait(timeout=30)
+        # Interleave hot/cold/missing differently per worker, so cold nodes
+        # collide across threads while requests stay fully deterministic.
+        plan = (HOT + COLD + MISSING) * ROUNDS
+        offset = worker_id % len(plan)
+        for node in plan[offset:] + plan[:offset]:
+            try:
+                body = canonical_json(service.sphere(node))
+                if body != reference[node]:  # pragma: no cover - failure
+                    failures.append((node, "nondeterministic body"))
+            except NodeNotFound:
+                if node not in MISSING:  # pragma: no cover - failure
+                    failures.append((node, "spurious 404"))
+            except Exception as exc:  # pragma: no cover - failure path
+                failures.append((node, repr(exc)))
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(NUM_THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not failures, failures[:10]
+
+    # Warm nodes never computed; every cold node computed exactly once
+    # (the cache is large enough that eviction cannot force a recompute,
+    # so any extra call would be a coalescing bug).
+    assert all(node not in counting.calls for node in HOT)
+    assert {node: counting.calls[node] for node in COLD} == {
+        node: 1 for node in COLD
+    }
+    assert service.computes_total.value() == len(COLD)
+    assert service.store_hits_total.value() == (
+        NUM_THREADS * ROUNDS * len(HOT)
+    )
+
+
+def test_hammer_small_cache_stays_bounded(index, sphere_store):
+    capacity = 4
+    service = make_service(index, spheres=None, cache_size=capacity,
+                           max_inflight=NUM_THREADS)
+    cold_nodes = list(range(36, 48))
+    start = threading.Barrier(8)
+    over_capacity = []
+
+    def worker(worker_id):
+        start.wait(timeout=30)
+        for i in range(3 * len(cold_nodes)):
+            node = cold_nodes[(worker_id + i) % len(cold_nodes)]
+            service.sphere(node)
+            if len(service.cache) > capacity:  # pragma: no cover - failure
+                over_capacity.append(len(service.cache))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not over_capacity
+    assert len(service.cache) <= capacity
+    stats = service.cache.stats()
+    assert stats["evictions"] > 0  # the bound actually bit during the run

@@ -1,0 +1,109 @@
+"""Unit tests for the stdlib metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.serve.metrics import Counter, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("x_total", "help")
+        assert c.value() == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value() == pytest.approx(3.5)
+
+    def test_labelled_children_are_independent(self):
+        c = Counter("x_total", "help")
+        c.inc(endpoint="sphere", status="200")
+        c.inc(endpoint="sphere", status="404")
+        c.inc(endpoint="sphere", status="200")
+        assert c.value(endpoint="sphere", status="200") == pytest.approx(2.0)
+        assert c.value(endpoint="sphere", status="404") == pytest.approx(1.0)
+        assert c.total() == pytest.approx(3.0)
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            Counter("x_total", "help").inc(-1)
+
+    def test_render_sorts_label_sets(self):
+        c = Counter("x_total", "help")
+        c.inc(status="404")
+        c.inc(status="200")
+        assert list(c.render()) == [
+            'x_total{status="200"} 1',
+            'x_total{status="404"} 1',
+        ]
+
+    def test_concurrent_increments_all_land(self):
+        c = Counter("x_total", "help")
+
+        def spin():
+            for _ in range(500):
+                c.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == pytest.approx(4000.0)
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative(self):
+        h = Histogram("lat_seconds", "help", buckets=(0.1, 1.0))
+        h.observe(0.05)
+        h.observe(0.5)
+        h.observe(5.0)
+        lines = list(h.render())
+        assert 'lat_seconds_bucket{le="0.1"} 1' in lines
+        assert 'lat_seconds_bucket{le="1"} 2' in lines
+        assert 'lat_seconds_bucket{le="+Inf"} 3' in lines
+        assert "lat_seconds_count 3" in lines
+
+    def test_count_by_labels(self):
+        h = Histogram("lat_seconds", "help", buckets=(1.0,))
+        h.observe(0.1, endpoint="sphere")
+        h.observe(0.2, endpoint="sphere")
+        assert h.count(endpoint="sphere") == 2
+        assert h.count(endpoint="other") == 0
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            Histogram("h", "help", buckets=(1.0, 0.1))
+
+
+class TestRegistry:
+    def test_same_name_returns_same_metric(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total", "h") is reg.counter("a_total", "h")
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "h")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.histogram("a_total", "h")
+
+    def test_render_is_sorted_and_typed(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total", "second").inc()
+        reg.counter("a_total", "first")
+        text = reg.render()
+        assert text.index("a_total") < text.index("b_total")
+        assert "# HELP a_total first" in text
+        assert "# TYPE b_total counter" in text
+        # A registered-but-never-incremented counter still renders a sample.
+        assert "\na_total 0\n" in text
+
+    def test_render_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("r_total", "h").inc(status="200")
+            reg.counter("r_total", "h").inc(status="404")
+            reg.histogram("l_seconds", "h", buckets=(0.5,)).observe(0.1)
+            return reg.render()
+
+        assert build() == build()

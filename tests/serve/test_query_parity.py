@@ -1,0 +1,98 @@
+"""CLI/server parity: ``index query --json`` and the HTTP endpoints must
+return byte-identical JSON for the same query — both are thin wrappers over
+:mod:`repro.serve.query`."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+from tests.serve.conftest import WARM_NODES
+
+
+def cli_json(capsys, *argv) -> bytes:
+    assert main(list(argv)) == 0
+    # main() prints the document; strip the trailing print() newline.
+    return capsys.readouterr().out.rstrip("\n").encode("ascii")
+
+
+class TestByteParity:
+    def test_sphere(self, capsys, index_store_path, running_server):
+        server = running_server()
+        node = 5
+        _, _, http_body = server.request(f"/sphere/{node}")
+        cli_body = cli_json(
+            capsys, "index", "query", str(index_store_path),
+            "--node", str(node), "--sphere", "--json",
+        )
+        assert cli_body == http_body
+
+    def test_sphere_cold_node(self, capsys, index_store_path, running_server):
+        server = running_server()
+        node = 33  # beyond the precomputed store: server computes on demand
+        _, _, http_body = server.request(f"/sphere/{node}")
+        cli_body = cli_json(
+            capsys, "index", "query", str(index_store_path),
+            "--node", str(node), "--sphere", "--json",
+        )
+        assert cli_body == http_body
+
+    def test_cascade_stats(self, capsys, index_store_path, running_server):
+        server = running_server()
+        _, _, http_body = server.request("/cascades/7")
+        cli_body = cli_json(
+            capsys, "index", "query", str(index_store_path),
+            "--node", "7", "--json",
+        )
+        assert cli_body == http_body
+
+    def test_cascade_world(self, capsys, index_store_path, running_server):
+        server = running_server()
+        _, _, http_body = server.request("/cascades/7?world=3")
+        cli_body = cli_json(
+            capsys, "index", "query", str(index_store_path),
+            "--node", "7", "--world", "3", "--json",
+        )
+        assert cli_body == http_body
+
+
+class TestCliJsonValidation:
+    def test_requires_node(self, index_store_path):
+        with pytest.raises(SystemExit, match="--node is required"):
+            main(["index", "query", str(index_store_path), "--json"])
+
+    def test_rejects_infmax(self, index_store_path):
+        with pytest.raises(SystemExit, match="--infmax is not supported"):
+            main(["index", "query", str(index_store_path),
+                  "--node", "1", "--infmax", "3", "--json"])
+
+    def test_rejects_world_plus_sphere(self, index_store_path):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["index", "query", str(index_store_path), "--node", "1",
+                  "--world", "0", "--sphere", "--json"])
+
+    def test_missing_node_exits_with_clear_message(self, index_store_path):
+        with pytest.raises(SystemExit, match=r"node 999 not in index"):
+            main(["index", "query", str(index_store_path),
+                  "--node", "999", "--json"])
+
+
+class TestTextPathStillWorks:
+    def test_text_output_unchanged_shape(self, capsys, index_store_path):
+        assert main(["index", "query", str(index_store_path),
+                     "--node", "5", "--sphere"]) == 0
+        out = capsys.readouterr().out
+        assert "cascade sizes of node 5 over 8 worlds" in out
+        assert "sphere of node 5" in out
+
+    def test_text_missing_node_clear_error(self, index_store_path):
+        with pytest.raises(SystemExit, match=r"node 999 not in index"):
+            main(["index", "query", str(index_store_path), "--node", "999"])
+
+    def test_json_is_parseable(self, capsys, index_store_path):
+        body = cli_json(capsys, "index", "query", str(index_store_path),
+                        "--node", "2", "--json")
+        payload = json.loads(body)
+        assert payload["node"] == 2
+        assert payload["num_worlds"] == 8
