@@ -59,6 +59,7 @@ class CascadeIndex:
         self._reduced = reduced
         self._sampler = sampler
         self._store_header = None
+        self._store_integrity = None
         if members is None:
             self._conds = list(condensations)
             self._members: Sequence[Sequence[np.ndarray]] = [
@@ -177,6 +178,13 @@ class CascadeIndex:
         """Parsed :class:`~repro.store.header.IndexStoreHeader` when this
         index was opened from a persistent store, else ``None``."""
         return self._store_header
+
+    @property
+    def store_integrity(self):
+        """The :class:`~repro.store.integrity.ColumnIntegrity` guard when
+        this index was opened with ``verify="lazy"``, else ``None``.  Its
+        quarantine set is what the serving layer reports in ``/healthz``."""
+        return self._store_integrity
 
     def condensation(self, world: int) -> Condensation:
         """The stored SCC condensation of world ``world``."""
@@ -364,8 +372,9 @@ class CascadeIndex:
 
         A store directory is opened zero-copy via ``numpy`` memmaps (see
         :func:`repro.store.read_index`; ``verify`` selects ``"fast"`` size
-        checks or ``"full"`` SHA-256 validation).  A ``.npz`` archive is
-        decompressed fully into memory.
+        checks, ``"full"`` SHA-256 validation, or ``"lazy"`` first-touch
+        per-column verification).  A ``.npz`` archive is decompressed
+        fully into memory.
 
         Every flavour of unreadable archive — truncated zip, garbage bytes,
         missing arrays, corrupt compressed members — raises

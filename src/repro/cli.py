@@ -11,6 +11,7 @@ Usage::
     python -m repro index build --setting NetHEPT-W --samples 256 --out idx/ \\
         --batch-size 64 --resume
     python -m repro index info idx/ --verify full
+    python -m repro index verify idx/ --json
     python -m repro index append idx/ --samples 64
     python -m repro index query idx/ --node 5 --sphere --infmax 10
     python -m repro index query idx/ --node 5 --sphere --json
@@ -155,6 +156,13 @@ def build_parser() -> argparse.ArgumentParser:
     ii.add_argument("--verify", choices=("fast", "full"), default="fast",
                     help="'full' re-hashes every array file (default: fast)")
 
+    iv = isub.add_parser(
+        "verify", help="full column-checksum scrub of a saved store"
+    )
+    iv.add_argument("path", metavar="PATH")
+    iv.add_argument("--json", action="store_true",
+                    help="print the per-file report as JSON")
+
     ia = isub.add_parser("append", help="grow a saved store by fresh worlds")
     ia.add_argument("path", metavar="PATH")
     ia.add_argument("--samples", type=int, required=True,
@@ -196,6 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
                         "with 429 (default 8)")
     p.add_argument("--retry-after", type=float, default=1.0,
                    help="Retry-After hint (seconds) on shed requests")
+    p.add_argument("--deadline", type=float, default=0.0,
+                   help="per-request deadline in seconds; over-deadline "
+                        "requests get 504 (0 = unlimited, the default)")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="max nodes per POST /spheres batch; larger batches "
+                        "are refused with 413 (default 256)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive compute failures/timeouts that open "
+                        "the circuit breaker (default 5)")
+    p.add_argument("--breaker-reset", type=float, default=5.0,
+                   help="seconds the breaker stays open before a half-open "
+                        "probe (default 5)")
+    p.add_argument("--verify", choices=("fast", "full", "lazy"),
+                   default="lazy",
+                   help="store verification at load: 'lazy' checksums each "
+                        "column on first touch and quarantines corruption "
+                        "(default), 'full' hashes everything up front, "
+                        "'fast' checks sizes only")
 
     p = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from results/ artefacts"
@@ -339,6 +365,7 @@ def _run_index(args) -> str:
     handlers = {
         "build": _run_index_build,
         "info": _run_index_info,
+        "verify": _run_index_verify,
         "append": _run_index_append,
         "query": _run_index_query,
     }
@@ -400,6 +427,32 @@ def _run_index_info(args) -> str:
     check_files(args.path, header, verify=args.verify)
     verified = "full sha256" if args.verify == "full" else "file sizes"
     return _format_header(header, args.path) + f"\n  verified: {verified}"
+
+
+def _run_index_verify(args) -> str:
+    """``index verify``: full scrub, exit 0 clean / exit 2 corrupt."""
+    import json as json_mod
+
+    from repro.store import scrub_store
+
+    report = scrub_store(args.path)
+    if args.json:
+        text = json_mod.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        lines = [f"verifying cascade-index store at {report.path}:"]
+        for col in report.columns:
+            verdict = "ok" if col.ok else f"CORRUPT ({col.problem})"
+            lines.append(f"  {col.name}.npy: {col.num_bytes} bytes, {verdict}")
+        lines.append(
+            f"result: {'clean' if report.ok else 'CORRUPT'} "
+            f"({len(report.columns)} columns, "
+            f"{len(report.corrupt)} damaged)"
+        )
+        text = "\n".join(lines)
+    if not report.ok:
+        print(text)
+        raise SystemExit(2)
+    return text
 
 
 def _run_index_append(args) -> str:
@@ -508,6 +561,11 @@ def _run_serve(args) -> str:
         cache_size=args.cache_size,
         max_inflight=args.max_inflight,
         retry_after=args.retry_after,
+        deadline=args.deadline,
+        max_batch=args.max_batch,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        verify=args.verify,
     )
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]

@@ -56,6 +56,27 @@ CRASH_EXIT_CODE = 87
 
 VALID_KINDS = ("crash", "error", "sleep", "torn")
 
+#: Every injection point production code currently exposes, with the unit
+#: of work its ``key`` narrows to.  Chaos scripts should target these names
+#: (an unknown site in a plan silently never fires).  Note that ``crash``
+#: at the ``serve.*`` sites kills the *server* process, not a worker — the
+#: request-level failure modes there are ``error`` and ``sleep``.
+KNOWN_SITES: dict[str, str] = {
+    "build.chunk": "one world-range chunk of a parallel index build "
+    "(key: first world of the chunk, attempt: retry number)",
+    "append.stage": "staging one column file during append_worlds "
+    "(key: array name)",
+    "checkpoint.shard": "writing one sphere-checkpoint shard "
+    "(key: shard file name; 'torn' persists half the payload)",
+    "serve.compute": "one on-demand sphere computation in the query "
+    "service (key: node id; 'sleep' past the deadline exercises the "
+    "watchdog, 'error' feeds the circuit breaker)",
+    "serve.store_read": "the store/cache lookup of one sphere request "
+    "(key: node id)",
+    "serve.reload": "a hot store reload, after candidate verification "
+    "and before the generation swap ('error' forces a rollback)",
+}
+
 KeyLike = Union[int, str, None]
 
 

@@ -16,30 +16,74 @@ on-demand path is protected by three layers, outermost first:
    :class:`~repro.serve.errors.ShedLoad` (HTTP ``429 Retry-After``) instead
    of queueing threads without bound.
 
+On top of the throughput layers sits the resilience layer
+(:mod:`repro.serve.resilience`), whose contract is *either correct or
+refused*:
+
+* every request carries a :class:`Deadline`; cold computes run under a
+  watchdog so an over-deadline request returns ``504``, frees its
+  admission slot and leaves the orphaned computation to late-fill the
+  cache;
+* a :class:`CircuitBreaker` around the compute tier degrades the server
+  to store+cache-only mode (``503 Retry-After``) after repeated compute
+  failures or timeouts, probing its way back on a deterministic schedule;
+* :meth:`SphereService.reload` hot-swaps to a checksum-verified candidate
+  store under a :class:`ReadersWriterLock` — in-flight requests finish on
+  their generation, a failed verification rolls back to the old one;
+* store columns that fail their read-time checksum (``verify="lazy"``)
+  are quarantined and surface as explicit ``500 store-corrupt`` errors,
+  never as silently-wrong spheres.
+
 :func:`make_server` wraps a service in a draining ``ThreadingHTTPServer``;
 :func:`run_until_signal` runs it until SIGTERM/SIGINT, finishing in-flight
-requests before returning (graceful shutdown).
+requests before returning (graceful shutdown), and reloads on SIGHUP.
 """
 
 from __future__ import annotations
 
 import os
 import signal
+import sys
 import threading
+import time
+from contextlib import contextmanager
 from http.server import ThreadingHTTPServer
-from typing import Any, Iterable, Union
+from typing import Any, Iterable, Iterator, Union
 
 from repro.cascades.index import CascadeIndex
 from repro.core.sphere import SphereOfInfluence
 from repro.core.store import SphereStore
 from repro.core.typical_cascade import TypicalCascadeComputer
+from repro.runtime.errors import InjectedFault
+from repro.runtime.faults import maybe_fire
 from repro.serve import query as q
 from repro.serve.cache import MISSING, LRUCache
 from repro.serve.coalesce import SingleFlight
-from repro.serve.errors import BadRequest, NodeNotFound, ShedLoad
+from repro.serve.errors import (
+    BadRequest,
+    ComputeUnavailable,
+    DeadlineExceeded,
+    InternalError,
+    NodeNotFound,
+    PayloadTooLarge,
+    ServeError,
+    ShedLoad,
+    StoreCorrupt,
+)
 from repro.serve.metrics import MetricsRegistry
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Clock,
+    Deadline,
+    ReadersWriterLock,
+    call_with_watchdog,
+)
+from repro.store.errors import CorruptColumnError, StoreError
 
 PathLike = Union[str, os.PathLike]
+
+#: Prometheus value of the breaker-state gauge per state name.
+_BREAKER_GAUGE = {"closed": 0, "half_open": 1, "open": 2}
 
 
 class SphereService:
@@ -48,7 +92,9 @@ class SphereService:
     Thread safety: every public method may be called concurrently; see the
     read-path audit note on :class:`~repro.core.typical_cascade.
     TypicalCascadeComputer` (the index read path is immutable or
-    lock-protected; the service never calls ``extend``).
+    lock-protected; the service never calls ``extend``).  Public methods
+    take the generation read lock exactly once and never re-enter it —
+    :meth:`reload` is the only writer.
     """
 
     def __init__(
@@ -62,22 +108,41 @@ class SphereService:
         size_grid_ratio: float = 1.15,
         registry: MetricsRegistry | None = None,
         source: str | None = None,
+        deadline: float | None = None,
+        max_batch: int = 256,
+        breaker_threshold: int = 5,
+        breaker_reset: float = 5.0,
+        verify: str = "lazy",
+        clock: Clock = time.monotonic,
     ) -> None:
+        self._index_path: str | None = None
+        self._spheres_path: str | None = None
         if not isinstance(index, CascadeIndex):
+            self._index_path = os.fspath(index)
             if source is None:
-                source = os.fspath(index)
-            index = CascadeIndex.load(index)
+                source = self._index_path
+            index = CascadeIndex.load(index, verify=verify)
         if spheres is not None and not isinstance(spheres, SphereStore):
+            self._spheres_path = os.fspath(spheres)
             spheres = SphereStore.load(spheres)
         if max_inflight < 0:
             raise ValueError(f"max_inflight must be >= 0, got {max_inflight}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         self._index = index
         self._spheres = spheres
         self._computer = TypicalCascadeComputer(
             index, size_grid_ratio=size_grid_ratio
         )
         self._retry_after = float(retry_after)
+        self._size_grid_ratio = float(size_grid_ratio)
         self._source = source if source is not None else "in-memory index"
+        self._verify = verify
+        self._clock = clock
+        self._deadline_seconds = (
+            float(deadline) if deadline is not None and deadline > 0 else None
+        )
+        self._max_batch = int(max_batch)
 
         self.registry = registry if registry is not None else MetricsRegistry()
         reg = self.registry
@@ -103,6 +168,38 @@ class SphereService:
             "repro_serve_shed_total",
             "Cold sphere computations rejected by admission control.",
         )
+        self.deadline_exceeded_total = reg.counter(
+            "repro_serve_deadline_exceeded_total",
+            "Requests refused with 504 for running past their deadline.",
+        )
+        self.compute_failures_total = reg.counter(
+            "repro_serve_compute_failures_total",
+            "On-demand computations that failed or timed out, by kind.",
+        )
+        self.breaker_rejected_total = reg.counter(
+            "repro_serve_breaker_rejected_total",
+            "Cold requests refused with 503 while the circuit breaker was open.",
+        )
+        self.store_corrupt_total = reg.counter(
+            "repro_serve_store_corrupt_total",
+            "Requests refused with 500 because a store column is quarantined.",
+        )
+        self.reloads_total = reg.counter(
+            "repro_serve_reloads_total",
+            "Hot store reloads by result (ok / rolled_back).",
+        )
+        self.breaker_state = reg.gauge(
+            "repro_serve_breaker_state",
+            "Compute circuit breaker state (0=closed, 1=half-open, 2=open).",
+        )
+        self.store_generation = reg.gauge(
+            "repro_serve_store_generation",
+            "Store generation counter; increments on each successful reload.",
+        )
+        self.quarantined_columns = reg.gauge(
+            "repro_serve_quarantined_columns",
+            "Store columns currently quarantined by read-time verification.",
+        )
         cache_hits = reg.counter(
             "repro_serve_cache_hits_total", "LRU result-cache hits."
         )
@@ -123,6 +220,16 @@ class SphereService:
         # of coalesced followers consumes one slot, not N).
         self._slots = threading.Semaphore(max_inflight)
         self._max_inflight = int(max_inflight)
+        self._breaker = CircuitBreaker(
+            breaker_threshold,
+            breaker_reset,
+            clock=clock,
+            on_state_change=lambda s: self.breaker_state.set(_BREAKER_GAUGE[s]),
+        )
+        self._lock = ReadersWriterLock()
+        self._reload_lock = threading.Lock()
+        self._generation = 1
+        self.store_generation.set(1)
 
     # -- introspection -------------------------------------------------------
 
@@ -142,6 +249,51 @@ class SphereService:
     def max_inflight(self) -> int:
         return self._max_inflight
 
+    @property
+    def max_batch(self) -> int:
+        return self._max_batch
+
+    @property
+    def deadline_seconds(self) -> float | None:
+        return self._deadline_seconds
+
+    @property
+    def breaker(self) -> CircuitBreaker:
+        return self._breaker
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def new_deadline(self) -> Deadline:
+        """A fresh per-request deadline from the configured budget."""
+        return Deadline.after(self._deadline_seconds, self._clock)
+
+    # -- resilience plumbing -------------------------------------------------
+
+    def _quarantined(self) -> tuple[str, ...]:
+        guard = self._index.store_integrity
+        return guard.quarantined() if guard is not None else ()
+
+    def _map_corrupt(self, exc: CorruptColumnError) -> StoreCorrupt:
+        self.store_corrupt_total.inc()
+        self.quarantined_columns.set(len(self._quarantined()))
+        return StoreCorrupt(
+            f"store column {exc.column!r} failed its checksum and is "
+            f"quarantined: {exc}"
+        )
+
+    @contextmanager
+    def _request_guard(self) -> Iterator[None]:
+        """Translate resilience-layer exceptions at the public surface."""
+        try:
+            yield
+        except DeadlineExceeded:
+            self.deadline_exceeded_total.inc()
+            raise
+        except CorruptColumnError as exc:
+            raise self._map_corrupt(exc) from exc
+
     # -- core lookups --------------------------------------------------------
 
     def _check_node(self, node: int) -> int:
@@ -150,14 +302,26 @@ class SphereService:
         except KeyError as exc:
             raise NodeNotFound(exc.args[0]) from exc
 
-    def get_sphere(self, node: int) -> SphereOfInfluence:
+    def get_sphere(
+        self, node: int, deadline: Deadline | None = None
+    ) -> SphereOfInfluence:
         """The sphere of ``node``: store, then cache, then coalesced compute.
 
         With the node present in the attached sphere store this performs
         **zero** computer calls (the warm-path guarantee the smoke test
         pins via ``repro_serve_computes_total``).
         """
+        if deadline is None:
+            deadline = self.new_deadline()
+        with self._lock.read(), self._request_guard():
+            return self._sphere_locked(node, deadline)
+
+    def _sphere_locked(
+        self, node: int, deadline: Deadline
+    ) -> SphereOfInfluence:
         node = self._check_node(node)
+        deadline.require(f"sphere({node}) lookup")
+        maybe_fire("serve.store_read", key=node)
         if self._spheres is not None:
             hit = self._spheres.get(node)
             if hit is not None:
@@ -167,7 +331,21 @@ class SphereService:
         if hit is not MISSING:
             return hit
 
+        # Captured so the (possibly orphaned) computation banks its result
+        # into the generation it was computed against, never a reloaded one.
+        cache = self.cache
+        generation = self._generation
+
+        def bank(sphere: SphereOfInfluence) -> None:
+            if self._generation == generation:
+                cache.put(node, sphere)
+
         def compute() -> SphereOfInfluence:
+            try:
+                self._breaker.allow()
+            except ComputeUnavailable:
+                self.breaker_rejected_total.inc()
+                raise
             if not self._slots.acquire(blocking=False):
                 self.shed_total.inc()
                 raise ShedLoad(
@@ -177,80 +355,252 @@ class SphereService:
                 )
             try:
                 self.computes_total.inc()
-                sphere = self._computer.compute(node)
+
+                def run() -> SphereOfInfluence:
+                    maybe_fire("serve.compute", key=node)
+                    return self._computer.compute(node)
+
+                try:
+                    sphere = call_with_watchdog(
+                        run,
+                        deadline,
+                        what=f"compute(node={node})",
+                        on_late_result=bank,
+                    )
+                except DeadlineExceeded:
+                    self.compute_failures_total.inc(kind="timeout")
+                    self._breaker.record_failure()
+                    raise
+                except CorruptColumnError:
+                    # Store damage, not a compute-tier fault: keep the
+                    # breaker out of it so the 500 is not masked by a 503.
+                    raise
+                except ServeError:
+                    raise
+                except Exception as exc:
+                    self.compute_failures_total.inc(kind="error")
+                    self._breaker.record_failure()
+                    raise InternalError(
+                        f"sphere computation for node {node} failed: {exc}"
+                    ) from exc
+                self._breaker.record_success()
             finally:
                 self._slots.release()
-            self.cache.put(node, sphere)
+            bank(sphere)
             return sphere
 
-        sphere, leader = self._flight.do(node, compute)
+        try:
+            sphere, leader = self._flight.do(
+                node, compute, timeout=deadline.remaining()
+            )
+        except TimeoutError:
+            # A follower outwaited its own deadline; the leader's flight
+            # continues undisturbed for everyone else.
+            raise DeadlineExceeded(
+                f"deadline exceeded waiting for the in-flight computation "
+                f"of node {node}"
+            ) from None
         if not leader:
             self.coalesced_total.inc()
         return sphere
 
     # -- endpoint payloads ---------------------------------------------------
 
-    def sphere(self, node: int) -> dict[str, Any]:
-        return q.sphere_payload(node, self.get_sphere(node))
+    def sphere(
+        self, node: int, deadline: Deadline | None = None
+    ) -> dict[str, Any]:
+        if deadline is None:
+            deadline = self.new_deadline()
+        with self._lock.read(), self._request_guard():
+            return q.sphere_payload(node, self._sphere_locked(node, deadline))
 
-    def cascades(self, node: int, world: int | None = None) -> dict[str, Any]:
-        try:
-            if world is None:
-                return q.cascade_stats_payload(self._index, node)
-            return q.cascade_world_payload(self._index, node, world)
-        except KeyError as exc:
-            raise NodeNotFound(exc.args[0]) from exc
+    def cascades(
+        self,
+        node: int,
+        world: int | None = None,
+        deadline: Deadline | None = None,
+    ) -> dict[str, Any]:
+        if deadline is None:
+            deadline = self.new_deadline()
+        with self._lock.read(), self._request_guard():
+            deadline.require(f"cascades({node})")
+            try:
+                if world is None:
+                    return q.cascade_stats_payload(self._index, node)
+                return q.cascade_world_payload(self._index, node, world)
+            except KeyError as exc:
+                raise NodeNotFound(exc.args[0]) from exc
 
-    def sphere_batch(self, nodes: Iterable[Any]) -> dict[str, Any]:
-        """``POST /spheres``: per-node results, errors embedded per entry."""
+    def sphere_batch(
+        self, nodes: Iterable[Any], deadline: Deadline | None = None
+    ) -> dict[str, Any]:
+        """``POST /spheres``: per-node results, errors embedded per entry.
+
+        Per-node failures (unknown node, shed, breaker-open, quarantined
+        column) are embedded so one bad entry does not void the rest;
+        request-scoped failures (malformed input, the *request's* deadline)
+        abort the whole batch.
+        """
+        if deadline is None:
+            deadline = self.new_deadline()
         nodes = list(nodes)
         if not nodes:
             raise BadRequest("batch needs a non-empty 'nodes' list")
-        results: list[dict[str, Any]] = []
+        if len(nodes) > self._max_batch:
+            raise PayloadTooLarge(
+                f"batch of {len(nodes)} nodes exceeds the limit of "
+                f"{self._max_batch}; split the request"
+            )
+        seen: set[int] = set()
         for raw in nodes:
             if isinstance(raw, bool) or not isinstance(raw, int):
                 raise BadRequest(f"node ids must be integers, got {raw!r}")
-            try:
-                results.append(self.sphere(raw))
-            except NodeNotFound as exc:
-                results.append(
-                    {"node": int(raw), "error": {"status": exc.status,
-                                                 "message": exc.message}}
-                )
-            except ShedLoad as exc:
-                results.append(
-                    {"node": int(raw), "error": {"status": exc.status,
-                                                 "message": exc.message}}
-                )
+            if raw in seen:
+                raise BadRequest(f"duplicate node {raw} in batch")
+            seen.add(raw)
+        results: list[dict[str, Any]] = []
+        with self._lock.read(), self._request_guard():
+            for raw in nodes:
+                deadline.require(f"batch entry for node {raw}")
+                try:
+                    results.append(
+                        q.sphere_payload(raw, self._sphere_locked(raw, deadline))
+                    )
+                except DeadlineExceeded:
+                    raise
+                except CorruptColumnError as exc:
+                    mapped = self._map_corrupt(exc)
+                    results.append(
+                        {"node": int(raw), "error": {"status": mapped.status,
+                                                     "message": mapped.message}}
+                    )
+                except ServeError as exc:
+                    results.append(
+                        {"node": int(raw), "error": {"status": exc.status,
+                                                     "message": exc.message}}
+                    )
         return {"count": len(results), "results": results}
 
     def most_reliable(self, count: int, min_size: int = 2) -> dict[str, Any]:
-        if self._spheres is None:
-            raise BadRequest(
-                "most-reliable needs a precomputed sphere store; start the "
-                "server with --spheres"
-            )
-        if count <= 0:
-            raise BadRequest(f"count must be positive, got {count}")
-        if min_size < 1:
-            raise BadRequest(f"min-size must be >= 1, got {min_size}")
-        return q.most_reliable_payload(self._spheres, count, min_size)
+        with self._lock.read():
+            if self._spheres is None:
+                raise BadRequest(
+                    "most-reliable needs a precomputed sphere store; start the "
+                    "server with --spheres"
+                )
+            if count <= 0:
+                raise BadRequest(f"count must be positive, got {count}")
+            if min_size < 1:
+                raise BadRequest(f"min-size must be >= 1, got {min_size}")
+            return q.most_reliable_payload(self._spheres, count, min_size)
 
     def healthz(self) -> dict[str, Any]:
-        return {
-            "status": "ok",
-            "source": self._source,
-            "num_nodes": self._index.num_nodes,
-            "num_worlds": self._index.num_worlds,
-            "precomputed_spheres": (
-                len(self._spheres) if self._spheres is not None else 0
-            ),
-            "cache": self.cache.stats(),
-            "max_inflight": self._max_inflight,
-        }
+        with self._lock.read():
+            quarantined = self._quarantined()
+            breaker = self._breaker.snapshot()
+            degraded = breaker["state"] != CircuitBreaker.CLOSED or quarantined
+            self.quarantined_columns.set(len(quarantined))
+            return {
+                "status": "degraded" if degraded else "ok",
+                "source": self._source,
+                "num_nodes": self._index.num_nodes,
+                "num_worlds": self._index.num_worlds,
+                "precomputed_spheres": (
+                    len(self._spheres) if self._spheres is not None else 0
+                ),
+                "cache": self.cache.stats(),
+                "max_inflight": self._max_inflight,
+                "max_batch": self._max_batch,
+                "deadline_seconds": self._deadline_seconds,
+                "generation": self._generation,
+                "breaker": breaker,
+                "quarantined_columns": list(quarantined),
+            }
 
     def metrics_text(self) -> str:
         return self.registry.render()
+
+    # -- hot reload ----------------------------------------------------------
+
+    def reload(
+        self,
+        index_path: PathLike | None = None,
+        spheres_path: PathLike | None = None,
+    ) -> dict[str, Any]:
+        """Verify a candidate store and atomically swap to it.
+
+        With no arguments, re-opens the paths the service was started from
+        (the SIGHUP case, e.g. after ``index append`` grew the store
+        in place — safe because appends replace columns via ``os.replace``,
+        so the old generation's mmaps stay valid).  The candidate is opened
+        and *every* column SHA-256-verified before the swap; any failure
+        rolls back — the running generation is untouched and keeps serving.
+
+        The swap itself happens under the write lock: in-flight requests
+        drain on their generation, then the store/cache/computer pointers
+        flip together, so no request ever observes a mixed generation and
+        none are dropped.
+        """
+        index_path = (
+            os.fspath(index_path) if index_path is not None else self._index_path
+        )
+        spheres_path = (
+            os.fspath(spheres_path)
+            if spheres_path is not None
+            else self._spheres_path
+        )
+        if index_path is None:
+            raise BadRequest(
+                "server was started from an in-memory index; there is no "
+                "store path to reload"
+            )
+        with self._reload_lock:
+            try:
+                candidate = CascadeIndex.load(index_path, verify="lazy")
+                guard = candidate.store_integrity
+                if guard is not None:
+                    # Promote the lazy open to a full scrub: hash every
+                    # payload column now so the swap is all-or-nothing.
+                    from repro.store.format import ARRAY_DTYPES
+
+                    guard.verify(*ARRAY_DTYPES)
+                new_spheres = (
+                    SphereStore.load(spheres_path)
+                    if spheres_path is not None
+                    else self._spheres
+                )
+                maybe_fire("serve.reload")
+            except (StoreError, FileNotFoundError, InjectedFault) as exc:
+                self.reloads_total.inc(result="rolled_back")
+                raise StoreCorrupt(
+                    f"reload rolled back ({type(exc).__name__}: {exc}); "
+                    "still serving the previous store generation"
+                ) from exc
+            new_computer = TypicalCascadeComputer(
+                candidate, size_grid_ratio=self._size_grid_ratio
+            )
+            with self._lock.write():
+                self._index = candidate
+                self._spheres = new_spheres
+                self._computer = new_computer
+                dropped = self.cache.clear()
+                self._generation += 1
+                generation = self._generation
+            # Fresh verified store: give the compute tier a clean slate.
+            self._breaker.record_success()
+            self.reloads_total.inc(result="ok")
+            self.store_generation.set(generation)
+            self.quarantined_columns.set(0)
+            return {
+                "status": "reloaded",
+                "generation": generation,
+                "source": index_path,
+                "num_worlds": self._index.num_worlds,
+                "precomputed_spheres": (
+                    len(self._spheres) if self._spheres is not None else 0
+                ),
+                "dropped_cache_entries": dropped,
+            }
 
 
 class DrainingHTTPServer(ThreadingHTTPServer):
@@ -289,12 +639,34 @@ def run_until_signal(
     it from a signal handler running *in* the serving main thread would
     deadlock; the handler hands it to a helper thread instead.  Must be
     called from the main thread (CPython delivers signals there).
+
+    Where the platform has SIGHUP, it triggers a verified hot reload of
+    the store the server was started from (see :meth:`SphereService.
+    reload`); the outcome is logged to stderr, and a failed reload leaves
+    the current generation serving.
     """
 
     def request_shutdown(signum, frame):
         threading.Thread(target=server.shutdown, daemon=True).start()
 
+    def request_reload(signum, frame):
+        def _do() -> None:
+            try:
+                result = server.service.reload()
+            except ServeError as exc:
+                print(f"[serve] reload failed: {exc.message}", file=sys.stderr)
+            else:
+                print(
+                    f"[serve] reloaded store generation {result['generation']} "
+                    f"from {result['source']}",
+                    file=sys.stderr,
+                )
+
+        threading.Thread(target=_do, daemon=True).start()
+
     previous = {s: signal.signal(s, request_shutdown) for s in signals}
+    if hasattr(signal, "SIGHUP"):
+        previous[signal.SIGHUP] = signal.signal(signal.SIGHUP, request_reload)
     try:
         server.serve_forever(poll_interval=0.1)
     finally:

@@ -94,9 +94,13 @@ class LRUCache:
             for _ in range(evicted):
                 self._on_evict()
 
-    def clear(self) -> None:
+    def clear(self) -> int:
+        """Drop every entry, returning how many were dropped (the reload
+        path reports this as cold-start cost of a store swap)."""
         with self._lock:
+            dropped = len(self._data)
             self._data.clear()
+        return dropped
 
     def stats(self) -> dict[str, int]:
         """Current size plus lifetime hit/miss/eviction tallies."""

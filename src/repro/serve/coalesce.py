@@ -35,12 +35,24 @@ class SingleFlight:
         self._lock = threading.Lock()
         self._flights: dict[Hashable, _Flight] = {}
 
-    def do(self, key: Hashable, fn: Callable[[], Any]) -> tuple[Any, bool]:
+    def do(
+        self,
+        key: Hashable,
+        fn: Callable[[], Any],
+        *,
+        timeout: float | None = None,
+    ) -> tuple[Any, bool]:
         """Run ``fn`` once per concurrent burst of calls sharing ``key``.
 
         Returns ``(result, leader)`` where ``leader`` is True for the one
         call that actually executed ``fn``.  If ``fn`` raises, every caller
         of the burst sees the same exception.
+
+        ``timeout`` bounds only a *follower's* wait on the leader (the
+        leader's own ``fn`` is deadline-guarded elsewhere): a follower
+        whose request deadline expires before the leader finishes raises
+        :class:`TimeoutError` and unwinds, without disturbing the flight —
+        the leader's result still lands for everyone who kept waiting.
         """
         with self._lock:
             flight = self._flights.get(key)
@@ -52,7 +64,10 @@ class SingleFlight:
                 self._flights[key] = flight
                 lead = True
         if not lead:
-            flight.done.wait()
+            if not flight.done.wait(timeout):
+                raise TimeoutError(
+                    f"timed out waiting for the in-flight computation of {key!r}"
+                )
             if flight.error is not None:
                 raise flight.error
             return flight.value, False

@@ -4,6 +4,23 @@ Every error a handler can surface to a client maps to one exception type
 carrying its HTTP status, so the routing layer turns failures into JSON
 error bodies with a single ``except ServeError`` — no status-code logic
 scattered through the handlers.
+
+The serving contract is *either correct or refused*: a response is either
+byte-identical to what an uninterrupted serial computation would have
+produced, or it is one of these explicit errors.  The refusal statuses:
+
+====  =======================  =============================================
+code  exception                cause
+====  =======================  =============================================
+400   :class:`BadRequest`      malformed request (body, parameter, header)
+404   :class:`NodeNotFound`    node/world/route outside the served universe
+413   :class:`PayloadTooLarge` batch body over the byte or ``max_batch`` cap
+429   :class:`ShedLoad`        admission control: compute slots exhausted
+500   :class:`StoreCorrupt`    a store column failed its checksum (quarantined)
+500   :class:`InternalError`   the compute itself failed (breaker input)
+503   :class:`ComputeUnavailable`  circuit breaker open: compute tier cold
+504   :class:`DeadlineExceeded`    the request ran past its deadline
+====  =======================  =============================================
 """
 
 from __future__ import annotations
@@ -32,14 +49,67 @@ class NodeNotFound(ServeError):
     status = 404
 
 
-class ShedLoad(ServeError):
-    """Admission control rejected the request: the in-flight compute queue
-    is at its configured depth.  Carries the ``Retry-After`` hint (seconds)
-    the handler sends so well-behaved clients back off instead of retrying
-    immediately."""
+class PayloadTooLarge(ServeError):
+    """The batch body exceeds the byte cap or the ``max_batch`` node cap.
 
-    status = 429
+    Raised from the Content-Length header, *before* the body is read or
+    parsed, so an oversized request costs the server no JSON decode and no
+    compute.
+    """
+
+    status = 413
+
+
+class RetryableError(ServeError):
+    """A refusal the client should retry after backing off.
+
+    Carries the ``Retry-After`` hint (seconds) the handler sends so
+    well-behaved clients back off instead of retrying immediately.
+    """
 
     def __init__(self, message: str, retry_after: float = 1.0) -> None:
         super().__init__(message)
         self.retry_after = float(retry_after)
+
+
+class ShedLoad(RetryableError):
+    """Admission control rejected the request: the in-flight compute queue
+    is at its configured depth."""
+
+    status = 429
+
+
+class ComputeUnavailable(RetryableError):
+    """The compute circuit breaker is open: the on-demand tier failed or
+    timed out repeatedly and cold requests are refused until a half-open
+    probe succeeds.  ``retry_after`` is the deterministic time until the
+    next probe slot."""
+
+    status = 503
+
+
+class DeadlineExceeded(ServeError):
+    """The request ran past its deadline.  The admission slot has been
+    released; any orphaned computation finishes in the background and
+    populates the cache without blocking further traffic."""
+
+    status = 504
+
+
+class StoreCorrupt(ServeError):
+    """A store column failed its read-time checksum and is quarantined.
+
+    Queries that need the quarantined column get this explicit error
+    instead of a silently-wrong sphere; queries that avoid it keep
+    working.  Operators see the quarantine set in ``/healthz``."""
+
+    status = 500
+
+
+class InternalError(ServeError):
+    """The on-demand computation itself raised — a poisoned node or a bug.
+
+    Counted by the circuit breaker; repeated failures open it and degrade
+    the server to store+cache-only mode."""
+
+    status = 500

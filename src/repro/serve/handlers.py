@@ -13,13 +13,21 @@ GET    /cascades/{node}         :meth:`SphereService.cascades`
 GET    /cascades/{node}?world=i :meth:`SphereService.cascades`
 GET    /most-reliable           :meth:`SphereService.most_reliable`
 POST   /spheres                 :meth:`SphereService.sphere_batch`
+POST   /admin/reload            :meth:`SphereService.reload`
 ====== ======================== ==========================================
 
 Every JSON body is rendered by :func:`~repro.serve.query.canonical_json`,
 so a handler response and the CLI's ``index query --json`` output are
 byte-identical for the same query.  Failures are JSON error documents
-``{"error": {"status": ..., "message": ...}}``; ``429`` additionally
-carries a ``Retry-After`` header.
+``{"error": {"status": ..., "message": ...}}``; retryable refusals
+(``429`` shed, ``503`` breaker-open) additionally carry a ``Retry-After``
+header.
+
+No input reaches a traceback: bodies over :data:`MAX_BODY_BYTES` are
+refused with ``413`` *before* being read or JSON-parsed, malformed input
+of any shape maps to a clean 4xx, unknown methods get a JSON ``501``
+(via the :meth:`send_error` override), and an unexpected exception in a
+handler becomes a sanitized JSON ``500`` naming only the exception type.
 """
 
 from __future__ import annotations
@@ -30,10 +38,16 @@ from http.server import BaseHTTPRequestHandler
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
-from repro.serve.errors import BadRequest, NodeNotFound, ServeError, ShedLoad
+from repro.serve.errors import (
+    BadRequest,
+    NodeNotFound,
+    PayloadTooLarge,
+    RetryableError,
+    ServeError,
+)
 from repro.serve.query import canonical_json
 
-#: Max accepted ``POST /spheres`` body (1 MiB — thousands of node ids).
+#: Max accepted request body (1 MiB — thousands of node ids).
 MAX_BODY_BYTES = 1 << 20
 
 
@@ -81,7 +95,7 @@ class SphereRequestHandler(BaseHTTPRequestHandler):
 
     def _send_error_payload(self, exc: ServeError) -> None:
         extra: tuple[tuple[str, str], ...] = ()
-        if isinstance(exc, ShedLoad):
+        if isinstance(exc, RetryableError):
             extra = (("Retry-After", format(exc.retry_after, "g")),)
         self._send_json(
             exc.status,
@@ -89,8 +103,37 @@ class SphereRequestHandler(BaseHTTPRequestHandler):
             extra_headers=extra,
         )
 
+    def send_error(self, code, message=None, explain=None) -> None:  # noqa: D102
+        # http.server calls this for transport-level failures (unsupported
+        # method -> 501, bad request line -> 400); emit the same JSON error
+        # shape as every routed failure instead of the default HTML page.
+        code = int(code)
+        if message is None:
+            short, _ = self.responses.get(code, ("error", ""))
+            message = short
+        self.close_connection = True
+        try:
+            body = canonical_json(
+                {"error": {"status": code, "message": str(message)}}
+            )
+            self.send_response(code, str(message))
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            if self.command != "HEAD":
+                self.wfile.write(body)
+        except OSError:
+            pass  # client already gone
+
     def _dispatch(self, endpoint: str, handler) -> None:
-        """Run one routed handler, recording latency and outcome metrics."""
+        """Run one routed handler, recording latency and outcome metrics.
+
+        Every exception class ends as a JSON response: :class:`ServeError`
+        with its own status, a vanished client silently, and anything else
+        as a sanitized ``500`` that names the exception type but leaks no
+        message or traceback.
+        """
         service = self.service
         start = time.perf_counter()
         status = 500
@@ -101,6 +144,16 @@ class SphereRequestHandler(BaseHTTPRequestHandler):
             self._send_error_payload(exc)
         except BrokenPipeError:
             pass  # client went away mid-response; nothing left to send
+        except Exception as exc:
+            status = 500
+            try:
+                self._send_json(
+                    500,
+                    {"error": {"status": 500,
+                               "message": f"internal error ({type(exc).__name__})"}},
+                )
+            except OSError:
+                pass
         finally:
             service.request_seconds.observe(
                 time.perf_counter() - start, endpoint=endpoint
@@ -110,6 +163,26 @@ class SphereRequestHandler(BaseHTTPRequestHandler):
     def _query_params(self) -> dict[str, str]:
         parsed = parse_qs(urlsplit(self.path).query, keep_blank_values=False)
         return {name: values[-1] for name, values in parsed.items()}
+
+    def _read_json_body(self, *, required: bool) -> Any:
+        """The request body as parsed JSON, size-capped before the read."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise BadRequest("Content-Length must be an integer") from None
+        if length <= 0:
+            if required:
+                raise BadRequest("this endpoint needs a JSON body")
+            return None
+        if length > MAX_BODY_BYTES:
+            raise PayloadTooLarge(
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from None
 
     # -- routes --------------------------------------------------------------
 
@@ -133,6 +206,8 @@ class SphereRequestHandler(BaseHTTPRequestHandler):
         path = urlsplit(self.path).path.rstrip("/")
         if path == "/spheres":
             self._dispatch("spheres_batch", self._handle_batch)
+        elif path == "/admin/reload":
+            self._dispatch("admin_reload", self._handle_reload)
         else:
             self._dispatch("unknown", self._handle_unknown)
 
@@ -169,27 +244,30 @@ class SphereRequestHandler(BaseHTTPRequestHandler):
         return 200
 
     def _handle_batch(self) -> int:
-        try:
-            length = int(self.headers.get("Content-Length", "0"))
-        except ValueError:
-            raise BadRequest("Content-Length must be an integer") from None
-        if length <= 0:
-            raise BadRequest("POST /spheres needs a JSON body")
-        if length > MAX_BODY_BYTES:
-            raise BadRequest(
-                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
-            )
-        raw = self.rfile.read(length)
-        try:
-            payload = json.loads(raw)
-        except json.JSONDecodeError as exc:
-            raise BadRequest(f"body is not valid JSON: {exc}") from None
+        payload = self._read_json_body(required=True)
         if not isinstance(payload, dict) or "nodes" not in payload:
             raise BadRequest('body must be a JSON object {"nodes": [...]}')
         nodes = payload["nodes"]
         if not isinstance(nodes, list):
             raise BadRequest("'nodes' must be a list of integers")
         self._send_json(200, self.service.sphere_batch(nodes))
+        return 200
+
+    def _handle_reload(self) -> int:
+        payload = self._read_json_body(required=False)
+        index_path = None
+        spheres_path = None
+        if payload is not None:
+            if not isinstance(payload, dict):
+                raise BadRequest(
+                    'reload body must be a JSON object, e.g. {"index": "path"}'
+                )
+            index_path = payload.get("index")
+            spheres_path = payload.get("spheres")
+            for name, value in (("index", index_path), ("spheres", spheres_path)):
+                if value is not None and not isinstance(value, str):
+                    raise BadRequest(f"'{name}' must be a path string")
+        self._send_json(200, self.service.reload(index_path, spheres_path))
         return 200
 
     def _handle_unknown(self) -> int:

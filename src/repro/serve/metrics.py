@@ -1,9 +1,10 @@
 """Minimal thread-safe metrics registry with Prometheus text rendering.
 
-The service needs counters (requests, cache hits, sheds, computes) and
-latency histograms without growing a third-party dependency, so this module
-implements the two metric kinds the Prometheus text exposition format
-(version 0.0.4) defines for them.  Everything is lock-protected and the
+The service needs counters (requests, cache hits, sheds, computes), gauges
+(breaker state, quarantine size, store generation) and latency histograms
+without growing a third-party dependency, so this module implements the
+three metric kinds the Prometheus text exposition format (version 0.0.4)
+defines for them.  Everything is lock-protected and the
 rendered output is canonically ordered (sorted metric names, sorted label
 sets), so ``GET /metrics`` is deterministic for a deterministic workload.
 """
@@ -81,6 +82,48 @@ class Counter:
             yield f"{self.name}{_render_labels(key)} {_format_value(value)}"
 
 
+class Gauge:
+    """A value that can go up and down (breaker state, quarantine size).
+
+    Unlike :class:`Counter` it supports ``set`` and decrements; the serving
+    layer uses gauges for the facts an operator polls — current circuit
+    state, quarantined-column count, store generation.
+    """
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help_text: str) -> None:
+        self.name = name
+        self.help_text = help_text
+        self._lock = threading.Lock()
+        self._values: dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: str) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: str) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: str) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def render(self) -> Iterable[str]:
+        with self._lock:
+            snapshot = sorted(self._values.items())
+        if not snapshot:
+            snapshot = [((), 0.0)]
+        for key, value in snapshot:
+            yield f"{self.name}{_render_labels(key)} {_format_value(value)}"
+
+
 class Histogram:
     """Cumulative-bucket histogram in the Prometheus style."""
 
@@ -145,10 +188,13 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: dict[str, Counter | Histogram] = {}
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
 
     def counter(self, name: str, help_text: str) -> Counter:
         return self._register(name, lambda: Counter(name, help_text), Counter)
+
+    def gauge(self, name: str, help_text: str) -> Gauge:
+        return self._register(name, lambda: Gauge(name, help_text), Gauge)
 
     def histogram(
         self,
@@ -172,7 +218,7 @@ class MetricsRegistry:
                 )
             return metric
 
-    def get(self, name: str) -> Counter | Histogram | None:
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
         with self._lock:
             return self._metrics.get(name)
 

@@ -1,0 +1,361 @@
+"""Resilience primitives of the online query service.
+
+PR 4's serving stack protected throughput (cache, coalescing, admission
+control); this module protects *liveness and correctness under failure*.
+Four primitives, all deterministic under an injected monotonic clock so
+every state transition is unit-testable without sleeping:
+
+* :class:`Deadline` — a monotonic-clock budget threaded from the HTTP
+  layer through cache/coalesce/compute.  A request that cannot finish in
+  time is refused with :class:`~repro.serve.errors.DeadlineExceeded`
+  (HTTP 504) instead of holding resources indefinitely.
+* :func:`call_with_watchdog` — runs a computation on a sacrificial thread
+  and abandons it at the deadline.  Python computations cannot be killed,
+  so the watchdog converts "wedged compute" from *a permanently lost
+  admission slot* into *one orphaned thread plus an explicit 504*; the
+  orphan's eventual result is handed to a callback (the service uses it
+  to fill the cache) rather than thrown away.
+* :class:`CircuitBreaker` — closed → open after ``failure_threshold``
+  consecutive compute failures/timeouts; while open, cold requests are
+  refused (HTTP 503 + ``Retry-After``) so a poisoned node or exhausted
+  pool degrades the server to store+cache-only mode instead of stacking
+  doomed work.  The half-open probe schedule is purely a function of the
+  injected clock: one probe per ``reset_after`` window, success closes,
+  failure re-opens.
+* :class:`ReadersWriterLock` — write-preferring shared/exclusive lock
+  guarding the store/cache generation.  Requests read-lock for their
+  duration; a verified hot-swap reload write-locks only for the pointer
+  swap, so in-flight requests always complete against a consistent
+  generation and zero requests are dropped across a reload.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.serve.errors import ComputeUnavailable, DeadlineExceeded
+
+Clock = Callable[[], float]
+
+
+class Deadline:
+    """A point on the monotonic clock by which a request must finish.
+
+    ``Deadline.after(None)`` (or a non-positive budget) is the *unbounded*
+    deadline: ``expired()`` is always False and ``remaining()`` is None —
+    the configuration of a server run with ``--deadline 0``.
+    """
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(self, expires_at: float | None, clock: Clock = time.monotonic) -> None:
+        self._expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, seconds: float | None, clock: Clock = time.monotonic
+    ) -> "Deadline":
+        """A deadline ``seconds`` from now; ``None``/non-positive = unbounded."""
+        if seconds is None or seconds <= 0:
+            return cls(None, clock)
+        return cls(clock() + float(seconds), clock)
+
+    @property
+    def bounded(self) -> bool:
+        return self._expires_at is not None
+
+    def remaining(self) -> float | None:
+        """Seconds left (clamped at 0.0), or ``None`` when unbounded."""
+        if self._expires_at is None:
+            return None
+        return max(0.0, self._expires_at - self._clock())
+
+    def expired(self) -> bool:
+        return (
+            self._expires_at is not None and self._clock() >= self._expires_at
+        )
+
+    def require(self, what: str) -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is already spent."""
+        if self.expired():
+            raise DeadlineExceeded(f"deadline exceeded before {what}")
+
+
+#: Shared unbounded deadline — the default when no budget is configured.
+UNBOUNDED = Deadline(None)
+
+
+def call_with_watchdog(
+    fn: Callable[[], Any],
+    deadline: Deadline,
+    *,
+    what: str = "compute",
+    on_late_result: Callable[[Any], None] | None = None,
+) -> Any:
+    """Run ``fn`` to completion or to ``deadline``, whichever comes first.
+
+    With an unbounded deadline this is a plain call (zero overhead).  With
+    a bounded one, ``fn`` runs on a daemon thread and the caller waits at
+    most the remaining budget: on timeout :class:`DeadlineExceeded` is
+    raised *and the caller's resources (admission slot, read lock) are
+    freed by unwinding* while the orphaned thread runs on.  If the orphan
+    eventually succeeds, ``on_late_result`` receives its value — the
+    deterministic computation is still worth caching; a late error is
+    dropped (it was already reported as a timeout).
+    """
+    if not deadline.bounded:
+        return fn()
+    remaining = deadline.remaining()
+    if remaining is not None and remaining <= 0:
+        raise DeadlineExceeded(f"deadline exceeded before {what}")
+
+    state_lock = threading.Lock()
+    done = threading.Event()
+    abandoned = [False]
+    box: list[Any] = []
+    error: list[BaseException] = []
+
+    def runner() -> None:
+        try:
+            value = fn()
+        except BaseException as exc:  # noqa: BLE001 - relayed to the waiter
+            error.append(exc)
+        else:
+            box.append(value)
+        # The lock makes completion and abandonment mutually exclusive:
+        # either the waiter takes this result as on-time, or it has
+        # already walked away and the result is banked via the callback.
+        with state_lock:
+            done.set()
+            late = abandoned[0]
+        if late and box and on_late_result is not None:
+            on_late_result(box[0])
+
+    # A dedicated thread per bounded compute (not a pool): a wedged pool
+    # worker would silently shrink capacity, while a wedged dedicated
+    # thread costs exactly itself and is bounded by the timeout rate.
+    threading.Thread(target=runner, name=f"watchdog-{what}", daemon=True).start()
+    if not done.wait(remaining):
+        with state_lock:
+            if not done.is_set():
+                abandoned[0] = True
+        if abandoned[0]:
+            raise DeadlineExceeded(
+                f"{what} exceeded its deadline ({remaining:.3f}s budget); "
+                "the computation continues in the background"
+            )
+    if error:
+        raise error[0]
+    return box[0]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with a deterministic clock.
+
+    States:
+
+    ``closed``
+        Normal operation.  ``failure_threshold`` *consecutive* failures
+        trip it open (any success resets the streak).
+    ``open``
+        Every :meth:`allow` raises :class:`ComputeUnavailable` carrying
+        the exact seconds until the next probe slot.  After
+        ``reset_after`` seconds the next caller is admitted as the probe.
+    ``half_open``
+        Exactly one probe call is in flight; followers are refused.  The
+        probe's success closes the breaker, its failure re-opens it for a
+        fresh ``reset_after`` window.
+
+    All transitions are functions of (call outcomes, injected clock), so a
+    test driving a fake clock observes the exact same schedule every run.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after: float = 5.0,
+        *,
+        clock: Clock = time.monotonic,
+        on_state_change: Callable[[str], None] | None = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_after <= 0:
+            raise ValueError(f"reset_after must be positive, got {reset_after}")
+        self._threshold = int(failure_threshold)
+        self._reset_after = float(reset_after)
+        self._clock = clock
+        self._on_state_change = on_state_change
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+
+    @property
+    def failure_threshold(self) -> int:
+        return self._threshold
+
+    @property
+    def reset_after(self) -> float:
+        return self._reset_after
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    @property
+    def consecutive_failures(self) -> int:
+        with self._lock:
+            return self._consecutive_failures
+
+    def _effective_state(self) -> str:
+        """State after applying clock-driven open → half-open promotion."""
+        if self._state == self.OPEN and (
+            self._clock() - self._opened_at >= self._reset_after
+        ):
+            return self.HALF_OPEN
+        return self._state
+
+    def _set_state(self, state: str) -> None:
+        changed = state != self._state
+        self._state = state
+        if changed and self._on_state_change is not None:
+            self._on_state_change(state)
+
+    def allow(self) -> None:
+        """Admit one compute call, or refuse with :class:`ComputeUnavailable`.
+
+        Must be paired with exactly one :meth:`record_success` /
+        :meth:`record_failure` for the admitted call (the half-open probe
+        slot is reserved until its outcome arrives).
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == self.CLOSED:
+                return
+            if state == self.HALF_OPEN and not self._probing:
+                self._set_state(self.HALF_OPEN)
+                self._probing = True
+                return
+            if state == self.HALF_OPEN:
+                # A probe is already in flight; refuse followers until it
+                # resolves (retry once the current window would end).
+                retry_after = self._reset_after
+            else:
+                retry_after = max(
+                    0.0,
+                    self._opened_at + self._reset_after - self._clock(),
+                )
+            raise ComputeUnavailable(
+                "compute circuit breaker is open "
+                f"({self._consecutive_failures} consecutive failures); "
+                "serving store/cache hits only",
+                retry_after=retry_after,
+            )
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probing = False
+            self._set_state(self.CLOSED)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            was_probe = self._probing
+            self._probing = False
+            if was_probe or self._consecutive_failures >= self._threshold:
+                self._opened_at = self._clock()
+                self._set_state(self.OPEN)
+
+    def snapshot(self) -> dict[str, Any]:
+        """State summary for ``/healthz``."""
+        with self._lock:
+            return {
+                "state": self._effective_state(),
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self._threshold,
+                "reset_after_seconds": self._reset_after,
+            }
+
+
+class ReadersWriterLock:
+    """Write-preferring shared/exclusive lock.
+
+    Many readers may hold the lock together; a writer waits for them to
+    drain and, while waiting, blocks *new* readers — so a reload cannot be
+    starved by a steady request stream, and requests queue for at most one
+    swap (microseconds) plus the drain of their predecessors.
+
+    Not reentrant: a thread must not acquire ``read()`` while already
+    holding it (a writer arriving between the two acquisitions would
+    deadlock).  The service takes the read lock once at its public
+    surface and calls only unlocked internals below it.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    class _Guard:
+        __slots__ = ("_acquire", "_release")
+
+        def __init__(self, acquire, release):
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self):
+            self._acquire()
+            return self
+
+        def __exit__(self, *exc_info):
+            self._release()
+            return False
+
+    def read(self) -> "ReadersWriterLock._Guard":
+        """``with lock.read():`` — shared acquisition."""
+        return self._Guard(self.acquire_read, self.release_read)
+
+    def write(self) -> "ReadersWriterLock._Guard":
+        """``with lock.write():`` — exclusive acquisition."""
+        return self._Guard(self.acquire_write, self.release_write)

@@ -14,6 +14,9 @@ package is the storage layer that makes the reuse real:
   tighter approximation) instead of rebuilding.
 * :class:`IndexProvenance` — the audit link stamped into derived artefacts
   such as :class:`~repro.core.store.SphereStore`.
+* :class:`ColumnIntegrity` / :func:`scrub_store` — read-time first-touch
+  checksum quarantine for the serving hot path and the offline
+  ``index verify`` scrub (see :mod:`repro.store.integrity`).
 
 The usual entry points are the :class:`~repro.cascades.index.CascadeIndex`
 methods (``build(n_jobs=...)``, ``save``, ``load``) and the
@@ -23,6 +26,7 @@ methods (``build(n_jobs=...)``, ``save``, ``load``) and the
 from repro.store.append import append_worlds
 from repro.store.build import build_index, sampled_condensations
 from repro.store.errors import (
+    CorruptColumnError,
     FingerprintMismatchError,
     StoreError,
     StoreFormatError,
@@ -31,16 +35,21 @@ from repro.store.errors import (
 from repro.store.fingerprint import digest_of_index, graph_fingerprint, index_digest
 from repro.store.format import check_files, read_header, read_index, write_index
 from repro.store.header import FORMAT_VERSION, MAGIC, ArrayInfo, IndexStoreHeader
+from repro.store.integrity import ColumnIntegrity, ScrubReport, scrub_store
 from repro.store.provenance import IndexProvenance
 
 __all__ = [
     "append_worlds",
     "build_index",
     "sampled_condensations",
+    "CorruptColumnError",
     "FingerprintMismatchError",
     "StoreError",
     "StoreFormatError",
     "StoreIntegrityError",
+    "ColumnIntegrity",
+    "ScrubReport",
+    "scrub_store",
     "digest_of_index",
     "graph_fingerprint",
     "index_digest",

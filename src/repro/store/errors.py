@@ -35,3 +35,18 @@ class StoreIntegrityError(StoreError):
 
 class FingerprintMismatchError(StoreError):
     """The store was built from a different graph than the one supplied."""
+
+
+class CorruptColumnError(StoreIntegrityError):
+    """A specific store column failed its read-time checksum.
+
+    Raised by the lazy integrity guard (:mod:`repro.store.integrity`) on
+    the first touch of a damaged column — and instantly on every later
+    touch, once the column is quarantined.  ``column`` names the offending
+    array so the serving layer can report *which* part of the store is
+    unusable while continuing to serve queries that avoid it.
+    """
+
+    def __init__(self, column: str, message: str) -> None:
+        super().__init__(message)
+        self.column = column

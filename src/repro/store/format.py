@@ -367,15 +367,42 @@ def read_index(path: PathLike, *, verify: str = "fast") -> "CascadeIndex":
     index supports in-memory :meth:`extend` (the sampler is reconstructed
     from the recorded seed entropy) and exposes the parsed header via
     :attr:`~repro.cascades.index.CascadeIndex.store_header`.
+
+    ``verify`` selects the integrity regime: ``"fast"`` (size checks only),
+    ``"full"`` (every column SHA-256-verified before the open returns), or
+    ``"lazy"`` — size checks plus a :class:`~repro.store.integrity.
+    ColumnIntegrity` guard that hashes the graph/offset columns at open and
+    each payload column on its first touch, quarantining failures as
+    :class:`~repro.store.errors.CorruptColumnError` (exposed via
+    :attr:`~repro.cascades.index.CascadeIndex.store_integrity`).
     """
     from repro.cascades.index import CascadeIndex
     from repro.graph.condensation import Condensation
     from repro.graph.digraph import ProbabilisticDigraph
     from repro.graph.sampling import WorldSampler
 
+    if verify not in ("fast", "full", "lazy"):
+        raise ValueError(f"verify must be 'fast', 'full' or 'lazy', got {verify!r}")
     root = Path(os.fspath(path))
     header = read_header(root)
-    check_files(root, header, verify=verify)
+    check_files(root, header, verify="fast" if verify == "lazy" else verify)
+    integrity = None
+    if verify == "lazy":
+        from repro.store.integrity import ColumnIntegrity
+
+        integrity = ColumnIntegrity(root, header)
+        # The graph and offset columns back every query and are interpreted
+        # immediately below; hash them now so the guard only ever defers the
+        # payload columns (the dominant bytes of a large store).
+        integrity.verify(
+            "graph_indptr",
+            "graph_targets",
+            "graph_probs",
+            "dag_indptr_offsets",
+            "dag_targets_offsets",
+            "members_offsets",
+            "members_indptr_offsets",
+        )
     arrays = _open_arrays(root, header)
 
     n, num_worlds = header.num_nodes, header.num_worlds
@@ -405,6 +432,10 @@ def read_index(path: PathLike, *, verify: str = "fast") -> "CascadeIndex":
             )
 
     def make_condensation(i: int) -> Condensation:
+        if integrity is not None:
+            integrity.verify(
+                "node_comp", "dag_indptr", "dag_targets", "members_indptr"
+            )
         indptr = dag_indptr[int(dio[i]) : int(dio[i + 1])]
         world_members_indptr = members_indptr[int(mio[i]) : int(mio[i + 1])]
         return Condensation(
@@ -416,6 +447,8 @@ def read_index(path: PathLike, *, verify: str = "fast") -> "CascadeIndex":
         )
 
     def make_members(i: int) -> _CSRMembers:
+        if integrity is not None:
+            integrity.verify("members", "members_indptr")
         return _CSRMembers(
             members[int(mo[i]) : int(mo[i + 1])],
             members_indptr[int(mio[i]) : int(mio[i + 1])],
@@ -435,4 +468,5 @@ def read_index(path: PathLike, *, verify: str = "fast") -> "CascadeIndex":
         node_comp=node_comp,
     )
     index._store_header = header
+    index._store_integrity = integrity
     return index

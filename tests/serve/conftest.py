@@ -5,6 +5,7 @@ helpers to run a real HTTP server on an ephemeral port."""
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -90,6 +91,27 @@ class RunningServer:
                 return response.status, dict(response.headers), response.read()
         except urllib.error.HTTPError as exc:
             return exc.code, dict(exc.headers), exc.read()
+
+    def raw(self, request_bytes: bytes, timeout: float = 10.0) -> bytes:
+        """Send raw bytes on a fresh socket; return everything sent back.
+
+        For fuzzing below the urllib layer: malformed request lines, lying
+        Content-Length headers, non-HTTP garbage.  Half-closes the write
+        side so a well-behaved server responds and then sees EOF.
+        """
+        with socket.create_connection(("127.0.0.1", self.port), timeout=timeout) as sock:
+            sock.sendall(request_bytes)
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            try:
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    chunks.append(chunk)
+            except TimeoutError:
+                pass
+            return b"".join(chunks)
 
     def close(self):
         self.server.shutdown()

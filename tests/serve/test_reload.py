@@ -1,0 +1,207 @@
+"""Verified hot-swap reload: generation swaps, rollbacks, zero drops."""
+
+import shutil
+import threading
+
+import pytest
+
+from repro.runtime.faults import FaultSpec, fault_scope
+from repro.serve.cache import MISSING
+from repro.serve.errors import BadRequest, StoreCorrupt
+from repro.store import append_worlds
+
+from tests.serve.conftest import RunningServer, make_service
+
+
+@pytest.fixture
+def store_copy(index_store_path, tmp_path):
+    """A private mutable copy of the session index store."""
+    dst = tmp_path / "idx"
+    shutil.copytree(index_store_path, dst)
+    return dst
+
+
+def flip_byte(path, offset=-100):
+    """Corrupt one byte near the end of a column file (past the npy header)."""
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestReload:
+    def test_reload_picks_up_appended_worlds(self, store_copy):
+        service = make_service(str(store_copy))
+        before = service.index.num_worlds
+        baseline = service.sphere(20)
+        append_worlds(store_copy, 3)
+        assert service.index.num_worlds == before  # old generation still up
+
+        result = service.reload()
+        assert result["status"] == "reloaded"
+        assert result["generation"] == 2
+        assert result["num_worlds"] == before + 3
+        assert service.generation == 2
+        assert service.index.num_worlds == before + 3
+        assert service.reloads_total.value(result="ok") == 1
+        # The cache was dropped with the old generation; queries still work.
+        assert service.sphere(20)["node"] == baseline["node"]
+        assert service.healthz()["generation"] == 2
+
+    def test_reload_defaults_need_a_store_path(self, index):
+        service = make_service(index)  # in-memory, no path to re-open
+        with pytest.raises(BadRequest, match="in-memory index"):
+            service.reload()
+
+    def test_corrupt_candidate_rolls_back(self, store_copy, tmp_path):
+        service = make_service(str(store_copy))
+        worlds = service.index.num_worlds
+        candidate = tmp_path / "candidate"
+        shutil.copytree(store_copy, candidate)
+        flip_byte(candidate / "members.npy")
+
+        with pytest.raises(StoreCorrupt, match="rolled back"):
+            service.reload(index_path=candidate)
+        # The old generation is untouched and keeps serving.
+        assert service.generation == 1
+        assert service.index.num_worlds == worlds
+        assert service.sphere(21)["node"] == 21
+        assert service.reloads_total.value(result="rolled_back") == 1
+        assert service.healthz()["status"] == "ok"
+
+    def test_truncated_candidate_rolls_back(self, store_copy, tmp_path):
+        service = make_service(str(store_copy))
+        candidate = tmp_path / "candidate"
+        shutil.copytree(store_copy, candidate)
+        full = (candidate / "dag_targets.npy").read_bytes()
+        (candidate / "dag_targets.npy").write_bytes(full[: len(full) // 2])
+
+        with pytest.raises(StoreCorrupt, match="rolled back"):
+            service.reload(index_path=candidate)
+        assert service.generation == 1
+        assert service.sphere(22)["node"] == 22
+
+    def test_injected_reload_fault_rolls_back_then_recovers(self, store_copy):
+        service = make_service(str(store_copy))
+        plan = [FaultSpec(site="serve.reload", kind="error")]
+        with fault_scope(plan):
+            with pytest.raises(StoreCorrupt, match="rolled back"):
+                service.reload()
+        assert service.generation == 1
+        assert service.reloads_total.value(result="rolled_back") == 1
+        # The fault was transient; the next reload succeeds.
+        result = service.reload()
+        assert result["generation"] == 2
+        assert service.reloads_total.value(result="ok") == 1
+
+    def test_reload_closes_an_open_breaker(self, store_copy):
+        service = make_service(str(store_copy), breaker_threshold=1)
+        service._computer.compute = lambda node: 1 / 0
+        with pytest.raises(Exception, match="failed"):
+            service.sphere(23)
+        assert service.breaker.state == "open"
+        service.reload()
+        assert service.breaker.state == "closed"
+        assert service.healthz()["status"] == "ok"
+
+    def test_no_requests_dropped_across_reloads(self, store_copy):
+        """Queries hammering the service while it reloads twice all succeed."""
+        service = make_service(str(store_copy), max_inflight=16)
+        errors = []
+        stop = threading.Event()
+
+        def hammer(node):
+            while not stop.is_set():
+                try:
+                    payload = service.sphere(node)
+                    assert payload["node"] == node
+                except Exception as exc:  # noqa: BLE001 - collected for the assert
+                    errors.append(exc)
+                    return
+
+        threads = [
+            threading.Thread(target=hammer, args=(node,)) for node in range(24, 28)
+        ]
+        for t in threads:
+            t.start()
+        try:
+            for _ in range(2):
+                append_worlds(store_copy, 1)
+                service.reload()
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+        assert errors == []
+        assert service.generation == 3
+
+    def test_orphaned_compute_cannot_pollute_a_new_generation(self, store_copy):
+        """A late result from generation N must not be banked after a reload."""
+        service = make_service(str(store_copy), deadline=0.05)
+        release = threading.Event()
+        banked = threading.Event()
+        real_compute = service._computer.compute
+
+        def wedged(node):
+            assert release.wait(timeout=30)
+            result = real_compute(node)
+            banked.set()
+            return result
+
+        service._computer.compute = wedged
+        with pytest.raises(Exception, match="deadline"):
+            service.sphere(29)
+        service.reload()  # generation 2, before the orphan finishes
+        release.set()
+        assert banked.wait(timeout=30)
+        # Give the watchdog's late-result callback a moment to run, then the
+        # post-reload cache must still miss: the bank was generation-checked.
+        for _ in range(50):
+            if service.cache.get(29) is not MISSING:
+                break
+            threading.Event().wait(0.02)
+        assert service.cache.get(29) is MISSING
+
+
+class TestReloadHTTP:
+    def test_admin_reload_roundtrip(self, store_copy):
+        server = RunningServer(make_service(str(store_copy)))
+        try:
+            status, _, body = server.request("/sphere/30")
+            assert status == 200
+            append_worlds(store_copy, 2)
+            status, _, body = server.request("/admin/reload", method="POST")
+            assert status == 200
+            assert b'"generation": 2' in body or b'"generation":2' in body
+            status, _, body = server.request("/healthz")
+            assert status == 200
+            assert b'"generation": 2' in body or b'"generation":2' in body
+        finally:
+            server.close()
+
+    def test_admin_reload_reports_rollback(self, store_copy, tmp_path):
+        server = RunningServer(make_service(str(store_copy)))
+        try:
+            candidate = tmp_path / "candidate"
+            shutil.copytree(store_copy, candidate)
+            flip_byte(candidate / "node_comp.npy")
+            status, _, body = server.request(
+                "/admin/reload", method="POST", body={"index": str(candidate)}
+            )
+            assert status == 500
+            assert b"rolled back" in body
+            # Still serving the original generation.
+            status, _, _ = server.request("/sphere/31")
+            assert status == 200
+        finally:
+            server.close()
+
+    def test_admin_reload_validates_body(self, store_copy):
+        server = RunningServer(make_service(str(store_copy)))
+        try:
+            status, _, body = server.request(
+                "/admin/reload", method="POST", body={"index": 7}
+            )
+            assert status == 400
+            assert b"path string" in body
+        finally:
+            server.close()

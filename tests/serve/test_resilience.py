@@ -1,0 +1,457 @@
+"""Deterministic tests of the serving resilience layer.
+
+Deadline expiry and circuit-breaker scheduling are driven by an injected
+fake clock, so every state transition asserted here is exact — no sleeps,
+no flakiness.  The thread-based pieces (watchdog, slot hammer, follower
+timeout) use events and generous real timeouts only as failure backstops.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.faults import FaultSpec, fault_scope
+from repro.serve.errors import (
+    ComputeUnavailable,
+    DeadlineExceeded,
+    InternalError,
+    ShedLoad,
+)
+from repro.serve.resilience import (
+    CircuitBreaker,
+    Deadline,
+    ReadersWriterLock,
+    call_with_watchdog,
+)
+
+from tests.serve.conftest import WARM_NODES, make_service
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        for deadline in (Deadline.after(None), Deadline.after(0), Deadline.after(-1)):
+            assert not deadline.bounded
+            assert deadline.remaining() is None
+            assert not deadline.expired()
+            deadline.require("anything")  # no raise
+
+    def test_expiry_is_a_pure_function_of_the_clock(self):
+        clock = FakeClock(100.0)
+        deadline = Deadline.after(2.5, clock)
+        assert deadline.remaining() == pytest.approx(2.5)
+        clock.advance(2.0)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired()
+        clock.advance(0.5)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+        clock.advance(10.0)
+        assert deadline.remaining() == 0.0  # clamped, never negative
+
+    def test_require_names_the_refused_step(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock)
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded, match="before sphere lookup"):
+            deadline.require("sphere lookup")
+
+    def test_same_clock_same_schedule(self):
+        # Determinism: two deadlines over identical clocks transition at
+        # identical instants.
+        histories = []
+        for _ in range(2):
+            clock = FakeClock()
+            deadline = Deadline.after(3.0, clock)
+            history = []
+            for _ in range(10):
+                clock.advance(0.5)
+                history.append((deadline.remaining(), deadline.expired()))
+            histories.append(history)
+        assert histories[0] == histories[1]
+
+
+class TestWatchdog:
+    def test_unbounded_runs_inline(self):
+        main_thread = threading.current_thread()
+        seen = []
+        call_with_watchdog(lambda: seen.append(threading.current_thread()),
+                           Deadline.after(None))
+        assert seen == [main_thread]
+
+    def test_result_within_budget(self):
+        assert call_with_watchdog(lambda: 42, Deadline.after(30.0)) == 42
+
+    def test_error_within_budget_propagates(self):
+        with pytest.raises(ValueError, match="boom"):
+            call_with_watchdog(
+                lambda: (_ for _ in ()).throw(ValueError("boom")),
+                Deadline.after(30.0),
+            )
+
+    def test_already_expired_refuses_before_spawning(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock)
+        clock.advance(2.0)
+        with pytest.raises(DeadlineExceeded, match="before compute"):
+            call_with_watchdog(lambda: 1, deadline)
+
+    def test_timeout_abandons_and_banks_the_late_result(self):
+        release = threading.Event()
+        banked = []
+        banked_event = threading.Event()
+
+        def slow():
+            assert release.wait(timeout=30)
+            return "late-value"
+
+        def bank(value):
+            banked.append(value)
+            banked_event.set()
+
+        with pytest.raises(DeadlineExceeded, match="exceeded its deadline"):
+            call_with_watchdog(
+                slow, Deadline.after(0.05), what="compute", on_late_result=bank
+            )
+        release.set()
+        assert banked_event.wait(timeout=30)
+        assert banked == ["late-value"]
+
+    def test_late_error_is_dropped(self):
+        release = threading.Event()
+        done = threading.Event()
+
+        def slow_fail():
+            assert release.wait(timeout=30)
+            done.set()
+            raise RuntimeError("late failure nobody is waiting for")
+
+        with pytest.raises(DeadlineExceeded):
+            call_with_watchdog(slow_fail, Deadline.after(0.05),
+                               on_late_result=lambda v: None)
+        release.set()
+        assert done.wait(timeout=30)  # orphan ran; its error went nowhere
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(3, 10.0, clock=clock)
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(ComputeUnavailable) as excinfo:
+            breaker.allow()
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after == pytest.approx(10.0)
+
+    def test_success_resets_the_streak(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(2, 5.0, clock=clock)
+        breaker.allow(); breaker.record_failure()
+        breaker.allow(); breaker.record_success()
+        breaker.allow(); breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_retry_after_counts_down_deterministically(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 10.0, clock=clock)
+        breaker.allow(); breaker.record_failure()
+        clock.advance(4.0)
+        with pytest.raises(ComputeUnavailable) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after == pytest.approx(6.0)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock=clock)
+        breaker.allow(); breaker.record_failure()
+        clock.advance(5.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.allow()  # the probe slot
+        with pytest.raises(ComputeUnavailable):
+            breaker.allow()  # followers refused while the probe is out
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.allow()  # back to normal service
+
+    def test_failed_probe_reopens_a_full_window(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock=clock)
+        breaker.allow(); breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()  # probe
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        clock.advance(4.9)
+        with pytest.raises(ComputeUnavailable) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after == pytest.approx(0.1)
+        clock.advance(0.1)
+        breaker.allow()  # next probe slot, exactly on schedule
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_schedule_is_reproducible(self):
+        def drive():
+            clock = FakeClock()
+            breaker = CircuitBreaker(2, 3.0, clock=clock)
+            observed = []
+            script = [
+                ("fail", 0.0), ("fail", 0.5), ("tick", 1.0), ("tick", 2.0),
+                ("probe_fail", 3.5), ("tick", 5.0), ("probe_ok", 6.5),
+            ]
+            for action, at in script:
+                clock.now = at
+                if action == "tick":
+                    try:
+                        breaker.allow()
+                        breaker.record_success()
+                        outcome = "admitted"
+                    except ComputeUnavailable as exc:
+                        outcome = f"refused:{exc.retry_after:.3f}"
+                elif action == "fail":
+                    breaker.allow(); breaker.record_failure()
+                    outcome = "failed"
+                elif action == "probe_fail":
+                    breaker.allow(); breaker.record_failure()
+                    outcome = "probe-failed"
+                else:
+                    breaker.allow(); breaker.record_success()
+                    outcome = "probe-ok"
+                observed.append((at, outcome, breaker.state))
+            return observed
+
+        assert drive() == drive()
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(0, 1.0)
+        with pytest.raises(ValueError, match="reset_after"):
+            CircuitBreaker(1, 0.0)
+
+
+class TestReadersWriterLock:
+    def test_readers_share(self):
+        lock = ReadersWriterLock()
+        with lock.read():
+            acquired = threading.Event()
+
+            def second_reader():
+                with lock.read():
+                    acquired.set()
+
+            threading.Thread(target=second_reader).start()
+            assert acquired.wait(timeout=10)
+
+    def test_writer_excludes_and_releases(self):
+        lock = ReadersWriterLock()
+        order = []
+        in_write = threading.Event()
+        release_write = threading.Event()
+
+        def writer():
+            with lock.write():
+                order.append("write")
+                in_write.set()
+                assert release_write.wait(timeout=10)
+
+        t = threading.Thread(target=writer)
+        t.start()
+        assert in_write.wait(timeout=10)
+        reader_done = threading.Event()
+
+        def reader():
+            with lock.read():
+                order.append("read")
+                reader_done.set()
+
+        threading.Thread(target=reader).start()
+        time.sleep(0.05)
+        assert not reader_done.is_set()  # reader waits out the writer
+        release_write.set()
+        assert reader_done.wait(timeout=10)
+        t.join(timeout=10)
+        assert order == ["write", "read"]
+
+    def test_waiting_writer_blocks_new_readers(self):
+        lock = ReadersWriterLock()
+        first_reader_in = threading.Event()
+        release_first = threading.Event()
+        wrote = threading.Event()
+        second_read = threading.Event()
+
+        def first_reader():
+            with lock.read():
+                first_reader_in.set()
+                assert release_first.wait(timeout=10)
+
+        def writer():
+            with lock.write():
+                wrote.set()
+
+        def second_reader():
+            with lock.read():
+                second_read.set()
+
+        threading.Thread(target=first_reader).start()
+        assert first_reader_in.wait(timeout=10)
+        threading.Thread(target=writer).start()
+        time.sleep(0.05)  # let the writer queue up
+        threading.Thread(target=second_reader).start()
+        time.sleep(0.05)
+        # Write preference: the late reader must not starve the writer.
+        assert not second_read.is_set()
+        release_first.set()
+        assert wrote.wait(timeout=10)
+        assert second_read.wait(timeout=10)
+
+
+class TestServiceDeadlines:
+    def test_over_deadline_compute_returns_504_and_frees_its_slot(self, index):
+        service = make_service(index, deadline=0.05, max_inflight=2)
+        release = threading.Event()
+        real_compute = service._computer.compute
+
+        def wedged(node):
+            assert release.wait(timeout=30)
+            return real_compute(node)
+
+        service._computer.compute = wedged
+        with pytest.raises(DeadlineExceeded):
+            service.sphere(40)
+        assert service.deadline_exceeded_total.value() == 1
+        assert service.compute_failures_total.value(kind="timeout") == 1
+        # The slot came back even though the orphan is still wedged.
+        assert service._slots.acquire(blocking=False)
+        service._slots.release()
+        release.set()
+
+    def test_fault_injected_sleep_never_leaks_a_slot(self, index):
+        """The ISSUE's hammer: wedged computes (injected sleeps) across many
+        requests leave the admission semaphore exactly full."""
+        max_inflight = 4
+        service = make_service(index, deadline=0.05, max_inflight=max_inflight)
+        plan = [FaultSpec(site="serve.compute", kind="sleep", seconds=1.0)]
+        outcomes = {"timeout": 0, "shed": 0}
+        lock = threading.Lock()
+
+        def hammer(node):
+            try:
+                service.sphere(node)
+            except DeadlineExceeded:
+                with lock:
+                    outcomes["timeout"] += 1
+            except ShedLoad:
+                with lock:
+                    outcomes["shed"] += 1
+
+        with fault_scope(plan):
+            threads = [
+                threading.Thread(target=hammer, args=(node,))
+                for node in range(30, 42)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+        # Every request timed out or was shed (the sleep outlives every
+        # deadline); either way all max_inflight slots must be back.
+        assert outcomes["timeout"] >= 1
+        assert sum(outcomes.values()) == 12
+        taken = 0
+        while service._slots.acquire(blocking=False):
+            taken += 1
+        assert taken == max_inflight
+        for _ in range(taken):
+            service._slots.release()
+
+    def test_follower_timeout_leaves_the_leader_running(self, index):
+        service = make_service(index)  # unbounded default deadline
+        entered = threading.Event()
+        release = threading.Event()
+        real_compute = service._computer.compute
+
+        def gated(node):
+            entered.set()
+            assert release.wait(timeout=30)
+            return real_compute(node)
+
+        service._computer.compute = gated
+        results = []
+        leader = threading.Thread(
+            target=lambda: results.append(service.sphere(43))
+        )
+        leader.start()
+        assert entered.wait(timeout=30)
+        with pytest.raises(DeadlineExceeded, match="waiting for the in-flight"):
+            service.get_sphere(43, Deadline.after(0.05))
+        assert service.deadline_exceeded_total.value() == 1
+        release.set()
+        leader.join(timeout=30)
+        assert results and results[0]["node"] == 43
+
+    def test_warm_store_hits_ignore_wedged_compute(self, index, sphere_store):
+        service = make_service(index, spheres=sphere_store, deadline=0.2)
+        service._computer.compute = lambda node: time.sleep(60)
+        assert service.sphere(WARM_NODES[0])["node"] == WARM_NODES[0]
+        assert service.deadline_exceeded_total.value() == 0
+
+
+class TestServiceBreaker:
+    def test_repeated_failures_open_and_degrade(self, index, sphere_store):
+        clock = FakeClock()
+        service = make_service(
+            index, spheres=sphere_store,
+            breaker_threshold=2, breaker_reset=10.0, clock=clock,
+        )
+
+        def poisoned(node):
+            raise RuntimeError("poisoned node")
+
+        real_compute = service._computer.compute
+        service._computer.compute = poisoned
+        for node in (44, 45):
+            with pytest.raises(InternalError, match="poisoned"):
+                service.sphere(node)
+        with pytest.raises(ComputeUnavailable) as excinfo:
+            service.sphere(46)
+        assert excinfo.value.retry_after == pytest.approx(10.0)
+        assert service.breaker_rejected_total.value() == 1
+        assert service.healthz()["status"] == "degraded"
+        assert service.healthz()["breaker"]["state"] == "open"
+        # Store+cache-only mode: warm nodes still answered.
+        assert service.sphere(WARM_NODES[1])["node"] == WARM_NODES[1]
+
+        # Deterministic recovery: one probe after the reset window.
+        clock.advance(10.0)
+        service._computer.compute = real_compute
+        assert service.sphere(46)["node"] == 46  # the probe, succeeds
+        assert service.healthz()["status"] == "ok"
+        assert service.healthz()["breaker"]["state"] == "closed"
+
+    def test_injected_compute_errors_feed_the_breaker(self, index):
+        service = make_service(index, breaker_threshold=1, breaker_reset=30.0)
+        plan = [FaultSpec(site="serve.compute", kind="error", key=47)]
+        with fault_scope(plan):
+            with pytest.raises(InternalError, match="injected"):
+                service.sphere(47)
+        assert service.compute_failures_total.value(kind="error") == 1
+        with pytest.raises(ComputeUnavailable):
+            service.sphere(48)
+        assert service.healthz()["breaker"]["state"] == "open"

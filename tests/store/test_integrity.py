@@ -1,0 +1,162 @@
+"""Read-time corruption quarantine and the offline store scrub."""
+
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.store import read_index, scrub_store, write_index
+from repro.store.errors import (
+    CorruptColumnError,
+    StoreFormatError,
+    StoreIntegrityError,
+)
+from repro.store.format import ARRAY_DTYPES
+from repro.store.integrity import ColumnIntegrity
+from repro.store.header import IndexStoreHeader
+
+
+@pytest.fixture
+def index(small_random) -> CascadeIndex:
+    return CascadeIndex.build(small_random, 6, seed=321)
+
+
+@pytest.fixture
+def store_path(index, tmp_path):
+    path = tmp_path / "idx"
+    write_index(index, path)
+    return path
+
+
+def flip_byte(path, offset=-40):
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestScrubStore:
+    def test_clean_store_scrubs_clean(self, store_path):
+        report = scrub_store(store_path)
+        assert report.ok
+        assert report.corrupt == ()
+        assert sorted(c.name for c in report.columns) == sorted(ARRAY_DTYPES)
+        for column in report.columns:
+            assert column.ok
+            assert column.actual_sha256 == column.expected_sha256
+            assert column.problem is None
+
+    def test_flipped_bit_is_reported(self, store_path):
+        flip_byte(store_path / "members.npy")
+        report = scrub_store(store_path)
+        assert not report.ok
+        assert report.corrupt == ("members",)
+        damaged = {c.name: c for c in report.columns}["members"]
+        assert damaged.problem == "sha256 mismatch"
+        assert damaged.actual_sha256 != damaged.expected_sha256
+
+    def test_truncation_and_missing_file_both_reported(self, store_path):
+        full = (store_path / "dag_targets.npy").read_bytes()
+        (store_path / "dag_targets.npy").write_bytes(full[: len(full) // 2])
+        (store_path / "graph_probs.npy").unlink()
+        report = scrub_store(store_path)
+        assert report.corrupt == ("dag_targets", "graph_probs")
+        by_name = {c.name: c for c in report.columns}
+        assert "size mismatch" in by_name["dag_targets"].problem
+        assert by_name["graph_probs"].problem == "missing"
+        # The scrub continues past failures: every column got a verdict.
+        assert len(report.columns) == len(ARRAY_DTYPES)
+
+    def test_to_dict_is_json_shaped(self, store_path):
+        flip_byte(store_path / "node_comp.npy")
+        payload = scrub_store(store_path).to_dict()
+        assert payload["ok"] is False
+        assert payload["corrupt"] == ["node_comp"]
+        assert {c["name"] for c in payload["columns"]} == set(ARRAY_DTYPES)
+
+    def test_non_store_path_raises(self, tmp_path):
+        with pytest.raises(StoreFormatError, match="not a cascade-index store"):
+            scrub_store(tmp_path / "nowhere")
+
+
+class TestLazyVerification:
+    def test_lazy_open_defers_payload_columns(self, store_path, index):
+        loaded = read_index(store_path, verify="lazy")
+        guard = loaded.store_integrity
+        assert guard is not None
+        # Graph and offset columns were hashed at open; payloads were not.
+        assert "graph_targets" in guard.verified()
+        assert "members" not in guard.verified()
+        loaded.world_members(0)
+        assert "members" in guard.verified()
+
+    def test_lazy_results_match_eager(self, store_path):
+        import numpy as np
+
+        lazy = read_index(store_path, verify="lazy")
+        full = read_index(store_path, verify="full")
+        for world in range(lazy.num_worlds):
+            np.testing.assert_array_equal(
+                lazy.cascade(1, world), full.cascade(1, world)
+            )
+
+    def test_corrupt_payload_column_opens_then_quarantines(self, store_path):
+        flip_byte(store_path / "members.npy")
+        loaded = read_index(store_path, verify="lazy")  # open succeeds
+        with pytest.raises(CorruptColumnError) as excinfo:
+            loaded.world_members(0)
+        assert excinfo.value.column == "members"
+        assert loaded.store_integrity.quarantined() == ("members",)
+        # Second touch fast-fails from the quarantine set, no re-hash.
+        with pytest.raises(CorruptColumnError):
+            loaded.world_members(1)
+        # Columns the damage does not reach still serve.
+        assert loaded.condensation(0).num_components > 0
+
+    def test_corrupt_graph_column_fails_the_open(self, store_path):
+        flip_byte(store_path / "graph_targets.npy")
+        with pytest.raises(CorruptColumnError, match="graph_targets"):
+            read_index(store_path, verify="lazy")
+
+    def test_truncated_column_fails_the_open_fast(self, store_path):
+        full = (store_path / "members.npy").read_bytes()
+        (store_path / "members.npy").write_bytes(full[: len(full) // 2])
+        with pytest.raises(StoreIntegrityError, match="truncated"):
+            read_index(store_path, verify="lazy")
+
+    def test_full_verify_still_rejects_upfront(self, store_path):
+        flip_byte(store_path / "members.npy")
+        with pytest.raises(StoreIntegrityError):
+            read_index(store_path, verify="full")
+
+    def test_unknown_verify_regime_rejected(self, store_path):
+        with pytest.raises(ValueError, match="verify must be"):
+            read_index(store_path, verify="paranoid")
+
+
+class TestColumnIntegrity:
+    def test_mark_verified_skips_hashing(self, store_path):
+        header = IndexStoreHeader.from_json(
+            (store_path / "header.json").read_text()
+        )
+        flip_byte(store_path / "members.npy")
+        guard = ColumnIntegrity(store_path, header)
+        guard.mark_verified(["members"])
+        guard.verify("members")  # trusted by fiat, no exception
+
+    def test_on_quarantine_callback_fires_once(self, store_path):
+        header = IndexStoreHeader.from_json(
+            (store_path / "header.json").read_text()
+        )
+        flip_byte(store_path / "members.npy")
+        seen = []
+        guard = ColumnIntegrity(store_path, header, on_quarantine=seen.append)
+        for _ in range(3):
+            with pytest.raises(CorruptColumnError):
+                guard.verify("members")
+        assert seen == ["members"]
+
+    def test_unknown_column_is_quarantined(self, store_path):
+        header = IndexStoreHeader.from_json(
+            (store_path / "header.json").read_text()
+        )
+        guard = ColumnIntegrity(store_path, header)
+        with pytest.raises(CorruptColumnError, match="not in the header"):
+            guard.verify("no_such_column")

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -118,6 +120,49 @@ class TestIndexCommands:
         out = capsys.readouterr().out
         assert "seed entropy: 11" in out
         assert "verified: full sha256" in out
+
+    def test_verify_clean_store(self, built, capsys):
+        assert main(["index", "verify", str(built)]) == 0
+        out = capsys.readouterr().out
+        assert "result: clean" in out
+        assert "members.npy" in out
+        assert "CORRUPT" not in out
+
+    def test_verify_json_clean(self, built, capsys):
+        assert main(["index", "verify", str(built), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["corrupt"] == []
+        names = {column["name"] for column in payload["columns"]}
+        assert "members" in names and "graph_targets" in names
+
+    def test_verify_corrupt_store_exits_2(self, built, capsys):
+        target = built / "members.npy"
+        data = bytearray(target.read_bytes())
+        data[-30] ^= 0xFF
+        target.write_bytes(bytes(data))
+        with pytest.raises(SystemExit) as excinfo:
+            main(["index", "verify", str(built)])
+        assert excinfo.value.code == 2
+        out = capsys.readouterr().out
+        assert "members.npy" in out
+        assert "CORRUPT (sha256 mismatch)" in out
+        assert "result: CORRUPT" in out
+        assert "1 damaged" in out
+
+    def test_verify_json_reports_every_damaged_file(self, built, capsys):
+        (built / "graph_probs.npy").unlink()
+        target = built / "dag_targets.npy"
+        target.write_bytes(target.read_bytes()[:-8])
+        with pytest.raises(SystemExit) as excinfo:
+            main(["index", "verify", str(built), "--json"])
+        assert excinfo.value.code == 2
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["corrupt"] == ["dag_targets", "graph_probs"]
+
+    def test_verify_missing_path_is_operational_error(self, tmp_path, capsys):
+        assert main(["index", "verify", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
 
     def test_append_grows_store(self, built, capsys):
         assert main(["index", "append", str(built), "--samples", "2"]) == 0
