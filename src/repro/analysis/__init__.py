@@ -19,6 +19,11 @@ Architecture:
 * :mod:`repro.analysis.runner` — file discovery + orchestration.
 * :mod:`repro.analysis.checkers` — the built-in checker catalogue (REP1xx
   through REP6xx).
+* :mod:`repro.analysis.project` — the whole-program lock model + call
+  graph consumed by the project-wide (REP7xx) concurrency checkers in
+  :mod:`repro.analysis.checkers.concurrency`.
+* :mod:`repro.analysis.explain` — the generated checker catalogue
+  (``--explain`` / ``docs/reprolint.md``).
 * :mod:`repro.analysis.cli` — ``python -m repro.analysis <paths>``.
 
 Run the analyzer over the library::
@@ -34,22 +39,35 @@ from __future__ import annotations
 from repro.analysis.checkers.base import Checker
 from repro.analysis.context import ModuleContext
 from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.project import ProjectChecker, ProjectContext
 from repro.analysis.registry import (
     CheckerRegistry,
     default_registry,
+    project_registry,
     register,
+    register_project,
 )
-from repro.analysis.runner import analyze_file, analyze_paths, analyze_source
+from repro.analysis.runner import (
+    analyze_file,
+    analyze_paths,
+    analyze_project,
+    analyze_source,
+)
 
 __all__ = [
     "Checker",
     "CheckerRegistry",
     "Diagnostic",
     "ModuleContext",
+    "ProjectChecker",
+    "ProjectContext",
     "Severity",
     "analyze_file",
     "analyze_paths",
+    "analyze_project",
     "analyze_source",
     "default_registry",
+    "project_registry",
     "register",
+    "register_project",
 ]

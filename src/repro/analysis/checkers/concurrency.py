@@ -1,0 +1,528 @@
+"""REP7xx: whole-program concurrency checkers.
+
+These run in project mode (``python -m repro.analysis --project``) against
+the cross-linked lock model of :class:`~repro.analysis.project.ProjectContext`:
+
+========  ==========================  =====================================
+id        name                        invariant
+========  ==========================  =====================================
+REP701    guarded-by                  annotated shared attributes are only
+                                      touched with their lock held
+REP702    lock-order                  the static lock-acquisition graph is
+                                      acyclic (no deadlock-prone inversion)
+REP703    blocking-under-lock         no I/O, sleeps or waits inside an
+                                      exclusive critical section
+REP704    resource-release            memmap handles, semaphore slots and
+                                      executors are released on all paths
+REP705    fault-site-registry         injection-point names exist in
+                                      ``runtime/faults.KNOWN_SITES``
+========  ==========================  =====================================
+
+The static model is conservative: unresolved calls (callbacks, duck-typed
+parameters) contribute nothing, and deliberate exceptions carry a justified
+``# reprolint: disable=REP70x`` on the reported line.  The runtime lock
+sanitizer (:mod:`repro.runtime.locksan`) validates the same invariants
+against real interleavings in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.project import (
+    ClassInfo,
+    FunctionInfo,
+    HeldLock,
+    LockRegion,
+    ProjectChecker,
+    ProjectContext,
+)
+from repro.analysis.registry import register_project
+
+#: Dotted names that look blocking by suffix but are pure.
+_BLOCKING_EXEMPT = frozenset({"os.path.join", "posixpath.join", "ntpath.join"})
+
+#: Fault-API entry points -> positional index of the ``site`` argument
+#: (``None`` means keyword-only).
+_FAULT_SITE_ARG: dict[str, int | None] = {
+    "maybe_fire": 0,
+    "take_fault": 0,
+    "fire": 0,
+    "take": 0,
+    "faulty_write_bytes": None,
+}
+
+
+def _held_keys(held: Iterable[HeldLock]) -> set[str]:
+    return {h.key for h in held}
+
+
+def _is_write(node: ast.Attribute) -> bool:
+    return isinstance(node.ctx, (ast.Store, ast.Del))
+
+
+@register_project
+class GuardedByChecker(ProjectChecker):
+    """REP701 — guarded attributes accessed outside their lock region."""
+
+    id = "REP701"
+    name = "guarded-by"
+    description = (
+        "attributes annotated '# guarded-by: <lock>' must only be read or "
+        "written while that lock is held (writes need exclusive mode)"
+    )
+    severity = Severity.ERROR
+
+    def check(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for cls in project.classes.values():
+            if not cls.guarded:
+                continue
+            for method in cls.methods.values():
+                if method.name == "__init__":
+                    # Construction happens before the object is shared.
+                    continue
+                yield from self._check_method(project, cls, method)
+        yield from self._check_requires_callsites(project)
+
+    def _check_method(
+        self, project: ProjectContext, cls: ClassInfo, fn: FunctionInfo
+    ) -> Iterator[Diagnostic]:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not (
+                isinstance(node.value, ast.Name) and node.value.id == "self"
+            ):
+                continue
+            attr = node.attr
+            if attr not in cls.guarded:
+                continue
+            key = cls.guard_key(attr)
+            held = project.held_at(fn, node)
+            matching = [h for h in held if h.key == key]
+            if not matching:
+                yield project.diagnostic(
+                    fn.module,
+                    node,
+                    self.id,
+                    f"'self.{attr}' is guarded by '{cls.guarded[attr]}' "
+                    f"(lock {key}) but accessed without it in "
+                    f"{fn.qualname.rsplit('.', 2)[-2]}.{fn.name}",
+                )
+            elif _is_write(node) and all(h.mode == "shared" for h in matching):
+                yield project.diagnostic(
+                    fn.module,
+                    node,
+                    self.id,
+                    f"'self.{attr}' is written under a shared (read) hold of "
+                    f"{key}; writes need the exclusive lock",
+                )
+
+    def _check_requires_callsites(
+        self, project: ProjectContext
+    ) -> Iterator[Diagnostic]:
+        for fn in project.functions.values():
+            if fn.name == "__init__":
+                continue
+            for call, target, _dotted in fn.calls:
+                if target is None:
+                    continue
+                callee = project.functions.get(target)
+                if callee is None or not callee.requires:
+                    continue
+                held = _held_keys(project.held_at(fn, call))
+                missing = [key for key in callee.requires if key not in held]
+                if missing:
+                    yield project.diagnostic(
+                        fn.module,
+                        call,
+                        self.id,
+                        f"call to {callee.qualname} requires lock(s) "
+                        f"{', '.join(missing)} to be held, but "
+                        f"{fn.qualname} does not hold them here",
+                    )
+
+
+@register_project
+class LockOrderChecker(ProjectChecker):
+    """REP702 — cycles in the static lock-acquisition-order graph."""
+
+    id = "REP702"
+    name = "lock-order"
+    description = (
+        "acquiring lock B while holding lock A adds edge A->B; the resulting "
+        "graph must be acyclic or two threads can deadlock"
+    )
+    severity = Severity.ERROR
+
+    def check(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        edges: dict[str, set[str]] = {}
+        anchors: dict[tuple[str, str], tuple[FunctionInfo, ast.AST]] = {}
+
+        def add_edge(a: str, b: str, fn: FunctionInfo, node: ast.AST) -> None:
+            if a == b:
+                # Distinct instances share class-keyed names; a same-name
+                # edge would flag every pairwise-ordered sibling lock.
+                return
+            edges.setdefault(a, set()).add(b)
+            edges.setdefault(b, set())
+            key = (a, b)
+            best = anchors.get(key)
+            if best is None or self._location(fn, node) < self._location(
+                *best
+            ):
+                anchors[key] = (fn, node)
+
+        for fn in project.functions.values():
+            for region in fn.regions:
+                item = region.node.items[region.item_index]
+                for held in project.held_at(fn, item):
+                    add_edge(held.key, region.key, fn, region.node)
+            for call, target, _dotted in fn.calls:
+                if target is None:
+                    continue
+                held = project.held_at(fn, call)
+                if not held:
+                    continue
+                acquired = project.locks_acquired(target)
+                for h in held:
+                    for key in acquired:
+                        add_edge(h.key, key, fn, call)
+
+        for component in _tarjan_sccs(edges):
+            if len(component) < 2:
+                continue
+            cycle = sorted(component)
+            member_edges = [
+                (pair, anchors[pair])
+                for pair in anchors
+                if pair[0] in component and pair[1] in component
+            ]
+            fn, node = min(
+                (anchor for _pair, anchor in member_edges),
+                key=lambda a: self._location(*a),
+            )
+            yield project.diagnostic(
+                fn.module,
+                node,
+                self.id,
+                "lock-order inversion: locks "
+                f"{{{', '.join(cycle)}}} are acquired in conflicting orders "
+                "across the call graph (potential deadlock)",
+            )
+
+    @staticmethod
+    def _location(fn: FunctionInfo, node: ast.AST) -> tuple[str, int, int]:
+        return (
+            fn.module.path,
+            getattr(node, "lineno", 1),
+            getattr(node, "col_offset", 0),
+        )
+
+
+def _tarjan_sccs(edges: dict[str, set[str]]) -> list[frozenset[str]]:
+    """Strongly connected components (iterative Tarjan)."""
+    index: dict[str, int] = {}
+    lowlink: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    counter = [0]
+    sccs: list[frozenset[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work: list[tuple[str, Iterator[str]]] = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                sccs.append(frozenset(component))
+
+    for node in sorted(edges):
+        if node not in index:
+            strongconnect(node)
+    return sccs
+
+
+@register_project
+class BlockingUnderLockChecker(ProjectChecker):
+    """REP703 — blocking calls inside exclusive critical sections."""
+
+    id = "REP703"
+    name = "blocking-under-lock"
+    description = (
+        "no file/socket I/O, sleeps, joins or computations that block the "
+        "thread while an exclusive lock is held"
+    )
+    severity = Severity.ERROR
+
+    def check(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for fn in project.functions.values():
+            offenders: dict[int, tuple[LockRegion, list[str]]] = {}
+            blocking: list[tuple[ast.Call, str]] = [
+                (call, label)
+                for call, label in fn.blocking_calls
+                if label not in _BLOCKING_EXEMPT
+            ]
+            for call, target, _dotted in fn.calls:
+                if target is not None and project.is_blocking(target):
+                    blocking.append((call, f"{target} (blocks transitively)"))
+            for call, label in blocking:
+                for held in project.held_at(fn, call):
+                    region = held.region
+                    if region is None or not region.exclusive:
+                        continue
+                    if self._condition_wait_exempt(region, label):
+                        continue
+                    entry = offenders.setdefault(
+                        id(region.node) ^ hash(region.key), (region, [])
+                    )
+                    if label not in entry[1]:
+                        entry[1].append(label)
+            for region, labels in offenders.values():
+                yield project.diagnostic(
+                    fn.module,
+                    region.node,
+                    self.id,
+                    f"critical section holding {region.key} performs "
+                    f"blocking call(s): {', '.join(sorted(labels))}; move "
+                    "the blocking work outside the lock",
+                )
+
+    @staticmethod
+    def _condition_wait_exempt(region: LockRegion, label: str) -> bool:
+        """Waiting on the condition you hold releases it — not a block."""
+        if region.kind != "condition" or not label.endswith(".wait"):
+            return False
+        return label in (
+            f"self.{region.attr}.wait",
+            f"{region.attr}.wait",
+        )
+
+
+@register_project
+class ResourceReleaseChecker(ProjectChecker):
+    """REP704 — acquired resources must be released on every path."""
+
+    id = "REP704"
+    name = "resource-release"
+    description = (
+        "memmap/file handles, manually acquired lock or semaphore slots and "
+        "executors need try/finally or a context manager to be released on "
+        "error paths"
+    )
+    severity = Severity.WARNING
+
+    #: Resolved callee names (exact or trailing) that hand out a handle
+    #: requiring an explicit close/flush-and-del.
+    _HANDLE_SUFFIXES = ("open_memmap",)
+    _EXECUTOR_SUFFIXES = ("ThreadPoolExecutor", "ProcessPoolExecutor")
+
+    def check(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        for fn in project.functions.values():
+            if fn.module.path_endswith("runtime/locksan.py"):
+                # The sanitizer *implements* lock acquire/release.
+                continue
+            finalbodies = [
+                stmt
+                for stmt in ast.walk(fn.node)
+                if isinstance(stmt, ast.Try) and stmt.finalbody
+            ]
+            yield from self._check_handles(project, fn, finalbodies)
+            yield from self._check_acquires(project, fn, finalbodies)
+
+    def _finalbody_references(
+        self, finalbodies: list[ast.Try], name: str
+    ) -> bool:
+        for try_node in finalbodies:
+            for stmt in try_node.finalbody:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Name) and node.id == name:
+                        return True
+        return False
+
+    def _finalbody_calls(
+        self, fn: FunctionInfo, finalbodies: list[ast.Try], dotted: str
+    ) -> bool:
+        for try_node in finalbodies:
+            for stmt in try_node.finalbody:
+                for node in ast.walk(stmt):
+                    if (
+                        isinstance(node, ast.Call)
+                        and fn.module.dotted_name(node.func) == dotted
+                    ):
+                        return True
+        return False
+
+    def _is_returned(self, fn: FunctionInfo, name: str) -> bool:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Return) and node.value is not None:
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+        return False
+
+    def _check_handles(
+        self,
+        project: ProjectContext,
+        fn: FunctionInfo,
+        finalbodies: list[ast.Try],
+    ) -> Iterator[Diagnostic]:
+        for stmt in ast.walk(fn.node):
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+            ):
+                continue
+            name = stmt.targets[0].id
+            resolved = fn.module.resolve(stmt.value.func) or ""
+            tail = resolved.split(".")[-1]
+            if tail in self._HANDLE_SUFFIXES:
+                if self._finalbody_references(
+                    finalbodies, name
+                ) or self._is_returned(fn, name):
+                    continue
+                yield project.diagnostic(
+                    fn.module,
+                    stmt,
+                    self.id,
+                    f"memmap handle '{name}' from {tail}() has no "
+                    "try/finally release; an exception leaks the mapping "
+                    "and can leave a partially written file",
+                    severity=self.severity,
+                )
+            elif tail in self._EXECUTOR_SUFFIXES:
+                if (
+                    self._finalbody_references(finalbodies, name)
+                    or self._is_returned(fn, name)
+                ):
+                    continue
+                yield project.diagnostic(
+                    fn.module,
+                    stmt,
+                    self.id,
+                    f"executor '{name}' is never shut down on error paths; "
+                    "use 'with' or try/finally shutdown()",
+                    severity=self.severity,
+                )
+
+    def _check_acquires(
+        self,
+        project: ProjectContext,
+        fn: FunctionInfo,
+        finalbodies: list[ast.Try],
+    ) -> Iterator[Diagnostic]:
+        for call, _target, dotted in fn.calls:
+            if dotted is None or not dotted.endswith(".acquire"):
+                continue
+            base = dotted[: -len(".acquire")]
+            if self._finalbody_calls(fn, finalbodies, f"{base}.release"):
+                continue
+            yield project.diagnostic(
+                fn.module,
+                call,
+                self.id,
+                f"'{dotted}()' has no matching '{base}.release()' in a "
+                "finally block of this function; an exception between "
+                "acquire and release leaks the slot",
+                severity=self.severity,
+            )
+
+
+@register_project
+class FaultSiteRegistryChecker(ProjectChecker):
+    """REP705 — injection-point names must exist in KNOWN_SITES."""
+
+    id = "REP705"
+    name = "fault-site-registry"
+    description = (
+        "every maybe_fire/take_fault/faulty_write_bytes site string must be "
+        "registered in runtime/faults.KNOWN_SITES so chaos plans can target "
+        "it"
+    )
+    severity = Severity.ERROR
+
+    def check(self, project: ProjectContext) -> Iterator[Diagnostic]:
+        known = project.known_sites
+        if known is None:
+            # No fault registry in this project — nothing to validate.
+            return
+        for fn in project.functions.values():
+            if fn.module.path_endswith("runtime/faults.py"):
+                continue
+            for call, _target, _dotted in fn.calls:
+                resolved = fn.module.resolve(call.func)
+                if resolved is None:
+                    continue
+                tail = resolved.split(".")[-1]
+                if tail not in _FAULT_SITE_ARG:
+                    continue
+                if "." in resolved and not resolved.startswith("repro."):
+                    continue
+                if tail in ("fire", "take") and not resolved.startswith(
+                    "repro."
+                ):
+                    # Unqualified .fire/.take are too generic to claim.
+                    continue
+                site = self._site_argument(project, fn, call, tail)
+                if site is None:
+                    continue
+                if site not in known:
+                    yield project.diagnostic(
+                        fn.module,
+                        call,
+                        self.id,
+                        f"fault site {site!r} is not registered in "
+                        "runtime/faults.KNOWN_SITES; the injection point "
+                        "can never fire from a chaos plan",
+                    )
+
+    def _site_argument(
+        self,
+        project: ProjectContext,
+        fn: FunctionInfo,
+        call: ast.Call,
+        tail: str,
+    ) -> str | None:
+        pos = _FAULT_SITE_ARG[tail]
+        arg: ast.expr | None = None
+        for keyword in call.keywords:
+            if keyword.arg == "site":
+                arg = keyword.value
+                break
+        if arg is None and pos is not None and len(call.args) > pos:
+            arg = call.args[pos]
+        if arg is None:
+            return None
+        return project.resolve_site_argument(fn.module, arg)

@@ -2,8 +2,13 @@
 
 Exit codes: 0 — clean; 1 — diagnostics found; 2 — usage error.  The text
 format is one ``path:line:col: ID severity: message`` per finding (stable
-order), followed by a one-line tally; ``--format json`` emits a machine
-readable list for tooling.
+order), followed by a one-line tally; ``--format json`` (or the ``--json``
+shorthand) emits a machine readable list for tooling — the CI gates
+consume it so violations surface as structured records.
+
+``--project`` switches from the per-module pass (REP1xx–REP6xx) to the
+whole-program concurrency pass (REP7xx); ``--explain`` prints the full
+generated checker catalogue (the source of ``docs/reprolint.md``).
 """
 
 from __future__ import annotations
@@ -14,8 +19,8 @@ import sys
 from typing import Sequence
 
 from repro.analysis.diagnostics import Severity
-from repro.analysis.registry import default_registry
-from repro.analysis.runner import analyze_paths
+from repro.analysis.registry import default_registry, project_registry
+from repro.analysis.runner import analyze_paths, analyze_project
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -31,6 +36,14 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         default=["src/repro"],
         help="files or directories to analyze (default: src/repro)",
+    )
+    parser.add_argument(
+        "--project",
+        action="store_true",
+        help=(
+            "run the whole-program concurrency pass (REP7xx) instead of "
+            "the per-module checkers"
+        ),
     )
     parser.add_argument(
         "--select",
@@ -49,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--json",
+        action="store_const",
+        dest="format",
+        const="json",
+        help="shorthand for --format json",
+    )
+    parser.add_argument(
         "--no-suppress",
         action="store_true",
         help="ignore inline '# reprolint: disable' comments",
@@ -57,6 +77,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--list-checkers",
         action="store_true",
         help="print the checker catalogue and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "print the full generated markdown catalogue "
+            "(the source of docs/reprolint.md) and exit"
+        ),
     )
     return parser
 
@@ -71,12 +99,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     options = parser.parse_args(argv)
 
-    registry = default_registry()
+    if options.explain:
+        from repro.analysis.explain import render_catalogue
+
+        print(render_catalogue(), end="")
+        return 0
+
     if options.list_checkers:
-        for checker in sorted(registry, key=lambda c: c.id):
+        catalogue = [
+            checker
+            for registry in (default_registry(), project_registry())
+            for checker in registry
+        ]
+        for checker in sorted(catalogue, key=lambda c: c.id):
             print(f"{checker.id}  {checker.name:24s} {checker.description}")
         return 0
 
+    registry = project_registry() if options.project else default_registry()
     try:
         registry = registry.select(
             _split_ids(options.select), _split_ids(options.ignore)
@@ -84,8 +123,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     except KeyError as exc:
         parser.error(str(exc.args[0]))
 
+    analyze = analyze_project if options.project else analyze_paths
     try:
-        diagnostics = analyze_paths(
+        diagnostics = analyze(
             options.paths,
             registry=registry,
             respect_suppressions=not options.no_suppress,

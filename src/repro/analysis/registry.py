@@ -16,14 +16,25 @@ tests do) to run a single checker in isolation.
 from __future__ import annotations
 
 import re
-from typing import Iterable, Iterator, Type
+from typing import TYPE_CHECKING, Iterable, Iterator, Type
 
 from repro.analysis.checkers.base import Checker
+
+if TYPE_CHECKING:
+    from repro.analysis.project import ProjectChecker
 
 _ID_PATTERN = re.compile(r"^[A-Z]{2,8}\d{3}$")
 
 #: Classes registered via the decorator, in registration order.
 _REGISTERED: list[Type[Checker]] = []
+
+#: Project-wide (REP7xx) checker classes, registered separately because
+#: they consume a :class:`~repro.analysis.project.ProjectContext` instead
+#: of one module at a time.
+_PROJECT_REGISTERED: list[type] = []
+
+#: Infrastructure ids the runner emits itself (not checker classes).
+RUNNER_IDS = frozenset({"REP001", "REP002"})
 
 
 def register(cls: Type[Checker]) -> Type[Checker]:
@@ -35,34 +46,51 @@ def register(cls: Type[Checker]) -> Type[Checker]:
     return cls
 
 
-def validate_checker_class(cls: Type[Checker]) -> None:
+def register_project(cls: "Type[ProjectChecker]") -> "Type[ProjectChecker]":
+    """Class decorator adding ``cls`` to the project-wide catalogue."""
+    validate_checker_class(cls)
+    if any(existing.id == cls.id for existing in _PROJECT_REGISTERED):
+        raise ValueError(f"duplicate checker id {cls.id!r}")
+    _PROJECT_REGISTERED.append(cls)
+    return cls
+
+
+def validate_checker_class(cls: type) -> None:
     """Reject malformed checker classes with a precise error."""
     for attr in ("id", "name", "description"):
         value = getattr(cls, attr, None)
         if not isinstance(value, str) or not value:
             raise TypeError(f"checker {cls.__name__} must define a non-empty {attr!r}")
-    if not _ID_PATTERN.match(cls.id):
+    checker_id: str = cls.id
+    if not _ID_PATTERN.match(checker_id):
         raise ValueError(
-            f"checker id {cls.id!r} must look like 'REP101' "
+            f"checker id {checker_id!r} must look like 'REP101' "
             "(2-8 capitals + 3 digits)"
         )
 
 
 class CheckerRegistry:
-    """Ordered, id-addressable collection of checker instances."""
+    """Ordered, id-addressable collection of checker instances.
 
-    def __init__(self, checkers: Iterable[Checker] = ()) -> None:
-        self._by_id: dict[str, Checker] = {}
+    Holds per-module :class:`~repro.analysis.checkers.base.Checker`
+    instances or project-wide
+    :class:`~repro.analysis.project.ProjectChecker` instances — both share
+    the id/name/description/severity contract; the runner dispatches on
+    which ``check`` signature the instance implements.
+    """
+
+    def __init__(self, checkers: "Iterable[Checker | ProjectChecker]" = ()) -> None:
+        self._by_id: "dict[str, Checker | ProjectChecker]" = {}
         for checker in checkers:
             self.add(checker)
 
-    def add(self, checker: Checker) -> None:
+    def add(self, checker: "Checker | ProjectChecker") -> None:
         validate_checker_class(type(checker))
         if checker.id in self._by_id:
             raise ValueError(f"duplicate checker id {checker.id!r}")
         self._by_id[checker.id] = checker
 
-    def __iter__(self) -> Iterator[Checker]:
+    def __iter__(self) -> "Iterator[Checker | ProjectChecker]":
         return iter(self._by_id.values())
 
     def __len__(self) -> int:
@@ -71,7 +99,7 @@ class CheckerRegistry:
     def __contains__(self, checker_id: str) -> bool:
         return checker_id in self._by_id
 
-    def get(self, checker_id: str) -> Checker:
+    def get(self, checker_id: str) -> "Checker | ProjectChecker":
         try:
             return self._by_id[checker_id]
         except KeyError:
@@ -103,8 +131,34 @@ class CheckerRegistry:
 
 
 def default_registry() -> CheckerRegistry:
-    """Registry holding one instance of every built-in checker."""
+    """Registry holding one instance of every built-in per-module checker."""
     # Importing the package triggers the @register decorators.
     import repro.analysis.checkers  # noqa: F401
 
     return CheckerRegistry(cls() for cls in _REGISTERED)
+
+
+def project_registry() -> CheckerRegistry:
+    """Registry holding one instance of every project-wide (REP7xx) checker."""
+    # Importing the module triggers the @register_project decorators.
+    import repro.analysis.checkers.concurrency  # noqa: F401
+
+    return CheckerRegistry(cls() for cls in _PROJECT_REGISTERED)
+
+
+def known_checker_ids() -> frozenset[str]:
+    """Every id a suppression directive may legitimately name.
+
+    The union of per-module checkers, project checkers, the runner's own
+    infrastructure ids (REP001 syntax error, REP002 unknown suppression)
+    and the ``all`` sentinel.  Suppressions naming anything else trigger a
+    REP002 warning — a typo in a disable comment must not silently widen
+    what it silences.
+    """
+    from repro.analysis.suppress import ALL
+
+    ids: set[str] = {ALL}
+    ids.update(checker.id for checker in default_registry())
+    ids.update(checker.id for checker in project_registry())
+    ids.update(RUNNER_IDS)
+    return frozenset(ids)

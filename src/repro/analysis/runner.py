@@ -4,6 +4,17 @@
 the fixture tests exercise); :func:`analyze_file` adds disk IO and
 syntax-error reporting; :func:`analyze_paths` walks directories.  All three
 apply the inline-suppression table before returning, unless asked not to.
+
+:func:`analyze_project` is the whole-program entry point: it parses every
+discovered module into one :class:`~repro.analysis.project.ProjectContext`
+and runs the project-wide (REP7xx) checkers over the cross-linked result.
+
+Two diagnostics are owned by the runner itself rather than a checker:
+
+* ``REP001`` — the file does not parse;
+* ``REP002`` — a suppression directive names an unknown checker id.  A
+  typo'd ``# reprolint: disable=REP70l`` must warn, not silently leave the
+  real violation suppress-less *and* the author convinced it is handled.
 """
 
 from __future__ import annotations
@@ -12,15 +23,58 @@ import ast
 from pathlib import Path
 from typing import Sequence
 
+from repro.analysis.checkers.base import Checker
 from repro.analysis.context import ModuleContext
 from repro.analysis.diagnostics import Diagnostic, Severity
-from repro.analysis.registry import CheckerRegistry, default_registry
-from repro.analysis.suppress import scan_suppressions
+from repro.analysis.registry import (
+    CheckerRegistry,
+    default_registry,
+    known_checker_ids,
+    project_registry,
+)
+from repro.analysis.suppress import SuppressionTable, scan_suppressions
 
 #: Directory names never descended into.
 SKIP_DIRS = frozenset(
     {"__pycache__", ".git", ".hypothesis", "build", "dist", ".venv", "venv"}
 )
+
+_EMPTY_TABLE = SuppressionTable()
+
+
+def _syntax_error_diagnostic(path: str, exc: SyntaxError) -> Diagnostic:
+    return Diagnostic(
+        path=path,
+        line=exc.lineno or 1,
+        col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+        checker_id="REP001",
+        message=f"syntax error: {exc.msg}",
+        severity=Severity.ERROR,
+    )
+
+
+def _unknown_suppression_warnings(
+    path: str, table: SuppressionTable
+) -> list[Diagnostic]:
+    """REP002 warnings for directives naming ids no checker owns."""
+    known = known_checker_ids()
+    warnings: list[Diagnostic] = []
+    for line, ids in table.directives:
+        for checker_id in sorted(ids - known):
+            warnings.append(
+                Diagnostic(
+                    path=path,
+                    line=line,
+                    col=1,
+                    checker_id="REP002",
+                    message=(
+                        f"suppression directive names unknown checker id "
+                        f"{checker_id!r}; it silences nothing"
+                    ),
+                    severity=Severity.WARNING,
+                )
+            )
+    return warnings
 
 
 def analyze_source(
@@ -34,23 +88,18 @@ def analyze_source(
     try:
         ctx = ModuleContext.from_source(path, source)
     except SyntaxError as exc:
-        return [
-            Diagnostic(
-                path=path,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
-                checker_id="REP001",
-                message=f"syntax error: {exc.msg}",
-                severity=Severity.ERROR,
-            )
-        ]
+        return [_syntax_error_diagnostic(path, exc)]
     diagnostics: list[Diagnostic] = []
     for checker in registry:
+        if not isinstance(checker, Checker):
+            continue  # project-wide checkers need a ProjectContext
         if not checker.applies_to(ctx):
             continue
         diagnostics.extend(checker.check(ctx))
+    table = scan_suppressions(source)
+    diagnostics.extend(_unknown_suppression_warnings(path, table))
     if respect_suppressions:
-        diagnostics = scan_suppressions(source).filter(diagnostics)
+        diagnostics = table.filter(diagnostics)
     return sorted(diagnostics)
 
 
@@ -100,6 +149,47 @@ def analyze_paths(
                 path, registry=registry, respect_suppressions=respect_suppressions
             )
         )
+    return sorted(diagnostics)
+
+
+def analyze_project(
+    paths: Sequence[str | Path],
+    registry: CheckerRegistry | None = None,
+    respect_suppressions: bool = True,
+) -> list[Diagnostic]:
+    """Run the project-wide (REP7xx) pass over every module at once.
+
+    Files that fail to parse are reported via ``REP001`` and excluded from
+    the project model; everything else is cross-linked into one
+    :class:`~repro.analysis.project.ProjectContext` before the checkers
+    run, so lock regions, guarded attributes and the call graph span module
+    boundaries.
+    """
+    from repro.analysis.project import ProjectChecker, ProjectContext
+
+    registry = registry if registry is not None else project_registry()
+    diagnostics: list[Diagnostic] = []
+    modules: list[ModuleContext] = []
+    tables: dict[str, SuppressionTable] = {}
+    for path in discover_files(paths):
+        source = Path(path).read_text(encoding="utf-8")
+        tables[str(path)] = scan_suppressions(source)
+        try:
+            modules.append(ModuleContext.from_source(str(path), source))
+        except SyntaxError as exc:
+            diagnostics.append(_syntax_error_diagnostic(str(path), exc))
+    project = ProjectContext(modules)
+    for checker in registry:
+        if isinstance(checker, ProjectChecker):
+            diagnostics.extend(checker.check(project))
+    for path_str, table in tables.items():
+        diagnostics.extend(_unknown_suppression_warnings(path_str, table))
+    if respect_suppressions:
+        diagnostics = [
+            d
+            for d in diagnostics
+            if not tables.get(d.path, _EMPTY_TABLE).is_suppressed(d)
+        ]
     return sorted(diagnostics)
 
 

@@ -38,6 +38,9 @@ class SuppressionTable:
 
     by_line: dict[int, frozenset[str]] = field(default_factory=dict)
     file_wide: frozenset[str] = frozenset()
+    #: Every directive as written — ``(line, ids)`` including file-wide
+    #: ones — so the runner can warn about unknown ids (REP002).
+    directives: list[tuple[int, frozenset[str]]] = field(default_factory=list)
 
     def is_suppressed(self, diagnostic: Diagnostic) -> bool:
         """True iff ``diagnostic`` is silenced by a directive."""
@@ -76,6 +79,7 @@ def scan_suppressions(source: str) -> SuppressionTable:
             if match is None:
                 continue
             ids = _parse_ids(match.group("ids"))
+            table.directives.append((tok.start[0], ids))
             if match.group("kind") == "disable-file":
                 file_wide.update(ids)
             else:

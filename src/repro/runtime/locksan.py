@@ -1,0 +1,290 @@
+"""Runtime lock sanitizer: validate lock discipline on real interleavings.
+
+The static REP7xx pass (``python -m repro.analysis --project``) proves
+properties of the *model* it can build — annotated attributes, lexically
+visible ``with`` regions, resolvable calls.  Callbacks, ducks and dynamic
+dispatch escape it.  This module closes the gap at runtime: when
+``REPRO_LOCKSAN=1`` is set, every lock the serving stack creates through
+:func:`make_lock` / :func:`make_condition` is wrapped so the sanitizer
+observes each acquire/release and maintains:
+
+* a **per-thread held stack** — which named locks this thread holds, in
+  acquisition order;
+* a global **lock-order graph** — an edge ``A -> B`` is recorded the first
+  time any thread acquires ``B`` while holding ``A``.  A cycle in this
+  graph means two threads can deadlock under an adversarial schedule even
+  if this run happened not to; it is reported immediately, with both
+  conflicting orders.
+* **guarded-by violations** — production code asserts lock ownership at
+  chosen points via :func:`assert_held`; with the sanitizer off the
+  assertion is free, with it on a miss is recorded.
+
+Reports accumulate in-process; CI runs the 16-thread hammer and the chaos
+gates with ``REPRO_LOCKSAN=1`` and fails if :func:`report` is non-empty
+(see the autouse fixture in ``tests/serve/conftest.py``).
+
+Locks are *named by role*, e.g. ``"LRUCache._lock"`` — one name per
+class-level attribute, shared by every instance.  Edges between two locks
+of the same name are therefore skipped (sibling instances of one class
+need no global order), which matches the static checker's convention.
+
+Zero overhead when disabled: :func:`make_lock` returns a plain
+``threading.Lock`` unless the sanitizer is active *at construction time*,
+so the steady-state serving path pays nothing — not even an ``if``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Union
+
+#: Environment toggle; any non-empty value activates the sanitizer.
+ENV_VAR = "REPRO_LOCKSAN"
+
+
+def enabled() -> bool:
+    """True when the sanitizer is active (env var or an open scope)."""
+    return bool(_FORCED) or bool(os.environ.get(ENV_VAR))
+
+
+class _State:
+    """Process-wide sanitizer state.
+
+    Internal bookkeeping uses a plain (untracked) lock; the sanitizer must
+    never observe its own synchronisation.
+    """
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._local = threading.local()
+        # name -> set of successor names (first-observed acquisition order).
+        self._edges: dict[str, set[str]] = {}
+        self._violations: list[str] = []
+        # Names ever constructed as sanitized locks.  Deliberately *not*
+        # cleared by reset(): assert_held must stay a no-op for locks that
+        # were built before a test scope opened (plain primitives).
+        self._tracked: set[str] = set()
+
+    # -- per-thread stack ----------------------------------------------------
+
+    def _stack(self) -> list[tuple[str, int]]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def held_names(self) -> tuple[str, ...]:
+        """Names of locks the calling thread currently holds."""
+        return tuple(name for name, _ in self._stack())
+
+    # -- event recording -----------------------------------------------------
+
+    def track(self, name: str) -> None:
+        with self._mutex:
+            self._tracked.add(name)
+
+    def is_tracked(self, name: str) -> bool:
+        with self._mutex:
+            return name in self._tracked
+
+    def did_acquire(self, name: str, lock_id: int) -> None:
+        stack = self._stack()
+        held = [h for h, _ in stack if h != name]
+        with self._mutex:
+            for prior in held:
+                self._edges.setdefault(prior, set()).add(name)
+                cycle = self._find_path(name, prior)
+                if cycle is not None:
+                    self._violations.append(
+                        "lock-order-cycle: acquired "
+                        f"{name!r} while holding {prior!r}, but the order "
+                        f"{' -> '.join(cycle)} was already observed "
+                        "(potential deadlock)"
+                    )
+        stack.append((name, lock_id))
+
+    def did_release(self, name: str, lock_id: int) -> None:
+        stack = self._stack()
+        for i in range(len(stack) - 1, -1, -1):
+            if stack[i] == (name, lock_id):
+                del stack[i]
+                return
+        with self._mutex:
+            self._violations.append(
+                f"unbalanced-release: {name!r} released by a thread that "
+                "does not hold it"
+            )
+
+    def _find_path(self, start: str, goal: str) -> list[str] | None:
+        """DFS path start -> ... -> goal in the edge graph (else None).
+
+        Called with ``self._mutex`` held.
+        """
+        seen = {start}
+        path = [start]
+
+        def walk(node: str) -> bool:
+            if node == goal:
+                return True
+            for succ in sorted(self._edges.get(node, ())):
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                path.append(succ)
+                if walk(succ):
+                    return True
+                path.pop()
+            return False
+
+        return path + [goal] if start != goal and walk(start) else None
+
+    def record_violation(self, message: str) -> None:
+        with self._mutex:
+            self._violations.append(message)
+
+    # -- reporting -----------------------------------------------------------
+
+    def report(self) -> list[str]:
+        with self._mutex:
+            return list(self._violations)
+
+    def reset(self) -> None:
+        """Clear observations (edges + violations), keep tracked names."""
+        with self._mutex:
+            self._edges.clear()
+            self._violations.clear()
+
+
+_STATE = _State()
+
+#: Non-zero while a :func:`sanitizer_scope` is open (tests force the
+#: sanitizer on without touching the process environment).
+_FORCED = 0
+
+
+class _SanLock:
+    """A ``threading.Lock`` that reports acquire/release to the sanitizer.
+
+    Tracks the owning thread id so it can implement the private
+    ``_is_owned`` protocol ``threading.Condition`` relies on — the
+    Condition's ``wait`` releases and re-acquires the underlying lock
+    through ``release()``/``acquire()``, so the sanitizer's records stay
+    balanced across waits with no special-casing.
+    """
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+        self._inner = threading.Lock()
+        self._owner: int | None = None
+        _STATE.track(name)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        acquired = self._inner.acquire(blocking, timeout)
+        if acquired:
+            self._owner = threading.get_ident()
+            _STATE.did_acquire(self._name, id(self))
+        return acquired
+
+    def release(self) -> None:
+        _STATE.did_release(self._name, id(self))
+        self._owner = None
+        self._inner.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _is_owned(self) -> bool:
+        # Condition-protocol hook (also handy in tests/assertions).
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "locked" if self.locked() else "unlocked"
+        return f"<_SanLock {self._name!r} {state}>"
+
+
+LockLike = Union[threading.Lock, _SanLock]
+
+
+def make_lock(name: str) -> LockLike:
+    """A mutex for role ``name`` — sanitized iff the sanitizer is active.
+
+    The decision happens at construction: the serving stack creates its
+    locks in ``__init__``, so enabling ``REPRO_LOCKSAN`` after a service
+    is built does not (and must not) retrofit tracking onto live locks.
+    """
+    if enabled():
+        return _SanLock(name)
+    return threading.Lock()
+
+
+def make_condition(name: str) -> threading.Condition:
+    """A condition variable whose underlying mutex is role-named."""
+    if enabled():
+        return threading.Condition(lock=_SanLock(name))  # type: ignore[arg-type]
+    return threading.Condition()
+
+
+def assert_held(name: str) -> None:
+    """Record a guarded-by violation if this thread does not hold ``name``.
+
+    Free when the sanitizer is inactive, and inert for locks constructed
+    before the sanitizer was enabled (they are plain primitives the
+    sanitizer never saw).  Production code sprinkles this at points the
+    static pass covers with ``# requires-lock`` annotations, so the two
+    layers check the same contract.
+    """
+    if not enabled():
+        return
+    if not _STATE.is_tracked(name):
+        return
+    if name not in _STATE.held_names():
+        _STATE.record_violation(
+            f"guarded-by: {name!r} not held at an assert_held checkpoint "
+            f"(thread holds: {list(_STATE.held_names()) or 'nothing'})"
+        )
+
+
+def held_names() -> tuple[str, ...]:
+    """Names of sanitized locks the calling thread holds right now."""
+    return _STATE.held_names()
+
+
+def report() -> list[str]:
+    """All violations recorded since the last :func:`reset`."""
+    return _STATE.report()
+
+
+def reset() -> None:
+    """Drop recorded edges and violations (tracked names persist)."""
+    _STATE.reset()
+
+
+@contextmanager
+def sanitizer_scope() -> Iterator[None]:
+    """Force the sanitizer on for the block, starting from a clean slate.
+
+    Tests use this instead of the environment variable so that locks
+    constructed inside the block are tracked regardless of how pytest was
+    invoked.  State is reset on entry and exit; scopes may nest.
+    """
+    global _FORCED
+    _FORCED += 1
+    _STATE.reset()
+    try:
+        yield
+    finally:
+        _FORCED -= 1
+        _STATE.reset()

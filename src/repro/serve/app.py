@@ -56,6 +56,7 @@ from repro.core.store import SphereStore
 from repro.core.typical_cascade import TypicalCascadeComputer
 from repro.runtime.errors import InjectedFault
 from repro.runtime.faults import maybe_fire
+from repro.runtime.locksan import make_lock
 from repro.serve import query as q
 from repro.serve.cache import MISSING, LRUCache
 from repro.serve.coalesce import SingleFlight
@@ -129,9 +130,9 @@ class SphereService:
             raise ValueError(f"max_inflight must be >= 0, got {max_inflight}")
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
-        self._index = index
-        self._spheres = spheres
-        self._computer = TypicalCascadeComputer(
+        self._index = index  # guarded-by: _lock
+        self._spheres = spheres  # guarded-by: _lock
+        self._computer = TypicalCascadeComputer(  # guarded-by: _lock
             index, size_grid_ratio=size_grid_ratio
         )
         self._retry_after = float(retry_after)
@@ -227,19 +228,21 @@ class SphereService:
             on_state_change=lambda s: self.breaker_state.set(_BREAKER_GAUGE[s]),
         )
         self._lock = ReadersWriterLock()
-        self._reload_lock = threading.Lock()
-        self._generation = 1
+        self._reload_lock = make_lock("SphereService._reload_lock")
+        self._generation = 1  # guarded-by: _lock
         self.store_generation.set(1)
 
     # -- introspection -------------------------------------------------------
 
     @property
     def index(self) -> CascadeIndex:
-        return self._index
+        # Unlocked snapshot read: the reference swap in reload() is atomic
+        # and callers of the property want "some recent generation".
+        return self._index  # reprolint: disable=REP701
 
     @property
     def spheres(self) -> SphereStore | None:
-        return self._spheres
+        return self._spheres  # reprolint: disable=REP701 - snapshot read
 
     @property
     def source(self) -> str:
@@ -263,7 +266,7 @@ class SphereService:
 
     @property
     def generation(self) -> int:
-        return self._generation
+        return self._generation  # reprolint: disable=REP701 - snapshot read
 
     def new_deadline(self) -> Deadline:
         """A fresh per-request deadline from the configured budget."""
@@ -271,11 +274,11 @@ class SphereService:
 
     # -- resilience plumbing -------------------------------------------------
 
-    def _quarantined(self) -> tuple[str, ...]:
+    def _quarantined(self) -> tuple[str, ...]:  # requires-lock: _lock
         guard = self._index.store_integrity
         return guard.quarantined() if guard is not None else ()
 
-    def _map_corrupt(self, exc: CorruptColumnError) -> StoreCorrupt:
+    def _map_corrupt(self, exc: CorruptColumnError) -> StoreCorrupt:  # requires-lock: _lock
         self.store_corrupt_total.inc()
         self.quarantined_columns.set(len(self._quarantined()))
         return StoreCorrupt(
@@ -284,7 +287,7 @@ class SphereService:
         )
 
     @contextmanager
-    def _request_guard(self) -> Iterator[None]:
+    def _request_guard(self) -> Iterator[None]:  # requires-lock: _lock
         """Translate resilience-layer exceptions at the public surface."""
         try:
             yield
@@ -296,7 +299,7 @@ class SphereService:
 
     # -- core lookups --------------------------------------------------------
 
-    def _check_node(self, node: int) -> int:
+    def _check_node(self, node: int) -> int:  # requires-lock: _lock
         try:
             return q.require_node(node, self._index.num_nodes)
         except KeyError as exc:
@@ -316,6 +319,7 @@ class SphereService:
         with self._lock.read(), self._request_guard():
             return self._sphere_locked(node, deadline)
 
+    # requires-lock: _lock
     def _sphere_locked(
         self, node: int, deadline: Deadline
     ) -> SphereOfInfluence:
@@ -340,52 +344,76 @@ class SphereService:
             if self._generation == generation:
                 cache.put(node, sphere)
 
+        def bank_late(sphere: SphereOfInfluence) -> None:
+            # Runs on an orphaned watchdog thread that holds no locks:
+            # re-enter through the read lock so the generation check and
+            # the cache fill are ordered against an in-progress reload
+            # swap (the unlocked check in bank() is safe for the leader
+            # only because the leader's caller already holds the lock).
+            with self._lock.read():
+                bank(sphere)
+
         def compute() -> SphereOfInfluence:
             try:
                 self._breaker.allow()
             except ComputeUnavailable:
                 self.breaker_rejected_total.inc()
                 raise
-            if not self._slots.acquire(blocking=False):
-                self.shed_total.inc()
-                raise ShedLoad(
-                    f"compute queue full ({self._max_inflight} in flight); "
-                    "retry shortly",
-                    retry_after=self._retry_after,
-                )
+            # Every admitted call must settle the breaker exactly once.
+            # Outcomes the compute tier is accountable for (success,
+            # error, timeout) are recorded; refusals that happen between
+            # admission and the computation itself (shed, quarantined
+            # column) abandon the slot instead — otherwise a half-open
+            # probe that sheds would reserve the probe slot forever and
+            # hold the breaker open with no way to close it.
+            settled = False
             try:
-                self.computes_total.inc()
-
-                def run() -> SphereOfInfluence:
-                    maybe_fire("serve.compute", key=node)
-                    return self._computer.compute(node)
-
-                try:
-                    sphere = call_with_watchdog(
-                        run,
-                        deadline,
-                        what=f"compute(node={node})",
-                        on_late_result=bank,
+                if not self._slots.acquire(blocking=False):
+                    self.shed_total.inc()
+                    raise ShedLoad(
+                        f"compute queue full ({self._max_inflight} in flight); "
+                        "retry shortly",
+                        retry_after=self._retry_after,
                     )
-                except DeadlineExceeded:
-                    self.compute_failures_total.inc(kind="timeout")
-                    self._breaker.record_failure()
-                    raise
-                except CorruptColumnError:
-                    # Store damage, not a compute-tier fault: keep the
-                    # breaker out of it so the 500 is not masked by a 503.
-                    raise
-                except ServeError:
-                    raise
-                except Exception as exc:
-                    self.compute_failures_total.inc(kind="error")
-                    self._breaker.record_failure()
-                    raise InternalError(
-                        f"sphere computation for node {node} failed: {exc}"
-                    ) from exc
-                self._breaker.record_success()
+                try:
+                    self.computes_total.inc()
+
+                    def run() -> SphereOfInfluence:
+                        maybe_fire("serve.compute", key=node)
+                        return self._computer.compute(node)
+
+                    try:
+                        sphere = call_with_watchdog(
+                            run,
+                            deadline,
+                            what=f"compute(node={node})",
+                            on_late_result=bank_late,
+                        )
+                    except DeadlineExceeded:
+                        self.compute_failures_total.inc(kind="timeout")
+                        self._breaker.record_failure()
+                        settled = True
+                        raise
+                    except CorruptColumnError:
+                        # Store damage, not a compute-tier fault: keep the
+                        # breaker out of it so the 500 is not masked by a 503.
+                        raise
+                    except ServeError:
+                        raise
+                    except Exception as exc:
+                        self.compute_failures_total.inc(kind="error")
+                        self._breaker.record_failure()
+                        settled = True
+                        raise InternalError(
+                            f"sphere computation for node {node} failed: {exc}"
+                        ) from exc
+                    self._breaker.record_success()
+                    settled = True
+                finally:
+                    self._slots.release()
             finally:
-                self._slots.release()
+                if not settled:
+                    self._breaker.abandon()
             bank(sphere)
             return sphere
 
@@ -554,7 +582,10 @@ class SphereService:
                 "server was started from an in-memory index; there is no "
                 "store path to reload"
             )
-        with self._reload_lock:
+        # Blocking I/O (candidate load + full SHA-256 scrub) deliberately
+        # happens under the reload mutex: it serialises concurrent reloads
+        # and is never on a request path (requests take only the RW lock).
+        with self._reload_lock:  # reprolint: disable=REP703
             try:
                 candidate = CascadeIndex.load(index_path, verify="lazy")
                 guard = candidate.store_integrity
@@ -567,7 +598,9 @@ class SphereService:
                 new_spheres = (
                     SphereStore.load(spheres_path)
                     if spheres_path is not None
-                    else self._spheres
+                    # Snapshot read: reload() is the only writer of
+                    # _spheres and reloads are serialised by _reload_lock.
+                    else self._spheres  # reprolint: disable=REP701
                 )
                 maybe_fire("serve.reload")
             except (StoreError, FileNotFoundError, InjectedFault) as exc:
@@ -591,13 +624,15 @@ class SphereService:
             self.reloads_total.inc(result="ok")
             self.store_generation.set(generation)
             self.quarantined_columns.set(0)
+            # Report the candidate's facts directly — re-reading
+            # self._index/_spheres here would race a concurrent reload.
             return {
                 "status": "reloaded",
                 "generation": generation,
                 "source": index_path,
-                "num_worlds": self._index.num_worlds,
+                "num_worlds": candidate.num_worlds,
                 "precomputed_spheres": (
-                    len(self._spheres) if self._spheres is not None else 0
+                    len(new_spheres) if new_spheres is not None else 0
                 ),
                 "dropped_cache_entries": dropped,
             }

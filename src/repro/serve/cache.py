@@ -14,9 +14,10 @@ observable on its own in tests.
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
+
+from repro.runtime.locksan import make_lock
 
 #: Distinguishes "not cached" from a cached ``None`` value.
 MISSING = object()
@@ -42,14 +43,14 @@ class LRUCache:
         if capacity < 0:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         self._capacity = int(capacity)
-        self._lock = threading.Lock()
-        self._data: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = make_lock("LRUCache._lock")
+        self._data: OrderedDict[Hashable, Any] = OrderedDict()  # guarded-by: _lock
         self._on_hit = on_hit
         self._on_miss = on_miss
         self._on_evict = on_evict
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     @property
     def capacity(self) -> int:

@@ -17,6 +17,8 @@ from __future__ import annotations
 import threading
 from typing import Any, Callable, Hashable
 
+from repro.runtime.locksan import make_lock
+
 
 class _Flight:
     __slots__ = ("done", "value", "error", "waiters")
@@ -32,8 +34,8 @@ class SingleFlight:
     """Per-key deduplication of concurrent identical computations."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._flights: dict[Hashable, _Flight] = {}
+        self._lock = make_lock("SingleFlight._lock")
+        self._flights: dict[Hashable, _Flight] = {}  # guarded-by: _lock
 
     def do(
         self,
@@ -65,6 +67,12 @@ class SingleFlight:
                 lead = True
         if not lead:
             if not flight.done.wait(timeout):
+                # The timed-out follower must check out of the flight it
+                # checked into, or the waiter count sticks forever and the
+                # entry looks permanently occupied to diagnostics and to
+                # drain logic keyed on it.
+                with self._lock:
+                    flight.waiters -= 1
                 raise TimeoutError(
                     f"timed out waiting for the in-flight computation of {key!r}"
                 )

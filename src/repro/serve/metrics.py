@@ -11,9 +11,10 @@ sets), so ``GET /metrics`` is deterministic for a deterministic workload.
 
 from __future__ import annotations
 
-import threading
 from bisect import bisect_left
 from typing import Iterable, Mapping
+
+from repro.runtime.locksan import make_lock
 
 #: Default latency buckets (seconds): sub-millisecond cache hits through
 #: multi-second cold computes on large indexes.
@@ -54,8 +55,8 @@ class Counter:
     def __init__(self, name: str, help_text: str) -> None:
         self.name = name
         self.help_text = help_text
-        self._lock = threading.Lock()
-        self._values: dict[_LabelKey, float] = {}
+        self._lock = make_lock("Counter._lock")
+        self._values: dict[_LabelKey, float] = {}  # guarded-by: _lock
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         if amount < 0:
@@ -95,8 +96,8 @@ class Gauge:
     def __init__(self, name: str, help_text: str) -> None:
         self.name = name
         self.help_text = help_text
-        self._lock = threading.Lock()
-        self._values: dict[_LabelKey, float] = {}
+        self._lock = make_lock("Gauge._lock")
+        self._values: dict[_LabelKey, float] = {}  # guarded-by: _lock
 
     def set(self, value: float, **labels: str) -> None:
         key = _label_key(labels)
@@ -140,9 +141,9 @@ class Histogram:
         self.name = name
         self.help_text = help_text
         self._buckets = tuple(float(b) for b in buckets)
-        self._lock = threading.Lock()
+        self._lock = make_lock("Histogram._lock")
         # Per label set: per-finite-bucket counts + overflow slot, sum, count.
-        self._series: dict[_LabelKey, tuple[list[int], list[float]]] = {}
+        self._series: dict[_LabelKey, tuple[list[int], list[float]]] = {}  # guarded-by: _lock
 
     def observe(self, value: float, **labels: str) -> None:
         value = float(value)
@@ -187,8 +188,8 @@ class MetricsRegistry:
     """Names -> metrics, rendered together as one exposition document."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = make_lock("MetricsRegistry._lock")
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}  # guarded-by: _lock
 
     def counter(self, name: str, help_text: str) -> Counter:
         return self._register(name, lambda: Counter(name, help_text), Counter)

@@ -35,6 +35,7 @@ import threading
 import time
 from typing import Any, Callable
 
+from repro.runtime.locksan import assert_held, make_condition, make_lock
 from repro.serve.errors import ComputeUnavailable, DeadlineExceeded
 
 Clock = Callable[[], float]
@@ -112,7 +113,7 @@ def call_with_watchdog(
     if remaining is not None and remaining <= 0:
         raise DeadlineExceeded(f"deadline exceeded before {what}")
 
-    state_lock = threading.Lock()
+    state_lock = make_lock("call_with_watchdog.state_lock")
     done = threading.Event()
     abandoned = [False]
     box: list[Any] = []
@@ -195,11 +196,11 @@ class CircuitBreaker:
         self._reset_after = float(reset_after)
         self._clock = clock
         self._on_state_change = on_state_change
-        self._lock = threading.Lock()
-        self._state = self.CLOSED
-        self._consecutive_failures = 0
-        self._opened_at = 0.0
-        self._probing = False
+        self._lock = make_lock("CircuitBreaker._lock")
+        self._state = self.CLOSED  # guarded-by: _lock
+        self._consecutive_failures = 0  # guarded-by: _lock
+        self._opened_at = 0.0  # guarded-by: _lock
+        self._probing = False  # guarded-by: _lock
 
     @property
     def failure_threshold(self) -> int:
@@ -219,15 +220,17 @@ class CircuitBreaker:
         with self._lock:
             return self._consecutive_failures
 
-    def _effective_state(self) -> str:
+    def _effective_state(self) -> str:  # requires-lock: _lock
         """State after applying clock-driven open → half-open promotion."""
+        assert_held("CircuitBreaker._lock")
         if self._state == self.OPEN and (
             self._clock() - self._opened_at >= self._reset_after
         ):
             return self.HALF_OPEN
         return self._state
 
-    def _set_state(self, state: str) -> None:
+    def _set_state(self, state: str) -> None:  # requires-lock: _lock
+        assert_held("CircuitBreaker._lock")
         changed = state != self._state
         self._state = state
         if changed and self._on_state_change is not None:
@@ -263,6 +266,18 @@ class CircuitBreaker:
                 "serving store/cache hits only",
                 retry_after=retry_after,
             )
+
+    def abandon(self) -> None:
+        """Return an admitted call's slot without recording an outcome.
+
+        For callers that were admitted by :meth:`allow` but failed before
+        the computation could produce a success/failure signal (admission
+        shed, corrupt-store refusal).  Without this, an exception between
+        ``allow()`` and ``record_*`` during a half-open window would leave
+        the probe slot reserved forever and the breaker permanently open.
+        """
+        with self._lock:
+            self._probing = False
 
     def record_success(self) -> None:
         with self._lock:
@@ -305,10 +320,10 @@ class ReadersWriterLock:
     """
 
     def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._readers = 0
-        self._writer = False
-        self._writers_waiting = 0
+        self._cond = make_condition("ReadersWriterLock._cond")
+        self._readers = 0  # guarded-by: _cond
+        self._writer = False  # guarded-by: _cond
+        self._writers_waiting = 0  # guarded-by: _cond
 
     def acquire_read(self) -> None:
         with self._cond:
@@ -340,15 +355,19 @@ class ReadersWriterLock:
     class _Guard:
         __slots__ = ("_acquire", "_release")
 
-        def __init__(self, acquire, release):
+        def __init__(
+            self,
+            acquire: Callable[[], None],
+            release: Callable[[], None],
+        ) -> None:
             self._acquire = acquire
             self._release = release
 
-        def __enter__(self):
+        def __enter__(self) -> "ReadersWriterLock._Guard":
             self._acquire()
             return self
 
-        def __exit__(self, *exc_info):
+        def __exit__(self, *exc_info: object) -> bool:
             self._release()
             return False
 

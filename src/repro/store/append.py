@@ -67,14 +67,18 @@ def _append_concat(
     out = np.lib.format.open_memmap(
         tmp, mode="w+", dtype=dtype, shape=(int(old.shape[0]) + extra,)
     )
-    pos = int(old.shape[0])
-    out[:pos] = old
-    for piece in pieces:
-        piece = np.asarray(piece, dtype=dtype)
-        out[pos : pos + piece.shape[0]] = piece
-        pos += int(piece.shape[0])
-    out.flush()
-    del out, old
+    try:
+        pos = int(old.shape[0])
+        out[:pos] = old
+        for piece in pieces:
+            piece = np.asarray(piece, dtype=dtype)
+            out[pos : pos + piece.shape[0]] = piece
+            pos += int(piece.shape[0])
+        out.flush()
+    finally:
+        # Release both mappings on error too, or the cleanup pass cannot
+        # unlink the orphaned .tmp on platforms that lock mapped files.
+        del out, old
     return tmp, _info_for(tmp)
 
 
@@ -103,12 +107,14 @@ def _append_node_comp(
     out = np.lib.format.open_memmap(
         tmp, mode="w+", dtype=np.int32, shape=(n, num_worlds + new.shape[1])
     )
-    for row in range(0, n, _ROW_BLOCK):
-        stop = min(row + _ROW_BLOCK, n)
-        out[row:stop, :num_worlds] = old[row:stop]
-        out[row:stop, num_worlds:] = new[row:stop]
-    out.flush()
-    del out, old
+    try:
+        for row in range(0, n, _ROW_BLOCK):
+            stop = min(row + _ROW_BLOCK, n)
+            out[row:stop, :num_worlds] = old[row:stop]
+            out[row:stop, num_worlds:] = new[row:stop]
+        out.flush()
+    finally:
+        del out, old
     return tmp, _info_for(tmp)
 
 

@@ -34,12 +34,12 @@ of the member-array payload.
 from __future__ import annotations
 
 import os
-import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence, TypeVar, Union
 
 import numpy as np
 
+from repro.runtime.locksan import make_lock
 from repro.store.errors import StoreFormatError, StoreIntegrityError
 from repro.store.fingerprint import digest_file, graph_fingerprint, index_digest
 from repro.store.header import ArrayInfo, IndexStoreHeader
@@ -123,9 +123,9 @@ class _LazyWorldList(Sequence[T]):
     def __init__(self, count: int, factory: Callable[[int], T]) -> None:
         self._count = int(count)
         self._factory = factory
-        self._cache: dict[int, T] = {}
+        self._cache: dict[int, T] = {}  # guarded-by: _materialize_lock
         self._extra: list[T] = []
-        self._materialize_lock = threading.Lock()
+        self._materialize_lock = make_lock("_LazyWorldList._materialize_lock")
 
     def __len__(self) -> int:
         return self._count + len(self._extra)
@@ -140,7 +140,9 @@ class _LazyWorldList(Sequence[T]):
             raise IndexError(f"world {i} out of range (have {len(self)})")
         if i >= self._count:
             return self._extra[i - self._count]
-        hit = self._cache.get(i)
+        # Unlocked first read of double-checked locking: a stale miss just
+        # falls through to the locked re-check, never observes a torn value.
+        hit = self._cache.get(i)  # reprolint: disable=REP701
         if hit is None:
             with self._materialize_lock:
                 hit = self._cache.get(i)
@@ -182,15 +184,19 @@ def _write_concat(
     dtype = np.dtype(ARRAY_DTYPES[name])
     path = _array_file(root, name)
     out = np.lib.format.open_memmap(path, mode="w+", dtype=dtype, shape=(total,))
-    pos = 0
-    for piece in pieces:
-        piece = np.asarray(piece, dtype=dtype)
-        out[pos : pos + piece.shape[0]] = piece
-        pos += int(piece.shape[0])
-    if pos != total:
-        raise AssertionError(f"{name}: wrote {pos} elements, expected {total}")
-    out.flush()
-    del out
+    try:
+        pos = 0
+        for piece in pieces:
+            piece = np.asarray(piece, dtype=dtype)
+            out[pos : pos + piece.shape[0]] = piece
+            pos += int(piece.shape[0])
+        if pos != total:
+            raise AssertionError(f"{name}: wrote {pos} elements, expected {total}")
+        out.flush()
+    finally:
+        # Drop the mapping even when a piece raises: a live w+ handle on a
+        # half-written file keeps the fd (and on Windows the file) pinned.
+        del out
     return ArrayInfo(
         dtype=str(dtype),
         shape=(total,),

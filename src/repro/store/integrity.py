@@ -33,11 +33,11 @@ the zip container, so corruption already surfaces as a
 from __future__ import annotations
 
 import os
-import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable, Union
 
+from repro.runtime.locksan import make_lock
 from repro.store.errors import CorruptColumnError, StoreFormatError
 from repro.store.fingerprint import digest_file
 from repro.store.header import IndexStoreHeader
@@ -60,8 +60,9 @@ class ColumnIntegrity:
     * column already verified → return immediately (set lookup, no lock);
     * column already quarantined → raise :class:`CorruptColumnError`
       immediately (set lookup, no hashing);
-    * first touch → stream the file's SHA-256 under the guard lock,
-      recording the verdict for every later caller.
+    * first touch → stream the file's SHA-256 (outside the guard lock, so
+      health probes are never stalled behind a hash), then record the
+      verdict for every later caller.
 
     The guard is bound to the *open*, not the path: a hot-swap reload
     builds a fresh guard for the candidate generation, so quarantine
@@ -78,9 +79,9 @@ class ColumnIntegrity:
         self._root = Path(os.fspath(root))
         self._header = header
         self._on_quarantine = on_quarantine
-        self._lock = threading.Lock()
-        self._verified: set[str] = set()
-        self._quarantined: dict[str, str] = {}
+        self._lock = make_lock("ColumnIntegrity._lock")
+        self._verified: set[str] = set()  # guarded-by: _lock
+        self._quarantined: dict[str, str] = {}  # guarded-by: _lock
 
     @property
     def root(self) -> Path:
@@ -105,8 +106,9 @@ class ColumnIntegrity:
         first touch; raise :class:`CorruptColumnError` for quarantined or
         newly-failing columns."""
         for name in names:
-            # Unlocked fast path: set membership on an insert-only set.
-            if name in self._verified:
+            # Unlocked fast path: set membership on an insert-only set
+            # (a stale miss just falls through to the locked re-check).
+            if name in self._verified:  # reprolint: disable=REP701
                 continue
             self._verify_one(name)
 
@@ -115,14 +117,27 @@ class ColumnIntegrity:
             if name in self._verified:
                 return
             reason = self._quarantined.get(name)
-            if reason is None:
-                reason = self._check(name)
-                if reason is None:
-                    self._verified.add(name)
+        if reason is None:
+            # First touch: stream the SHA-256 *outside* the guard lock —
+            # hashing a multi-megabyte column under it would stall every
+            # concurrent quarantined()/healthz call for the duration.
+            # Concurrent first-touchers may hash the same column twice;
+            # the verdict is deterministic, so last-writer-wins is fine.
+            verdict = self._check(name)
+            fresh = False
+            with self._lock:
+                if name in self._verified:
                     return
-                self._quarantined[name] = reason
-                if self._on_quarantine is not None:
-                    self._on_quarantine(name)
+                reason = self._quarantined.get(name)
+                if reason is None:
+                    if verdict is None:
+                        self._verified.add(name)
+                        return
+                    reason = verdict
+                    self._quarantined[name] = reason
+                    fresh = True
+            if fresh and self._on_quarantine is not None:
+                self._on_quarantine(name)
         raise CorruptColumnError(name, reason)
 
     def _check(self, name: str) -> str | None:

@@ -82,6 +82,64 @@ def test_list_checkers(tmp_path):
         assert checker_id in out
 
 
+def test_list_checkers_includes_project_pass(tmp_path):
+    _code, out = run_cli(["--list-checkers"])
+    for checker_id in ("REP701", "REP702", "REP703", "REP704", "REP705"):
+        assert checker_id in out
+
+
+def test_json_shorthand_flag(tree):
+    code, out = run_cli([str(tree), "--json"])
+    assert code == 1
+    payload = json.loads(out)
+    assert payload and payload[0]["checker_id"] == "REP101"
+
+
+PROJECT_DIRTY = (
+    "import threading\n"
+    "\n"
+    "class Box:\n"
+    "    def __init__(self):\n"
+    "        self._lock = threading.Lock()\n"
+    "        self._value = 0  # guarded-by: _lock\n"
+    "\n"
+    "    def peek(self):\n"
+    "        return self._value\n"
+)
+
+
+def test_project_flag_runs_rep7xx_pass(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(PROJECT_DIRTY)
+    # The module pass does not know REP701 …
+    code, out = run_cli([str(target)])
+    assert code == 0
+    # … the project pass does.
+    code, out = run_cli(["--project", str(target)])
+    assert code == 1
+    assert "REP701" in out
+
+
+def test_project_json_output(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text(PROJECT_DIRTY)
+    code, out = run_cli(["--project", "--json", str(target)])
+    assert code == 1
+    payload = json.loads(out)
+    assert [d["checker_id"] for d in payload] == ["REP701"]
+    assert payload[0]["severity"] == "error"
+
+
+def test_explain_prints_the_catalogue():
+    from repro.analysis.explain import render_catalogue
+
+    code, out = run_cli(["--explain"])
+    assert code == 0
+    assert out == render_catalogue()
+    for checker_id in ("REP001", "REP002", "REP101", "REP701", "REP705"):
+        assert f"### {checker_id}" in out
+
+
 def test_no_suppress_flag(tmp_path):
     target = tmp_path / "suppressed.py"
     target.write_text(

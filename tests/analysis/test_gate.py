@@ -7,10 +7,16 @@ If this test fails, either fix the violation or add an inline
 
 from pathlib import Path
 
-from repro.analysis import analyze_paths, default_registry
+from repro.analysis import (
+    analyze_paths,
+    analyze_project,
+    default_registry,
+    project_registry,
+)
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 SOURCE_TREE = REPO_ROOT / "src" / "repro"
+DOCS_FILE = REPO_ROOT / "docs" / "reprolint.md"
 
 
 def test_source_tree_exists():
@@ -21,8 +27,39 @@ def test_at_least_six_checkers_gate_the_tree():
     assert len(default_registry()) >= 6
 
 
+def test_five_concurrency_checkers_gate_the_tree():
+    assert {c.id for c in project_registry()} >= {
+        "REP701",
+        "REP702",
+        "REP703",
+        "REP704",
+        "REP705",
+    }
+
+
 def test_src_repro_is_violation_clean():
     diagnostics = analyze_paths([SOURCE_TREE])
     assert diagnostics == [], "reprolint violations:\n" + "\n".join(
         d.format() for d in diagnostics
     )
+
+
+def test_src_repro_is_concurrency_clean():
+    """The whole-program REP7xx pass gates the tree, like the module pass."""
+    diagnostics = analyze_project([SOURCE_TREE])
+    assert diagnostics == [], "reprolint --project violations:\n" + "\n".join(
+        d.format() for d in diagnostics
+    )
+
+
+def test_docs_catalogue_is_current():
+    """``docs/reprolint.md`` must match ``--explain`` output exactly.
+
+    Regenerate with::
+
+        PYTHONPATH=src python -m repro.analysis --explain > docs/reprolint.md
+    """
+    from repro.analysis.explain import render_catalogue
+
+    assert DOCS_FILE.is_file(), "docs/reprolint.md is missing"
+    assert DOCS_FILE.read_text() == render_catalogue()

@@ -1,0 +1,483 @@
+"""Whole-program (REP7xx) pass: lock model, call graph, checkers.
+
+Each test builds a tiny in-memory project via
+:meth:`ProjectContext.from_sources` and runs exactly one checker, so a
+failure names the broken invariant rather than a fixture file.
+"""
+
+import textwrap
+
+from repro.analysis import analyze_project, project_registry
+from repro.analysis.project import ProjectContext, module_name_for_path
+
+
+def _run(checker_id, sources):
+    project = ProjectContext.from_sources(
+        {path: textwrap.dedent(src) for path, src in sources.items()}
+    )
+    checker = next(c for c in project_registry() if c.id == checker_id)
+    return sorted(checker.check(project))
+
+
+# -- model plumbing -----------------------------------------------------------
+
+
+def test_module_name_strips_src_prefix():
+    assert module_name_for_path("src/repro/serve/cache.py") == "repro.serve.cache"
+
+
+def test_module_name_for_package_init():
+    assert module_name_for_path("src/repro/serve/__init__.py") == "repro.serve"
+
+
+def test_lock_attrs_and_guards_collected():
+    project = ProjectContext.from_sources(
+        {
+            "src/repro/mod.py": textwrap.dedent(
+                """
+                import threading
+
+                class Box:
+                    def __init__(self):
+                        self._lock = threading.Lock()
+                        self._value = 0  # guarded-by: _lock
+                """
+            )
+        }
+    )
+    cls = project.classes["repro.mod.Box"]
+    assert cls.locks["_lock"].kind == "mutex"
+    assert cls.guarded == {"_value": "_lock"}
+    assert cls.guard_key("_value") == "Box._lock"
+
+
+# -- REP701: guarded-by -------------------------------------------------------
+
+
+_GUARDED = """
+    import threading
+
+    class Box:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._value = 0  # guarded-by: _lock
+
+        def locked_read(self):
+            with self._lock:
+                return self._value
+
+        def unlocked_read(self):
+            return self._value
+"""
+
+
+def test_rep701_flags_unguarded_access():
+    diagnostics = _run("REP701", {"src/repro/mod.py": _GUARDED})
+    assert len(diagnostics) == 1
+    assert "unlocked_read" in diagnostics[0].message
+    assert "Box._lock" in diagnostics[0].message
+
+
+def test_rep701_init_is_exempt():
+    # __init__ assigns the guarded attribute with no lock held; the object
+    # is not shared yet, so the sole finding must be the unlocked_read one.
+    diagnostics = _run("REP701", {"src/repro/mod.py": _GUARDED})
+    assert all(d.line > 7 for d in diagnostics)
+
+
+def test_rep701_requires_lock_annotation_covers_helper_body():
+    source = """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._n = 0  # guarded-by: _lock
+
+            def _bump(self):  # requires-lock: _lock
+                self._n += 1
+
+            def locked_caller(self):
+                with self._lock:
+                    self._bump()
+
+            def unlocked_caller(self):
+                self._bump()
+    """
+    diagnostics = _run("REP701", {"src/repro/mod.py": source})
+    # The helper body is covered by its annotation; the one finding is the
+    # call site that does not hold the promised lock.
+    assert len(diagnostics) == 1
+    assert "requires lock" in diagnostics[0].message
+    assert "unlocked_caller" in diagnostics[0].message
+
+
+def test_rep701_write_under_shared_read_hold():
+    source = """
+        from repro.serve.resilience import ReadersWriterLock
+
+        class Snap:
+            def __init__(self):
+                self._rw = ReadersWriterLock()
+                self._data = None  # guarded-by: _rw
+
+            def bad(self):
+                with self._rw.read():
+                    self._data = {}
+
+            def good(self):
+                with self._rw.write():
+                    self._data = {}
+    """
+    diagnostics = _run("REP701", {"src/repro/mod.py": source})
+    assert len(diagnostics) == 1
+    assert "shared (read) hold" in diagnostics[0].message
+
+
+# -- REP702: lock-order -------------------------------------------------------
+
+
+def test_rep702_flags_inverted_acquisition_order():
+    source = """
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def forward(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def backward(self):
+                with self._b:
+                    with self._a:
+                        pass
+    """
+    diagnostics = _run("REP702", {"src/repro/mod.py": source})
+    assert len(diagnostics) == 1
+    assert "Pair._a" in diagnostics[0].message
+    assert "Pair._b" in diagnostics[0].message
+
+
+def test_rep702_consistent_order_is_clean():
+    source = """
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def one(self):
+                with self._a:
+                    with self._b:
+                        pass
+
+            def two(self):
+                with self._a:
+                    with self._b:
+                        pass
+    """
+    assert _run("REP702", {"src/repro/mod.py": source}) == []
+
+
+def test_rep702_sees_inversion_through_the_call_graph():
+    source = """
+        import threading
+
+        class Pair:
+            def __init__(self):
+                self._a = threading.Lock()
+                self._b = threading.Lock()
+
+            def _take_b(self):
+                with self._b:
+                    pass
+
+            def _take_a(self):
+                with self._a:
+                    pass
+
+            def forward(self):
+                with self._a:
+                    self._take_b()
+
+            def backward(self):
+                with self._b:
+                    self._take_a()
+    """
+    diagnostics = _run("REP702", {"src/repro/mod.py": source})
+    assert len(diagnostics) == 1
+
+
+# -- REP703: blocking-under-lock ----------------------------------------------
+
+
+def test_rep703_flags_sleep_under_exclusive_lock():
+    source = """
+        import threading
+        import time
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def bad(self):
+                with self._lock:
+                    time.sleep(0.1)
+    """
+    diagnostics = _run("REP703", {"src/repro/mod.py": source})
+    assert len(diagnostics) == 1
+    assert "time.sleep" in diagnostics[0].message
+
+
+def test_rep703_condition_wait_on_held_condition_is_exempt():
+    source = """
+        import threading
+
+        class S:
+            def __init__(self):
+                self._cond = threading.Condition()
+
+            def waiter(self):
+                with self._cond:
+                    self._cond.wait()
+    """
+    assert _run("REP703", {"src/repro/mod.py": source}) == []
+
+
+def test_rep703_shared_read_region_is_exempt():
+    source = """
+        from repro.serve.resilience import ReadersWriterLock
+
+        class S:
+            def __init__(self):
+                self._rw = ReadersWriterLock()
+
+            def reader(self, path):
+                with self._rw.read():
+                    return open(path)
+    """
+    assert _run("REP703", {"src/repro/mod.py": source}) == []
+
+
+def test_rep703_flags_transitively_blocking_callee():
+    source = """
+        import threading
+        import time
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def _slow(self):
+                time.sleep(1.0)
+
+            def bad(self):
+                with self._lock:
+                    self._slow()
+    """
+    diagnostics = _run("REP703", {"src/repro/mod.py": source})
+    assert len(diagnostics) == 1
+    assert "blocks transitively" in diagnostics[0].message
+
+
+def test_rep703_anchors_on_the_with_statement():
+    source = """
+        import threading
+        import time
+
+        class S:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def bad(self):
+                with self._lock:
+                    time.sleep(0.1)
+    """
+    diagnostics = _run("REP703", {"src/repro/mod.py": source})
+    # Line 10 is the ``with`` — where a justified disable comment must go.
+    assert diagnostics[0].line == 10
+
+
+# -- REP704: resource-release -------------------------------------------------
+
+
+def test_rep704_flags_memmap_without_finally():
+    source = """
+        import numpy as np
+
+        def write(path):
+            out = np.lib.format.open_memmap(path, mode="w+")
+            out.flush()
+            del out
+    """
+    diagnostics = _run("REP704", {"src/repro/mod.py": source})
+    assert len(diagnostics) == 1
+    assert "memmap handle 'out'" in diagnostics[0].message
+
+
+def test_rep704_finally_release_is_clean():
+    source = """
+        import numpy as np
+
+        def write(path):
+            out = np.lib.format.open_memmap(path, mode="w+")
+            try:
+                out.flush()
+            finally:
+                del out
+    """
+    assert _run("REP704", {"src/repro/mod.py": source}) == []
+
+
+def test_rep704_returned_handle_is_clean():
+    source = """
+        import numpy as np
+
+        def open_for_caller(path):
+            out = np.lib.format.open_memmap(path, mode="r")
+            return out
+    """
+    assert _run("REP704", {"src/repro/mod.py": source}) == []
+
+
+def test_rep704_flags_acquire_without_finally_release():
+    source = """
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._slots = threading.Semaphore(2)
+
+            def bad(self, fn):
+                self._slots.acquire()
+                fn()
+                self._slots.release()
+
+            def good(self, fn):
+                self._slots.acquire()
+                try:
+                    fn()
+                finally:
+                    self._slots.release()
+    """
+    diagnostics = _run("REP704", {"src/repro/mod.py": source})
+    assert len(diagnostics) == 1
+    assert "self._slots.acquire" in diagnostics[0].message
+    assert diagnostics[0].severity.name == "WARNING"
+
+
+# -- REP705: fault-site-registry ----------------------------------------------
+
+
+_FAULTS = """
+    KNOWN_SITES = {
+        "append.stage": "fires before each staged column",
+    }
+
+    def maybe_fire(site, key=None, attempt=0):
+        pass
+"""
+
+
+def test_rep705_flags_unregistered_site():
+    sources = {
+        "src/repro/runtime/faults.py": _FAULTS,
+        "src/repro/mod.py": """
+            from repro.runtime.faults import maybe_fire
+
+            def staged():
+                maybe_fire("append.stage")
+
+            def ghost():
+                maybe_fire("no.such.site")
+        """,
+    }
+    diagnostics = _run("REP705", sources)
+    assert len(diagnostics) == 1
+    assert "'no.such.site'" in diagnostics[0].message
+
+
+def test_rep705_resolves_module_constant_sites():
+    sources = {
+        "src/repro/runtime/faults.py": _FAULTS,
+        "src/repro/mod.py": """
+            from repro.runtime.faults import maybe_fire
+
+            FAULT_SITE = "append.stage"
+            BAD_SITE = "not.registered"
+
+            def staged():
+                maybe_fire(FAULT_SITE)
+
+            def ghost():
+                maybe_fire(BAD_SITE)
+        """,
+    }
+    diagnostics = _run("REP705", sources)
+    assert len(diagnostics) == 1
+    assert "'not.registered'" in diagnostics[0].message
+
+
+def test_rep705_silent_without_a_fault_registry():
+    sources = {
+        "src/repro/mod.py": """
+            from repro.runtime.faults import maybe_fire
+
+            def ghost():
+                maybe_fire("no.such.site")
+        """
+    }
+    assert _run("REP705", sources) == []
+
+
+# -- project-mode runner integration ------------------------------------------
+
+
+def _write_module(tmp_path, name, source):
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def test_analyze_project_respects_inline_disable(tmp_path):
+    _write_module(
+        tmp_path,
+        "mod.py",
+        """
+        import threading
+
+        class Box:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._value = 0  # guarded-by: _lock
+
+            def snapshot(self):
+                return self._value  # reprolint: disable=REP701
+        """,
+    )
+    assert analyze_project([tmp_path]) == []
+
+
+def test_analyze_project_reports_syntax_errors_as_rep001(tmp_path):
+    _write_module(tmp_path, "broken.py", "def f(:\n")
+    diagnostics = analyze_project([tmp_path])
+    assert [d.checker_id for d in diagnostics] == ["REP001"]
+
+
+def test_analyze_project_warns_on_unknown_suppression_id(tmp_path):
+    _write_module(
+        tmp_path,
+        "mod.py",
+        """
+        x = 1  # reprolint: disable=REP999
+        """,
+    )
+    diagnostics = analyze_project([tmp_path])
+    assert [d.checker_id for d in diagnostics] == ["REP002"]
+    assert "'REP999'" in diagnostics[0].message

@@ -20,7 +20,7 @@ def test_same_line_disable_by_id():
 
 
 def test_disable_with_multiple_ids():
-    source = BAD_LINE + "  # reprolint: disable=REP999, REP101\n"
+    source = BAD_LINE + "  # reprolint: disable=REP301, REP101\n"
     assert _analyze(source) == []
 
 
@@ -61,3 +61,70 @@ def test_scan_reports_line_numbers():
     assert 2 in table.by_line
     assert table.by_line[2] == frozenset({"REP301"})
     assert table.file_wide == frozenset()
+
+
+def test_scan_records_every_directive_with_its_line():
+    table = scan_suppressions(
+        "# reprolint: disable-file=REP601\n"
+        "y = 2  # reprolint: disable=REP301\n"
+    )
+    assert table.directives == [
+        (1, frozenset({"REP601"})),
+        (2, frozenset({"REP301"})),
+    ]
+
+
+# -- multi-line statements ----------------------------------------------------
+
+
+def test_disable_on_reported_line_of_multiline_statement():
+    # Diagnostics anchor on the line the violating expression *starts*;
+    # the directive belongs on that physical line even when the statement
+    # continues below it.
+    source = "rng = np.random.default_rng(  # reprolint: disable=REP101\n)\n"
+    assert _analyze(source) == []
+
+
+def test_disable_on_closing_line_of_multiline_statement_is_inert():
+    source = "rng = np.random.default_rng(\n)  # reprolint: disable=REP101\n"
+    diagnostics = _analyze(source)
+    assert any(d.checker_id == "REP101" for d in diagnostics)
+
+
+# -- unknown ids warn (REP002) ------------------------------------------------
+
+
+def test_unknown_id_suppression_warns_instead_of_silently_passing():
+    diagnostics = _analyze(BAD_LINE + "  # reprolint: disable=REP999\n")
+    ids = [d.checker_id for d in diagnostics]
+    # The typo'd directive silences nothing (REP101 survives) *and* the
+    # author is told about the typo (REP002).
+    assert "REP101" in ids
+    assert "REP002" in ids
+    rep002 = next(d for d in diagnostics if d.checker_id == "REP002")
+    assert "'REP999'" in rep002.message
+    assert rep002.severity.name == "WARNING"
+
+
+def test_unknown_id_mixed_with_known_id_still_warns():
+    source = BAD_LINE + "  # reprolint: disable=REP999, REP101\n"
+    diagnostics = _analyze(source)
+    assert [d.checker_id for d in diagnostics] == ["REP002"]
+
+
+def test_file_wide_unknown_id_warns():
+    source = "# reprolint: disable-file=REP999\n" + BAD_LINE + "\n"
+    ids = [d.checker_id for d in _analyze(source)]
+    assert "REP002" in ids
+    assert "REP101" in ids
+
+
+def test_known_project_checker_id_does_not_warn():
+    # REP7xx ids belong to the project pass but are legal in any file.
+    source = BAD_LINE + "  # reprolint: disable=REP101,REP701\n"
+    assert _analyze(source) == []
+
+
+def test_rep002_itself_can_be_suppressed():
+    source = BAD_LINE + "  # reprolint: disable=REP101, REP999, REP002\n"
+    assert _analyze(source) == []

@@ -13,6 +13,7 @@ import urllib.request
 import pytest
 
 from repro.cascades.index import CascadeIndex
+from repro.runtime import locksan
 from repro.core.typical_cascade import TypicalCascadeComputer
 from repro.graph.generators import powerlaw_outdegree_digraph
 from repro.problearn.assign import assign_fixed
@@ -20,6 +21,24 @@ from repro.serve.app import SphereService, make_server
 
 #: Nodes whose spheres are precomputed into the store (the warm set).
 WARM_NODES = tuple(range(12))
+
+
+@pytest.fixture(autouse=True)
+def _locksan_gate():
+    """Fail any serving test that produced a lock-sanitizer report.
+
+    Inert unless the suite runs with ``REPRO_LOCKSAN=1`` (the CI
+    concurrency-lint job does): then every lock the serving stack builds
+    is tracked, and a lock-order cycle, unbalanced release or missed
+    ``assert_held`` observed during the test body fails it here.
+    """
+    yield
+    if locksan.enabled():
+        violations = locksan.report()
+        locksan.reset()
+        assert violations == [], "lock sanitizer violations:\n" + "\n".join(
+            violations
+        )
 
 
 @pytest.fixture(scope="session")

@@ -110,6 +110,69 @@ class TestConcurrent:
         assert outcomes == ["error"] * 4
         assert flight.inflight() == 0
 
+    def test_timed_out_follower_checks_out_of_the_flight(self):
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_compute():
+            entered.set()
+            assert release.wait(timeout=10)
+            return "late"
+
+        results = []
+        leader = threading.Thread(
+            target=lambda: results.append(flight.do("k", slow_compute))
+        )
+        leader.start()
+        assert entered.wait(timeout=10)
+
+        with pytest.raises(TimeoutError, match="in-flight computation"):
+            flight.do("k", slow_compute, timeout=0.05)
+        # Regression: the timed-out follower must decrement the waiter
+        # count it incremented on the way in — it used to leak, leaving
+        # the flight looking permanently occupied to diagnostics.
+        assert flight.waiters("k") == 0
+        assert flight.inflight() == 1  # the leader is still computing
+
+        release.set()
+        leader.join(timeout=10)
+        assert results == [("late", True)]
+        assert flight.inflight() == 0
+        assert flight.waiters("k") == 0
+
+    def test_timed_out_sibling_does_not_disturb_patient_followers(self):
+        flight = SingleFlight()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def slow_compute():
+            entered.set()
+            assert release.wait(timeout=10)
+            return "result"
+
+        results = []
+
+        def patient():
+            results.append(flight.do("k", slow_compute))
+
+        leader = threading.Thread(target=patient)
+        leader.start()
+        assert entered.wait(timeout=10)
+        follower = threading.Thread(target=patient)
+        follower.start()
+        wait_for_waiters(flight, "k", 1)
+
+        with pytest.raises(TimeoutError):
+            flight.do("k", slow_compute, timeout=0.05)
+        assert flight.waiters("k") == 1  # only the impatient one left
+
+        release.set()
+        leader.join(timeout=10)
+        follower.join(timeout=10)
+        assert sorted(leader for _, leader in results) == [False, True]
+        assert all(value == "result" for value, _ in results)
+
     def test_distinct_keys_do_not_coalesce(self):
         flight = SingleFlight()
         leaders = []

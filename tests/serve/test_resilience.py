@@ -245,6 +245,63 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError, match="reset_after"):
             CircuitBreaker(1, 0.0)
 
+    def test_abandon_returns_the_probe_slot(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(1, 5.0, clock=clock)
+        breaker.allow(); breaker.record_failure()
+        clock.advance(5.0)
+        breaker.allow()  # probe admitted
+        breaker.abandon()  # admitted call refused before computing
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # Regression: the probe slot must be admittable again — an
+        # abandoned probe used to reserve it forever, wedging the breaker
+        # half-open with every caller refused.
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_abandon_while_closed_is_a_no_op(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(2, 5.0, clock=clock)
+        breaker.allow()
+        breaker.abandon()
+        breaker.allow(); breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+
+class TestShedProbeRegression:
+    def test_shed_probe_does_not_wedge_the_breaker(self, index):
+        """A half-open probe that is immediately shed (queue full) must
+        return the probe slot instead of recording an outcome.
+
+        Before :meth:`CircuitBreaker.abandon`, the admitted-but-shed probe
+        left ``_probing`` set: the breaker stayed half-open with the slot
+        reserved by a request that was already gone, so every later cold
+        request got 503 forever — found by the REP7xx resource audit.
+        """
+        clock = FakeClock()
+        service = make_service(
+            index,
+            max_inflight=0,  # the compute queue is permanently full
+            breaker_threshold=1,
+            breaker_reset=5.0,
+            clock=clock,
+        )
+        service.breaker.allow()
+        service.breaker.record_failure()
+        assert service.breaker.state == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        assert service.breaker.state == CircuitBreaker.HALF_OPEN
+
+        with pytest.raises(ShedLoad):
+            service.sphere(0)  # the admitted probe sheds on the full queue
+
+        assert service.breaker.state == CircuitBreaker.HALF_OPEN
+        # The slot came back: the next probe is admitted, not refused.
+        service.breaker.allow()
+        service.breaker.record_success()
+        assert service.breaker.state == CircuitBreaker.CLOSED
+
 
 class TestReadersWriterLock:
     def test_readers_share(self):

@@ -160,3 +160,52 @@ class TestColumnIntegrity:
         guard = ColumnIntegrity(store_path, header)
         with pytest.raises(CorruptColumnError, match="not in the header"):
             guard.verify("no_such_column")
+
+    def test_hashing_happens_outside_the_guard_lock(
+        self, store_path, monkeypatch
+    ):
+        """Health probes must not stall behind a first-touch column hash.
+
+        ``_verify_one`` used to stream the SHA-256 while holding the guard
+        lock, so ``quarantined()`` (the /healthz path) blocked for the
+        duration of a multi-megabyte hash — found by the REP703
+        blocking-under-lock checker and restructured to hash unlocked.
+        """
+        import threading
+
+        from repro.store import integrity as integrity_mod
+
+        header = IndexStoreHeader.from_json(
+            (store_path / "header.json").read_text()
+        )
+        guard = ColumnIntegrity(store_path, header)
+        hashing = threading.Event()
+        release = threading.Event()
+        real_digest = integrity_mod.digest_file
+
+        def slow_digest(path):
+            hashing.set()
+            assert release.wait(timeout=10)
+            return real_digest(path)
+
+        monkeypatch.setattr(integrity_mod, "digest_file", slow_digest)
+        toucher = threading.Thread(target=guard.verify, args=("members",))
+        toucher.start()
+        try:
+            assert hashing.wait(timeout=10)
+            probed = threading.Event()
+
+            def probe():
+                guard.quarantined()
+                guard.verified()
+                probed.set()
+
+            threading.Thread(target=probe).start()
+            assert probed.wait(timeout=2.0), (
+                "quarantined()/verified() stalled behind an in-flight "
+                "column hash"
+            )
+        finally:
+            release.set()
+            toucher.join(timeout=10)
+        assert "members" in guard.verified()
