@@ -1,0 +1,384 @@
+#!/usr/bin/env python
+"""Chaos gate for the sharded serving tier (.github/workflows/ci.yml).
+
+Partitions a tiny store with ``repro index shard``, runs a real
+``python -m repro serve-fleet`` process (frontend router + three
+supervised worker processes), and verifies the *either correct or
+refused* contract one level up the stack:
+
+1. **faulted hammer** — with ``REPRO_FAULTS`` arming injected
+   ``router.forward`` transport failures, every routed response is
+   byte-identical to a serially-computed single-process reference or an
+   explicit JSON 4xx/5xx; the refused nodes recover on retry, and the
+   injected failures are visible in the router's ``/metrics``;
+2. **worker SIGKILL mid-hammer** — one shard's worker is killed while
+   traffic is in flight; every response during the outage is correct
+   bytes or an explicit refusal (no hangs, no garbage), the supervisor
+   respawns the worker with a new pid, and the fleet returns to
+   ``healthz: ok`` with full byte parity;
+3. **rolling SIGHUP reload mid-hammer** — a rolling generation-checked
+   reload sweeps the fleet while requests are in flight; zero requests
+   are dropped or refused, and every shard reports ``store_generation``
+   2 afterwards;
+4. **loadgen smoke** — ``scripts/loadgen.py`` drives the router open
+   loop and writes a well-formed ``BENCH_router.json``;
+5. **graceful drain** — SIGTERM shuts the router and all workers down
+   cleanly (exit code 0, drain banner printed).
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_chaos_router.py
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from check_serve import check, fetch, metric_value, subprocess_env  # noqa: E402
+
+from repro.cascades.index import CascadeIndex  # noqa: E402
+from repro.core.typical_cascade import TypicalCascadeComputer  # noqa: E402
+from repro.graph.generators import powerlaw_outdegree_digraph  # noqa: E402
+from repro.problearn.assign import assign_fixed  # noqa: E402
+from repro.runtime.faults import ENV_VAR, FaultPlan, FaultSpec  # noqa: E402
+from repro.serve import query as q  # noqa: E402
+
+SAMPLES = 6
+SEED = 20160626
+NUM_NODES = 60
+NUM_SHARDS = 3
+FAULT_SHARD = 1   # router.forward transport failures injected here
+KILL_SHARD = 2    # its worker is SIGKILLed mid-hammer
+SIZE_GRID_RATIO = 1.15  # the serve default; references must match it
+
+#: Statuses that count as an explicit refusal under the routed contract
+#: (the worker set plus the router's own 502 upstream-failure surface).
+REFUSALS = (429, 500, 502, 503, 504)
+
+_SERVING = re.compile(r"\[fleet\] shard (\d+) pid (\d+) serving on (\S+)")
+
+
+def reference_bodies(index_path: Path) -> dict[int, bytes]:
+    """Serially computed canonical sphere bodies from the unsharded store."""
+    index = CascadeIndex.load(index_path)
+    computer = TypicalCascadeComputer(index, size_grid_ratio=SIZE_GRID_RATIO)
+    return {
+        node: q.canonical_json(q.sphere_payload(node, computer.compute(node)))
+        for node in range(NUM_NODES)
+    }
+
+
+class FleetProcess:
+    """A ``serve-fleet`` subprocess plus a thread scraping its output.
+
+    Worker spawn events (``[fleet] shard N pid P serving on ADDR``) and
+    the router banner arrive on the same pipe from different threads, so
+    everything is collected into a list and waited on by predicate.
+    """
+
+    def __init__(self, fleet_dir: Path, faults: FaultPlan | None = None):
+        env = subprocess_env()
+        if faults is not None:
+            env[ENV_VAR] = faults.to_json()
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve-fleet", str(fleet_dir),
+                "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        self.lines: list[str] = []
+        self._lock = threading.Lock()
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+
+    def _drain(self) -> None:
+        for line in self.process.stdout:
+            with self._lock:
+                self.lines.append(line.rstrip("\n"))
+        self.process.stdout.close()
+
+    def snapshot(self) -> list[str]:
+        with self._lock:
+            return list(self.lines)
+
+    def wait_line(self, predicate, timeout: float = 90.0) -> str:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for line in self.snapshot():
+                if predicate(line):
+                    return line
+            if self.process.poll() is not None:
+                break
+            time.sleep(0.05)
+        raise AssertionError(
+            "no matching fleet output within "
+            f"{timeout:g}s; got:\n" + "\n".join(self.snapshot())
+        )
+
+    def base(self) -> str:
+        line = self.wait_line(
+            lambda l: l.startswith("routing ") and " on http://" in l
+        )
+        return line.rsplit(" on ", 1)[1].strip()
+
+    def worker_pids(self) -> dict[int, int]:
+        """Latest pid per shard, from the spawn events seen so far."""
+        pids: dict[int, int] = {}
+        for line in self.snapshot():
+            match = _SERVING.search(line)
+            if match:
+                pids[int(match.group(1))] = int(match.group(2))
+        return pids
+
+
+def hammer(base: str, reference: dict[int, bytes], stop: threading.Event,
+           strict: bool, failures: list) -> None:
+    """Loop all nodes until ``stop``; collect contract violations.
+
+    ``strict`` disallows refusals too (the rolling-reload phase must
+    drop zero requests); otherwise an explicit JSON refusal is fine.
+    """
+    while not stop.is_set():
+        for node in range(NUM_NODES):
+            try:
+                status, _, body = fetch(base, f"/sphere/{node}")
+            except Exception as exc:  # dropped connection = dropped request
+                failures.append((node, "transport", repr(exc)))
+                continue
+            if status == 200 and body == reference[node]:
+                continue
+            refused = status in REFUSALS and "error" in json.loads(body)
+            if strict or not refused:
+                failures.append((node, status, body[:200]))
+
+
+def main() -> int:
+    graph = assign_fixed(
+        powerlaw_outdegree_digraph(NUM_NODES, mean_degree=5.0, seed=7), 0.15
+    )
+    index = CascadeIndex.build(graph, SAMPLES, seed=SEED)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "idx"
+        fleet_dir = Path(tmp) / "fleet"
+        index.save(store, format="store")
+        reference = reference_bodies(store)
+
+        print("phase 0: partition the store with `repro index shard`")
+        shard_cli = subprocess.run(
+            [sys.executable, "-m", "repro", "index", "shard", str(store),
+             "--shards", str(NUM_SHARDS), "--out", str(fleet_dir)],
+            capture_output=True,
+            env=subprocess_env(),
+        )
+        check("index shard exits 0", shard_cli.returncode == 0)
+        check("partition map written",
+              (fleet_dir / "partition.json").is_file())
+
+        faults = FaultPlan.of(
+            FaultSpec(site="router.forward", kind="error", key=FAULT_SHARD,
+                      attempts=(2, 5)),
+        )
+        fleet = FleetProcess(fleet_dir, faults=faults)
+        try:
+            base = fleet.base()
+            print(f"router: {base}, shards: {fleet.worker_pids()}")
+            check("all workers announced a pid",
+                  set(fleet.worker_pids()) == set(range(NUM_SHARDS)))
+
+            print("phase 1: faulted hammer vs serial single-process reference")
+            results: dict[int, tuple[int, bytes]] = {}
+            lock = threading.Lock()
+
+            def sweep(nodes) -> None:
+                for node in nodes:
+                    status, _, body = fetch(base, f"/sphere/{node}")
+                    with lock:
+                        results[node] = (status, body)
+
+            threads = [
+                threading.Thread(target=sweep,
+                                 args=(range(i, NUM_NODES, 6),))
+                for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+
+            bad = [
+                node
+                for node, (status, body) in sorted(results.items())
+                if not (
+                    (status == 200 and body == reference[node])
+                    or (status in REFUSALS and "error" in json.loads(body))
+                )
+            ]
+            check("every routed response is correct bytes or explicit refusal",
+                  bad == [])
+            refused = [n for n, (s, _) in sorted(results.items()) if s != 200]
+            check("injected router.forward faults surfaced as refusals",
+                  len(refused) == 2
+                  and all(results[n][0] == 502 for n in refused))
+            for node in refused:
+                status, _, body = fetch(base, f"/sphere/{node}")
+                check(f"refused node {node} recovers on retry",
+                      status == 200 and body == reference[node])
+
+            batch_nodes = [0, 25, 45, 59, 13]
+            status, _, body = fetch(base, "/spheres", method="POST",
+                                    body={"nodes": batch_nodes})
+            payload = json.loads(body)
+            check(
+                "scatter-gather batch matches per-node reference payloads",
+                status == 200 and payload["count"] == len(batch_nodes)
+                and all(
+                    entry == json.loads(reference[node])
+                    for node, entry in zip(batch_nodes, payload["results"])
+                ),
+            )
+
+            status, _, body = fetch(base, "/metrics")
+            text = body.decode()
+            check("metrics: injected forwards counted", metric_value(
+                text,
+                'repro_router_forward_failures_total'
+                f'{{kind="injected",shard="{FAULT_SHARD}"}}') == 2)
+            check("metrics: worker samples carry shard labels",
+                  f'shard="{KILL_SHARD}"' in text)
+
+            print("phase 2: worker SIGKILL mid-hammer, supervisor respawn")
+            first_pid = fleet.worker_pids()[KILL_SHARD]
+            stop = threading.Event()
+            failures: list = []
+            hammer_threads = [
+                threading.Thread(target=hammer,
+                                 args=(base, reference, stop, False, failures))
+                for _ in range(4)
+            ]
+            for t in hammer_threads:
+                t.start()
+            time.sleep(0.3)
+            subprocess.run(["kill", "-9", str(first_pid)], check=True)
+            fleet.wait_line(
+                lambda l: (m := _SERVING.search(l)) is not None
+                and int(m.group(1)) == KILL_SHARD
+                and int(m.group(2)) != first_pid
+            )
+            # Let the respawned worker absorb routed traffic before stopping.
+            recovered = False
+            for _ in range(300):
+                status, _, body = fetch(base, "/healthz")
+                if status == 200 and json.loads(body)["status"] == "ok":
+                    recovered = True
+                    break
+                time.sleep(0.1)
+            stop.set()
+            for t in hammer_threads:
+                t.join(timeout=60)
+            check("supervisor respawned the killed worker with a new pid",
+                  fleet.worker_pids()[KILL_SHARD] != first_pid)
+            check("fleet healthz back to ok after respawn", recovered)
+            check("outage responses were correct bytes or explicit refusals",
+                  failures == [])
+            lo = KILL_SHARD * NUM_NODES // NUM_SHARDS
+            parity = [fetch(base, f"/sphere/{n}") for n in range(lo, lo + 5)]
+            check(
+                "respawned shard serves byte-identical spheres",
+                all(s == 200 and b == reference[n]
+                    for n, (s, _, b) in zip(range(lo, lo + 5), parity)),
+            )
+
+            print("phase 3: rolling SIGHUP reload mid-hammer")
+            stop = threading.Event()
+            failures = []
+            hammer_threads = [
+                threading.Thread(target=hammer,
+                                 args=(base, reference, stop, True, failures))
+                for _ in range(4)
+            ]
+            for t in hammer_threads:
+                t.start()
+            time.sleep(0.2)
+            fleet.process.send_signal(signal.SIGHUP)
+            generations = None
+            for _ in range(300):
+                status, _, body = fetch(base, "/healthz")
+                generations = [
+                    shard["store_generation"]
+                    for shard in json.loads(body)["shards"]
+                ]
+                if generations == [2] * NUM_SHARDS:
+                    break
+                time.sleep(0.1)
+            stop.set()
+            for t in hammer_threads:
+                t.join(timeout=60)
+            check("rolling reload advanced every shard to generation 2",
+                  generations == [2] * NUM_SHARDS)
+            check("zero dropped or refused requests across the rolling reload",
+                  failures == [])
+            fleet.wait_line(lambda l: "rolling reload reloaded" in l,
+                            timeout=30)
+            status, _, body = fetch(base, "/metrics")
+            check("metrics: rolling reload counted ok", metric_value(
+                body.decode(),
+                'repro_router_reloads_total{result="ok"}') == 1)
+
+            print("phase 4: loadgen smoke against the router")
+            bench = Path(tmp) / "BENCH_router.json"
+            loadgen = subprocess.run(
+                [sys.executable,
+                 str(Path(__file__).resolve().parent / "loadgen.py"),
+                 base, "--rate", "40", "--duration", "2",
+                 "--out", str(bench)],
+                capture_output=True,
+                env=subprocess_env(),
+                text=True,
+            )
+            check("loadgen exits 0", loadgen.returncode == 0)
+            report = json.loads(bench.read_text()) if bench.is_file() else {}
+            check(
+                "loadgen wrote a well-formed BENCH_router.json",
+                report.get("completed") == 80
+                and report.get("ok", 0) >= 78
+                and "p99" in report.get("latency_ms", {}),
+            )
+
+            print("phase 5: graceful drain")
+            fleet.process.send_signal(signal.SIGTERM)
+            try:
+                code = fleet.process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                fleet.process.kill()
+                check("SIGTERM drains within 60s", False)
+            check("exit code 0 after SIGTERM", code == 0)
+            fleet._reader.join(timeout=10)
+            check(
+                "drain banner printed",
+                any("shut down cleanly" in line for line in fleet.snapshot()),
+            )
+        finally:
+            if fleet.process.poll() is None:
+                fleet.process.kill()
+                fleet.process.wait(timeout=10)
+
+    print("all chaos-router checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Minimal open-loop load generator for the serving tier.
+
+Drives a running ``repro serve`` or ``repro serve-fleet`` endpoint with a
+*fixed arrival rate*: requests are dispatched on schedule whether or not
+earlier ones have completed (open-loop), so a slow server accumulates
+in-flight work and its latency tail is measured honestly instead of being
+hidden by coordinated omission.  Traffic is a deterministic mixed workload
+(single-sphere reads, cascade stats, small batches) seeded by ``--seed``.
+
+Writes a JSON benchmark artefact (default ``BENCH_router.json``) with
+p50/p99/max latency, per-status error counts and achieved throughput —
+the serving-perf trajectory artefact the ROADMAP measures future PRs
+against.
+
+Examples::
+
+    PYTHONPATH=src python scripts/loadgen.py http://127.0.0.1:8313 \
+        --rate 100 --duration 10 --out BENCH_router.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+#: Workload mix: (kind, weight).  Weights are relative, not percentages.
+MIX = (("sphere", 7), ("cascades", 2), ("batch", 1))
+
+BATCH_SIZE = 8
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[rank]
+
+
+def _fetch(base: str, path: str, body=None, timeout: float = 30.0) -> int:
+    data = json.dumps(body).encode("ascii") if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method="POST" if data is not None else "GET"
+    )
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            response.read()
+            return response.status
+    except urllib.error.HTTPError as exc:
+        exc.read()
+        return exc.code
+    except (urllib.error.URLError, TimeoutError, ConnectionError, OSError):
+        return 0  # transport failure: connection refused/reset/timeout
+
+
+def build_requests(rng: random.Random, count: int, num_nodes: int):
+    """The deterministic request mix: (path, body) pairs."""
+    kinds = [kind for kind, weight in MIX for _ in range(weight)]
+    requests = []
+    for _ in range(count):
+        kind = rng.choice(kinds)
+        if kind == "sphere":
+            requests.append((f"/sphere/{rng.randrange(num_nodes)}", None))
+        elif kind == "cascades":
+            requests.append((f"/cascades/{rng.randrange(num_nodes)}", None))
+        else:
+            nodes = rng.sample(range(num_nodes), min(BATCH_SIZE, num_nodes))
+            requests.append(("/spheres", {"nodes": nodes}))
+    return requests
+
+
+def run(base: str, *, rate: float, duration: float, seed: int,
+        timeout: float) -> dict:
+    status_code, _, health = _status_and_health(base, timeout)
+    if status_code not in (200, 503) or health is None:
+        raise SystemExit(f"loadgen: {base}/healthz unreachable")
+    num_nodes = int(health["num_nodes"])
+
+    count = max(1, int(rate * duration))
+    requests = build_requests(random.Random(seed), count, num_nodes)
+    latencies_ms: list[float] = []
+    statuses: dict[str, int] = {}
+    lock = threading.Lock()
+
+    def one(path: str, body) -> None:
+        begin = time.monotonic()
+        status = _fetch(base, path, body, timeout=timeout)
+        elapsed_ms = (time.monotonic() - begin) * 1000.0
+        key = str(status) if status else "transport_error"
+        with lock:
+            latencies_ms.append(elapsed_ms)
+            statuses[key] = statuses.get(key, 0) + 1
+
+    threads: list[threading.Thread] = []
+    start = time.monotonic()
+    for i, (path, body) in enumerate(requests):
+        # Open loop: dispatch at the scheduled arrival time, never waiting
+        # for earlier requests — queueing shows up in the latency tail.
+        wait = start + i / rate - time.monotonic()
+        if wait > 0:
+            time.sleep(wait)
+        thread = threading.Thread(target=one, args=(path, body), daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=timeout + 5.0)
+    wall = time.monotonic() - start
+
+    latencies_ms.sort()
+    ok = sum(n for code, n in statuses.items() if code.startswith("2"))
+    errors = {c: n for c, n in sorted(statuses.items())
+              if not c.startswith("2")}
+    return {
+        "target": base,
+        "workload": {
+            "rate_rps": rate,
+            "duration_s": duration,
+            "seed": seed,
+            "mix": {kind: weight for kind, weight in MIX},
+            "requests": count,
+        },
+        "completed": len(latencies_ms),
+        "ok": ok,
+        "errors": errors,
+        "latency_ms": {
+            "p50": round(percentile(latencies_ms, 0.50), 3),
+            "p90": round(percentile(latencies_ms, 0.90), 3),
+            "p99": round(percentile(latencies_ms, 0.99), 3),
+            "max": round(percentile(latencies_ms, 1.0), 3),
+        },
+        "achieved_rps": round(len(latencies_ms) / wall, 2) if wall else 0.0,
+    }
+
+
+def _status_and_health(base: str, timeout: float):
+    request = urllib.request.Request(base + "/healthz")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, dict(response.headers), json.loads(
+                response.read()
+            )
+    except urllib.error.HTTPError as exc:
+        try:
+            return exc.code, dict(exc.headers), json.loads(exc.read())
+        except ValueError:
+            return exc.code, dict(exc.headers), None
+    except (urllib.error.URLError, TimeoutError, ConnectionError, OSError):
+        return 0, {}, None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="open-loop arrival-rate load generator for repro serving"
+    )
+    parser.add_argument("base", help="server base URL, e.g. http://127.0.0.1:8313")
+    parser.add_argument("--rate", type=float, default=50.0,
+                        help="arrival rate in requests/second (default 50)")
+    parser.add_argument("--duration", type=float, default=5.0,
+                        help="seconds of scheduled arrivals (default 5)")
+    parser.add_argument("--seed", type=int, default=20160626,
+                        help="workload RNG seed (default 20160626)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request client timeout (default 30s)")
+    parser.add_argument("--out", default="BENCH_router.json",
+                        help="benchmark JSON to write (default BENCH_router.json)")
+    args = parser.parse_args(argv)
+
+    report = run(
+        args.base.rstrip("/"),
+        rate=args.rate,
+        duration=args.duration,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    latency = report["latency_ms"]
+    print(
+        f"loadgen: {report['completed']}/{report['workload']['requests']} "
+        f"requests, {report['ok']} ok, errors={report['errors'] or '{}'}, "
+        f"p50={latency['p50']}ms p99={latency['p99']}ms "
+        f"({report['achieved_rps']} rps achieved) -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -170,6 +170,23 @@ def build_parser() -> argparse.ArgumentParser:
     ia.add_argument("--jobs", type=int, default=1,
                     help="worker processes for the new worlds (0 = all cores)")
 
+    ish = isub.add_parser(
+        "shard", help="split a saved store into per-shard stores + routing map"
+    )
+    ish.add_argument("path", metavar="PATH", help="source store directory")
+    ish.add_argument("--shards", type=int, required=True,
+                     help="number of shard stores to produce")
+    ish.add_argument("--out", required=True, metavar="DIR",
+                     help="fleet directory to write (shard-NN.cidx dirs + "
+                          "partition.json)")
+    ish.add_argument("--by", choices=("node-range", "world-block"),
+                     default="node-range",
+                     help="partition responsibility by node range (servable "
+                          "by the router) or slice worlds into blocks "
+                          "(analytics only; default node-range)")
+    ish.add_argument("--force", action="store_true",
+                     help="replace an existing fleet directory at --out")
+
     iq = isub.add_parser("query", help="query a saved store without rebuilding")
     iq.add_argument("path", metavar="PATH")
     iq.add_argument("--node", type=int, default=None,
@@ -222,6 +239,44 @@ def build_parser() -> argparse.ArgumentParser:
                         "column on first touch and quarantines corruption "
                         "(default), 'full' hashes everything up front, "
                         "'fast' checks sizes only")
+    p.add_argument("--shard-id", type=int, default=None,
+                   help="this worker's shard id in a fleet (reported in "
+                        "/healthz; set by serve-fleet)")
+
+    p = sub.add_parser(
+        "serve-fleet",
+        help="sharded serving: worker per shard store + frontend router",
+    )
+    p.add_argument("fleet", metavar="DIR",
+                   help="fleet directory written by 'index shard' "
+                        "(partition.json + shard-NN.cidx/)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address for router and workers "
+                        "(default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8313,
+                   help="router bind port, 0 = ephemeral (default 8313); "
+                        "workers always bind ephemeral ports")
+    p.add_argument("--deadline", type=float, default=0.0,
+                   help="per-request deadline in seconds, applied by the "
+                        "router and passed to every worker (0 = unlimited)")
+    p.add_argument("--retry-after", type=float, default=1.0,
+                   help="Retry-After hint (seconds) on down-shard refusals")
+    p.add_argument("--max-batch", type=int, default=256,
+                   help="max nodes per POST /spheres batch (default 256)")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive transport failures that open a shard's "
+                        "router-side circuit breaker (default 3)")
+    p.add_argument("--breaker-reset", type=float, default=2.0,
+                   help="seconds an open shard breaker waits before a "
+                        "half-open probe (default 2)")
+    p.add_argument("--start-timeout", type=float, default=60.0,
+                   help="seconds to wait for every worker to come up "
+                        "(default 60)")
+    p.add_argument("--worker-arg", action="append", default=[],
+                   metavar="ARG", dest="worker_args",
+                   help="extra argument appended to every worker's serve "
+                        "command (repeatable), e.g. --worker-arg=--cache-size "
+                        "--worker-arg=4096")
 
     p = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from results/ artefacts"
@@ -367,6 +422,7 @@ def _run_index(args) -> str:
         "info": _run_index_info,
         "verify": _run_index_verify,
         "append": _run_index_append,
+        "shard": _run_index_shard,
         "query": _run_index_query,
     }
     return handlers[args.index_command](args)
@@ -469,6 +525,33 @@ def _run_index_append(args) -> str:
     )
 
 
+def _run_index_shard(args) -> str:
+    from repro.shard.partition import partition_store
+
+    try:
+        partition = partition_store(
+            args.path,
+            args.out,
+            args.shards,
+            by=args.by,
+            overwrite=args.force,
+        )
+    except (FileExistsError, ValueError) as exc:
+        raise SystemExit(f"index shard: {exc}") from exc
+    lines = [
+        f"partitioned {args.path} into {partition.num_shards} "
+        f"{partition.mode} shards at {args.out}:"
+    ]
+    unit = "nodes" if partition.mode == "node-range" else "worlds"
+    for entry in partition.shards:
+        lines.append(
+            f"  shard {entry.shard_id}: {entry.dir} "
+            f"{unit} [{entry.lo}, {entry.hi})"
+        )
+    lines.append(f"  source digest: {partition.source_digest}")
+    return "\n".join(lines)
+
+
 def _run_index_query(args) -> str:
     from repro.cascades.index import CascadeIndex
     from repro.influence.greedy_tc import infmax_tc
@@ -566,6 +649,7 @@ def _run_serve(args) -> str:
         breaker_threshold=args.breaker_threshold,
         breaker_reset=args.breaker_reset,
         verify=args.verify,
+        shard_id=args.shard_id,
     )
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
@@ -584,6 +668,24 @@ def _run_serve(args) -> str:
     )
     run_until_signal(server)
     return "serve: drained in-flight requests and shut down cleanly"
+
+
+def _run_serve_fleet(args) -> str:
+    from repro.shard.fleet import run_fleet
+
+    worker_args = ["--deadline", str(args.deadline), *args.worker_args]
+    return run_fleet(
+        args.fleet,
+        host=args.host,
+        port=args.port,
+        deadline=args.deadline if args.deadline > 0 else None,
+        retry_after=args.retry_after,
+        max_batch=args.max_batch,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset=args.breaker_reset,
+        worker_args=worker_args,
+        start_timeout=args.start_timeout,
+    )
 
 
 def _run_report(args) -> str:
@@ -615,6 +717,7 @@ _DISPATCH = {
     "sphere": _run_sphere,
     "index": _run_index,
     "serve": _run_serve,
+    "serve-fleet": _run_serve_fleet,
     "list-settings": _run_list_settings,
     "report": _run_report,
 }

@@ -75,6 +75,14 @@ KNOWN_SITES: dict[str, str] = {
     "(key: node id)",
     "serve.reload": "a hot store reload, after candidate verification "
     "and before the generation swap ('error' forces a rollback)",
+    "router.pick": "the partition-map lookup routing one request "
+    "(key: node id; 'error' surfaces as an explicit router 500)",
+    "router.forward": "one router->worker HTTP round-trip, fired before "
+    "any bytes are sent (key: shard id; 'error' counts as a transport "
+    "failure and feeds that shard's circuit breaker)",
+    "router.reload": "one shard's step of a rolling fleet reload, before "
+    "its worker is asked to swap (key: shard id; 'error' stops the roll "
+    "with a 'partial' report and the remaining shards untouched)",
 }
 
 KeyLike = Union[int, str, None]

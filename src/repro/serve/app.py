@@ -114,6 +114,7 @@ class SphereService:
         breaker_threshold: int = 5,
         breaker_reset: float = 5.0,
         verify: str = "lazy",
+        shard_id: int | None = None,
         clock: Clock = time.monotonic,
     ) -> None:
         self._index_path: str | None = None
@@ -139,6 +140,7 @@ class SphereService:
         self._size_grid_ratio = float(size_grid_ratio)
         self._source = source if source is not None else "in-memory index"
         self._verify = verify
+        self._shard_id = int(shard_id) if shard_id is not None else None
         self._clock = clock
         self._deadline_seconds = (
             float(deadline) if deadline is not None and deadline > 0 else None
@@ -267,6 +269,11 @@ class SphereService:
     @property
     def generation(self) -> int:
         return self._generation  # reprolint: disable=REP701 - snapshot read
+
+    @property
+    def shard_id(self) -> int | None:
+        """This worker's shard id when serving a fleet shard, else ``None``."""
+        return self._shard_id
 
     def new_deadline(self) -> Deadline:
         """A fresh per-request deadline from the configured budget."""
@@ -530,6 +537,8 @@ class SphereService:
             self.quarantined_columns.set(len(quarantined))
             return {
                 "status": "degraded" if degraded else "ok",
+                "shard_id": self._shard_id,
+                "store_generation": self._generation,
                 "source": self._source,
                 "num_nodes": self._index.num_nodes,
                 "num_worlds": self._index.num_worlds,

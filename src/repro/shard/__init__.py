@@ -1,0 +1,43 @@
+"""Sharded multi-process serving: partitioner, worker fleet, front router.
+
+The single-process service (:mod:`repro.serve`) caps out at one
+``ThreadingHTTPServer`` over one mmap'd store.  This package scales it out
+while keeping the *either correct or refused* contract:
+
+* :mod:`repro.shard.partition` splits a store into N independent per-shard
+  store directories plus a checksummed ``partition.json`` routing map;
+* :mod:`repro.shard.fleet` launches and supervises one
+  ``python -m repro serve`` worker per shard (respawn-on-crash with
+  bounded deterministic backoff);
+* :mod:`repro.shard.router` is the thin stdlib frontend: it routes
+  single-node queries by the partition map, scatter-gathers batches,
+  aggregates ``/healthz`` and ``/metrics`` (shard-labelled), propagates
+  worker refusals verbatim, circuit-breaks per shard, and performs rolling
+  generation-checked hot reloads.
+"""
+
+from repro.shard.errors import ShardUnavailable, UpstreamError
+from repro.shard.fleet import Fleet, WorkerHandle, run_fleet
+from repro.shard.partition import (
+    PARTITION_NAME,
+    PartitionMap,
+    ShardEntry,
+    load_partition,
+    partition_store,
+)
+from repro.shard.router import ShardRouter, StaticEndpoint
+
+__all__ = [
+    "PARTITION_NAME",
+    "Fleet",
+    "PartitionMap",
+    "ShardEntry",
+    "ShardRouter",
+    "ShardUnavailable",
+    "StaticEndpoint",
+    "UpstreamError",
+    "WorkerHandle",
+    "load_partition",
+    "partition_store",
+    "run_fleet",
+]

@@ -1,0 +1,268 @@
+"""HTTP surface of the shard router.
+
+One ``BaseHTTPRequestHandler`` subclass maps the worker URL surface onto
+:class:`~repro.shard.router.ShardRouter` methods:
+
+====== ======================== ==========================================
+method path                     router call
+====== ======================== ==========================================
+GET    /healthz                 :meth:`ShardRouter.healthz` (aggregated)
+GET    /metrics                 :meth:`ShardRouter.metrics_text` (merged)
+GET    /sphere/{node}           :meth:`ShardRouter.sphere` (relayed)
+GET    /cascades/{node}[?world] :meth:`ShardRouter.cascades` (relayed)
+POST   /spheres                 :meth:`ShardRouter.sphere_batch` (scatter)
+POST   /admin/reload            :meth:`ShardRouter.reload` (rolling)
+====== ======================== ==========================================
+
+Single-node responses are *relays*: the worker's status, body bytes,
+``Content-Type`` and ``Retry-After`` pass through unchanged, so a client
+cannot tell a routed response from a direct worker hit — including the
+worker's own 429/503/504 refusals.  Router-originated refusals (breaker
+open, worker down, malformed request) render through the same JSON error
+shape the workers use.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.errors import (
+    BadRequest,
+    NodeNotFound,
+    PayloadTooLarge,
+    RetryableError,
+    ServeError,
+)
+from repro.serve.handlers import MAX_BODY_BYTES
+from repro.serve.query import canonical_json
+from repro.shard.router import RelayResponse, ShardRouter
+
+
+def _parse_int(raw: str, name: str) -> int:
+    try:
+        return int(raw)
+    except ValueError:
+        raise BadRequest(f"{name} must be an integer, got {raw!r}") from None
+
+
+class RouterRequestHandler(BaseHTTPRequestHandler):
+    """Routes requests to the server's :class:`ShardRouter`."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-router/1.0"
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    @property
+    def router(self) -> ShardRouter:
+        return self.server.router
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _send(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        extra_headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in extra_headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload: Any, **kwargs) -> None:
+        self._send(status, canonical_json(payload), **kwargs)
+
+    def _send_relay(self, response: RelayResponse) -> int:
+        """Pass a worker response through byte-for-byte."""
+        content_type = response.headers.get("Content-Type", "application/json")
+        extra = tuple(
+            ("Retry-After", value)
+            for value in (response.headers.get("Retry-After"),)
+            if value is not None
+        )
+        self._send(
+            response.status,
+            response.body,
+            content_type=content_type,
+            extra_headers=extra,
+        )
+        return response.status
+
+    def _send_error_payload(self, exc: ServeError) -> None:
+        extra: tuple[tuple[str, str], ...] = ()
+        if isinstance(exc, RetryableError):
+            extra = (("Retry-After", format(exc.retry_after, "g")),)
+        self._send_json(
+            exc.status,
+            {"error": {"status": exc.status, "message": exc.message}},
+            extra_headers=extra,
+        )
+
+    def send_error(self, code, message=None, explain=None) -> None:  # noqa: D102
+        # Same JSON error surface as the workers for transport-level
+        # failures (unsupported method, bad request line).
+        code = int(code)
+        if message is None:
+            short, _ = self.responses.get(code, ("error", ""))
+            message = short
+        self.close_connection = True
+        try:
+            body = canonical_json(
+                {"error": {"status": code, "message": str(message)}}
+            )
+            self.send_response(code, str(message))
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.send_header("Connection", "close")
+            self.end_headers()
+            if self.command != "HEAD":
+                self.wfile.write(body)
+        except OSError:
+            pass  # client already gone
+
+    def _dispatch(self, endpoint: str, handler) -> None:
+        router = self.router
+        start = time.perf_counter()
+        status = 500
+        try:
+            status = handler()
+        except ServeError as exc:
+            status = exc.status
+            self._send_error_payload(exc)
+        except BrokenPipeError:
+            pass  # client went away mid-response
+        except Exception as exc:
+            # Includes an InjectedFault from the router.pick site: even a
+            # chaos-armed router answers with an explicit sanitized 500.
+            status = 500
+            try:
+                self._send_json(
+                    500,
+                    {"error": {"status": 500,
+                               "message": f"internal error ({type(exc).__name__})"}},
+                )
+            except OSError:
+                pass
+        finally:
+            router.request_seconds.observe(
+                time.perf_counter() - start, endpoint=endpoint
+            )
+            router.requests_total.inc(endpoint=endpoint, status=str(status))
+
+    def _query_params(self) -> dict[str, str]:
+        parsed = parse_qs(urlsplit(self.path).query, keep_blank_values=False)
+        return {name: values[-1] for name, values in parsed.items()}
+
+    def _read_json_body(self, *, required: bool) -> Any:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise BadRequest("Content-Length must be an integer") from None
+        if length <= 0:
+            if required:
+                raise BadRequest("this endpoint needs a JSON body")
+            return None
+        if length > MAX_BODY_BYTES:
+            raise PayloadTooLarge(
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from None
+
+    # -- routes --------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz":
+            self._dispatch("healthz", self._handle_healthz)
+        elif path == "/metrics":
+            self._dispatch("metrics", self._handle_metrics)
+        elif len(parts) == 2 and parts[0] == "sphere":
+            self._dispatch("sphere", lambda: self._handle_sphere(parts[1]))
+        elif len(parts) == 2 and parts[0] == "cascades":
+            self._dispatch("cascades", lambda: self._handle_cascades(parts[1]))
+        else:
+            self._dispatch("unknown", self._handle_unknown)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/")
+        if path == "/spheres":
+            self._dispatch("spheres_batch", self._handle_batch)
+        elif path == "/admin/reload":
+            self._dispatch("admin_reload", self._handle_reload)
+        else:
+            self._dispatch("unknown", self._handle_unknown)
+
+    # -- endpoint bodies (each returns the response status it sent) ----------
+
+    def _handle_healthz(self) -> int:
+        status, payload = self.router.healthz()
+        self._send_json(status, payload)
+        return status
+
+    def _handle_metrics(self) -> int:
+        body = self.router.metrics_text().encode("utf-8")
+        self._send(200, body, content_type="text/plain; version=0.0.4")
+        return 200
+
+    def _handle_sphere(self, raw_node: str) -> int:
+        node = _parse_int(raw_node, "node")
+        return self._send_relay(self.router.sphere(node))
+
+    def _handle_cascades(self, raw_node: str) -> int:
+        node = _parse_int(raw_node, "node")
+        params = self._query_params()
+        world = None
+        if "world" in params:
+            world = _parse_int(params["world"], "world")
+        return self._send_relay(self.router.cascades(node, world))
+
+    def _handle_batch(self) -> int:
+        payload = self._read_json_body(required=True)
+        if not isinstance(payload, dict) or "nodes" not in payload:
+            raise BadRequest('body must be a JSON object {"nodes": [...]}')
+        nodes = payload["nodes"]
+        if not isinstance(nodes, list):
+            raise BadRequest("'nodes' must be a list of integers")
+        self._send_json(200, self.router.sphere_batch(nodes))
+        return 200
+
+    def _handle_reload(self) -> int:
+        status, payload = self.router.reload()
+        self._send_json(status, payload)
+        return status
+
+    def _handle_unknown(self) -> int:
+        raise NodeNotFound(f"no route for {self.command} {self.path}")
+
+
+class RouterHTTPServer(ThreadingHTTPServer):
+    """Threading HTTP server that drains in-flight requests on close."""
+
+    daemon_threads = False
+    allow_reuse_address = True
+
+    def __init__(self, address, handler_class, router: ShardRouter) -> None:
+        self.router = router
+        super().__init__(address, handler_class)
+
+
+def make_router_server(
+    router: ShardRouter, host: str = "127.0.0.1", port: int = 0
+) -> RouterHTTPServer:
+    """Bind a draining router server (``port=0`` = ephemeral)."""
+    return RouterHTTPServer((host, port), RouterRequestHandler, router)

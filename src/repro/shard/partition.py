@@ -1,0 +1,373 @@
+"""Split one cascade-index store into per-shard stores + a routing map.
+
+``partition_store`` takes an existing store directory and produces a
+*fleet directory*::
+
+    fleet/
+      partition.json      <- checksummed routing map (this module)
+      shard-00.cidx/      <- independent store directory, one per shard
+      shard-01.cidx/
+      ...
+
+Two partitioning modes:
+
+``node-range``
+    Shard ``s`` *owns* the contiguous node range ``[lo_s, hi_s)`` with
+    ``lo_s = floor(s * n / N)`` — a pure function of ``(n, N)``, so the
+    router and any client computing the map independently agree.  A
+    sphere or cascade query for an owned node still needs the full graph
+    and every sampled world (a cascade can reach any node), so each
+    shard directory carries the complete column set — hard-linked from
+    the source where the filesystem allows, copied otherwise.  What is
+    partitioned is *responsibility*: each worker's cache, admission
+    slots, compute load and quarantine blast-radius cover only its
+    range.  Because ``append_worlds`` and reloads replace columns via
+    ``os.replace`` (new inode), mutating one shard never leaks into its
+    siblings despite the shared bytes.
+
+``world-block``
+    Shard ``s`` holds the contiguous world block ``[lo_s, hi_s)`` as a
+    genuinely sliced store (its columns contain only that block).  Useful
+    for distributing per-world analytics or append work; the serving
+    router refuses this mode (a sphere is a median over *all* worlds, so
+    no single world-block shard can answer it byte-identically).
+
+Every shard directory is built in a ``*.staging`` sibling and renamed
+into place, and ``partition.json`` is written last (write + ``os.replace``)
+— a crash mid-partition leaves no fleet directory that parses.  The map
+carries a self-checksum in the style of the store header, so a corrupted
+or hand-edited map is refused before any request is routed by it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.store.errors import StoreFormatError, StoreIntegrityError
+from repro.store.fingerprint import digest_text
+from repro.store.format import ARRAY_DTYPES, HEADER_NAME, read_header
+
+PathLike = Union[str, os.PathLike]
+
+PARTITION_NAME = "partition.json"
+PARTITION_MAGIC = "repro-partition-map"
+PARTITION_VERSION = 1
+
+MODES = ("node-range", "world-block")
+
+
+def shard_dir_name(shard_id: int) -> str:
+    return f"shard-{shard_id:02d}.cidx"
+
+
+def shard_ranges(total: int, num_shards: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal ranges: shard ``s`` gets ``[s*t//N, (s+1)*t//N)``.
+
+    Deterministic in ``(total, num_shards)`` alone — the routing contract
+    depends on every party computing identical boundaries.
+    """
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > total:
+        raise ValueError(
+            f"cannot split {total} units across {num_shards} shards "
+            "(at least one shard would be empty)"
+        )
+    return [
+        (s * total // num_shards, (s + 1) * total // num_shards)
+        for s in range(num_shards)
+    ]
+
+
+@dataclass(frozen=True)
+class ShardEntry:
+    """One shard's slot in the map: what it owns and where it lives."""
+
+    shard_id: int
+    dir: str
+    lo: int
+    hi: int
+    content_digest: str
+
+    def to_mapping(self, mode: str) -> dict:
+        prefix = "node" if mode == "node-range" else "world"
+        return {
+            "shard_id": self.shard_id,
+            "dir": self.dir,
+            f"{prefix}_lo": self.lo,
+            f"{prefix}_hi": self.hi,
+            "content_digest": self.content_digest,
+        }
+
+    @classmethod
+    def from_mapping(cls, raw: dict, mode: str) -> "ShardEntry":
+        prefix = "node" if mode == "node-range" else "world"
+        try:
+            return cls(
+                shard_id=int(raw["shard_id"]),
+                dir=str(raw["dir"]),
+                lo=int(raw[f"{prefix}_lo"]),
+                hi=int(raw[f"{prefix}_hi"]),
+                content_digest=str(raw["content_digest"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreFormatError(
+                f"malformed partition shard entry: {raw!r}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class PartitionMap:
+    """Parsed, validated ``partition.json`` of a fleet directory."""
+
+    mode: str
+    num_shards: int
+    num_nodes: int
+    num_worlds: int
+    source_digest: str
+    shards: tuple[ShardEntry, ...]
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise StoreFormatError(
+                f"partition mode must be one of {MODES}, got {self.mode!r}"
+            )
+        if len(self.shards) != self.num_shards:
+            raise StoreFormatError(
+                f"partition map declares {self.num_shards} shards but lists "
+                f"{len(self.shards)}"
+            )
+        total = self.num_nodes if self.mode == "node-range" else self.num_worlds
+        expected = shard_ranges(total, self.num_shards)
+        actual = [(e.lo, e.hi) for e in self.shards]
+        if actual != expected:
+            raise StoreIntegrityError(
+                f"partition ranges {actual} are not the canonical split of "
+                f"{total} units across {self.num_shards} shards {expected}"
+            )
+
+    def shard_for_node(self, node: int) -> int:
+        """The shard owning ``node`` — O(1) from the canonical split."""
+        if self.mode != "node-range":
+            raise StoreFormatError(
+                f"cannot route nodes over a {self.mode!r} partition"
+            )
+        if not 0 <= node < self.num_nodes:
+            raise KeyError(
+                f"node {node} not in index ({self.num_nodes} nodes)"
+            )
+        # Inverse of lo_s = s*n//N: candidate via the real-valued split,
+        # corrected by at most one step for the floor rounding.
+        s = min(self.num_shards - 1, node * self.num_shards // self.num_nodes)
+        while node < self.shards[s].lo:
+            s -= 1
+        while node >= self.shards[s].hi:
+            s += 1
+        return s
+
+    def to_json(self) -> str:
+        payload = {
+            "magic": PARTITION_MAGIC,
+            "format_version": PARTITION_VERSION,
+            "mode": self.mode,
+            "num_shards": self.num_shards,
+            "num_nodes": self.num_nodes,
+            "num_worlds": self.num_worlds,
+            "source_digest": self.source_digest,
+            "shards": [e.to_mapping(self.mode) for e in self.shards],
+        }
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        payload["map_checksum"] = digest_text(body)
+        return json.dumps(payload, sort_keys=True, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PartitionMap":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise StoreFormatError(
+                f"partition map is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict) or payload.get("magic") != PARTITION_MAGIC:
+            raise StoreFormatError(
+                "not a partition map (bad or missing magic string)"
+            )
+        version = payload.get("format_version")
+        if version != PARTITION_VERSION:
+            raise StoreFormatError(
+                f"unsupported partition map version {version!r} "
+                f"(this library reads version {PARTITION_VERSION})"
+            )
+        recorded = payload.pop("map_checksum", None)
+        if recorded is None:
+            raise StoreIntegrityError("partition map is missing its checksum")
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        if digest_text(body) != recorded:
+            raise StoreIntegrityError(
+                "partition map checksum mismatch — the map was corrupted or "
+                "edited"
+            )
+        try:
+            mode = str(payload["mode"])
+            shards = tuple(
+                ShardEntry.from_mapping(raw, mode) for raw in payload["shards"]
+            )
+            return cls(
+                mode=mode,
+                num_shards=int(payload["num_shards"]),
+                num_nodes=int(payload["num_nodes"]),
+                num_worlds=int(payload["num_worlds"]),
+                source_digest=str(payload["source_digest"]),
+                shards=shards,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreFormatError(
+                f"partition map is missing required fields: {exc}"
+            ) from exc
+
+
+def load_partition(fleet_dir: PathLike) -> PartitionMap:
+    """Parse and checksum-validate ``<fleet_dir>/partition.json``."""
+    root = Path(os.fspath(fleet_dir))
+    path = root / PARTITION_NAME
+    if not path.is_file():
+        raise StoreFormatError(
+            f"{root} is not a fleet directory (no {PARTITION_NAME})"
+        )
+    return PartitionMap.from_json(path.read_text())
+
+
+def verify_partition_stores(fleet_dir: PathLike, partition: PartitionMap) -> None:
+    """Check each shard directory exists and matches its recorded digest."""
+    root = Path(os.fspath(fleet_dir))
+    for entry in partition.shards:
+        shard_root = root / entry.dir
+        header = read_header(shard_root)
+        if header.content_digest != entry.content_digest:
+            raise StoreIntegrityError(
+                f"shard {entry.shard_id} at {shard_root} has content digest "
+                f"{header.content_digest}, partition map records "
+                f"{entry.content_digest} — the shard was rebuilt without "
+                "re-partitioning"
+            )
+
+
+def _link_or_copy(src: Path, dst: Path) -> None:
+    try:
+        os.link(src, dst)
+    except OSError:
+        shutil.copy2(src, dst)
+
+
+def _stage_node_range_shard(source: Path, staging: Path) -> None:
+    """Materialise one node-range shard: full column set, linked not copied."""
+    staging.mkdir(parents=True)
+    for name in ARRAY_DTYPES:
+        _link_or_copy(source / f"{name}.npy", staging / f"{name}.npy")
+    # The header is tiny; an independent copy keeps a hand-edited shard
+    # header from silently changing its siblings through a shared inode.
+    shutil.copy2(source / HEADER_NAME, staging / HEADER_NAME)
+
+
+def _stage_world_block_shard(index, lo: int, hi: int, staging: Path) -> str:
+    """Write worlds ``[lo, hi)`` of ``index`` as a standalone sliced store."""
+    import numpy as np
+
+    from repro.cascades.index import CascadeIndex
+    from repro.store.format import write_index
+
+    sub = CascadeIndex(
+        index.graph,
+        [index.condensation(w) for w in range(lo, hi)],
+        reduced=index.reduced,
+        # No sampler: worlds lo..hi of the source are *not* worlds 0..hi-lo
+        # of a fresh build, so a sliced shard cannot deterministically
+        # append — its header honestly records no seed entropy.
+        sampler=None,
+        members=[index.world_members(w) for w in range(lo, hi)],
+        node_comp=np.ascontiguousarray(index.component_matrix[:, lo:hi]),
+    )
+    header = write_index(sub, staging)
+    return header.content_digest
+
+
+def partition_store(
+    store: PathLike,
+    out: PathLike,
+    num_shards: int,
+    *,
+    by: str = "node-range",
+    overwrite: bool = False,
+) -> PartitionMap:
+    """Split ``store`` into ``num_shards`` shard stores under ``out``.
+
+    Returns the written :class:`PartitionMap`.  Refuses to clobber an
+    existing ``out`` unless ``overwrite`` is set *and* it already looks
+    like a fleet directory (never silently replaces foreign data).
+    """
+    if by not in MODES:
+        raise ValueError(f"by must be one of {MODES}, got {by!r}")
+    source = Path(os.fspath(store))
+    header = read_header(source)
+    root = Path(os.fspath(out))
+    if root.exists():
+        if not overwrite:
+            raise FileExistsError(
+                f"{root} already exists; pass overwrite=True to replace it"
+            )
+        if not (root / PARTITION_NAME).is_file():
+            raise StoreFormatError(
+                f"{root} exists and is not a fleet directory; refusing to "
+                "overwrite"
+            )
+        shutil.rmtree(root)
+    root.mkdir(parents=True)
+
+    total = header.num_nodes if by == "node-range" else header.num_worlds
+    ranges = shard_ranges(total, num_shards)
+    index = None
+    if by == "world-block":
+        from repro.cascades.index import CascadeIndex
+
+        index = CascadeIndex.load(source)
+
+    entries: list[ShardEntry] = []
+    for shard_id, (lo, hi) in enumerate(ranges):
+        name = shard_dir_name(shard_id)
+        final = root / name
+        staging = root / (name + ".staging")
+        if staging.exists():
+            shutil.rmtree(staging)
+        if by == "node-range":
+            _stage_node_range_shard(source, staging)
+            digest = header.content_digest
+        else:
+            digest = _stage_world_block_shard(index, lo, hi, staging)
+        os.rename(staging, final)
+        entries.append(
+            ShardEntry(
+                shard_id=shard_id,
+                dir=name,
+                lo=lo,
+                hi=hi,
+                content_digest=digest,
+            )
+        )
+
+    partition = PartitionMap(
+        mode=by,
+        num_shards=num_shards,
+        num_nodes=header.num_nodes,
+        num_worlds=header.num_worlds,
+        source_digest=header.content_digest,
+        shards=tuple(entries),
+    )
+    tmp = root / (PARTITION_NAME + ".tmp")
+    tmp.write_text(partition.to_json())
+    os.replace(tmp, root / PARTITION_NAME)
+    return partition

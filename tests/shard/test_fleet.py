@@ -1,0 +1,139 @@
+"""Fleet supervision with real worker processes, and the shard CLI."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import urllib.request
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.runtime.supervisor import SupervisorConfig
+from repro.shard.fleet import Fleet, WorkerHandle
+
+FAST_BACKOFF = SupervisorConfig(backoff_base=0.05, backoff_max=0.2)
+
+
+def _wait_for_address(worker, timeout=30.0) -> str:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        address = worker.address()
+        if address is not None:
+            return address
+        time.sleep(0.05)
+    raise AssertionError(f"worker {worker.shard_id} never came up")
+
+
+def _healthz(address: str) -> dict:
+    with urllib.request.urlopen(address + "/healthz", timeout=10) as response:
+        return json.loads(response.read())
+
+
+class TestWorkerHandle:
+    def test_spawns_serves_and_reports_shard_id(self, fleet_dir, partition):
+        worker = WorkerHandle(
+            1,
+            fleet_dir / partition.shards[1].dir,
+            config=FAST_BACKOFF,
+            on_event=lambda line: None,
+        )
+        worker.start()
+        try:
+            address = _wait_for_address(worker)
+            payload = _healthz(address)
+            assert payload["shard_id"] == 1
+            assert payload["store_generation"] == 1
+        finally:
+            worker.stop()
+        assert worker.address() is None
+
+    def test_respawns_after_sigkill(self, fleet_dir, partition):
+        worker = WorkerHandle(
+            0,
+            fleet_dir / partition.shards[0].dir,
+            config=FAST_BACKOFF,
+            on_event=lambda line: None,
+        )
+        worker.start()
+        try:
+            _wait_for_address(worker)
+            first_pid = worker.pid()
+            os.kill(first_pid, signal.SIGKILL)
+            # The supervisor notices the exit, clears the address, and
+            # respawns after its deterministic backoff.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if worker.pid() not in (None, first_pid) and worker.address():
+                    break
+                time.sleep(0.05)
+            else:
+                raise AssertionError("worker was not respawned")
+            assert worker.spawns == 2
+            assert _healthz(worker.address())["shard_id"] == 0
+        finally:
+            worker.stop()
+
+    def test_stop_before_banner_terminates_cleanly(self, fleet_dir, partition):
+        worker = WorkerHandle(
+            2,
+            fleet_dir / partition.shards[2].dir,
+            config=FAST_BACKOFF,
+            on_event=lambda line: None,
+        )
+        worker.start()
+        worker.stop()
+        assert worker.address() is None
+
+
+class TestFleet:
+    def test_start_waits_for_every_worker(self, fleet_dir):
+        fleet = Fleet(
+            fleet_dir, config=FAST_BACKOFF, on_event=lambda line: None
+        )
+        fleet.start(timeout=60.0)
+        try:
+            seen = set()
+            for worker in fleet.workers:
+                payload = _healthz(worker.address())
+                seen.add(payload["shard_id"])
+            assert seen == {0, 1, 2}
+        finally:
+            fleet.stop()
+
+
+class TestShardCLI:
+    def test_index_shard_writes_a_fleet(self, store_path, tmp_path, capsys):
+        out = tmp_path / "fleet"
+        code = main([
+            "index", "shard", str(store_path), "--shards", "2",
+            "--out", str(out),
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "partitioned" in stdout and "shard 1" in stdout
+        assert (out / "partition.json").is_file()
+        assert (out / "shard-00.cidx").is_dir()
+        assert (out / "shard-01.cidx").is_dir()
+
+    def test_index_shard_refuses_clobber(self, store_path, tmp_path):
+        target = tmp_path / "occupied"
+        target.mkdir()
+        with pytest.raises(SystemExit):
+            main([
+                "index", "shard", str(store_path), "--shards", "2",
+                "--out", str(target),
+            ])
+
+    def test_parser_accepts_fleet_flags(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "serve-fleet", "fleet/", "--port", "0", "--deadline", "2.5",
+            "--worker-arg=--cache-size", "--worker-arg=4096",
+        ])
+        assert args.command == "serve-fleet"
+        assert args.worker_args == ["--cache-size", "4096"]
+        args = parser.parse_args(["serve", "idx/", "--shard-id", "3"])
+        assert args.shard_id == 3
