@@ -1,0 +1,363 @@
+#!/usr/bin/env python
+"""Chaos gate for the durable seed-selection job service
+(.github/workflows/ci.yml).
+
+Runs a real ``python -m repro serve --jobs`` process (process-mode
+workers — the deployment shape) with torn-write faults armed on the
+``jobs.commit`` journal site, keeps live ``/sphere`` read traffic
+hammering throughout, and verifies the durability contract end to end:
+
+1. **torn journal commit** — every job's first attempt tears its first
+   ``step`` append (half a line hits the disk, the worker dies); the
+   manager truncates the torn tail, respawns, and the finished job's
+   result is byte-identical to an uninterrupted serial reference;
+2. **worker SIGKILL mid-selection** — a slow job's worker process is
+   SIGKILLed after >= 2 committed steps; the respawned attempt resumes
+   from the journalled prefix and the final seed set has byte parity
+   with the serial reference (resume purity);
+3. **cancellation frees every slot** — running and queued jobs are
+   cancelled over HTTP; afterwards the ``repro_jobs_running`` and
+   ``repro_jobs_queued`` gauges are both zero and a fresh job completes;
+4. **idempotent submission** — re-submitting the same payload and key
+   returns the same job id with ``deduplicated: true`` (status 200);
+5. **deadline enforcement** — a job with an exceeded wall-clock deadline
+   settles ``failed-permanent`` and frees its slot;
+6. **live traffic unharmed** — the concurrent ``/sphere`` hammer saw
+   only byte-correct responses across every chaos phase;
+7. **loadgen smoke** — ``scripts/loadgen.py --jobs`` drives the tier and
+   writes a well-formed ``BENCH_jobs.json``;
+8. **graceful drain** — SIGTERM exits 0.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_chaos_jobs.py
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from check_serve import check, fetch, metric_value, subprocess_env  # noqa: E402
+
+from repro.cascades.index import CascadeIndex  # noqa: E402
+from repro.core.typical_cascade import TypicalCascadeComputer  # noqa: E402
+from repro.graph.generators import powerlaw_outdegree_digraph  # noqa: E402
+from repro.jobs.select import run_to_completion  # noqa: E402
+from repro.jobs.spec import JobSpec  # noqa: E402
+from repro.problearn.assign import assign_fixed  # noqa: E402
+from repro.runtime.faults import ENV_VAR, FaultPlan, FaultSpec  # noqa: E402
+from repro.serve import query as q  # noqa: E402
+
+SAMPLES = 8
+SEED = 20160626
+NUM_NODES = 60
+TERMINAL = ("done", "cancelled", "failed-permanent")
+
+#: Job ids are assigned sequentially (j000001, j000002, ...), so each
+#: phase knows its job's id up front and can key per-job fault specs.
+TORN_JOB = "j000001"
+KILL_JOB = "j000002"
+SLOW_A, SLOW_B, QUEUED_JOB = "j000003", "j000004", "j000005"
+# j000006 is the freed-slot probe of phase 3, j000007 the keyed submit of
+# phase 4 — ids are sequential, so the deadline phase gets j000008.
+DEADLINE_JOB = "j000008"
+
+
+def build_store(tmp: Path) -> Path:
+    graph = assign_fixed(
+        powerlaw_outdegree_digraph(NUM_NODES, mean_degree=5.0, seed=7), 0.15
+    )
+    index = CascadeIndex.build(graph, SAMPLES, seed=11)
+    store = tmp / "idx"
+    index.save(store, format="store")
+    return store
+
+
+def reference_result(store: Path, payload: dict) -> bytes:
+    """Canonical bytes of the uninterrupted serial selection."""
+    index = CascadeIndex.load(store)
+    spec = JobSpec.from_payload(payload, index.num_nodes)
+    return q.canonical_json(run_to_completion(spec, index))
+
+
+def sphere_references(store: Path) -> dict[int, bytes]:
+    index = CascadeIndex.load(store)
+    computer = TypicalCascadeComputer(index, size_grid_ratio=1.15)
+    return {
+        node: q.canonical_json(q.sphere_payload(node, computer.compute(node)))
+        for node in range(NUM_NODES)
+    }
+
+
+def wait_job(base: str, job_id: str, timeout: float = 120.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _, body = fetch(base, f"/jobs/{job_id}")
+        view = json.loads(body)
+        if status == 200 and view["state"] in TERMINAL:
+            return view
+        time.sleep(0.05)
+    raise AssertionError(f"job {job_id} never settled within {timeout:g}s")
+
+
+def wait_gauges_zero(base: str, timeout: float = 15.0) -> bool:
+    """Poll /metrics until both job gauges read zero.
+
+    The journal turns terminal a beat before the manager's drive loop
+    observes the outcome and settles the gauges, so a single read races.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        _, _, body = fetch(base, "/metrics")
+        text = body.decode()
+        if (
+            metric_value(text, "repro_jobs_running") == 0
+            and metric_value(text, "repro_jobs_queued") == 0
+        ):
+            return True
+        time.sleep(0.05)
+    return False
+
+
+def wait_steps(base: str, job_id: str, steps: int, timeout: float = 60.0) -> dict:
+    """Poll until the job has committed >= ``steps`` and has a worker pid."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, _, body = fetch(base, f"/jobs/{job_id}")
+        view = json.loads(body)
+        if (
+            status == 200
+            and view["steps"] >= steps
+            and view.get("worker_pid")
+            and view["state"] == "running"
+        ):
+            return view
+        time.sleep(0.02)
+    raise AssertionError(
+        f"job {job_id} never reached {steps} committed running steps"
+    )
+
+
+def hammer(base: str, reference: dict[int, bytes], stop: threading.Event,
+           failures: list) -> None:
+    """Live read traffic: every /sphere response must be correct bytes."""
+    while not stop.is_set():
+        for node in range(0, NUM_NODES, 3):
+            if stop.is_set():
+                return
+            try:
+                status, _, body = fetch(base, f"/sphere/{node}")
+            except Exception as exc:
+                failures.append((node, "transport", repr(exc)))
+                continue
+            if not (status == 200 and body == reference[node]):
+                failures.append((node, status, body[:160]))
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp_str:
+        tmp = Path(tmp_str)
+        print("phase 0: build store + uninterrupted serial references")
+        store = build_store(tmp)
+        torn_payload = {"model": "celfpp", "k": 6}
+        kill_payload = {"model": "greedy_tc", "k": 8}
+        torn_reference = reference_result(store, torn_payload)
+        kill_reference = reference_result(store, kill_payload)
+        spheres = sphere_references(store)
+
+        # One fault plan for the whole serve process (workers inherit it):
+        # - every job's attempt 0 tears its first `step` journal append;
+        # - the SIGKILL-phase job runs slow on attempts 0-2 so the kill
+        #   lands mid-selection and the resumed attempt is observable;
+        # - the cancellation/deadline jobs run slow on every attempt.
+        plan = FaultPlan.of(
+            FaultSpec(site="jobs.commit", kind="torn", key="step",
+                      attempts=(0,)),
+            FaultSpec(site="jobs.step", kind="sleep", key=KILL_JOB,
+                      attempts=(0, 1, 2), seconds=0.25),
+            *[
+                FaultSpec(site="jobs.step", kind="sleep", key=job,
+                          attempts=(0, 1, 2, 3), seconds=0.5)
+                for job in (SLOW_A, SLOW_B, QUEUED_JOB, DEADLINE_JOB)
+            ],
+        )
+        env = subprocess_env()
+        env[ENV_VAR] = plan.to_json()
+        jobs_dir = tmp / "jobs"
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve", str(store),
+                "--port", "0", "--jobs", "--jobs-dir", str(jobs_dir),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            check("serve --jobs came up", "http://" in banner)
+            base = banner.rsplit(" on ", 1)[1].strip()
+            print(f"server: {base}")
+
+            stop = threading.Event()
+            failures: list = []
+            hammer_thread = threading.Thread(
+                target=hammer, args=(base, spheres, stop, failures),
+                daemon=True,
+            )
+            hammer_thread.start()
+
+            print("phase 1: torn jobs.commit -> truncate, respawn, byte parity")
+            status, _, body = fetch(base, "/jobs/infmax", method="POST",
+                                    body=torn_payload)
+            check("submit accepted (202)", status == 202)
+            check("job id assigned as expected",
+                  json.loads(body)["id"] == TORN_JOB)
+            view = wait_job(base, TORN_JOB)
+            check("torn job finished done", view["state"] == "done")
+            check("torn write cost exactly one respawn", view["attempts"] == 2)
+            status, _, body = fetch(base, f"/jobs/{TORN_JOB}/result")
+            result = q.canonical_json(json.loads(body)["result"])
+            check("result has byte parity with the serial reference",
+                  status == 200 and result == torn_reference)
+            journal_bytes = (jobs_dir / TORN_JOB / "journal.jsonl").read_bytes()
+            check("repaired journal is newline-terminated (no torn tail)",
+                  journal_bytes.endswith(b"\n"))
+
+            print("phase 2: SIGKILL the worker mid-selection, resume parity")
+            status, _, body = fetch(base, "/jobs/infmax", method="POST",
+                                    body=kill_payload)
+            check("kill-phase submit accepted",
+                  status == 202 and json.loads(body)["id"] == KILL_JOB)
+            view = wait_steps(base, KILL_JOB, 2)
+            victim = view["worker_pid"]
+            before_steps = view["steps"]
+            subprocess.run(["kill", "-9", str(victim)], check=True)
+            view = wait_job(base, KILL_JOB)
+            check("killed job finished done", view["state"] == "done")
+            check("the SIGKILL forced at least one extra attempt",
+                  view["attempts"] >= 3)  # torn attempt + killed + finisher
+            check("resume continued past the committed prefix",
+                  view["steps"] == 8 and view["steps"] > before_steps)
+            status, _, body = fetch(base, f"/jobs/{KILL_JOB}/result")
+            check(
+                "resumed seed set has byte parity with the serial reference",
+                status == 200
+                and q.canonical_json(json.loads(body)["result"])
+                == kill_reference,
+            )
+
+            print("phase 3: cancellation frees every admission slot")
+            for job, payload in (
+                (SLOW_A, {"model": "celfpp", "k": 30}),
+                (SLOW_B, {"model": "celfpp", "k": 31}),
+                (QUEUED_JOB, {"model": "celfpp", "k": 32}),
+            ):
+                status, _, body = fetch(base, "/jobs/infmax", method="POST",
+                                        body=payload)
+                check(f"{job} submitted", status == 202
+                      and json.loads(body)["id"] == job)
+            # Default max_running is 2: the third job must be queued.
+            status, _, body = fetch(base, f"/jobs/{QUEUED_JOB}")
+            check("third job queued behind the slot limit",
+                  json.loads(body)["state"] == "queued")
+            for job in (QUEUED_JOB, SLOW_A, SLOW_B):
+                status, _, _ = fetch(base, f"/jobs/{job}/cancel",
+                                     method="POST")
+                check(f"cancel {job} accepted", status == 200)
+            for job in (SLOW_A, SLOW_B, QUEUED_JOB):
+                check(f"{job} settled cancelled",
+                      wait_job(base, job)["state"] == "cancelled")
+            check("running and queued gauges drained to 0",
+                  wait_gauges_zero(base))
+            status, _, body = fetch(base, "/jobs/infmax", method="POST",
+                                    body={"model": "greedy_tc", "k": 3})
+            probe = json.loads(body)["id"]
+            check("freed slots admit and finish new work",
+                  wait_job(base, probe)["state"] == "done")
+
+            print("phase 4: idempotent double-submit")
+            payload = {"model": "celfpp", "k": 4, "idempotency_key": "chaos-1"}
+            status, _, body = fetch(base, "/jobs/infmax", method="POST",
+                                    body=payload)
+            first = json.loads(body)
+            check("first keyed submit is 202", status == 202)
+            status, _, body = fetch(base, "/jobs/infmax", method="POST",
+                                    body=payload)
+            second = json.loads(body)
+            check(
+                "duplicate submit returns the same job, deduplicated, 200",
+                status == 200
+                and second["id"] == first["id"]
+                and second.get("deduplicated") is True,
+            )
+            wait_job(base, first["id"])
+
+            print("phase 5: wall-clock deadline settles failed-permanent")
+            status, _, body = fetch(
+                base, "/jobs/infmax", method="POST",
+                body={"model": "celfpp", "k": 40, "deadline": 1.0},
+            )
+            check("deadline job submitted",
+                  status == 202 and json.loads(body)["id"] == DEADLINE_JOB)
+            view = wait_job(base, DEADLINE_JOB)
+            check("deadline exceeded -> failed-permanent",
+                  view["state"] == "failed-permanent"
+                  and "deadline" in (view["error"] or ""))
+            check("deadline job freed its slot", wait_gauges_zero(base))
+
+            print("phase 6: live /sphere traffic stayed byte-correct")
+            stop.set()
+            hammer_thread.join(timeout=30)
+            check("zero read-path violations during job chaos",
+                  failures == [])
+
+            print("phase 7: loadgen --jobs smoke")
+            bench = tmp / "BENCH_jobs.json"
+            loadgen = subprocess.run(
+                [sys.executable,
+                 str(Path(__file__).resolve().parent / "loadgen.py"),
+                 base, "--jobs", "--rate", "4", "--duration", "2",
+                 "--out", str(bench)],
+                capture_output=True,
+                env=subprocess_env(),
+                text=True,
+                timeout=300,
+            )
+            check("loadgen --jobs exits 0", loadgen.returncode == 0)
+            report = json.loads(bench.read_text()) if bench.is_file() else {}
+            check(
+                "loadgen wrote a well-formed BENCH_jobs.json",
+                "p99" in report.get("submit_latency_ms", {})
+                and report.get("jobs", {}).get("undrained") == 0
+                and report.get("error_budget", {}).get("errors") == 0,
+            )
+
+            print("phase 8: graceful drain")
+            process.send_signal(signal.SIGTERM)
+            try:
+                code = process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                check("SIGTERM drains within 60s", False)
+            check("exit code 0 after SIGTERM", code == 0)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
+
+    print("all chaos-jobs checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

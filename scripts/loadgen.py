@@ -13,10 +13,19 @@ p50/p99/max latency, per-status error counts and achieved throughput —
 the serving-perf trajectory artefact the ROADMAP measures future PRs
 against.
 
+With ``--jobs`` the generator drives the durable job tier instead:
+open-loop ``POST /jobs/infmax`` submissions across every job model, then
+a drain phase polling each accepted job to a terminal state.  The
+artefact (default ``BENCH_jobs.json``) reports p50/p99 *submit* latency,
+achieved submit throughput, the shed count (429s are load shedding, not
+errors) and the error budget.
+
 Examples::
 
     PYTHONPATH=src python scripts/loadgen.py http://127.0.0.1:8313 \
         --rate 100 --duration 10 --out BENCH_router.json
+    PYTHONPATH=src python scripts/loadgen.py http://127.0.0.1:8314 \
+        --jobs --rate 5 --duration 4
 """
 
 from __future__ import annotations
@@ -34,6 +43,16 @@ import urllib.request
 MIX = (("sphere", 7), ("cascades", 2), ("batch", 1))
 
 BATCH_SIZE = 8
+
+#: Job-submission mix for ``--jobs`` (kind, weight): the payload templates
+#: cycle through every job model the service runs, small enough that a
+#: load test's jobs actually drain.
+JOB_MIX = (
+    ({"model": "celfpp", "k": 3}, 3),
+    ({"model": "greedy_tc", "k": 3}, 3),
+    ({"model": "stability", "k": 3}, 2),
+    ({"model": "ris", "k": 3, "num_rr_sets": 200, "rr_seed": 7}, 2),
+)
 
 
 def percentile(sorted_values: list[float], q: float) -> float:
@@ -141,6 +160,143 @@ def run(base: str, *, rate: float, duration: float, seed: int,
     }
 
 
+def _fetch_json(base: str, path: str, body=None, timeout: float = 30.0):
+    """(status, parsed JSON or None) for one request."""
+    data = json.dumps(body).encode("ascii") if body is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method="POST" if data is not None else "GET"
+    )
+    if data is not None:
+        request.add_header("Content-Type", "application/json")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            return exc.code, json.loads(exc.read())
+        except ValueError:
+            return exc.code, None
+    except (urllib.error.URLError, TimeoutError, ConnectionError, OSError):
+        return 0, None
+
+
+def run_jobs(base: str, *, rate: float, duration: float, seed: int,
+             timeout: float, drain_timeout: float = 120.0) -> dict:
+    """Open-loop job submissions, then drain: the jobs-tier benchmark.
+
+    Submits at the scheduled arrival rate (unique idempotency keys, so
+    every arrival is a distinct job), records per-submit latency and
+    status, then polls until every accepted job settles.  A 429
+    (queue full) is load shedding, not an error: it lands in ``shed``
+    and stays out of the error budget.
+    """
+    status_code, _, health = _status_and_health(base, timeout)
+    if status_code not in (200, 503) or health is None:
+        raise SystemExit(f"loadgen: {base}/healthz unreachable")
+    if "jobs" not in health:
+        raise SystemExit(
+            "loadgen: target has no job service (start serve with --jobs)"
+        )
+
+    count = max(1, int(rate * duration))
+    rng = random.Random(seed)
+    payloads = [payload for payload, weight in JOB_MIX for _ in range(weight)]
+    submits = []
+    for i in range(count):
+        payload = dict(rng.choice(payloads))
+        payload["idempotency_key"] = f"loadgen-{seed}-{i}"
+        submits.append(payload)
+
+    latencies_ms: list[float] = []
+    statuses: dict[str, int] = {}
+    accepted: list[str] = []
+    lock = threading.Lock()
+
+    def one(payload: dict) -> None:
+        begin = time.monotonic()
+        status, view = _fetch_json(base, "/jobs/infmax", payload, timeout=timeout)
+        elapsed_ms = (time.monotonic() - begin) * 1000.0
+        key = str(status) if status else "transport_error"
+        with lock:
+            latencies_ms.append(elapsed_ms)
+            statuses[key] = statuses.get(key, 0) + 1
+            if status in (200, 202) and isinstance(view, dict) and "id" in view:
+                accepted.append(view["id"])
+
+    threads: list[threading.Thread] = []
+    start = time.monotonic()
+    for i, payload in enumerate(submits):
+        wait = start + i / rate - time.monotonic()
+        if wait > 0:
+            time.sleep(wait)
+        thread = threading.Thread(target=one, args=(payload,), daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=timeout + 5.0)
+    submit_wall = time.monotonic() - start
+
+    # Drain: poll every accepted job to a terminal state.
+    terminal = ("done", "cancelled", "failed-permanent")
+    final_states: dict[str, int] = {}
+    pending = list(dict.fromkeys(accepted))
+    drain_deadline = time.monotonic() + drain_timeout
+    while pending and time.monotonic() < drain_deadline:
+        still = []
+        for job_id in pending:
+            status, view = _fetch_json(base, f"/jobs/{job_id}", timeout=timeout)
+            state = view.get("state") if isinstance(view, dict) else None
+            if status == 200 and state in terminal:
+                final_states[state] = final_states.get(state, 0) + 1
+            else:
+                still.append(job_id)
+        pending = still
+        if pending:
+            time.sleep(0.1)
+    drain_wall = time.monotonic() - start - submit_wall
+
+    latencies_ms.sort()
+    ok = sum(n for code, n in statuses.items() if code.startswith("2"))
+    shed = statuses.get("429", 0)
+    errors = {c: n for c, n in sorted(statuses.items())
+              if not c.startswith("2") and c != "429"}
+    error_count = sum(errors.values())
+    return {
+        "target": base,
+        "workload": {
+            "kind": "jobs",
+            "rate_rps": rate,
+            "duration_s": duration,
+            "seed": seed,
+            "mix": [payload["model"] for payload, _ in JOB_MIX],
+            "requests": count,
+        },
+        "completed": len(latencies_ms),
+        "ok": ok,
+        "shed": shed,
+        "errors": errors,
+        "error_budget": {
+            "errors": error_count,
+            "rate": round(error_count / max(1, len(latencies_ms)), 4),
+        },
+        "submit_latency_ms": {
+            "p50": round(percentile(latencies_ms, 0.50), 3),
+            "p90": round(percentile(latencies_ms, 0.90), 3),
+            "p99": round(percentile(latencies_ms, 0.99), 3),
+            "max": round(percentile(latencies_ms, 1.0), 3),
+        },
+        "achieved_submit_rps": (
+            round(len(latencies_ms) / submit_wall, 2) if submit_wall else 0.0
+        ),
+        "jobs": {
+            "accepted": len(accepted),
+            "final_states": dict(sorted(final_states.items())),
+            "undrained": len(pending),
+            "drain_seconds": round(drain_wall, 2),
+        },
+    }
+
+
 def _status_and_health(base: str, timeout: float):
     request = urllib.request.Request(base + "/healthz")
     try:
@@ -170,27 +326,57 @@ def main(argv=None) -> int:
                         help="workload RNG seed (default 20160626)")
     parser.add_argument("--timeout", type=float, default=30.0,
                         help="per-request client timeout (default 30s)")
-    parser.add_argument("--out", default="BENCH_router.json",
-                        help="benchmark JSON to write (default BENCH_router.json)")
+    parser.add_argument("--jobs", action="store_true",
+                        help="drive the /jobs tier instead of the read path")
+    parser.add_argument("--drain-timeout", type=float, default=120.0,
+                        help="seconds to wait for submitted jobs to settle "
+                             "(--jobs only, default 120)")
+    parser.add_argument("--out", default=None,
+                        help="benchmark JSON to write (default "
+                             "BENCH_router.json, BENCH_jobs.json with --jobs)")
     args = parser.parse_args(argv)
+    out = args.out or ("BENCH_jobs.json" if args.jobs else "BENCH_router.json")
 
-    report = run(
-        args.base.rstrip("/"),
-        rate=args.rate,
-        duration=args.duration,
-        seed=args.seed,
-        timeout=args.timeout,
-    )
-    with open(args.out, "w") as handle:
+    if args.jobs:
+        report = run_jobs(
+            args.base.rstrip("/"),
+            rate=args.rate,
+            duration=args.duration,
+            seed=args.seed,
+            timeout=args.timeout,
+            drain_timeout=args.drain_timeout,
+        )
+    else:
+        report = run(
+            args.base.rstrip("/"),
+            rate=args.rate,
+            duration=args.duration,
+            seed=args.seed,
+            timeout=args.timeout,
+        )
+    with open(out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    latency = report["latency_ms"]
-    print(
-        f"loadgen: {report['completed']}/{report['workload']['requests']} "
-        f"requests, {report['ok']} ok, errors={report['errors'] or '{}'}, "
-        f"p50={latency['p50']}ms p99={latency['p99']}ms "
-        f"({report['achieved_rps']} rps achieved) -> {args.out}"
-    )
+    if args.jobs:
+        latency = report["submit_latency_ms"]
+        jobs = report["jobs"]
+        print(
+            f"loadgen: {report['completed']}/{report['workload']['requests']} "
+            f"submits, {report['ok']} ok, shed={report['shed']}, "
+            f"errors={report['errors'] or '{}'}, "
+            f"p50={latency['p50']}ms p99={latency['p99']}ms "
+            f"({report['achieved_submit_rps']} rps), "
+            f"jobs settled={jobs['final_states'] or '{}'} "
+            f"undrained={jobs['undrained']} -> {out}"
+        )
+    else:
+        latency = report["latency_ms"]
+        print(
+            f"loadgen: {report['completed']}/{report['workload']['requests']} "
+            f"requests, {report['ok']} ok, errors={report['errors'] or '{}'}, "
+            f"p50={latency['p50']}ms p99={latency['p99']}ms "
+            f"({report['achieved_rps']} rps achieved) -> {out}"
+        )
     return 0
 
 

@@ -16,6 +16,9 @@ Usage::
     python -m repro index query idx/ --node 5 --sphere --infmax 10
     python -m repro index query idx/ --node 5 --sphere --json
     python -m repro serve idx/ --spheres spheres.npz --port 8314
+    python -m repro serve idx/ --jobs --port 8314
+    python -m repro jobs submit --model celfpp --k 10 --wait
+    python -m repro jobs status j000000
     python -m repro list-settings
 
 Every subcommand prints the same rows/series the paper reports; see
@@ -242,6 +245,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-id", type=int, default=None,
                    help="this worker's shard id in a fleet (reported in "
                         "/healthz; set by serve-fleet)")
+    p.add_argument("--jobs", action="store_true",
+                   help="enable the durable seed-selection job service "
+                        "(POST /jobs/infmax and the /jobs/* surface)")
+    p.add_argument("--jobs-dir", default=None, metavar="DIR",
+                   help="directory holding per-job journals "
+                        "(default: <store>.jobs)")
+    p.add_argument("--jobs-mode", choices=("process", "thread"),
+                   default="process",
+                   help="run job attempts in supervised worker subprocesses "
+                        "(default; survives SIGKILL) or in-process threads")
+    p.add_argument("--jobs-max-running", type=int, default=2,
+                   help="job attempts running concurrently (default 2)")
+    p.add_argument("--jobs-max-queued", type=int, default=16,
+                   help="queued jobs before submissions are refused with "
+                        "429 (default 16)")
+    p.add_argument("--jobs-retries", type=int, default=3,
+                   help="retryable worker failures per job before it is "
+                        "failed permanently (default 3)")
 
     p = sub.add_parser(
         "serve-fleet",
@@ -277,6 +298,56 @@ def build_parser() -> argparse.ArgumentParser:
                    help="extra argument appended to every worker's serve "
                         "command (repeatable), e.g. --worker-arg=--cache-size "
                         "--worker-arg=4096")
+    p.add_argument("--jobs-store", default=None, metavar="PATH",
+                   help="full (unsharded) index store to run seed-selection "
+                        "jobs over; spawns a dedicated jobs worker and "
+                        "relays /jobs/* to it")
+    p.add_argument("--jobs-dir", default=None, metavar="DIR",
+                   help="job journal directory for the jobs worker "
+                        "(default: <jobs-store>.jobs)")
+
+    p = sub.add_parser(
+        "jobs", help="HTTP client for the seed-selection job service"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8314", metavar="URL",
+                   help="base URL of a serve --jobs server or a jobs-enabled "
+                        "fleet router (default http://127.0.0.1:8314)")
+    jsub = p.add_subparsers(dest="jobs_command", required=True)
+    js = jsub.add_parser("submit", help="submit an infmax job")
+    js.add_argument("--model", required=True,
+                    choices=("greedy_tc", "celfpp", "ris", "cost_aware",
+                             "stability"))
+    js.add_argument("--k", type=int, required=True,
+                    help="seed-set size to select")
+    js.add_argument("--budget", type=float, default=None,
+                    help="total cost budget (required by cost_aware)")
+    js.add_argument("--deadline", type=float, default=None,
+                    help="wall-clock budget in seconds from submission")
+    js.add_argument("--num-rr-sets", type=int, default=None,
+                    help="RIS sample budget (ris model only)")
+    js.add_argument("--rr-seed", type=int, default=None,
+                    help="RIS sampling seed (ris model only)")
+    js.add_argument("--max-cost", type=float, default=None,
+                    help="skip nodes costlier than this (cost_aware only)")
+    js.add_argument("--node-cost", action="append", default=[],
+                    metavar="NODE=COST", dest="node_costs",
+                    help="per-node cost override (repeatable)")
+    js.add_argument("--idempotency-key", default=None, metavar="KEY",
+                    help="resubmitting the same key + spec returns the "
+                         "original job instead of a duplicate")
+    js.add_argument("--wait", action="store_true",
+                    help="poll until the job reaches a terminal state and "
+                         "print the final status")
+    js.add_argument("--poll-interval", type=float, default=0.2,
+                    help="seconds between --wait polls (default 0.2)")
+    for name, help_text in (
+        ("status", "print one job's state"),
+        ("result", "print a finished job's seed set"),
+        ("cancel", "request cooperative cancellation"),
+    ):
+        jp = jsub.add_parser(name, help=help_text)
+        jp.add_argument("job_id", metavar="JOB_ID")
+    jsub.add_parser("list", help="list every journalled job")
 
     p = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from results/ artefacts"
@@ -651,6 +722,21 @@ def _run_serve(args) -> str:
         verify=args.verify,
         shard_id=args.shard_id,
     )
+    manager = None
+    if args.jobs:
+        from repro.jobs.manager import JobManager
+
+        manager = JobManager(
+            service.index,
+            args.jobs_dir if args.jobs_dir else f"{args.store}.jobs",
+            index_path=args.store,
+            registry=service.registry,
+            mode=args.jobs_mode,
+            max_running=args.jobs_max_running,
+            max_queued=args.jobs_max_queued,
+            max_retries=args.jobs_retries,
+        )
+        service.attach_jobs(manager)
     server = make_server(service, args.host, args.port)
     host, port = server.server_address[:2]
     spheres_note = (
@@ -658,15 +744,22 @@ def _run_serve(args) -> str:
         if service.spheres is not None
         else ""
     )
+    jobs_note = f", jobs ({args.jobs_mode} mode)" if manager is not None else ""
     # Printed (and flushed) before blocking so wrappers scripting the server
     # can scrape the bound port — --port 0 binds an ephemeral one.
     print(
         f"serving {args.store} ({service.index.num_nodes} nodes, "
-        f"{service.index.num_worlds} worlds{spheres_note}) "
+        f"{service.index.num_worlds} worlds{spheres_note}{jobs_note}) "
         f"on http://{host}:{port}",
         flush=True,
     )
-    run_until_signal(server)
+    try:
+        run_until_signal(server)
+    finally:
+        # Stop accepting/driving job attempts only after the HTTP server
+        # has drained, so in-flight submissions settle their journals.
+        if manager is not None:
+            manager.stop()
     return "serve: drained in-flight requests and shut down cleanly"
 
 
@@ -685,7 +778,96 @@ def _run_serve_fleet(args) -> str:
         breaker_reset=args.breaker_reset,
         worker_args=worker_args,
         start_timeout=args.start_timeout,
+        jobs_store=args.jobs_store,
+        jobs_dir=args.jobs_dir,
     )
+
+
+#: Terminal job states (mirror of repro.jobs.manager.TERMINAL_STATES,
+#: duplicated here so the pure-stdlib client imports nothing heavy).
+_JOBS_TERMINAL = ("done", "cancelled", "failed-permanent")
+
+
+def _jobs_call(base: str, method: str, path: str, payload=None):
+    """One JSON round-trip to the job service; server refusals exit 2."""
+    import json as json_mod
+    import urllib.error
+    import urllib.request
+
+    data = None
+    headers = {}
+    if payload is not None:
+        data = json_mod.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    request = urllib.request.Request(
+        base + path, data=data, headers=headers, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30.0) as response:
+            return json_mod.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        body = exc.read()
+        try:
+            message = json_mod.loads(body)["error"]["message"]
+        except (ValueError, KeyError, TypeError):
+            message = body.decode("utf-8", "replace").strip() or str(exc)
+        raise SystemExit(f"repro jobs: {exc.code}: {message}") from None
+    except urllib.error.URLError as exc:
+        raise SystemExit(
+            f"repro jobs: cannot reach {base}: {exc.reason}"
+        ) from None
+
+
+def _jobs_submit_payload(args) -> dict:
+    payload: dict = {"model": args.model, "k": args.k}
+    for name, value in (
+        ("budget", args.budget),
+        ("deadline", args.deadline),
+        ("num_rr_sets", args.num_rr_sets),
+        ("rr_seed", args.rr_seed),
+        ("max_cost", args.max_cost),
+        ("idempotency_key", args.idempotency_key),
+    ):
+        if value is not None:
+            payload[name] = value
+    if args.node_costs:
+        costs = {}
+        for raw in args.node_costs:
+            node, sep, cost = raw.partition("=")
+            if not sep:
+                raise SystemExit(
+                    f"repro jobs: --node-cost wants NODE=COST, got {raw!r}"
+                )
+            try:
+                costs[node] = float(cost)
+            except ValueError:
+                raise SystemExit(
+                    f"repro jobs: cost in {raw!r} is not a number"
+                ) from None
+        payload["node_costs"] = costs
+    return payload
+
+
+def _run_jobs(args) -> str:
+    import json as json_mod
+    import time as time_mod
+
+    base = args.url.rstrip("/")
+    if args.jobs_command == "submit":
+        view = _jobs_call(base, "POST", "/jobs/infmax", _jobs_submit_payload(args))
+        if args.wait:
+            while view.get("state") not in _JOBS_TERMINAL:
+                time_mod.sleep(args.poll_interval)
+                view = _jobs_call(base, "GET", f"/jobs/{view['id']}")
+    elif args.jobs_command == "status":
+        view = _jobs_call(base, "GET", f"/jobs/{args.job_id}")
+    elif args.jobs_command == "result":
+        view = _jobs_call(base, "GET", f"/jobs/{args.job_id}/result")
+    elif args.jobs_command == "cancel":
+        view = _jobs_call(base, "POST", f"/jobs/{args.job_id}/cancel")
+    else:
+        view = _jobs_call(base, "GET", "/jobs")
+    return json_mod.dumps(view, indent=2, sort_keys=True)
 
 
 def _run_report(args) -> str:
@@ -718,6 +900,7 @@ _DISPATCH = {
     "index": _run_index,
     "serve": _run_serve,
     "serve-fleet": _run_serve_fleet,
+    "jobs": _run_jobs,
     "list-settings": _run_list_settings,
     "report": _run_report,
 }

@@ -51,6 +51,26 @@ def _validate_family(
     return family
 
 
+def ordered_keys(family: Mapping[Hashable, np.ndarray]) -> list:
+    """The deterministic tie-break order of a set family's keys.
+
+    Integer keys (the influence-maximisation case, where keys are node
+    ids) sort *numerically*, so coverage ties break by node id — never by
+    ``repr`` order (where ``"10" < "2"``) or dict insertion order.  This
+    ordering is part of the resume purity contract of the job service:
+    a selection resumed from a journaled prefix re-derives the exact same
+    argmax only because ties are a deterministic function of the keys.
+    Mixed or non-integer key families fall back to ``repr`` order.
+    """
+    keys = list(family.keys())
+    if all(
+        isinstance(key, (int, np.integer)) and not isinstance(key, bool)
+        for key in keys
+    ):
+        return sorted(keys, key=int)
+    return sorted(keys, key=repr)
+
+
 def greedy_max_cover(
     sets: Mapping[Hashable, np.ndarray],
     k: int,
@@ -71,7 +91,7 @@ def greedy_max_cover(
     covered = np.zeros(universe_size, dtype=bool)
     trace = CoverTrace()
 
-    keys = sorted(family.keys(), key=repr)
+    keys = ordered_keys(family)
     key_rank = {key: i for i, key in enumerate(keys)}
     if priorities is None:
         tie_rank = {key: 0.0 for key in keys}
@@ -127,7 +147,7 @@ def weighted_greedy_max_cover(
 
     covered = np.zeros(universe_size, dtype=bool)
     trace = CoverTrace()
-    keys = sorted(family.keys(), key=repr)
+    keys = ordered_keys(family)
     key_rank = {key: i for i, key in enumerate(keys)}
 
     def gain_of(key: Hashable) -> float:
@@ -193,7 +213,8 @@ def budgeted_greedy_max_cover(
         best_key = None
         best_ratio = 0.0
         best_gain = 0.0
-        for key, members in sorted(remaining.items(), key=lambda kv: repr(kv[0])):
+        for key in ordered_keys(remaining):
+            members = remaining[key]
             cost = float(set_costs[key])
             if spent + cost > budget:
                 continue
@@ -213,12 +234,12 @@ def budgeted_greedy_max_cover(
         trace.gains.append(best_gain)
         trace.coverage.append(total)
 
-    # Best single affordable set.
+    # Best single affordable set (ties keep the first key in tie-break order).
     best_single = None
     best_single_gain = 0.0
-    for key, members in family.items():
+    for key in ordered_keys(family):
         if float(set_costs[key]) <= budget:
-            gain = float(np.unique(members).size)
+            gain = float(np.unique(family[key]).size)
             if gain > best_single_gain:
                 best_single, best_single_gain = key, gain
 

@@ -1,0 +1,66 @@
+"""Client-visible failures of the seed-selection job service.
+
+Every job error extends the :class:`~repro.serve.errors.ServeError`
+hierarchy so the existing HTTP routing layer maps it to a clean JSON error
+document — the job endpoints inherit the "either correct or refused"
+contract of the query service.  The job-specific refusal statuses:
+
+====  ==========================  ==========================================
+code  exception                   cause
+====  ==========================  ==========================================
+404   :class:`JobNotFound`        unknown job id (or jobs disabled)
+409   :class:`JobConflict`        idempotency-key reuse with a different spec
+409   :class:`JobNotDone`         result requested before the job is done
+429   :class:`JobQueueFull`       admission control: the job queue is full
+500   :class:`JobJournalCorrupt`  a job journal failed its self-checksum
+====  ==========================  ==========================================
+"""
+
+from __future__ import annotations
+
+from repro.serve.errors import RetryableError, ServeError
+
+
+class JobNotFound(ServeError):
+    """No job with the requested id exists in the jobs directory."""
+
+    status = 404
+
+
+class JobConflict(ServeError):
+    """An idempotency key was reused with a *different* job spec.
+
+    A retry of the same submission is answered with the original job; a
+    key collision with different parameters is a client bug and must not
+    silently run either spec.
+    """
+
+    status = 409
+
+
+class JobNotDone(ServeError):
+    """``GET /jobs/{id}/result`` before the job reached ``done``.
+
+    The error message names the job's current state so clients can decide
+    between polling on (queued/running) and giving up (cancelled/failed).
+    """
+
+    status = 409
+
+
+class JobQueueFull(RetryableError):
+    """Admission control refused the submission: ``max_queued`` jobs are
+    already waiting.  Carries ``Retry-After`` like every retryable
+    refusal."""
+
+    status = 429
+
+
+class JobJournalCorrupt(ServeError):
+    """A job journal line before the tail failed its self-checksum.
+
+    A torn *tail* is the expected crash artefact and is repaired silently;
+    corruption anywhere else means the journal cannot be trusted and the
+    job is refused explicitly rather than resumed wrongly."""
+
+    status = 500

@@ -83,6 +83,17 @@ KNOWN_SITES: dict[str, str] = {
     "router.reload": "one shard's step of a rolling fleet reload, before "
     "its worker is asked to swap (key: shard id; 'error' stops the roll "
     "with a 'partial' report and the remaining shards untouched)",
+    "jobs.submit": "admission and journalling of one job submission "
+    "(key: job id; 'error' refuses the submission as a clean 500)",
+    "jobs.step": "one greedy-iteration step of a running seed-selection "
+    "job (key: job id, attempt: worker attempt number; 'crash' kills the "
+    "job worker mid-selection, 'error' is a retryable step failure)",
+    "jobs.commit": "appending one record to a job journal (key: record "
+    "type, attempt: worker attempt number — passed explicitly so a plan "
+    "does not re-fire in every respawned worker; 'torn' persists half "
+    "the line, the crash artefact recovery must repair)",
+    "jobs.result": "finalising a job's result record after the last "
+    "selection step (key: job id, attempt: worker attempt number)",
 }
 
 KeyLike = Union[int, str, None]

@@ -233,6 +233,17 @@ class SphereService:
         self._reload_lock = make_lock("SphereService._reload_lock")
         self._generation = 1  # guarded-by: _lock
         self.store_generation.set(1)
+        # Optional durable job subsystem; see attach_jobs().
+        self.jobs = None
+
+    def attach_jobs(self, manager) -> None:
+        """Attach a :class:`~repro.jobs.manager.JobManager` to this service.
+
+        Enables the ``/jobs`` endpoint family in the HTTP layer and folds
+        the manager's admission state into :meth:`healthz`.  The manager
+        shares this service's metrics registry when constructed with it.
+        """
+        self.jobs = manager
 
     # -- introspection -------------------------------------------------------
 
@@ -535,7 +546,7 @@ class SphereService:
             breaker = self._breaker.snapshot()
             degraded = breaker["state"] != CircuitBreaker.CLOSED or quarantined
             self.quarantined_columns.set(len(quarantined))
-            return {
+            payload = {
                 "status": "degraded" if degraded else "ok",
                 "shard_id": self._shard_id,
                 "store_generation": self._generation,
@@ -553,6 +564,9 @@ class SphereService:
                 "breaker": breaker,
                 "quarantined_columns": list(quarantined),
             }
+        if self.jobs is not None:
+            payload["jobs"] = self.jobs.healthz()
+        return payload
 
     def metrics_text(self) -> str:
         return self.registry.render()

@@ -14,7 +14,16 @@ GET    /cascades/{node}?world=i :meth:`SphereService.cascades`
 GET    /most-reliable           :meth:`SphereService.most_reliable`
 POST   /spheres                 :meth:`SphereService.sphere_batch`
 POST   /admin/reload            :meth:`SphereService.reload`
+POST   /jobs/infmax             :meth:`JobManager.submit` (``202``; ``200``
+                                when an idempotency key deduplicates)
+GET    /jobs                    :meth:`JobManager.list_jobs`
+GET    /jobs/{id}               :meth:`JobManager.status`
+GET    /jobs/{id}/result        :meth:`JobManager.result`
+POST   /jobs/{id}/cancel        :meth:`JobManager.cancel`
 ====== ======================== ==========================================
+
+The ``/jobs`` family answers ``404`` when no job manager is attached
+(server started without ``--jobs``).
 
 Every JSON body is rendered by :func:`~repro.serve.query.canonical_json`,
 so a handler response and the CLI's ``index query --json`` output are
@@ -38,6 +47,7 @@ from http.server import BaseHTTPRequestHandler
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
+from repro.jobs.errors import JobNotFound
 from repro.serve.errors import (
     BadRequest,
     NodeNotFound,
@@ -199,15 +209,32 @@ class SphereRequestHandler(BaseHTTPRequestHandler):
             self._dispatch("cascades", lambda: self._handle_cascades(parts[1]))
         elif path == "/most-reliable":
             self._dispatch("most_reliable", self._handle_most_reliable)
+        elif path == "/jobs":
+            self._dispatch("jobs_list", self._handle_jobs_list)
+        elif len(parts) == 2 and parts[0] == "jobs":
+            self._dispatch(
+                "jobs_status", lambda: self._handle_job_status(parts[1])
+            )
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "result":
+            self._dispatch(
+                "jobs_result", lambda: self._handle_job_result(parts[1])
+            )
         else:
             self._dispatch("unknown", self._handle_unknown)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlsplit(self.path).path.rstrip("/")
+        parts = [p for p in path.split("/") if p]
         if path == "/spheres":
             self._dispatch("spheres_batch", self._handle_batch)
         elif path == "/admin/reload":
             self._dispatch("admin_reload", self._handle_reload)
+        elif path == "/jobs/infmax":
+            self._dispatch("jobs_submit", self._handle_job_submit)
+        elif len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+            self._dispatch(
+                "jobs_cancel", lambda: self._handle_job_cancel(parts[1])
+            )
         else:
             self._dispatch("unknown", self._handle_unknown)
 
@@ -268,6 +295,45 @@ class SphereRequestHandler(BaseHTTPRequestHandler):
                 if value is not None and not isinstance(value, str):
                     raise BadRequest(f"'{name}' must be a path string")
         self._send_json(200, self.service.reload(index_path, spheres_path))
+        return 200
+
+    # -- jobs endpoints ------------------------------------------------------
+
+    def _jobs(self):
+        manager = self.service.jobs
+        if manager is None:
+            raise JobNotFound(
+                "the job service is not enabled on this server "
+                "(start it with --jobs)"
+            )
+        return manager
+
+    def _handle_job_submit(self) -> int:
+        manager = self._jobs()
+        payload = self._read_json_body(required=True)
+        if not isinstance(payload, dict):
+            raise BadRequest(
+                'body must be a JSON object, e.g. {"model": "celfpp", "k": 5}'
+            )
+        view = manager.submit(payload)
+        status = 200 if view.get("deduplicated") else 202
+        self._send_json(status, view)
+        return status
+
+    def _handle_jobs_list(self) -> int:
+        self._send_json(200, self._jobs().list_jobs())
+        return 200
+
+    def _handle_job_status(self, job_id: str) -> int:
+        self._send_json(200, self._jobs().status(job_id))
+        return 200
+
+    def _handle_job_result(self, job_id: str) -> int:
+        self._send_json(200, self._jobs().result(job_id))
+        return 200
+
+    def _handle_job_cancel(self, job_id: str) -> int:
+        self._send_json(200, self._jobs().cancel(job_id))
         return 200
 
     def _handle_unknown(self) -> int:

@@ -65,9 +65,16 @@ class WorkerHandle:
         worker_args: Sequence[str] = (),
         config: SupervisorConfig | None = None,
         on_event: FleetEvent = _default_event,
+        role: str = "shard",
     ) -> None:
+        if role not in ("shard", "jobs"):
+            raise ValueError(f"role must be 'shard' or 'jobs', got {role!r}")
         self.shard_id = int(shard_id)
         self.store_dir = os.fspath(store_dir)
+        self.role = role
+        self._label = (
+            f"shard {self.shard_id}" if role == "shard" else "jobs worker"
+        )
         self._host = host
         self._worker_args = tuple(worker_args)
         self._config = config if config is not None else SupervisorConfig()
@@ -98,7 +105,7 @@ class WorkerHandle:
     # -- lifecycle -----------------------------------------------------------
 
     def _argv(self) -> list[str]:
-        return [
+        argv = [
             sys.executable,
             "-m",
             "repro",
@@ -108,17 +115,20 @@ class WorkerHandle:
             self._host,
             "--port",
             "0",
-            "--shard-id",
-            str(self.shard_id),
-            *self._worker_args,
         ]
+        # The jobs worker serves the full index outside the node
+        # partition, so it carries no shard id (its /jobs flags arrive
+        # via worker_args instead).
+        if self.role == "shard":
+            argv += ["--shard-id", str(self.shard_id)]
+        return argv + list(self._worker_args)
 
     def start(self) -> None:
         if self._thread is not None:
-            raise RuntimeError(f"shard {self.shard_id} worker already started")
+            raise RuntimeError(f"{self._label} already started")
         self._thread = threading.Thread(
             target=self._supervise,
-            name=f"fleet-shard-{self.shard_id}",
+            name=f"fleet-{self._label.replace(' ', '-')}",
             daemon=True,
         )
         self._thread.start()
@@ -139,7 +149,7 @@ class WorkerHandle:
             except OSError as exc:
                 failures += 1
                 self._on_event(
-                    f"shard {self.shard_id} spawn failed ({exc}); "
+                    f"{self._label} spawn failed ({exc}); "
                     f"retry in {backoff_delay(self._config, failures):g}s"
                 )
                 time.sleep(backoff_delay(self._config, failures))
@@ -164,7 +174,7 @@ class WorkerHandle:
                 with self._lock:
                     self._address = address
                 self._on_event(
-                    f"shard {self.shard_id} pid {proc.pid} serving on {address}"
+                    f"{self._label} pid {proc.pid} serving on {address}"
                 )
             # Drain stdout to EOF (= worker exit) so the pipe never fills;
             # the worker only writes its banner and a final drain line.
@@ -187,7 +197,7 @@ class WorkerHandle:
             failures += 1
             delay = backoff_delay(self._config, failures)
             self._on_event(
-                f"shard {self.shard_id} pid {proc.pid} exited "
+                f"{self._label} pid {proc.pid} exited "
                 f"(code {code}, uptime {uptime:.2f}s); respawn in {delay:g}s"
             )
             time.sleep(delay)
@@ -277,6 +287,8 @@ def run_fleet(
     worker_args: Sequence[str] = (),
     start_timeout: float = START_TIMEOUT,
     on_event: FleetEvent = _default_event,
+    jobs_store: str | None = None,
+    jobs_dir: str | None = None,
 ) -> str:
     """``repro serve-fleet``: workers + router until SIGTERM/SIGINT.
 
@@ -284,6 +296,10 @@ def run_fleet(
     shard, never below N-1 serving).  Shutdown drains the router first,
     then SIGTERMs the workers, so in-flight requests complete end to end.
     Must run on the main thread (signal delivery).
+
+    With ``jobs_store`` a dedicated jobs worker (``serve <store> --jobs``
+    over the full, unsharded index) joins the fleet under the same
+    supervision, and the router relays ``/jobs/*`` to it.
     """
     from repro.shard.handlers import make_router_server
     from repro.shard.router import ShardRouter
@@ -291,6 +307,17 @@ def run_fleet(
     fleet = Fleet(
         fleet_dir, host=host, worker_args=worker_args, on_event=on_event
     )
+    jobs_handle = None
+    if jobs_store is not None:
+        jobs_args = ["--jobs", "--jobs-dir", jobs_dir or f"{jobs_store}.jobs"]
+        jobs_handle = WorkerHandle(
+            fleet.partition.num_shards,
+            jobs_store,
+            host=host,
+            worker_args=jobs_args,
+            on_event=on_event,
+            role="jobs",
+        )
     # Fail fast (before any worker spawns) on a partition the router
     # cannot serve, e.g. a world-block split.
     router = ShardRouter(
@@ -301,18 +328,33 @@ def run_fleet(
         max_batch=max_batch,
         breaker_threshold=breaker_threshold,
         breaker_reset=breaker_reset,
+        jobs_endpoint=jobs_handle,
     )
     fleet.start(start_timeout)
+    if jobs_handle is not None:
+        jobs_handle.start()
+        up_by = time.monotonic() + start_timeout
+        while jobs_handle.address() is None:
+            if time.monotonic() >= up_by:
+                jobs_handle.stop()
+                fleet.stop()
+                raise RuntimeError(
+                    f"jobs worker did not come up within {start_timeout:g}s"
+                )
+            time.sleep(0.05)
     try:
         server = make_router_server(router, host, port)
     except OSError:
+        if jobs_handle is not None:
+            jobs_handle.stop()
         fleet.stop()
         raise
     bound_host, bound_port = server.server_address[:2]
+    jobs_note = ", jobs worker" if jobs_handle is not None else ""
     print(
         f"routing {fleet_dir} ({fleet.partition.num_shards} shards, "
         f"{fleet.partition.num_nodes} nodes, "
-        f"{fleet.partition.num_worlds} worlds) "
+        f"{fleet.partition.num_worlds} worlds{jobs_note}) "
         f"on http://{bound_host}:{bound_port}",
         flush=True,
     )
@@ -346,5 +388,7 @@ def run_fleet(
         for sig, old in previous.items():
             signal.signal(sig, old)
         server.server_close()
+        if jobs_handle is not None:
+            jobs_handle.stop()
         fleet.stop()
     return "serve-fleet: drained router and workers, shut down cleanly"

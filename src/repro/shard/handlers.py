@@ -12,6 +12,9 @@ GET    /sphere/{node}           :meth:`ShardRouter.sphere` (relayed)
 GET    /cascades/{node}[?world] :meth:`ShardRouter.cascades` (relayed)
 POST   /spheres                 :meth:`ShardRouter.sphere_batch` (scatter)
 POST   /admin/reload            :meth:`ShardRouter.reload` (rolling)
+POST   /jobs/infmax             :meth:`ShardRouter.relay_jobs` (relayed)
+GET    /jobs[/{id}[/result]]    :meth:`ShardRouter.relay_jobs` (relayed)
+POST   /jobs/{id}/cancel        :meth:`ShardRouter.relay_jobs` (relayed)
 ====== ======================== ==========================================
 
 Single-node responses are *relays*: the worker's status, body bytes,
@@ -195,15 +198,22 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             self._dispatch("sphere", lambda: self._handle_sphere(parts[1]))
         elif len(parts) == 2 and parts[0] == "cascades":
             self._dispatch("cascades", lambda: self._handle_cascades(parts[1]))
+        elif parts and parts[0] == "jobs" and len(parts) <= 3:
+            self._dispatch("jobs", lambda: self._handle_jobs_relay(path))
         else:
             self._dispatch("unknown", self._handle_unknown)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlsplit(self.path).path.rstrip("/")
+        parts = [p for p in path.split("/") if p]
         if path == "/spheres":
             self._dispatch("spheres_batch", self._handle_batch)
         elif path == "/admin/reload":
             self._dispatch("admin_reload", self._handle_reload)
+        elif path == "/jobs/infmax" or (
+            len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel"
+        ):
+            self._dispatch("jobs", lambda: self._handle_jobs_relay(path))
         else:
             self._dispatch("unknown", self._handle_unknown)
 
@@ -245,6 +255,30 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
         status, payload = self.router.reload()
         self._send_json(status, payload)
         return status
+
+    def _handle_jobs_relay(self, path: str) -> int:
+        """Relay a /jobs/* request to the fleet's dedicated jobs worker.
+
+        The body passes through as raw bytes (size-capped here, validated
+        by the jobs worker) and the response relays verbatim, so a routed
+        job call is byte-identical to a direct worker hit.
+        """
+        body = self._read_raw_body() if self.command == "POST" else None
+        return self._send_relay(self.router.relay_jobs(self.command, path, body))
+
+    def _read_raw_body(self) -> bytes | None:
+        """The request body bytes for relaying, size-capped before the read."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise BadRequest("Content-Length must be an integer") from None
+        if length <= 0:
+            return None
+        if length > MAX_BODY_BYTES:
+            raise PayloadTooLarge(
+                f"body of {length} bytes exceeds the {MAX_BODY_BYTES} limit"
+            )
+        return self.rfile.read(length)
 
     def _handle_unknown(self) -> int:
         raise NodeNotFound(f"no route for {self.command} {self.path}")

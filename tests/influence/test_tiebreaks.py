@@ -1,0 +1,116 @@
+"""Tie-break determinism across the influence algorithms.
+
+The job service's resume purity contract (see ``repro.jobs.select``)
+rests on the selection argmax being a *total* order: whenever marginal
+gains tie, the winner must be a deterministic function of the node ids —
+never of dict insertion order, heap internals or ``repr`` string order
+(where ``"10" < "2"``).  These tests pin that contract for every greedy
+engine a job model can route through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cascades.index import CascadeIndex
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.influence.celfpp import infmax_celfpp
+from repro.influence.maxcover import (
+    budgeted_greedy_max_cover,
+    greedy_max_cover,
+    ordered_keys,
+    weighted_greedy_max_cover,
+)
+from repro.influence.ris import infmax_ris
+
+
+def arr(*xs):
+    return np.array(xs, dtype=np.int64)
+
+
+class TestOrderedKeys:
+    def test_integer_keys_sort_numerically_not_by_repr(self):
+        family = {10: arr(0), 2: arr(1), 1: arr(2)}
+        assert ordered_keys(family) == [1, 2, 10]  # repr order would be [1, 10, 2]
+
+    def test_numpy_integer_keys_sort_numerically(self):
+        family = {np.int64(10): arr(0), np.int64(2): arr(1)}
+        assert [int(k) for k in ordered_keys(family)] == [2, 10]
+
+    def test_insertion_order_is_irrelevant(self):
+        a = {3: arr(0), 1: arr(1), 2: arr(2)}
+        b = {2: arr(2), 3: arr(0), 1: arr(1)}
+        assert ordered_keys(a) == ordered_keys(b)
+
+    def test_non_integer_keys_fall_back_to_repr(self):
+        family = {"b": arr(0), "a": arr(1)}
+        assert ordered_keys(family) == ["a", "b"]
+
+
+class TestMaxCoverTies:
+    def test_equal_gains_pick_smallest_node_id(self):
+        # All sets are singletons: every gain ties, so selection must walk
+        # node ids in numeric order — 2 before 10.
+        family = {10: arr(0), 2: arr(1), 7: arr(2)}
+        trace = greedy_max_cover(family, 3, 3)
+        assert trace.selected == [2, 7, 10]
+
+    def test_priorities_override_id_ties(self):
+        family = {1: arr(0), 2: arr(1)}
+        trace = greedy_max_cover(family, 2, 2, priorities={1: 0.0, 2: 5.0})
+        assert trace.selected == [2, 1]
+
+    def test_weighted_equal_gains_pick_smallest_id(self):
+        family = {10: arr(0), 2: arr(1)}
+        values = np.ones(2)
+        trace = weighted_greedy_max_cover(family, 2, 2, values)
+        assert trace.selected == [2, 10]
+
+    def test_budgeted_equal_ratios_keep_first_in_id_order(self):
+        # Same gain, same cost: the strictly-greater comparison keeps the
+        # first candidate seen, which is the numerically smallest id.
+        family = {10: arr(0), 2: arr(1)}
+        trace = budgeted_greedy_max_cover(family, 2.0, 2, {10: 1.0, 2: 1.0})
+        assert trace.selected == [2, 10]
+
+    def test_budgeted_best_single_tie_keeps_smallest_id(self):
+        # Greedy is priced out; both singles tie, so the fallback must
+        # return the first key in tie-break order.
+        family = {10: arr(0, 1), 2: arr(1, 2)}
+        trace = budgeted_greedy_max_cover(family, 1.0, 3, {10: 1.0, 2: 1.0})
+        assert trace.selected == [2]
+
+
+class TestCelfppTies:
+    def test_equal_spreads_pick_ascending_node_ids(self):
+        # No edges: every node's spread is exactly itself, so all marginal
+        # gains tie at 1.0 and CELF++'s (-gain, node) heap must emit
+        # ascending ids.
+        graph = ProbabilisticDigraph(6)
+        index = CascadeIndex.build(graph, 4, seed=0)
+        trace = infmax_celfpp(index, 4)
+        assert trace.seeds == [0, 1, 2, 3]
+
+    def test_repeated_runs_identical(self, small_random):
+        index = CascadeIndex.build(small_random, 16, seed=9)
+        first = infmax_celfpp(index, 5)
+        second = infmax_celfpp(index, 5)
+        assert first.seeds == second.seeds
+        assert first.gains == second.gains
+
+
+class TestRisTies:
+    def test_same_seed_same_selection(self, small_random):
+        first = infmax_ris(small_random, 4, num_rr_sets=300, seed=13)
+        second = infmax_ris(small_random, 4, num_rr_sets=300, seed=13)
+        assert first.seeds == second.seeds
+        assert first.estimated_spreads == second.estimated_spreads
+
+    def test_edgeless_graph_ties_break_by_node_id(self):
+        # Every RR set is its own target, so coverage counts are the
+        # multiset of sampled targets; ties must resolve by node id.
+        graph = ProbabilisticDigraph(5)
+        first = infmax_ris(graph, 3, num_rr_sets=50, seed=21)
+        second = infmax_ris(graph, 3, num_rr_sets=50, seed=21)
+        assert first.seeds == second.seeds
+        assert len(set(first.seeds)) == 3

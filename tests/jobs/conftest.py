@@ -1,0 +1,131 @@
+"""Shared fixtures for the durable-jobs tests: the same small
+deterministic index the serving tests use, a manager factory that always
+stops its managers, and a jobs-enabled HTTP server."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cascades.index import CascadeIndex
+from repro.graph.generators import powerlaw_outdegree_digraph
+from repro.jobs.manager import TERMINAL_STATES, JobManager
+from repro.problearn.assign import assign_fixed
+from repro.runtime import locksan
+
+
+@pytest.fixture(autouse=True)
+def _locksan_gate():
+    """Fail any jobs test that produced a lock-sanitizer report (inert
+    unless the suite runs with ``REPRO_LOCKSAN=1``)."""
+    yield
+    if locksan.enabled():
+        violations = locksan.report()
+        locksan.reset()
+        assert violations == [], "lock sanitizer violations:\n" + "\n".join(
+            violations
+        )
+
+
+@pytest.fixture(scope="session")
+def graph():
+    base = powerlaw_outdegree_digraph(60, mean_degree=5.0, seed=7)
+    return assign_fixed(base, 0.15)
+
+
+@pytest.fixture(scope="session")
+def index(graph):
+    return CascadeIndex.build(graph, 8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def index_store_path(index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("jobs-index") / "idx"
+    index.save(path, format="store")
+    return path
+
+
+def wait_terminal(manager: JobManager, job_id: str, timeout: float = 30.0):
+    """Poll until the job settles; returns the final status payload."""
+    deadline = time.monotonic() + timeout
+    while True:
+        view = manager.status(job_id)
+        if view["state"] in TERMINAL_STATES:
+            return view
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"job {job_id} still {view['state']} after {timeout}s"
+            )
+        time.sleep(0.02)
+
+
+def wait_state(
+    manager: JobManager, job_id: str, state: str, timeout: float = 30.0
+):
+    """Poll until the job reaches ``state``; returns the status payload."""
+    deadline = time.monotonic() + timeout
+    while True:
+        view = manager.status(job_id)
+        if view["state"] == state:
+            return view
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"job {job_id} still {view['state']} after {timeout}s"
+            )
+        time.sleep(0.02)
+
+
+def wait_drained(manager: JobManager, timeout: float = 30.0) -> None:
+    """Poll until no job is queued or running."""
+    deadline = time.monotonic() + timeout
+    while True:
+        health = manager.healthz()
+        if health["queued"] == 0 and health["running"] == 0:
+            return
+        if time.monotonic() >= deadline:
+            raise AssertionError(f"manager never drained: {health}")
+        time.sleep(0.02)
+
+
+@pytest.fixture
+def manager_factory(index, tmp_path):
+    """Build thread-mode managers over per-test jobs directories."""
+    managers = []
+    counter = [0]
+
+    def make(**kwargs) -> JobManager:
+        counter[0] += 1
+        jobs_dir = kwargs.pop("jobs_dir", tmp_path / f"jobs-{counter[0]}")
+        kwargs.setdefault("mode", "thread")
+        kwargs.setdefault("backoff_base", 0.01)
+        kwargs.setdefault("backoff_max", 0.05)
+        manager = JobManager(index, jobs_dir, **kwargs)
+        managers.append(manager)
+        return manager
+
+    yield make
+    for manager in managers:
+        manager.stop()
+
+
+@pytest.fixture
+def jobs_server(index, tmp_path):
+    """A live HTTP server with a thread-mode job manager attached."""
+    from tests.serve.conftest import RunningServer, make_service
+
+    service = make_service(index)
+    manager = JobManager(
+        index,
+        tmp_path / "jobs",
+        registry=service.registry,
+        mode="thread",
+        backoff_base=0.01,
+        backoff_max=0.05,
+    )
+    service.attach_jobs(manager)
+    server = RunningServer(service)
+    server.manager = manager
+    yield server
+    manager.stop()
+    server.close()

@@ -1,0 +1,253 @@
+"""HTTP surface of the job service: the happy path, and fuzzing every
+/jobs route with malformed input.
+
+Fuzz contract (mirrors ``tests/serve/test_fuzz.py``): no input — however
+wrong — produces a traceback, a hung connection or a bare 500; everything
+maps to the clean ``{"error": {"status": ..., "message": ...}}`` shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from tests.jobs.conftest import wait_terminal
+from tests.serve.test_fuzz import assert_clean_json_error
+
+CELFPP = {"model": "celfpp", "k": 4}
+
+
+def _submit(server, payload):
+    return server.request("/jobs/infmax", method="POST", body=payload)
+
+
+class TestHappyPath:
+    def test_submit_status_result_lifecycle(self, jobs_server):
+        status, _, body = _submit(jobs_server, CELFPP)
+        assert status == 202
+        view = json.loads(body)
+        job_id = view["id"]
+        assert view["state"] == "queued"
+        assert view["model"] == "celfpp"
+
+        final = wait_terminal(jobs_server.manager, job_id)
+        assert final["state"] == "done"
+
+        status, _, body = jobs_server.request(f"/jobs/{job_id}")
+        assert status == 200
+        assert json.loads(body)["state"] == "done"
+
+        status, _, body = jobs_server.request(f"/jobs/{job_id}/result")
+        assert status == 200
+        result = json.loads(body)["result"]
+        assert len(result["seeds"]) == 4
+
+        status, _, body = jobs_server.request("/jobs")
+        assert status == 200
+        listing = json.loads(body)
+        assert listing["count"] >= 1
+        assert any(row["id"] == job_id for row in listing["jobs"])
+
+    def test_deduplicated_submit_is_200(self, jobs_server):
+        payload = {**CELFPP, "idempotency_key": "http-dedup"}
+        status, _, body = _submit(jobs_server, payload)
+        assert status == 202
+        job_id = json.loads(body)["id"]
+        status, _, body = _submit(jobs_server, payload)
+        assert status == 200
+        again = json.loads(body)
+        assert again["id"] == job_id
+        assert again["deduplicated"] is True
+        wait_terminal(jobs_server.manager, job_id)
+
+    def test_cancel_roundtrip(self, jobs_server):
+        status, _, body = _submit(jobs_server, {"model": "greedy_tc", "k": 3})
+        job_id = json.loads(body)["id"]
+        status, _, body = jobs_server.request(
+            f"/jobs/{job_id}/cancel", method="POST"
+        )
+        assert status == 200
+        assert json.loads(body)["state"] in ("cancelled", "running", "done")
+        wait_terminal(jobs_server.manager, job_id)
+
+    def test_jobs_metrics_exported(self, jobs_server):
+        status, _, body = _submit(jobs_server, {"model": "greedy_tc", "k": 2})
+        job_id = json.loads(body)["id"]
+        wait_terminal(jobs_server.manager, job_id)
+        status, _, body = jobs_server.request("/metrics")
+        assert status == 200
+        text = body.decode()
+        assert "repro_jobs_total" in text
+        assert "repro_jobs_running" in text
+
+    def test_healthz_includes_jobs_section(self, jobs_server):
+        status, _, body = jobs_server.request("/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["jobs"]["mode"] == "thread"
+        assert "queued" in payload["jobs"]
+
+
+class TestSubmitFuzz:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            [],                                   # not an object
+            "celfpp",                             # not an object
+            42,                                   # not an object
+            {},                                   # no model/k
+            {"model": "celfpp"},                  # no k
+            {"k": 3},                             # no model
+            {"model": "nope", "k": 3},            # unknown model
+            {"model": "celfpp", "k": 0},          # k too small
+            {"model": "celfpp", "k": -1},
+            {"model": "celfpp", "k": "x"},
+            {"model": "celfpp", "k": True},       # bool is not an int here
+            {"model": "celfpp", "k": 1.5},
+            {"model": "celfpp", "k": 10**9},      # k > num_nodes
+            {"model": "celfpp", "k": 3, "bogus": 1},        # unknown field
+            {"model": "cost_aware", "k": 3},                # budget missing
+            {"model": "cost_aware", "k": 3, "budget": -1},
+            {"model": "celfpp", "k": 3, "node_costs": [1]}, # not an object
+            {"model": "celfpp", "k": 3, "node_costs": {"x": 1}},
+            {"model": "celfpp", "k": 3, "node_costs": {"0": -2}},
+            {"model": "ris", "k": 3, "num_rr_sets": 0},
+            {"model": "ris", "k": 3, "num_rr_sets": 10**9},
+            {"model": "ris", "k": 3, "rr_seed": -1},
+            {"model": "celfpp", "k": 3, "deadline": -5},
+            {"model": "celfpp", "k": 3, "max_cost": -1},
+        ],
+    )
+    def test_bad_payloads_are_400(self, jobs_server, payload):
+        status, _, body = _submit(jobs_server, payload)
+        assert_clean_json_error(status, body, 400)
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            "has spaces",
+            "",
+            "x" * 129,
+            "semi;colon",
+            "slash/inside",
+            123,
+            True,
+            ["k"],
+        ],
+    )
+    def test_bad_idempotency_keys_are_400(self, jobs_server, key):
+        status, _, body = _submit(
+            jobs_server, {**CELFPP, "idempotency_key": key}
+        )
+        assert_clean_json_error(status, body, 400)
+
+    def test_missing_body_is_400(self, jobs_server):
+        status, _, body = jobs_server.request("/jobs/infmax", method="POST")
+        assert_clean_json_error(status, body, 400)
+
+    def test_invalid_json_body_is_400(self, jobs_server):
+        response = jobs_server.raw(
+            b"POST /jobs/infmax HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: 9\r\n"
+            b"\r\n"
+            b"{model:[}"
+        )
+        assert b" 400 " in response.split(b"\r\n", 1)[0]
+        assert b'"error"' in response
+
+    def test_declared_oversize_body_is_413(self, jobs_server):
+        response = jobs_server.raw(
+            b"POST /jobs/infmax HTTP/1.1\r\n"
+            b"Host: x\r\n"
+            b"Content-Length: 8388608\r\n"
+            b"\r\n",
+            timeout=10,
+        )
+        assert b" 413 " in response.split(b"\r\n", 1)[0]
+
+
+class TestPathFuzz:
+    @pytest.mark.parametrize(
+        "path",
+        [
+            "/jobs/j999999",
+            "/jobs/j999999/result",
+            "/jobs/%2e%2e",
+            "/jobs/..%2f..%2fetc%2fpasswd",
+            "/jobs/has%20space",
+            "/jobs/" + "x" * 200,
+        ],
+    )
+    def test_unknown_or_malformed_ids_are_404(self, jobs_server, path):
+        status, _, body = jobs_server.request(path)
+        assert_clean_json_error(status, body, 404)
+
+    def test_cancel_unknown_job_is_404(self, jobs_server):
+        status, _, body = jobs_server.request(
+            "/jobs/j999999/cancel", method="POST"
+        )
+        assert_clean_json_error(status, body, 404)
+
+    def test_result_of_unfinished_job_is_409(self, jobs_server):
+        from repro.runtime.faults import FaultSpec, fault_scope
+
+        plan = [
+            FaultSpec(site="jobs.step", kind="sleep", key="j000001", seconds=5.0)
+        ]
+        with fault_scope(plan):
+            status, _, body = _submit(jobs_server, {"model": "celfpp", "k": 3})
+            job_id = json.loads(body)["id"]
+            status, _, body = jobs_server.request(f"/jobs/{job_id}/result")
+            assert_clean_json_error(status, body, 409)
+            jobs_server.request(f"/jobs/{job_id}/cancel", method="POST")
+        wait_terminal(jobs_server.manager, job_id)
+
+    @pytest.mark.parametrize(
+        "method, path",
+        [
+            ("GET", "/jobs/infmax"),            # submit is POST-only
+            ("POST", "/jobs"),                  # list is GET-only
+            ("POST", "/jobs/j000001"),          # status is GET-only
+            ("POST", "/jobs/j000001/result"),   # result is GET-only
+            ("GET", "/jobs/j000001/cancel"),    # cancel is POST-only
+            ("GET", "/jobs/j000001/result/extra"),
+        ],
+    )
+    def test_wrong_method_or_depth_is_404(self, jobs_server, method, path):
+        kwargs = {"body": {}} if method == "POST" else {}
+        status, _, body = jobs_server.request(path, method=method, **kwargs)
+        assert_clean_json_error(status, body, 404)
+
+    def test_server_still_healthy_after_fuzzing(self, jobs_server):
+        status, _, body = jobs_server.request("/healthz")
+        assert status == 200
+        assert json.loads(body)["status"] == "ok"
+
+
+class TestJobsDisabled:
+    @pytest.fixture(scope="class")
+    def plain_server(self, index):
+        from tests.serve.conftest import RunningServer, make_service
+
+        server = RunningServer(make_service(index))
+        yield server
+        server.close()
+
+    @pytest.mark.parametrize(
+        "method, path",
+        [
+            ("POST", "/jobs/infmax"),
+            ("GET", "/jobs"),
+            ("GET", "/jobs/j000001"),
+            ("GET", "/jobs/j000001/result"),
+            ("POST", "/jobs/j000001/cancel"),
+        ],
+    )
+    def test_all_jobs_routes_are_404(self, plain_server, method, path):
+        kwargs = {"body": CELFPP} if method == "POST" else {}
+        status, _, body = plain_server.request(path, method=method, **kwargs)
+        payload = assert_clean_json_error(status, body, 404)
+        assert "not enabled" in payload["error"]["message"]

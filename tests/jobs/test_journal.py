@@ -1,0 +1,164 @@
+"""Journal durability contract: checksummed lines, torn tails repaired,
+true corruption refused."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.jobs.errors import JobJournalCorrupt
+from repro.jobs.journal import (
+    JobJournal,
+    committed_steps,
+    decode_line,
+    encode_record,
+    summarize,
+)
+
+SUBMIT = {
+    "type": "submit",
+    "job_id": "j000001",
+    "spec": {"model": "greedy_tc", "k": 2},
+    "submitted_at": 1.0,
+    "idempotency_key": None,
+    "index_digest": None,
+}
+
+
+def _filled(tmp_path):
+    journal = JobJournal(tmp_path / "job")
+    journal.append(SUBMIT)
+    journal.append({"type": "attempt", "attempt": 0, "at": 2.0})
+    journal.append({"type": "step", "iteration": 0, "node": 5, "gain": 3.0, "at": 3.0})
+    return journal
+
+
+class TestRoundtrip:
+    def test_append_replay_roundtrip(self, tmp_path):
+        journal = _filled(tmp_path)
+        records = journal.replay()
+        assert [r["type"] for r in records] == ["submit", "attempt", "step"]
+        assert records[0]["spec"] == SUBMIT["spec"]
+
+    def test_encode_decode_inverse(self):
+        record = {"type": "step", "iteration": 3, "node": 7, "gain": 2.5}
+        line = encode_record(record)
+        assert line.endswith("\n")
+        assert decode_line(line) == record
+
+    def test_decode_rejects_tampered_payload(self):
+        line = encode_record({"type": "step", "iteration": 0, "node": 1, "gain": 2.0})
+        tampered = line.replace('"node":1', '"node":2')
+        assert decode_line(tampered) is None
+
+    def test_committed_steps_sorted_by_iteration(self, tmp_path):
+        journal = _filled(tmp_path)
+        journal.append({"type": "step", "iteration": 1, "node": 9, "gain": 1.0, "at": 4.0})
+        steps = committed_steps(journal.replay())
+        assert [s["iteration"] for s in steps] == [0, 1]
+        assert [s["node"] for s in steps] == [5, 9]
+
+
+class TestTornTail:
+    def test_unterminated_fragment_is_discarded(self, tmp_path):
+        journal = _filled(tmp_path)
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"type":"step","iter')
+        assert len(journal.replay()) == 3  # tolerant read drops the tail
+        records = journal.recover()
+        assert len(records) == 3
+        # recover() truncated: the journal is appendable and clean again.
+        journal.append({"type": "step", "iteration": 1, "node": 9, "gain": 1.0, "at": 4.0})
+        assert [r["type"] for r in journal.replay()].count("step") == 2
+
+    def test_valid_json_without_newline_is_still_torn(self, tmp_path):
+        # The writer died between write and newline-completion: the commit
+        # never finished, even though the fragment happens to checksum.
+        journal = _filled(tmp_path)
+        line = encode_record({"type": "cancelled", "reason": "x", "at": 5.0})
+        with open(journal.path, "ab") as handle:
+            handle.write(line.encode()[:-1])  # strip the trailing newline
+        records = journal.recover()
+        assert [r["type"] for r in records] == ["submit", "attempt", "step"]
+        assert summarize(records)["state"] == "running"
+
+    def test_unparseable_terminated_final_line_is_torn(self, tmp_path):
+        journal = _filled(tmp_path)
+        with open(journal.path, "ab") as handle:
+            handle.write(b"garbage garbage\n")
+        assert len(journal.recover()) == 3
+
+    def test_empty_and_missing_journal(self, tmp_path):
+        journal = JobJournal(tmp_path / "nothing")
+        assert not journal.exists()
+        assert journal.replay() == []
+        assert journal.recover() == []
+
+
+class TestCorruption:
+    def test_checksum_mismatch_on_final_line_is_corrupt(self, tmp_path):
+        # A *complete* JSON record failing its checksum is corruption
+        # (bit rot, manual edit), not a torn write.
+        journal = _filled(tmp_path)
+        lines = journal.path.read_bytes().splitlines(keepends=True)
+        last = json.loads(lines[-1])
+        last["node"] = 99  # field changed, checksum kept
+        lines[-1] = (json.dumps(last, sort_keys=True) + "\n").encode()
+        journal.path.write_bytes(b"".join(lines))
+        with pytest.raises(JobJournalCorrupt):
+            journal.replay()
+
+    def test_invalid_line_followed_by_valid_records_is_corrupt(self, tmp_path):
+        journal = _filled(tmp_path)
+        lines = journal.path.read_bytes().splitlines(keepends=True)
+        lines[1] = b"garbage\n"
+        journal.path.write_bytes(b"".join(lines))
+        with pytest.raises(JobJournalCorrupt):
+            journal.recover()
+
+
+class TestSummarize:
+    def test_states_progress(self, tmp_path):
+        journal = JobJournal(tmp_path / "job")
+        journal.append(SUBMIT)
+        assert summarize(journal.replay())["state"] == "queued"
+        journal.append({"type": "attempt", "attempt": 0, "at": 2.0})
+        assert summarize(journal.replay())["state"] == "running"
+        journal.append({"type": "failed", "retryable": True, "reason": "boom", "at": 3.0})
+        view = summarize(journal.replay())
+        assert view["state"] == "failed-retryable"
+        assert view["error"] == "boom"
+        # A respawned attempt clears the retryable failure.
+        journal.append({"type": "attempt", "attempt": 1, "at": 4.0})
+        view = summarize(journal.replay())
+        assert view["state"] == "running"
+        assert view["error"] is None
+        assert view["attempts"] == 2
+        journal.append(
+            {
+                "type": "result",
+                "seeds": [5],
+                "gains": [3.0],
+                "coverage": [3.0],
+                "estimate": 3.0,
+                "at": 5.0,
+            }
+        )
+        view = summarize(journal.replay())
+        assert view["state"] == "done"
+        assert view["result"]["seeds"] == [5]
+        assert view["finished_at"] == 5.0
+
+    def test_cancelled_and_permanent_failure(self, tmp_path):
+        journal = JobJournal(tmp_path / "a")
+        journal.append(SUBMIT)
+        journal.append({"type": "cancelled", "reason": "user", "at": 2.0})
+        assert summarize(journal.replay())["state"] == "cancelled"
+
+        other = JobJournal(tmp_path / "b")
+        other.append(SUBMIT)
+        other.append({"type": "failed", "retryable": False, "reason": "no", "at": 2.0})
+        view = summarize(other.replay())
+        assert view["state"] == "failed-permanent"
+        assert view["finished_at"] == 2.0

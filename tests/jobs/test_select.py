@@ -1,0 +1,128 @@
+"""Selection-engine contracts: pinned seed sets for every job model,
+resume purity (crash/resume bit parity), and parity with the reference
+batch algorithms in ``repro.influence``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.influence.celfpp import infmax_celfpp
+from repro.influence.ris import infmax_ris
+from repro.influence.greedy_tc import infmax_tc
+from repro.jobs.select import build_selection, run_to_completion
+from repro.jobs.spec import JobSpec
+
+# Pinned on the 60-node fixture (seed=7, p=0.15, 8 worlds, seed=11).
+PINNED = {
+    "greedy_tc": ({"model": "greedy_tc", "k": 6}, [16, 40, 5, 38, 55, 50]),
+    "celfpp": ({"model": "celfpp", "k": 6}, [16, 40, 5, 55, 14, 50]),
+    "ris": (
+        {"model": "ris", "k": 5, "num_rr_sets": 500, "rr_seed": 42},
+        [40, 16, 5, 42, 55],
+    ),
+    "cost_aware": (
+        {
+            "model": "cost_aware",
+            "k": 6,
+            "budget": 4.0,
+            "node_costs": {"3": 2.5},
+        },
+        [16, 40, 0, 5],
+    ),
+    "stability": ({"model": "stability", "k": 6}, [16, 40, 5, 38, 54, 12]),
+}
+
+
+def _spec(payload: dict, index) -> JobSpec:
+    return JobSpec.from_payload(payload, index.num_nodes)
+
+
+@pytest.mark.parametrize("model", sorted(PINNED))
+def test_pinned_seed_sets(model, index):
+    payload, seeds = PINNED[model]
+    result = run_to_completion(_spec(payload, index), index)
+    assert result["seeds"] == seeds
+    assert len(result["gains"]) == len(result["seeds"])
+    assert result["coverage"] == pytest.approx(
+        [sum(result["gains"][: i + 1]) for i in range(len(result["gains"]))]
+    )
+
+
+@pytest.mark.parametrize("model", sorted(PINNED))
+def test_resume_after_two_steps_is_bit_identical(model, index):
+    """The purity contract: replaying a committed prefix into a fresh
+    engine yields the exact result of the uninterrupted run."""
+    payload, _ = PINNED[model]
+    spec = _spec(payload, index)
+    reference = run_to_completion(spec, index)
+
+    first = build_selection(spec, index)
+    prefix = []
+    for _ in range(2):
+        record = first.step()
+        assert record is not None
+        prefix.append({"type": "step", **record})
+
+    resumed = build_selection(spec, index)
+    resumed.resume(prefix)
+    while resumed.step() is not None:
+        pass
+    assert resumed.finalize() == reference
+
+
+@pytest.mark.parametrize("model", sorted(PINNED))
+def test_resume_at_every_boundary(model, index):
+    """Stronger form: a crash after *any* committed step resumes to the
+    same result — the exact guarantee the chaos gate exercises."""
+    payload, _ = PINNED[model]
+    spec = _spec(payload, index)
+    reference = run_to_completion(spec, index)
+
+    full = build_selection(spec, index)
+    steps = []
+    while True:
+        record = full.step()
+        if record is None:
+            break
+        steps.append({"type": "step", **record})
+
+    for cut in range(len(steps) + 1):
+        resumed = build_selection(spec, index)
+        resumed.resume(steps[:cut])
+        while resumed.step() is not None:
+            pass
+        assert resumed.finalize() == reference, f"diverged resuming at step {cut}"
+
+
+def test_celfpp_matches_reference_algorithm(index):
+    trace = infmax_celfpp(index, 6)
+    result = run_to_completion(_spec({"model": "celfpp", "k": 6}, index), index)
+    assert result["seeds"] == list(trace.seeds)
+    assert result["gains"] == pytest.approx(list(trace.gains))
+    assert result["coverage"] == pytest.approx(list(trace.spreads))
+
+
+def test_ris_matches_reference_algorithm(graph, index):
+    reference = infmax_ris(graph, 5, num_rr_sets=500, seed=42)
+    payload = {"model": "ris", "k": 5, "num_rr_sets": 500, "rr_seed": 42}
+    result = run_to_completion(_spec(payload, index), index)
+    assert result["seeds"] == list(reference.seeds)
+
+
+def test_greedy_tc_matches_reference_algorithm(index):
+    trace, _ = infmax_tc(index, 6)
+    result = run_to_completion(_spec({"model": "greedy_tc", "k": 6}, index), index)
+    assert result["seeds"] == list(trace.selected)
+    assert result["coverage"] == pytest.approx(list(trace.coverage))
+
+
+def test_cost_aware_respects_budget(index):
+    payload = {
+        "model": "cost_aware",
+        "k": 6,
+        "budget": 4.0,
+        "node_costs": {"3": 2.5},
+    }
+    result = run_to_completion(_spec(payload, index), index)
+    assert result["spent"] <= 4.0
+    assert len(result["seeds"]) <= 6
