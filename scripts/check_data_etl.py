@@ -1,0 +1,231 @@
+#!/usr/bin/env python
+"""CI gate for the real-dataset ETL subsystem (.github/workflows/ci.yml).
+
+Runs the full offline pipeline end to end — fetch → ingest → index build
+→ serve — with no network access, and fails loudly on any deviation:
+
+1. every bundled offline fixture fetches and matches its pinned digest;
+2. ``repro data ingest`` commits a dataset whose manifest passes a full
+   array re-hash (``repro data verify --full``);
+3. chaos: an ingest crashed mid-parse through ``REPRO_FAULTS`` resumes
+   to a manifest digest **bit-identical** to an uninterrupted run;
+4. a torn ``dataset.json`` is refused by ``repro data verify`` (exit 2)
+   — the provenance contract mirrors the store's partition.json refusal;
+5. ``repro index build --dataset`` builds a store from the ingested
+   graph, ``repro serve`` answers on it, and ``GET /sphere/{node}`` is
+   byte-identical to ``repro index query --json``;
+6. the ``repro data`` CLI surface round-trips (fetch/ingest/info/verify).
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_data_etl.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+from repro.data import fetch_source, list_sources, read_manifest
+from repro.data.errors import ManifestError
+from repro.runtime.faults import CRASH_EXIT_CODE
+from repro.store.fingerprint import digest_file
+
+SOURCE = "epinions"
+DATASET = "epinions-W"
+SAMPLES = 8
+
+
+def check(label: str, ok: bool) -> None:
+    print(f"  [{'ok' if ok else 'FAIL'}] {label}")
+    if not ok:
+        sys.exit(1)
+
+
+def fetch(base: str, path: str):
+    """(status, body_bytes); HTTP error statuses are returned."""
+    request = urllib.request.Request(base + path)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read()
+
+
+def subprocess_env(root: Path) -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_DATA_DIR"] = str(root)
+    env.pop("REPRO_FAULTS", None)
+    return env
+
+
+def repro(root: Path, *argv: str, faults=None) -> subprocess.CompletedProcess:
+    env = subprocess_env(root)
+    if faults is not None:
+        env["REPRO_FAULTS"] = json.dumps({"faults": faults})
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+
+
+def ingest_digest(root: Path, *, faults=None) -> subprocess.CompletedProcess:
+    """One ``repro data ingest`` run; digest is read back via the manifest."""
+    return repro(
+        root, "data", "ingest", SOURCE, "--offline", faults=faults
+    )
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp) / "data"
+
+        print("offline fixtures:")
+        for name in list_sources():
+            result = fetch_source(name, root=root, offline=True)
+            check(
+                f"{name} fixture matches its pinned digest",
+                digest_file(result.path) == result.sha256,
+            )
+
+        print("ingest + verify:")
+        done = ingest_digest(root)
+        check("repro data ingest exits 0", done.returncode == 0)
+        check(
+            "ingest reports a manifest digest",
+            "manifest digest: sha256:" in done.stdout,
+        )
+        verify = repro(root, "data", "verify", DATASET, "--full")
+        check("full array re-hash verifies clean", verify.returncode == 0)
+        dataset_dir = root / "ingested" / DATASET
+        clean = read_manifest(dataset_dir)["manifest_digest"]
+        print(f"  clean manifest digest: {clean}")
+
+        print("chaos: crash mid-parse, resume to bit-identical digest:")
+        chaos_root = Path(tmp) / "chaos"
+        fetch_source(SOURCE, root=chaos_root, offline=True)
+        plan = [{
+            "site": "data.parse", "kind": "crash", "key": "dedup",
+            "attempts": [0], "seconds": 0,
+        }]
+        interrupted = ingest_digest(chaos_root, faults=plan)
+        check(
+            "fault crashed the ingest",
+            interrupted.returncode == CRASH_EXIT_CODE,
+        )
+        staging = chaos_root / "ingested" / f"{DATASET}.staging"
+        check(
+            "journal survives the crash",
+            (staging / "ingest.journal.json").exists(),
+        )
+        resumed = ingest_digest(chaos_root)
+        check("resume exits 0", resumed.returncode == 0)
+        check("resume reused journalled stages", "resumed" in resumed.stdout)
+        resumed_digest = read_manifest(
+            chaos_root / "ingested" / DATASET
+        )["manifest_digest"]
+        check(
+            "resumed manifest digest is bit-identical to the clean run",
+            resumed_digest == clean,
+        )
+
+        print("torn-manifest refusal:")
+        torn_root = Path(tmp) / "torn"
+        fetch_source(SOURCE, root=torn_root, offline=True)
+        check("torn-root ingest exits 0", ingest_digest(torn_root).returncode == 0)
+        manifest_path = torn_root / "ingested" / DATASET / "dataset.json"
+        text = manifest_path.read_text()
+        manifest_path.write_text(text[: len(text) // 2])
+        torn = repro(torn_root, "data", "verify", DATASET)
+        check("repro data verify refuses a torn manifest (exit 2)",
+              torn.returncode == 2)
+        check("refusal names the torn write", "torn write" in torn.stderr)
+        try:
+            read_manifest(torn_root / "ingested" / DATASET)
+            refused = False
+        except ManifestError:
+            refused = True
+        check("read_manifest refuses the torn manifest", refused)
+
+        print("build -> serve on the ingested graph:")
+        index_path = Path(tmp) / "idx"
+        built = repro(
+            root, "index", "build", "--dataset", DATASET,
+            "--samples", str(SAMPLES), "--out", str(index_path),
+        )
+        check("index build --dataset exits 0", built.returncode == 0)
+
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(index_path),
+             "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=subprocess_env(root),
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            check("server prints a listening banner", "http://" in banner)
+            base = banner.rsplit(" on ", 1)[1].strip()
+
+            status, body = fetch(base, "/healthz")
+            health = json.loads(body)
+            check("healthz is ok", status == 200 and health["status"] == "ok")
+            manifest = read_manifest(dataset_dir)
+            check(
+                "served graph is the ingested graph",
+                health["num_nodes"] == manifest["graph"]["num_nodes"],
+            )
+
+            node = 3
+            status, http_body = fetch(base, f"/sphere/{node}")
+            check("sphere query answers 200", status == 200)
+            cli = subprocess.run(
+                [sys.executable, "-m", "repro", "index", "query",
+                 str(index_path), "--node", str(node), "--sphere", "--json"],
+                capture_output=True,
+                env=subprocess_env(root),
+            )
+            check("CLI query --json exits 0", cli.returncode == 0)
+            check(
+                "CLI and server JSON byte-identical",
+                cli.stdout.rstrip(b"\n") == http_body,
+            )
+        finally:
+            process.kill()
+            process.wait(timeout=10)
+
+        print("CLI surface:")
+        check(
+            "data fetch reports the cache hit",
+            "already cached" in repro(root, "data", "fetch", SOURCE,
+                                      "--offline").stdout,
+        )
+        info = repro(root, "data", "info", DATASET)
+        check("data info shows provenance", info.returncode == 0
+              and "sha256:" in info.stdout)
+        listing = repro(root, "data", "info", "--json")
+        payload = json.loads(listing.stdout)
+        check(
+            "data info --json lists the ingested dataset",
+            listing.returncode == 0 and DATASET in payload["ingested"],
+        )
+
+    print("all data-etl checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,12 +20,19 @@ artefact (default ``BENCH_jobs.json``) reports p50/p99 *submit* latency,
 achieved submit throughput, the shed count (429s are load shedding, not
 errors) and the error budget.
 
+With ``--dataset`` the generator benches the ETL pipeline instead of a
+server (no base URL needed): one forced ``repro.data.ingest`` of the
+named catalogue source, timed per stage.  The artefact (default
+``BENCH_etl.json``) reports parse MB/s, edges/s through parse+assemble,
+and total ingest wall-clock — the ETL-perf trajectory artefact.
+
 Examples::
 
     PYTHONPATH=src python scripts/loadgen.py http://127.0.0.1:8313 \
         --rate 100 --duration 10 --out BENCH_router.json
     PYTHONPATH=src python scripts/loadgen.py http://127.0.0.1:8314 \
         --jobs --rate 5 --duration 4
+    PYTHONPATH=src python scripts/loadgen.py --dataset epinions --offline
 """
 
 from __future__ import annotations
@@ -297,6 +304,76 @@ def run_jobs(base: str, *, rate: float, duration: float, seed: int,
     }
 
 
+def run_etl(source: str, *, assignment: str, seed: int, data_root=None,
+            offline: bool = False) -> dict:
+    """One forced ingest of ``source``, timed per stage: the ETL benchmark.
+
+    The fetch is warmed first (and timed separately by the ingest
+    itself), so ``parse_mb_per_s`` measures the streaming parser against
+    the on-disk source bytes, not the network.  Without ``--data-root``
+    the run is hermetic in a temporary directory.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.data import fetch_source, ingest
+
+    cleanup = None
+    if data_root is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-etl-")
+        data_root = Path(cleanup.name)
+    try:
+        fetched = fetch_source(source, root=data_root, offline=offline)
+        source_bytes = fetched.path.stat().st_size
+        report = ingest(
+            source,
+            root=data_root,
+            assignment=assignment,
+            seed=seed,
+            offline=offline,
+            force=True,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+    timings = report.timings
+    parse_s = max(timings.get("parse_s", 0.0), 1e-9)
+    pipeline_s = max(parse_s + timings.get("assemble_s", 0.0), 1e-9)
+    parse = report.manifest["parse"]
+    graph = report.manifest["graph"]
+    return {
+        "workload": {
+            "kind": "etl",
+            "source": source,
+            "assignment": assignment,
+            "seed": seed,
+            "offline_fixture": report.manifest["source"]["offline_fixture"],
+        },
+        "source": {
+            "bytes": source_bytes,
+            "sha256": report.manifest["source"]["sha256"],
+        },
+        "dataset": {
+            "name": report.name,
+            "num_nodes": graph["num_nodes"],
+            "num_edges": graph["num_edges"],
+            "raw_edges": parse["raw_edges"],
+            "duplicate_edges": parse["duplicate_edges"],
+            "self_loops_dropped": parse["self_loops_dropped"],
+            "manifest_digest": report.manifest["manifest_digest"],
+        },
+        "timings_s": {
+            stage: round(seconds, 4) for stage, seconds in timings.items()
+        },
+        "throughput": {
+            "parse_mb_per_s": round(source_bytes / 1e6 / parse_s, 2),
+            "ingest_edges_per_s": round(parse["raw_edges"] / pipeline_s, 1),
+            "ingest_wall_s": round(timings["total_s"], 3),
+        },
+    }
+
+
 def _status_and_health(base: str, timeout: float):
     request = urllib.request.Request(base + "/healthz")
     try:
@@ -317,7 +394,9 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="open-loop arrival-rate load generator for repro serving"
     )
-    parser.add_argument("base", help="server base URL, e.g. http://127.0.0.1:8313")
+    parser.add_argument("base", nargs="?", default=None,
+                        help="server base URL, e.g. http://127.0.0.1:8313 "
+                             "(not needed with --dataset)")
     parser.add_argument("--rate", type=float, default=50.0,
                         help="arrival rate in requests/second (default 50)")
     parser.add_argument("--duration", type=float, default=5.0,
@@ -331,13 +410,40 @@ def main(argv=None) -> int:
     parser.add_argument("--drain-timeout", type=float, default=120.0,
                         help="seconds to wait for submitted jobs to settle "
                              "(--jobs only, default 120)")
+    parser.add_argument("--dataset", default=None, metavar="SOURCE",
+                        help="bench the ETL pipeline on this catalogue "
+                             "source instead of driving a server")
+    parser.add_argument("--assignment", default="wc",
+                        choices=("wc", "fixed", "trivalency", "file"),
+                        help="probability assignment for --dataset "
+                             "(default wc)")
+    parser.add_argument("--offline", action="store_true",
+                        help="use the bundled offline fixture for --dataset")
+    parser.add_argument("--data-root", default=None,
+                        help="data root for --dataset (default: a "
+                             "temporary directory)")
     parser.add_argument("--out", default=None,
                         help="benchmark JSON to write (default "
-                             "BENCH_router.json, BENCH_jobs.json with --jobs)")
+                             "BENCH_router.json; BENCH_jobs.json with "
+                             "--jobs; BENCH_etl.json with --dataset)")
     args = parser.parse_args(argv)
-    out = args.out or ("BENCH_jobs.json" if args.jobs else "BENCH_router.json")
+    if args.dataset is None and args.base is None:
+        parser.error("a server base URL is required unless --dataset is given")
+    out = args.out or (
+        "BENCH_etl.json" if args.dataset
+        else "BENCH_jobs.json" if args.jobs
+        else "BENCH_router.json"
+    )
 
-    if args.jobs:
+    if args.dataset:
+        report = run_etl(
+            args.dataset,
+            assignment=args.assignment,
+            seed=args.seed,
+            data_root=args.data_root,
+            offline=args.offline,
+        )
+    elif args.jobs:
         report = run_jobs(
             args.base.rstrip("/"),
             rate=args.rate,
@@ -357,7 +463,18 @@ def main(argv=None) -> int:
     with open(out, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    if args.jobs:
+    if args.dataset:
+        dataset = report["dataset"]
+        throughput = report["throughput"]
+        print(
+            f"loadgen: etl {args.dataset} -> {dataset['name']}: "
+            f"{dataset['num_nodes']} nodes, {dataset['num_edges']} arcs "
+            f"({dataset['raw_edges']} raw), "
+            f"parse {throughput['parse_mb_per_s']} MB/s, "
+            f"{throughput['ingest_edges_per_s']} edges/s, "
+            f"{throughput['ingest_wall_s']}s wall -> {out}"
+        )
+    elif args.jobs:
         latency = report["submit_latency_ms"]
         jobs = report["jobs"]
         print(

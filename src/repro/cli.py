@@ -19,15 +19,22 @@ Usage::
     python -m repro serve idx/ --jobs --port 8314
     python -m repro jobs submit --model celfpp --k 10 --wait
     python -m repro jobs status j000000
+    python -m repro data fetch epinions --offline
+    python -m repro data ingest epinions --assignment wc
+    python -m repro data info epinions-W
+    python -m repro data verify epinions-W --full
+    python -m repro index build --dataset epinions-W --samples 64 --out idx/
     python -m repro list-settings
 
 Every subcommand prints the same rows/series the paper reports; see
 ``python -m repro --help`` for the full surface.
 
 Operational errors — a missing store path, a truncated or corrupt archive,
-a checkpoint that belongs to a different index — exit with code 2 and a
-one-line message on stderr instead of a traceback (the
-:class:`~repro.store.errors.StoreError` hierarchy plus
+a checkpoint that belongs to a different index, a failed download or a
+malformed edge-list file — exit with code 2 and a one-line message on
+stderr instead of a traceback (the
+:class:`~repro.store.errors.StoreError` and
+:class:`~repro.data.errors.DataError` hierarchies plus
 ``FileNotFoundError``).  Genuine bugs still traceback.
 """
 
@@ -138,7 +145,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     ib = isub.add_parser("build", help="sample worlds and save a store directory")
     _add_common(ib)
-    ib.add_argument("--setting", required=True, choices=CLI_SETTINGS)
+    ib.add_argument("--setting", choices=CLI_SETTINGS,
+                    help="synthetic experiment setting to build from")
+    ib.add_argument("--dataset", default=None, metavar="NAME",
+                    help="ingested real dataset to build from (see "
+                         "'repro data ingest'); exactly one of --setting "
+                         "or --dataset is required")
+    ib.add_argument("--data-root", default=None, metavar="DIR",
+                    help="data root holding ingested datasets "
+                         "(default: $REPRO_DATA_DIR or ./data)")
     ib.add_argument("--out", required=True, metavar="PATH",
                     help="store directory to write")
     ib.add_argument("--jobs", type=int, default=1,
@@ -350,6 +365,85 @@ def build_parser() -> argparse.ArgumentParser:
     jsub.add_parser("list", help="list every journalled job")
 
     p = sub.add_parser(
+        "data", help="fetch, ingest and inspect real datasets (SNAP format)"
+    )
+    dsub = p.add_subparsers(dest="data_command", required=True)
+
+    df = dsub.add_parser(
+        "fetch", help="download (or materialise offline) one pinned source"
+    )
+    df.add_argument("source", metavar="SOURCE",
+                    help="source name from the pinned catalogue "
+                         "(see 'repro data info')")
+    df.add_argument("--offline", action="store_true",
+                    help="skip the network and materialise the bundled "
+                         "deterministic fixture")
+    df.add_argument("--force", action="store_true",
+                    help="re-fetch even when a verified cache file exists")
+    df.add_argument("--max-bytes", type=int, default=None,
+                    help="tighter download size bound than the catalogue's")
+    df.add_argument("--timeout", type=float, default=30.0,
+                    help="network timeout in seconds (default 30)")
+    df.add_argument("--root", default=None, metavar="DIR",
+                    help="data root (default: $REPRO_DATA_DIR or ./data)")
+
+    di = dsub.add_parser(
+        "ingest", help="stream one source into a checksummed CSR dataset"
+    )
+    di.add_argument("source", metavar="SOURCE",
+                    help="catalogue source name (or provenance label "
+                         "when --file is given)")
+    di.add_argument("--file", default=None, metavar="PATH",
+                    help="ingest this local edge-list file instead of a "
+                         "fetched catalogue source")
+    di.add_argument("--name", default=None, metavar="NAME",
+                    help="dataset name to register (default: "
+                         "<source>-<assignment suffix>, e.g. epinions-W)")
+    di.add_argument("--assignment",
+                    choices=("wc", "fixed", "trivalency", "file"),
+                    default="wc",
+                    help="probability assignment: weighted cascade "
+                         "1/indeg(v) (default), fixed --p, trivalency "
+                         "{0.1,0.01,0.001}, or the file's own column")
+    di.add_argument("--p", type=float, default=0.1,
+                    help="probability for --assignment fixed (default 0.1)")
+    di.add_argument("--seed", type=int, default=20160626,
+                    help="seed for --assignment trivalency")
+    di.add_argument("--on-duplicate", choices=("first", "error", "max"),
+                    default="first",
+                    help="duplicate-arc policy (default: keep first)")
+    di.add_argument("--on-self-loop", choices=("drop", "error"),
+                    default="drop",
+                    help="self-loop policy (default: drop)")
+    di.add_argument("--offline", action="store_true",
+                    help="fetch stage uses the bundled fixture, no network")
+    di.add_argument("--force", action="store_true",
+                    help="replace an already-ingested dataset of this name")
+    di.add_argument("--root", default=None, metavar="DIR",
+                    help="data root (default: $REPRO_DATA_DIR or ./data)")
+
+    dn = dsub.add_parser(
+        "info", help="catalogue + ingested datasets, or one dataset's provenance"
+    )
+    dn.add_argument("name", nargs="?", default=None, metavar="NAME",
+                    help="ingested dataset to describe (default: list "
+                         "sources and ingested datasets)")
+    dn.add_argument("--json", action="store_true",
+                    help="machine-readable output")
+    dn.add_argument("--root", default=None, metavar="DIR",
+                    help="data root (default: $REPRO_DATA_DIR or ./data)")
+
+    dv = dsub.add_parser(
+        "verify", help="checksum-validate one ingested dataset"
+    )
+    dv.add_argument("name", metavar="NAME")
+    dv.add_argument("--full", action="store_true",
+                    help="re-hash every array file (default: manifest "
+                         "checksum + file sizes)")
+    dv.add_argument("--root", default=None, metavar="DIR",
+                    help="data root (default: $REPRO_DATA_DIR or ./data)")
+
+    p = sub.add_parser(
         "report", help="assemble EXPERIMENTS.md from results/ artefacts"
     )
     p.add_argument("--results-dir", default="results",
@@ -520,7 +614,17 @@ def _run_index_build(args) -> str:
     from repro.datasets.registry import load_setting
     from repro.store import build_index, read_header
 
-    setting = load_setting(args.setting, scale=args.scale)
+    if (args.setting is None) == (args.dataset is None):
+        raise SystemExit(
+            "index build: exactly one of --setting or --dataset is required"
+        )
+    if args.dataset is not None:
+        try:
+            setting = load_setting(args.dataset, data_root=args.data_root)
+        except ValueError as exc:
+            raise SystemExit(f"index build: {exc}") from exc
+    else:
+        setting = load_setting(args.setting, scale=args.scale)
     if args.resume or args.batch_size:
         from repro.runtime.build_resume import resumable_index_build
 
@@ -870,6 +974,156 @@ def _run_jobs(args) -> str:
     return json_mod.dumps(view, indent=2, sort_keys=True)
 
 
+def _run_data(args) -> str:
+    handlers = {
+        "fetch": _run_data_fetch,
+        "ingest": _run_data_ingest,
+        "info": _run_data_info,
+        "verify": _run_data_verify,
+    }
+    return handlers[args.data_command](args)
+
+
+def _run_data_fetch(args) -> str:
+    from repro.data import fetch_source
+
+    result = fetch_source(
+        args.source,
+        root=args.root,
+        offline=args.offline,
+        force=args.force,
+        max_bytes=args.max_bytes,
+        timeout=args.timeout,
+    )
+    origin = "bundled offline fixture" if result.offline_fixture else "download"
+    notes = []
+    if result.cached:
+        notes.append("already cached")
+    if result.resumed:
+        notes.append("resumed partial download")
+    suffix = f" ({', '.join(notes)})" if notes else ""
+    return (
+        f"fetched {result.source} via {origin}{suffix}\n"
+        f"  file: {result.path}\n"
+        f"  bytes: {result.num_bytes}\n"
+        f"  sha256: {result.sha256}"
+    )
+
+
+def _run_data_ingest(args) -> str:
+    from repro.data import ingest
+
+    report = ingest(
+        args.source,
+        name=args.name,
+        file=args.file,
+        root=args.root,
+        assignment=args.assignment,
+        p=args.p,
+        seed=args.seed,
+        on_duplicate=args.on_duplicate,
+        on_self_loop=args.on_self_loop,
+        offline=args.offline,
+        force=args.force,
+    )
+    manifest = report.manifest
+    parse = manifest["parse"]
+    lines = [
+        f"ingested {report.name} into {report.directory}",
+        f"  source: {manifest['source']['name']} "
+        f"({manifest['source']['sha256']})",
+        f"  nodes: {manifest['graph']['num_nodes']}, "
+        f"arcs: {manifest['graph']['num_edges']} "
+        f"(raw {parse['raw_edges']}, duplicates {parse['duplicate_edges']}, "
+        f"self-loops dropped {parse['self_loops_dropped']})",
+        f"  assignment: {manifest['assignment']['method']}",
+        f"  manifest digest: {manifest['manifest_digest']}",
+    ]
+    if report.resumed_stages:
+        lines.append(
+            f"  resumed past completed stages: "
+            f"{', '.join(report.resumed_stages)}"
+        )
+    timed = [
+        f"{stage.removesuffix('_s')} {seconds:.2f}s"
+        for stage, seconds in sorted(report.timings.items())
+        if stage != "total_s"
+    ]
+    lines.append(
+        f"  wall clock: {report.timings['total_s']:.2f}s ({', '.join(timed)})"
+    )
+    return "\n".join(lines)
+
+
+def _run_data_info(args) -> str:
+    import json as json_mod
+
+    from repro.data import describe_dataset, list_ingested, load_sources
+
+    if args.name is not None:
+        info = describe_dataset(args.name, args.root)
+        if args.json:
+            return json_mod.dumps(info, indent=2, sort_keys=True)
+        source = info["source"]
+        graph = info["graph"]
+        parse = info["parse"]
+        return "\n".join([
+            f"dataset {info['name']}:",
+            f"  source: {source['name']} file {source['file']} "
+            f"({'offline fixture' if source['offline_fixture'] else 'download'})",
+            f"  source sha256: {source['sha256']}",
+            f"  nodes: {graph['num_nodes']}, arcs: {graph['num_edges']}",
+            f"  parse: {parse['data_lines']} data lines, "
+            f"{parse['duplicate_edges']} duplicates "
+            f"({parse['on_duplicate']}), "
+            f"{parse['self_loops_dropped']} self-loops "
+            f"({parse['on_self_loop']})",
+            f"  assignment: {info['assignment']}",
+            f"  ingested by tool version: {info['tool_version']}",
+            f"  manifest digest: {info['manifest_digest']}",
+        ])
+    sources = load_sources()
+    ingested = list_ingested(args.root)
+    if args.json:
+        return json_mod.dumps(
+            {
+                "sources": {
+                    name: {
+                        "url": spec.url,
+                        "offline_only": spec.offline_only,
+                        "license": spec.license,
+                    }
+                    for name, spec in sorted(sources.items())
+                },
+                "ingested": ingested,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    lines = ["catalogue sources:"]
+    for name, spec in sorted(sources.items()):
+        origin = "offline fixture only" if spec.offline_only else spec.url
+        lines.append(f"  {name}: {origin}")
+    lines.append("ingested datasets:")
+    if ingested:
+        lines.extend(f"  {name}" for name in ingested)
+    else:
+        lines.append("  (none — run 'repro data ingest <source>')")
+    return "\n".join(lines)
+
+
+def _run_data_verify(args) -> str:
+    from repro.data import dataset_dir, verify_dataset
+
+    directory = dataset_dir(args.name, args.root)
+    manifest = verify_dataset(directory, full=args.full)
+    depth = "full array re-hash" if args.full else "manifest checksum + sizes"
+    return (
+        f"dataset {args.name} at {directory}: OK ({depth})\n"
+        f"  manifest digest: {manifest['manifest_digest']}"
+    )
+
+
 def _run_report(args) -> str:
     import pathlib
 
@@ -901,6 +1155,7 @@ _DISPATCH = {
     "serve": _run_serve,
     "serve-fleet": _run_serve_fleet,
     "jobs": _run_jobs,
+    "data": _run_data,
     "list-settings": _run_list_settings,
     "report": _run_report,
 }
@@ -914,12 +1169,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     ``FileNotFoundError``) print one line on stderr and return 2; anything
     else is a bug and keeps its traceback.
     """
+    from repro.data.errors import DataError
     from repro.store.errors import StoreError
 
     args = build_parser().parse_args(argv)
     try:
         output = _DISPATCH[args.command](args)
-    except (StoreError, FileNotFoundError) as exc:
+    except (StoreError, DataError, FileNotFoundError) as exc:
         print(f"repro {args.command}: error: {exc}", file=sys.stderr)
         return 2
     print(output)

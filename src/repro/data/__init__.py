@@ -1,0 +1,70 @@
+"""Real-dataset ETL: checksummed fetch, streaming ingest, registry.
+
+Pipeline (all offline-capable, all deterministic)::
+
+    repro data fetch <source> [--offline]     # cached, digest-verified
+    repro data ingest <source> [--assignment] # streaming parse -> CSR -> probs
+    repro data info [<name>]                  # catalogue + provenance
+    repro data verify <name> [--full]         # manifest + array checksums
+
+Ingested datasets are named like paper settings (``epinions-W``) and
+resolve through :func:`repro.datasets.registry.load_setting`, so every
+downstream surface — ``repro index build --dataset``, the shard tier,
+the serve fleet, the jobs service — runs on real SNAP-scale graphs the
+same way it runs on the synthetic families.
+"""
+
+from repro.data.errors import (
+    DataError,
+    FetchError,
+    ManifestError,
+    NetworkUnavailableError,
+    ParseError,
+    SourceUnknownError,
+)
+from repro.data.fetch import FetchResult, data_root, fetch_source, ingest_root
+from repro.data.ingest import (
+    IngestReport,
+    default_dataset_name,
+    ingest,
+    load_graph,
+    load_labels,
+    read_manifest,
+    verify_dataset,
+)
+from repro.data.registry import (
+    dataset_dir,
+    describe_dataset,
+    has_dataset,
+    list_ingested,
+    load_dataset,
+)
+from repro.data.sources import get_source, list_sources, load_sources
+
+__all__ = [
+    "DataError",
+    "FetchError",
+    "FetchResult",
+    "IngestReport",
+    "ManifestError",
+    "NetworkUnavailableError",
+    "ParseError",
+    "SourceUnknownError",
+    "data_root",
+    "dataset_dir",
+    "default_dataset_name",
+    "describe_dataset",
+    "fetch_source",
+    "get_source",
+    "has_dataset",
+    "ingest",
+    "ingest_root",
+    "list_ingested",
+    "list_sources",
+    "load_dataset",
+    "load_graph",
+    "load_labels",
+    "load_sources",
+    "read_manifest",
+    "verify_dataset",
+]

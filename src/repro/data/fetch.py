@@ -1,0 +1,242 @@
+"""Checksummed, resumable download cache with an offline fixture fallback.
+
+Layout (everything under the *data root* — ``REPRO_DATA_DIR`` or
+``./data``)::
+
+    <root>/cache/<source>/<filename>          completed, digest-verified
+    <root>/cache/<source>/<filename>.part     partial download (resumable)
+    <root>/cache/<source>/<filename>.sha256   trust-on-first-use record
+    <root>/ingested/<dataset>/                ingested datasets (see ingest)
+
+Contract:
+
+* a completed cache file is only ever produced by *verify then atomic
+  rename*, so a crash mid-download leaves a ``.part`` that the next
+  fetch resumes with an HTTP ``Range`` request;
+* downloads are size-bounded by the manifest's ``max_bytes`` (and an
+  optional tighter CLI bound) — an over-budget stream is aborted, not
+  trusted;
+* sources with a pinned SHA-256 are verified against it; unpinned
+  sources are trust-on-first-use, recorded in a ``.sha256`` sidecar and
+  enforced on every later fetch;
+* ``offline=True`` (or a source with no URL, or a network failure on a
+  source that has a fixture) materialises the deterministic bundled
+  fixture instead and verifies it against the digest pinned in
+  ``sources.json`` — so CI never depends on the network.
+
+The ``data.fetch`` fault site fires before the final rename; a ``torn``
+plan persists half the payload into the ``.part`` file, which the next
+fetch detects (digest mismatch) and rewrites.
+"""
+
+from __future__ import annotations
+
+import os
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+from repro.data.errors import FetchError, NetworkUnavailableError
+from repro.data.fixtures import render_fixture
+from repro.data.sources import SourceSpec, get_source
+from repro.runtime.faults import faulty_write_bytes, maybe_fire
+from repro.store.fingerprint import digest_file
+
+PathLike = Union[str, os.PathLike]
+
+#: Environment variable naming the data root; default is ``./data``.
+DATA_ROOT_ENV = "REPRO_DATA_DIR"
+
+_DOWNLOAD_CHUNK = 1 << 16
+
+
+def data_root(root: PathLike | None = None) -> Path:
+    """Resolve the data root: explicit argument, env var, or ``./data``."""
+    if root is not None:
+        return Path(root)
+    env = os.environ.get(DATA_ROOT_ENV)
+    return Path(env) if env else Path("data")
+
+
+def cache_dir(source: str, root: PathLike | None = None) -> Path:
+    return data_root(root) / "cache" / source
+
+
+def ingest_root(root: PathLike | None = None) -> Path:
+    return data_root(root) / "ingested"
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """Where a source landed and how it got there."""
+
+    source: str
+    path: Path
+    sha256: str
+    num_bytes: int
+    cached: bool
+    offline_fixture: bool
+    resumed: bool
+
+
+def _recorded_digest(spec: SourceSpec, sidecar: Path) -> str | None:
+    if spec.sha256 is not None:
+        return spec.sha256
+    if sidecar.exists():
+        return sidecar.read_text(encoding="utf-8").strip()
+    return None
+
+
+def _finalise(
+    spec: SourceSpec,
+    part: Path,
+    dest: Path,
+    sidecar: Path,
+    expected: str | None,
+    *,
+    offline_fixture: bool,
+    resumed: bool,
+) -> FetchResult:
+    """Verify the staged payload and commit it atomically."""
+    actual = digest_file(part)
+    if expected is not None and actual != expected:
+        part.unlink()
+        raise FetchError(
+            f"source {spec.name!r}: digest mismatch — expected {expected}, "
+            f"got {actual}; the partial file was discarded, re-run fetch"
+        )
+    maybe_fire("data.fetch", key=spec.name)
+    if expected is None:
+        sidecar.write_text(actual + "\n", encoding="utf-8")
+    os.replace(part, dest)
+    return FetchResult(
+        source=spec.name,
+        path=dest,
+        sha256=actual,
+        num_bytes=dest.stat().st_size,
+        cached=False,
+        offline_fixture=offline_fixture,
+        resumed=resumed,
+    )
+
+
+def _materialise_fixture(spec: SourceSpec, directory: Path) -> FetchResult:
+    dest = directory / spec.fixture.filename
+    sidecar = dest.with_name(dest.name + ".sha256")
+    expected = spec.fixture.sha256
+    if dest.exists():
+        actual = digest_file(dest)
+        if actual == expected:
+            return FetchResult(
+                source=spec.name,
+                path=dest,
+                sha256=actual,
+                num_bytes=dest.stat().st_size,
+                cached=True,
+                offline_fixture=True,
+                resumed=False,
+            )
+        dest.unlink()
+    payload = render_fixture(spec.name, gz=spec.gz, columns=spec.columns)
+    part = dest.with_name(dest.name + ".part")
+    # Torn-write injection point: a "torn" plan persists half the fixture.
+    faulty_write_bytes(part, payload, site="data.fetch", key=spec.name)
+    return _finalise(
+        spec, part, dest, sidecar, expected, offline_fixture=True, resumed=False
+    )
+
+
+def _download(
+    spec: SourceSpec,
+    directory: Path,
+    *,
+    max_bytes: int | None,
+    timeout: float,
+) -> FetchResult:
+    dest = directory / spec.filename
+    part = dest.with_name(dest.name + ".part")
+    sidecar = dest.with_name(dest.name + ".sha256")
+    bound = min(spec.max_bytes, max_bytes) if max_bytes else spec.max_bytes
+    have = part.stat().st_size if part.exists() else 0
+    resumed = have > 0
+    headers = {"User-Agent": "repro-data-fetch/1.0"}
+    if have:
+        headers["Range"] = f"bytes={have}-"
+    request = urllib.request.Request(spec.url, headers=headers)
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            status = getattr(response, "status", 200)
+            mode = "ab" if have and status == 206 else "wb"
+            if mode == "wb":
+                have = 0
+                resumed = False
+            with open(part, mode) as out:
+                total = have
+                while True:
+                    chunk = response.read(_DOWNLOAD_CHUNK)
+                    if not chunk:
+                        break
+                    total += len(chunk)
+                    if total > bound:
+                        raise FetchError(
+                            f"source {spec.name!r}: download exceeded the "
+                            f"{bound}-byte bound; refusing to continue"
+                        )
+                    out.write(chunk)
+    except FetchError:
+        raise
+    except (urllib.error.URLError, TimeoutError, ConnectionError, OSError) as exc:
+        raise NetworkUnavailableError(
+            f"source {spec.name!r}: download failed ({exc}); partial bytes "
+            "are kept for resume, or pass --offline for the bundled fixture"
+        ) from exc
+    expected = _recorded_digest(spec, sidecar)
+    return _finalise(
+        spec, part, dest, sidecar, expected, offline_fixture=False, resumed=resumed
+    )
+
+
+def fetch_source(
+    name: str,
+    *,
+    root: PathLike | None = None,
+    offline: bool = False,
+    force: bool = False,
+    max_bytes: int | None = None,
+    timeout: float = 30.0,
+) -> FetchResult:
+    """Fetch one source into the cache; see the module docstring contract."""
+    spec = get_source(name)
+    directory = cache_dir(name, root)
+    directory.mkdir(parents=True, exist_ok=True)
+    use_fixture = offline or spec.offline_only
+    dest = directory / (spec.fixture.filename if use_fixture else spec.filename)
+    sidecar = dest.with_name(dest.name + ".sha256")
+    if dest.exists() and not force:
+        expected = (
+            spec.fixture.sha256 if use_fixture else _recorded_digest(spec, sidecar)
+        )
+        actual = digest_file(dest)
+        if expected is None or actual == expected:
+            return FetchResult(
+                source=name,
+                path=dest,
+                sha256=actual,
+                num_bytes=dest.stat().st_size,
+                cached=True,
+                offline_fixture=use_fixture,
+                resumed=False,
+            )
+        dest.unlink()
+    elif dest.exists():
+        dest.unlink()
+    if use_fixture:
+        return _materialise_fixture(spec, directory)
+    try:
+        return _download(spec, directory, max_bytes=max_bytes, timeout=timeout)
+    except NetworkUnavailableError:
+        # Network down but a deterministic stand-in exists: fall back so
+        # automated pipelines keep moving; callers can tell from the flag.
+        return _materialise_fixture(spec, directory)

@@ -1,0 +1,105 @@
+"""Bundled SNAP-format fixtures: the offline, deterministic fetch path.
+
+Real SNAP downloads need the network; CI (and the acceptance gate) must
+not.  Every entry in ``sources.json`` therefore carries a *fixture*: a
+small graph rendered in exactly the shape of the real file — tab
+separators, ``#`` comment header, duplicate arcs, self-loops,
+non-contiguous node ids, gzip when the source is gzipped — generated
+deterministically from the source name, so its SHA-256 can be pinned in
+the manifest and verified on every materialisation.
+
+Rather than shipping megabytes of opaque bytes, the fixture *generator*
+is the bundled artefact; ``repro data fetch --offline`` renders it on
+demand and checks the pinned digest, which also proves the generator has
+not drifted.
+"""
+
+from __future__ import annotations
+
+import gzip
+import zlib
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, derive_rng
+
+#: Default shape of a rendered fixture (overridden per source below).
+_DEFAULT_NODES = 900
+_DEFAULT_EDGES = 5200
+
+#: Per-source fixture shapes: (nodes, target arcs).  Sized so an ingest →
+#: index build → serve smoke completes in seconds while still exercising
+#: multi-chunk spills when tests shrink the chunk size.
+FIXTURE_SHAPES: dict[str, tuple[int, int]] = {
+    "epinions": (1100, 7400),
+    "slashdot": (900, 6200),
+    "twitter": (800, 5600),
+    "digg": (700, 4400),
+    "flixster": (700, 4000),
+    "nethept": (600, 3600),
+    "fixture-social": (400, 2600),
+}
+
+#: Fraction of arcs duplicated / rendered as self-loops, and the stride of
+#: lines that get a CRLF terminator (SNAP exports from Windows tooling do).
+_DUP_FRACTION = 0.02
+_LOOP_FRACTION = 0.005
+_CRLF_STRIDE = 97
+
+
+def fixture_seed(source: str) -> int:
+    """Stable per-source seed (crc32 is stable across processes)."""
+    return zlib.crc32(f"repro-fixture-{source}".encode("utf-8"))
+
+
+def render_fixture_text(source: str, seed: SeedLike = None, columns: int = 2) -> str:
+    """The fixture's uncompressed text; deterministic in ``(source, seed)``."""
+    nodes, arcs = FIXTURE_SHAPES.get(source, (_DEFAULT_NODES, _DEFAULT_EDGES))
+    rng = derive_rng(fixture_seed(source) if seed is None else seed)
+
+    # Skewed out-degrees (squaring a uniform biases toward low ids) over
+    # non-contiguous raw labels, so ingestion must really remap ids.
+    u = np.floor(nodes * rng.random(arcs) ** 2).astype(np.int64)
+    v = rng.integers(0, nodes, size=arcs)
+    keep = u != v
+    u, v = u[keep], v[keep]
+    n_dups = max(1, int(len(u) * _DUP_FRACTION))
+    u = np.concatenate([u, u[:n_dups]])
+    v = np.concatenate([v, v[:n_dups]])
+    n_loops = max(1, int(len(u) * _LOOP_FRACTION))
+    loops = rng.integers(0, nodes, size=n_loops)
+    u = np.concatenate([u, loops])
+    v = np.concatenate([v, loops])
+    raw_u = u * 3 + 11
+    raw_v = v * 3 + 11
+    order = rng.permutation(len(raw_u))
+    raw_u, raw_v = raw_u[order], raw_v[order]
+
+    probs = None
+    if columns == 3:
+        probs = np.round(0.01 + 0.99 * rng.random(len(raw_u)), 6)
+
+    lines = [
+        f"# Directed graph (each unordered pair of nodes is saved once): {source}",
+        "# Deterministic offline fixture in SNAP export format.",
+        f"# Nodes: {nodes} Edges: {len(raw_u)}",
+        "# FromNodeId\tToNodeId" + ("\tProb" if columns == 3 else ""),
+    ]
+    for i in range(len(raw_u)):
+        if columns == 3:
+            line = f"{raw_u[i]}\t{raw_v[i]}\t{probs[i]:.6f}"
+        else:
+            line = f"{raw_u[i]}\t{raw_v[i]}"
+        if (i + 1) % _CRLF_STRIDE == 0:
+            line += "\r"
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def render_fixture(source: str, *, gz: bool, columns: int = 2, seed: SeedLike = None) -> bytes:
+    """Fixture file bytes for ``source`` (gzip with pinned mtime when asked)."""
+    text = render_fixture_text(source, seed=seed, columns=columns)
+    payload = text.encode("utf-8")
+    if gz:
+        return gzip.compress(payload, compresslevel=9, mtime=0)
+    return payload

@@ -1,0 +1,475 @@
+"""Ingest: raw edge-list file → registered, checksummed dataset directory.
+
+An ingested dataset is a directory under ``<root>/ingested/<name>/``::
+
+    indptr.npy     int64[n + 1]   CSR row pointers
+    targets.npy    int32[m]       CSR arc heads
+    probs.npy      float64[m]     arc probabilities (assignment output)
+    labels.npy                    dense id -> original file label
+    dataset.json                  self-checksummed ingest manifest
+
+The pipeline runs in three deterministic, individually resumable stages
+inside a ``<name>.staging`` directory:
+
+1. **parse**  — streaming spill + label remap (:mod:`repro.data.parse`);
+2. **assemble** — counting-sort, dedup policy, CSR freeze;
+3. **assign** — probability assignment (weighted-cascade ``1/indeg(v)``
+   in one streaming indegree pass, fixed-``p``, trivalency, or the
+   file's own probability column), mirroring the semantics of
+   :mod:`repro.problearn.assign`.
+
+A journal (``ingest.journal.json``) records each completed stage keyed
+by a *parameter fingerprint* (source digest + every option), so a
+crashed ingest rerun with the same arguments skips finished stages and
+— because every stage is deterministic — commits a manifest whose
+digest is bit-identical to an uninterrupted run.  The final
+``dataset.json`` is written through the ``data.commit`` torn-write
+fault site and carries a self-checksum plus per-array digests; loading
+refuses a torn or tampered manifest exactly like the shard tier refuses
+a bad ``partition.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+import repro
+from repro.data.errors import DataError, ManifestError
+from repro.data.fetch import FetchResult, fetch_source, ingest_root
+from repro.data.parse import (
+    CHUNK_EDGES,
+    LABELS_NAME,
+    assemble_csr,
+    parse_edge_file,
+)
+from repro.graph.digraph import ProbabilisticDigraph
+from repro.runtime.faults import faulty_write_bytes
+from repro.store.fingerprint import digest_file, digest_text
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_probability
+
+PathLike = Union[str, os.PathLike]
+
+MANIFEST_NAME = "dataset.json"
+JOURNAL_NAME = "ingest.journal.json"
+MANIFEST_MAGIC = "repro-dataset"
+MANIFEST_VERSION = 1
+
+ASSIGNMENTS = ("wc", "fixed", "trivalency", "file")
+
+#: TRIVALENCY values, as in :func:`repro.problearn.assign.assign_trivalency`.
+_TRIVALENCY_VALUES = (0.1, 0.01, 0.001)
+
+_ARRAY_NAMES = ("indptr.npy", "targets.npy", "probs.npy", LABELS_NAME)
+
+
+@dataclass(frozen=True)
+class IngestReport:
+    """What one ingest produced, with per-stage wall-clock timings."""
+
+    name: str
+    directory: Path
+    manifest: dict
+    timings: dict[str, float]
+    resumed_stages: tuple[str, ...]
+
+
+def _canonical(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _params_fingerprint(
+    source_sha: str,
+    *,
+    assignment: str,
+    p: float,
+    seed: int,
+    on_duplicate: str,
+    on_self_loop: str,
+) -> str:
+    return digest_text(
+        _canonical(
+            {
+                "source_sha": source_sha,
+                "assignment": assignment,
+                "p": p,
+                "seed": seed,
+                "on_duplicate": on_duplicate,
+                "on_self_loop": on_self_loop,
+                "manifest_version": MANIFEST_VERSION,
+            }
+        )
+    )
+
+
+def _read_journal(path: Path) -> dict | None:
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _write_journal(path: Path, payload: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, sort_keys=True, indent=2), encoding="utf-8")
+    os.replace(tmp, path)
+
+
+def default_dataset_name(source: str, assignment: str) -> str:
+    """``epinions`` + ``wc`` → ``epinions-W``, following the paper's suffixes."""
+    suffix = {"wc": "W", "fixed": "F", "trivalency": "T", "file": "P"}[assignment]
+    return f"{source}-{suffix}"
+
+
+def ingest(
+    source: str,
+    *,
+    name: str | None = None,
+    file: PathLike | None = None,
+    root: PathLike | None = None,
+    assignment: str = "wc",
+    p: float = 0.1,
+    seed: int = 20160626,
+    on_duplicate: str = "first",
+    on_self_loop: str = "drop",
+    offline: bool = False,
+    force: bool = False,
+    chunk_edges: int = CHUNK_EDGES,
+) -> IngestReport:
+    """Fetch (if needed), parse, assign and commit one dataset.
+
+    ``source`` names a ``sources.json`` entry unless ``file`` points at a
+    local edge list (then ``source`` is only provenance text).  Re-running
+    after a crash with the same arguments resumes from the journal.
+    """
+    import time
+
+    if assignment not in ASSIGNMENTS:
+        raise ValueError(f"assignment must be one of {ASSIGNMENTS}, got {assignment!r}")
+    if assignment == "fixed":
+        check_probability(p, "p")
+    dataset = name or default_dataset_name(source, assignment)
+    out_dir = ingest_root(root) / dataset
+    if out_dir.exists():
+        if not force:
+            raise DataError(
+                f"dataset {dataset!r} already ingested at {out_dir}; pass "
+                "force=True (CLI: --force) to replace it"
+            )
+        shutil.rmtree(out_dir)
+
+    timings: dict[str, float] = {}
+    begin = time.monotonic()
+    if file is not None:
+        src_path = Path(file)
+        if not src_path.exists():
+            raise DataError(f"edge-list file {src_path} does not exist")
+        fetch: FetchResult | None = None
+        source_sha = digest_file(src_path)
+    else:
+        fetch = fetch_source(source, root=root, offline=offline)
+        src_path = fetch.path
+        source_sha = fetch.sha256
+    timings["fetch_s"] = time.monotonic() - begin
+
+    staging = out_dir.with_name(out_dir.name + ".staging")
+    staging.mkdir(parents=True, exist_ok=True)
+    journal_path = staging / JOURNAL_NAME
+    fingerprint = _params_fingerprint(
+        source_sha,
+        assignment=assignment,
+        p=p,
+        seed=seed,
+        on_duplicate=on_duplicate,
+        on_self_loop=on_self_loop,
+    )
+    journal = _read_journal(journal_path)
+    if not journal or journal.get("params") != fingerprint:
+        # Fresh run (or the parameters changed): start from a clean slate.
+        shutil.rmtree(staging)
+        staging.mkdir(parents=True)
+        journal = {"params": fingerprint, "stages": {}}
+        _write_journal(journal_path, journal)
+    stages: dict = journal["stages"]
+    resumed = tuple(sorted(stages))
+
+    if "parse" not in stages:
+        begin = time.monotonic()
+        result = parse_edge_file(
+            src_path, staging, on_self_loop=on_self_loop, chunk_edges=chunk_edges
+        )
+        timings["parse_s"] = time.monotonic() - begin
+        stages["parse"] = {
+            "stats": result.stats.to_mapping(),
+            "num_nodes": result.num_nodes,
+            "has_probs": result.has_probs,
+        }
+        _write_journal(journal_path, journal)
+    parse_info = stages["parse"]
+
+    if "assemble" not in stages:
+        begin = time.monotonic()
+        astats = assemble_csr(
+            staging,
+            num_nodes=int(parse_info["num_nodes"]),
+            has_probs=bool(parse_info["has_probs"]),
+            on_duplicate=on_duplicate,
+            chunk_edges=chunk_edges,
+        )
+        timings["assemble_s"] = time.monotonic() - begin
+        stages["assemble"] = astats.to_mapping()
+        _write_journal(journal_path, journal)
+
+    if "assign" not in stages:
+        begin = time.monotonic()
+        _assign_probabilities(
+            staging,
+            assignment=assignment,
+            p=p,
+            seed=seed,
+            has_file_probs=bool(parse_info["has_probs"]),
+            num_nodes=int(parse_info["num_nodes"]),
+            chunk_edges=chunk_edges,
+        )
+        timings["assign_s"] = time.monotonic() - begin
+        stages["assign"] = {"method": assignment}
+        _write_journal(journal_path, journal)
+
+    begin = time.monotonic()
+    manifest = _build_manifest(
+        staging,
+        dataset=dataset,
+        source=source,
+        source_file=src_path.name,
+        source_sha=source_sha,
+        offline_fixture=bool(fetch and fetch.offline_fixture),
+        assignment=assignment,
+        p=p,
+        seed=seed,
+        on_duplicate=on_duplicate,
+        on_self_loop=on_self_loop,
+        parse_info=parse_info,
+        assemble_info=stages["assemble"],
+    )
+    body = _canonical({k: v for k, v in manifest.items() if k != "manifest_digest"})
+    manifest["manifest_digest"] = digest_text(body)
+    payload = json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+    faulty_write_bytes(
+        staging / MANIFEST_NAME, payload.encode("utf-8"), site="data.commit", key=dataset
+    )
+    journal_path.unlink()
+    out_dir.parent.mkdir(parents=True, exist_ok=True)
+    os.replace(staging, out_dir)
+    timings["commit_s"] = time.monotonic() - begin
+    timings["total_s"] = sum(timings.values())
+    return IngestReport(
+        name=dataset,
+        directory=out_dir,
+        manifest=manifest,
+        timings=timings,
+        resumed_stages=resumed,
+    )
+
+
+def _assign_probabilities(
+    staging: Path,
+    *,
+    assignment: str,
+    p: float,
+    seed: int,
+    has_file_probs: bool,
+    num_nodes: int,
+    chunk_edges: int,
+) -> None:
+    """Write ``probs.npy`` for the chosen assignment, streaming.
+
+    Semantics mirror :mod:`repro.problearn.assign`: ``wc`` is
+    ``1 / indeg(v)`` (computed in one streaming pass over the final
+    targets), ``fixed`` is a constant, ``trivalency`` draws each arc
+    uniformly from {0.1, 0.01, 0.001} with a seeded generator, ``file``
+    keeps the parsed probability column.
+    """
+    targets = np.load(staging / "targets.npy", mmap_mode="r")
+    m = len(targets)
+    if assignment == "file":
+        if not has_file_probs:
+            raise DataError(
+                "assignment 'file' needs a 3-column edge list with a "
+                "probability column"
+            )
+        return  # probs.npy was produced by the assemble stage
+    probs = np.lib.format.open_memmap(
+        staging / "probs.npy", mode="w+", dtype=np.float64, shape=(m,)
+    )
+    try:
+        if assignment == "wc":
+            indeg = np.zeros(num_nodes, dtype=np.int64)
+            for lo in range(0, m, chunk_edges):
+                hi = min(lo + chunk_edges, m)
+                indeg += np.bincount(targets[lo:hi], minlength=num_nodes)
+            for lo in range(0, m, chunk_edges):
+                hi = min(lo + chunk_edges, m)
+                probs[lo:hi] = 1.0 / indeg[targets[lo:hi]]
+        elif assignment == "fixed":
+            probs[:] = p
+        else:  # trivalency
+            rng = derive_rng(seed)
+            values = np.asarray(_TRIVALENCY_VALUES, dtype=np.float64)
+            for lo in range(0, m, chunk_edges):
+                hi = min(lo + chunk_edges, m)
+                probs[lo:hi] = values[rng.integers(0, len(values), size=hi - lo)]
+        probs.flush()
+    finally:
+        # Release the mapping on error too, so a failed assignment never
+        # leaves a locked, partially written probs.npy in staging.
+        del probs
+
+
+def _build_manifest(
+    staging: Path,
+    *,
+    dataset: str,
+    source: str,
+    source_file: str,
+    source_sha: str,
+    offline_fixture: bool,
+    assignment: str,
+    p: float,
+    seed: int,
+    on_duplicate: str,
+    on_self_loop: str,
+    parse_info: dict,
+    assemble_info: dict,
+) -> dict:
+    indptr = np.load(staging / "indptr.npy", mmap_mode="r")
+    arrays = {}
+    for array_name in _ARRAY_NAMES:
+        path = staging / array_name
+        if not path.exists():
+            raise DataError(f"ingest stage output {array_name} is missing")
+        arrays[array_name] = {
+            "sha256": digest_file(path),
+            "bytes": path.stat().st_size,
+        }
+    assignment_record: dict = {"method": assignment}
+    if assignment == "fixed":
+        assignment_record["p"] = p
+    if assignment == "trivalency":
+        assignment_record["seed"] = seed
+        assignment_record["values"] = list(_TRIVALENCY_VALUES)
+    return {
+        "magic": MANIFEST_MAGIC,
+        "format_version": MANIFEST_VERSION,
+        "name": dataset,
+        "source": {
+            "name": source,
+            "file": source_file,
+            "sha256": source_sha,
+            "offline_fixture": offline_fixture,
+        },
+        "parse": {
+            **parse_info["stats"],
+            **assemble_info,
+            "on_duplicate": on_duplicate,
+            "on_self_loop": on_self_loop,
+        },
+        "graph": {
+            "num_nodes": int(len(indptr) - 1),
+            "num_edges": int(indptr[-1]),
+        },
+        "assignment": assignment_record,
+        "tool_version": repro.__version__,
+        "arrays": arrays,
+    }
+
+
+def read_manifest(directory: PathLike) -> dict:
+    """Parse and checksum-validate ``<directory>/dataset.json``.
+
+    Raises :class:`ManifestError` for every flavour of unusable manifest
+    — missing, torn mid-write, tampered, or wrong version.
+    """
+    path = Path(directory) / MANIFEST_NAME
+    try:
+        text = path.read_text(encoding="utf-8")
+    except FileNotFoundError as exc:
+        raise ManifestError(
+            f"{directory} has no {MANIFEST_NAME} — not an ingested dataset "
+            "(or an ingest that crashed before commit; re-run 'repro data ingest')"
+        ) from exc
+    except (OSError, UnicodeDecodeError) as exc:
+        raise ManifestError(f"cannot read {path}: {exc}") from exc
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ManifestError(
+            f"{path} is not valid JSON (torn write?): {exc}"
+        ) from exc
+    if not isinstance(payload, dict) or payload.get("magic") != MANIFEST_MAGIC:
+        raise ManifestError(f"{path} is not a dataset manifest (bad magic)")
+    if payload.get("format_version") != MANIFEST_VERSION:
+        raise ManifestError(
+            f"unsupported dataset manifest version {payload.get('format_version')!r}"
+        )
+    recorded = payload.get("manifest_digest")
+    if not isinstance(recorded, str):
+        raise ManifestError(f"{path} is missing its self-checksum")
+    body = _canonical({k: v for k, v in payload.items() if k != "manifest_digest"})
+    if digest_text(body) != recorded:
+        raise ManifestError(
+            f"{path} checksum mismatch — the manifest was corrupted or edited"
+        )
+    return payload
+
+
+def verify_dataset(directory: PathLike, *, full: bool = True) -> dict:
+    """Check a dataset directory against its manifest.
+
+    ``full`` re-hashes every array file; otherwise only sizes are
+    compared.  Returns the validated manifest.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    for array_name, info in sorted(manifest["arrays"].items()):
+        path = directory / array_name
+        if not path.exists():
+            raise ManifestError(f"dataset array {array_name} is missing")
+        if path.stat().st_size != int(info["bytes"]):
+            raise ManifestError(
+                f"dataset array {array_name} is {path.stat().st_size} bytes, "
+                f"manifest records {info['bytes']}"
+            )
+        if full and digest_file(path) != info["sha256"]:
+            raise ManifestError(
+                f"dataset array {array_name} fails its recorded checksum"
+            )
+    return manifest
+
+
+def load_graph(directory: PathLike, *, verify: str = "fast") -> ProbabilisticDigraph:
+    """Memory-map an ingested dataset as a :class:`ProbabilisticDigraph`.
+
+    ``verify`` is ``"fast"`` (manifest checksum + file sizes) or
+    ``"full"`` (re-hash every array).
+    """
+    directory = Path(directory)
+    verify_dataset(directory, full=verify == "full")
+    indptr = np.load(directory / "indptr.npy", mmap_mode="r")
+    targets = np.load(directory / "targets.npy", mmap_mode="r")
+    probs = np.load(directory / "probs.npy", mmap_mode="r")
+    return ProbabilisticDigraph._from_csr_unchecked(
+        int(len(indptr) - 1), indptr, targets, probs
+    )
+
+
+def load_labels(directory: PathLike) -> np.ndarray:
+    """The dense-id → original-label sidecar of an ingested dataset."""
+    return np.load(Path(directory) / LABELS_NAME)

@@ -1,0 +1,80 @@
+"""Discovery surface for ingested datasets.
+
+Ingested datasets live under ``<data root>/ingested/<name>/`` (see
+:mod:`repro.data.ingest`).  This module enumerates them, loads them with
+manifest verification, and summarises their provenance — it is the glue
+:mod:`repro.datasets.registry` uses to let ``load_setting("epinions-W")``
+resolve an ingested graph by name next to the synthetic settings.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.data.errors import ManifestError
+from repro.data.fetch import ingest_root
+from repro.data.ingest import MANIFEST_NAME, load_graph, read_manifest
+
+PathLike = Union[str, os.PathLike]
+
+
+def dataset_dir(name: str, root: PathLike | None = None) -> Path:
+    """Where dataset ``name`` lives (whether or not it exists yet)."""
+    return ingest_root(root) / name
+
+
+def list_ingested(root: PathLike | None = None) -> list[str]:
+    """Sorted names of committed datasets under the data root.
+
+    Only directories holding a ``dataset.json`` count; ``.staging``
+    leftovers from a crashed ingest are invisible here (``repro data
+    ingest`` resumes them).
+    """
+    base = ingest_root(root)
+    if not base.is_dir():
+        return []
+    return sorted(
+        entry.name
+        for entry in base.iterdir()
+        if entry.is_dir() and (entry / MANIFEST_NAME).exists()
+    )
+
+
+def has_dataset(name: str, root: PathLike | None = None) -> bool:
+    return (dataset_dir(name, root) / MANIFEST_NAME).exists()
+
+
+def load_dataset(name: str, *, root: PathLike | None = None, verify: str = "fast"):
+    """Load one ingested dataset as ``(ProbabilisticDigraph, manifest)``.
+
+    Raises :class:`ManifestError` when the name is unknown (listing what
+    *is* available) or when the manifest/array checksums refuse.
+    """
+    directory = dataset_dir(name, root)
+    if not (directory / MANIFEST_NAME).exists():
+        available = list_ingested(root)
+        hint = (
+            f"ingested datasets: {available}"
+            if available
+            else "no datasets have been ingested yet — run 'repro data ingest'"
+        )
+        raise ManifestError(f"no ingested dataset named {name!r}; {hint}")
+    manifest = read_manifest(directory)
+    graph = load_graph(directory, verify=verify)
+    return graph, manifest
+
+
+def describe_dataset(name: str, root: PathLike | None = None) -> dict:
+    """Provenance summary of an ingested dataset (manifest subset)."""
+    manifest = read_manifest(dataset_dir(name, root))
+    return {
+        "name": manifest["name"],
+        "source": manifest["source"],
+        "graph": manifest["graph"],
+        "assignment": manifest["assignment"],
+        "parse": manifest["parse"],
+        "tool_version": manifest["tool_version"],
+        "manifest_digest": manifest["manifest_digest"],
+    }

@@ -1,0 +1,105 @@
+"""The pinned dataset-source manifest (``sources.json``).
+
+Each entry names one real network the paper (or the related SNAP-scale
+literature) evaluates on: its download URL, pinned SHA-256 (``null``
+means trust-on-first-use — the digest is recorded beside the cached file
+on first fetch and enforced afterwards), a licence note, the file shape
+(gzip, column count) and a size bound, plus the pinned digest of its
+deterministic offline fixture (see :mod:`repro.data.fixtures`).
+
+The manifest is data, not code, so growing the catalogue is a JSON edit;
+this module only parses and validates it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.data.errors import DataError, SourceUnknownError
+
+SOURCES_FILE = Path(__file__).with_name("sources.json")
+
+_cache: dict[str, "SourceSpec"] | None = None
+
+
+@dataclass(frozen=True)
+class FixtureSpec:
+    """Pinned offline stand-in for one source."""
+
+    filename: str
+    sha256: str
+
+
+@dataclass(frozen=True)
+class SourceSpec:
+    """One pinned dataset source."""
+
+    name: str
+    url: str | None
+    filename: str
+    sha256: str | None
+    license: str
+    gz: bool
+    columns: int
+    max_bytes: int
+    fixture: FixtureSpec
+
+    @property
+    def offline_only(self) -> bool:
+        return self.url is None
+
+
+def _parse_entry(name: str, raw: dict) -> SourceSpec:
+    try:
+        fixture = FixtureSpec(
+            filename=str(raw["fixture"]["filename"]),
+            sha256=str(raw["fixture"]["sha256"]),
+        )
+        return SourceSpec(
+            name=name,
+            url=raw["url"],
+            filename=str(raw["filename"]),
+            sha256=raw["sha256"],
+            license=str(raw["license"]),
+            gz=bool(raw["gz"]),
+            columns=int(raw["columns"]),
+            max_bytes=int(raw["max_bytes"]),
+            fixture=fixture,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DataError(f"malformed sources.json entry {name!r}: {exc}") from exc
+
+
+def load_sources() -> dict[str, SourceSpec]:
+    """Parse and cache the manifest; returns ``name -> SourceSpec``."""
+    global _cache
+    if _cache is None:
+        try:
+            payload = json.loads(SOURCES_FILE.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise DataError(f"cannot read sources manifest: {exc}") from exc
+        if not isinstance(payload, dict) or not isinstance(payload.get("sources"), dict):
+            raise DataError("sources.json must hold a 'sources' mapping")
+        _cache = {
+            name: _parse_entry(name, raw)
+            for name, raw in sorted(payload["sources"].items())
+        }
+    return _cache
+
+
+def list_sources() -> list[str]:
+    """Sorted source names."""
+    return sorted(load_sources())
+
+
+def get_source(name: str) -> SourceSpec:
+    """Look up one source; unknown names list the catalogue."""
+    sources = load_sources()
+    spec = sources.get(name)
+    if spec is None:
+        raise SourceUnknownError(
+            f"unknown dataset source {name!r}; choose from {sorted(sources)}"
+        )
+    return spec

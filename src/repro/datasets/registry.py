@@ -12,12 +12,18 @@ activity log where needed, and returns the graph with its final
 probabilities.  Everything is deterministic in ``(name, scale)``.
 Settings are cached per (name, scale) within a process since the learnt
 settings involve an EM fit.
+
+Names that are not synthetic settings resolve against the *ingested*
+datasets of the real-data ETL pipeline (``repro data ingest``; see
+:mod:`repro.data`): ``load_setting("epinions-W")`` loads the committed,
+checksummed graph from the data root, with its ingest manifest exposed
+via ``DatasetSetting.provenance`` / ``.describe()``.
 """
 
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.graph.digraph import ProbabilisticDigraph
@@ -80,6 +86,9 @@ class DatasetSetting:
         directed: whether the base dataset is directed (Table 1's Type).
         graph: the probabilistic graph carrying final probabilities.
         probability_source: Table 1's Probabilities column value.
+        provenance: for ingested real datasets, the validated ingest
+            manifest (source digest, parse stats, assignment, tool
+            version); ``None`` for synthetic settings.
     """
 
     name: str
@@ -88,6 +97,28 @@ class DatasetSetting:
     directed: bool
     graph: ProbabilisticDigraph
     probability_source: str
+    provenance: dict | None = field(default=None, compare=False)
+
+    def describe(self) -> dict:
+        """Summary of where this setting's probabilities came from."""
+        info = {
+            "name": self.name,
+            "family": self.family,
+            "method": self.method,
+            "directed": self.directed,
+            "num_nodes": self.graph.num_nodes,
+            "num_edges": self.graph.num_edges,
+            "probability_source": self.probability_source,
+        }
+        if self.provenance is None:
+            info["origin"] = "synthetic"
+        else:
+            info["origin"] = "ingested"
+            info["source"] = self.provenance["source"]
+            info["assignment"] = self.provenance["assignment"]
+            info["manifest_digest"] = self.provenance["manifest_digest"]
+            info["tool_version"] = self.provenance["tool_version"]
+        return info
 
 
 _SUFFIX_METHOD = {"S": "saito", "G": "goyal", "W": "wc", "F": "fixed", "T": "trivalency"}
@@ -124,12 +155,55 @@ def load_base_topology(family: str, scale: float = 1.0) -> ProbabilisticDigraph:
     return builder(scale=scale)
 
 
-def load_setting(name: str, scale: float = 1.0) -> DatasetSetting:
-    """Materialise one of the 12 settings (see module docstring), or one of
-    the ``EXTENSION_SETTINGS`` (``-T`` = trivalency)."""
+def _load_ingested_setting(name: str, data_root) -> DatasetSetting:
+    """Resolve ``name`` as an ingested real dataset (see repro.data)."""
+    from repro.data.registry import load_dataset
+
+    graph, manifest = load_dataset(name, root=data_root)
+    method = manifest["assignment"]["method"]
+    source_text = {
+        "wc": "assigned (weighted cascade)",
+        "fixed": f"assigned (fixed {manifest['assignment'].get('p', 0.1)})",
+        "trivalency": "assigned (trivalency)",
+        "file": "carried by the source file",
+    }[method]
+    setting = DatasetSetting(
+        name=name,
+        family=manifest["source"]["name"],
+        method=method,
+        directed=True,  # ingested edge lists are taken as directed arcs
+        graph=graph,
+        probability_source=source_text + " [ingested]",
+        provenance=manifest,
+    )
+    # Not cached: ingested arrays are memory-mapped, so loading is cheap,
+    # and the same name can point at different data roots across calls.
+    return setting
+
+
+def load_setting(
+    name: str, scale: float = 1.0, *, data_root=None
+) -> DatasetSetting:
+    """Materialise one of the 12 settings (see module docstring), one of the
+    ``EXTENSION_SETTINGS`` (``-T`` = trivalency), or an ingested real
+    dataset by its ``repro data ingest`` name (``scale`` does not apply to
+    ingested datasets).  ``data_root`` overrides ``REPRO_DATA_DIR`` when
+    resolving ingested names."""
     valid = SETTING_NAMES + EXTENSION_SETTINGS
     if name not in valid:
-        raise ValueError(f"unknown setting {name!r}; choose from {valid}")
+        from repro.data.registry import has_dataset, list_ingested
+
+        if has_dataset(name, data_root):
+            return _load_ingested_setting(name, data_root)
+        ingested = list_ingested(data_root)
+        raise ValueError(
+            f"unknown setting {name!r}; synthetic settings: {list(valid)}; "
+            + (
+                f"ingested datasets: {ingested}"
+                if ingested
+                else "no ingested datasets (run 'repro data ingest' to add real ones)"
+            )
+        )
     key = (name, scale)
     if key in _cache:
         return _cache[key]

@@ -25,10 +25,10 @@ class GraphBuilder:
     """
 
     def __init__(self, on_duplicate: str = "overwrite") -> None:
-        if on_duplicate not in ("overwrite", "error", "max", "min"):
+        if on_duplicate not in ("overwrite", "error", "max", "min", "first"):
             raise ValueError(
-                "on_duplicate must be one of 'overwrite', 'error', 'max', 'min', "
-                f"got {on_duplicate!r}"
+                "on_duplicate must be one of 'overwrite', 'error', 'max', "
+                f"'min', 'first', got {on_duplicate!r}"
             )
         self._on_duplicate = on_duplicate
         self._labels: dict[Hashable, int] = {}
@@ -69,6 +69,8 @@ class GraphBuilder:
         if key in self._edges:
             if self._on_duplicate == "error":
                 raise ValueError(f"duplicate arc ({u!r}, {v!r})")
+            if self._on_duplicate == "first":
+                return
             if self._on_duplicate == "max":
                 p = max(p, self._edges[key])
             elif self._on_duplicate == "min":

@@ -10,10 +10,19 @@ probability column)::
 Node ids in a file may be arbitrary non-negative integers or strings; they
 are densified on read and the mapping can be recovered via
 ``read_edge_list(..., return_labels=True)``.
+
+Paths ending in ``.gz`` are read and written through gzip transparently.
+Raw SNAP dumps repeat arcs; ``on_duplicate`` forwards the
+:class:`~repro.graph.builder.GraphBuilder` policy (``"error"`` — the
+round-trip-safe default — ``"first"``, or ``"max"``).  For SNAP-scale
+files prefer the streaming :mod:`repro.data` pipeline; this reader
+builds the whole graph in memory.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import os
 from typing import IO, Iterable, Union
 
@@ -23,16 +32,41 @@ from repro.graph.digraph import ProbabilisticDigraph
 PathLike = Union[str, os.PathLike]
 
 
+def _is_gz(path: PathLike) -> bool:
+    return os.fspath(path).endswith(".gz")
+
+
 def write_edge_list(graph: ProbabilisticDigraph, path: PathLike, precision: int = 17) -> None:
-    """Write ``graph`` as a ``u v p`` edge list (dense integer node ids)."""
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(f"# nodes {graph.num_nodes} edges {graph.num_edges}\n")
+    """Write ``graph`` as a ``u v p`` edge list (dense integer node ids).
+
+    A ``.gz`` suffix gzip-compresses the output (``mtime=0`` so identical
+    graphs produce byte-identical files).
+    """
+    if _is_gz(path):
+        raw = open(path, "wb")
+        # filename="" keeps the target path out of the gzip header, so
+        # identical graphs stay byte-identical wherever they are written.
+        handle = gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0)
+        text: IO[str] = io.TextIOWrapper(handle, encoding="utf-8")
+    else:
+        raw = None
+        text = open(path, "w", encoding="utf-8")
+    try:
+        text.write(f"# nodes {graph.num_nodes} edges {graph.num_edges}\n")
         for u, v, p in graph.edges():
-            handle.write(f"{u} {v} {p:.{precision}g}\n")
+            text.write(f"{u} {v} {p:.{precision}g}\n")
+    finally:
+        text.close()
+        if raw is not None:
+            raw.close()
 
 
-def _parse_lines(lines: Iterable[str], default_probability: float | None) -> GraphBuilder:
-    builder = GraphBuilder(on_duplicate="error")
+def _parse_lines(
+    lines: Iterable[str],
+    default_probability: float | None,
+    on_duplicate: str = "error",
+) -> GraphBuilder:
+    builder = GraphBuilder(on_duplicate=on_duplicate)
     declared_nodes: int | None = None
     for lineno, raw in enumerate(lines, start=1):
         line = raw.strip()
@@ -82,17 +116,24 @@ def read_edge_list(
     source: Union[PathLike, IO[str]],
     default_probability: float | None = None,
     return_labels: bool = False,
+    on_duplicate: str = "error",
 ):
     """Read an edge list from a path or open text handle.
 
+    Paths ending in ``.gz`` are decompressed transparently.
+    ``on_duplicate`` forwards the builder's duplicate-arc policy; the
+    default ``"error"`` preserves the historical round-trip contract.
     Returns the graph, or ``(graph, labels)`` when ``return_labels`` is set,
     where ``labels`` maps original file labels to dense node ids.
     """
     if hasattr(source, "read"):
-        builder = _parse_lines(source, default_probability)
+        builder = _parse_lines(source, default_probability, on_duplicate)
+    elif _is_gz(source):
+        with gzip.open(source, "rt", encoding="utf-8") as handle:
+            builder = _parse_lines(handle, default_probability, on_duplicate)
     else:
         with open(source, "r", encoding="utf-8") as handle:
-            builder = _parse_lines(handle, default_probability)
+            builder = _parse_lines(handle, default_probability, on_duplicate)
     if return_labels:
         return builder.build_with_labels()
     return builder.build()

@@ -94,6 +94,17 @@ KNOWN_SITES: dict[str, str] = {
     "the line, the crash artefact recovery must repair)",
     "jobs.result": "finalising a job's result record after the last "
     "selection step (key: job id, attempt: worker attempt number)",
+    "data.fetch": "committing one fetched/materialised source file into "
+    "the download cache, before the verify-then-rename (key: source "
+    "name; 'torn' persists half the payload into the .part file, which "
+    "the next fetch detects by digest and rewrites)",
+    "data.parse": "one spill chunk or sort/dedup pass of a streaming "
+    "ingest (key: chunk ordinal or pass name; 'crash' interrupts the "
+    "parse stage, which the journalled ingest restarts cleanly)",
+    "data.commit": "writing the self-checksummed dataset.json at the "
+    "end of an ingest, before the staging directory is renamed into "
+    "place (key: dataset name; 'torn' persists half the manifest, "
+    "which loading refuses and a re-run ingest replaces)",
 }
 
 KeyLike = Union[int, str, None]

@@ -1,0 +1,118 @@
+"""Chaos gate for the ETL pipeline: crash at every ``data.*`` site, resume,
+and prove the committed manifest digest is bit-identical to a clean run.
+
+``crash`` faults ``os._exit`` the process, so each interrupted ingest runs
+in a subprocess with the plan armed through ``REPRO_FAULTS``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.runtime.faults import CRASH_EXIT_CODE, KNOWN_SITES
+
+_INGEST_SNIPPET = """
+import sys
+from repro.data import ingest
+report = ingest("epinions", root=sys.argv[1], assignment="wc", offline=True)
+print(report.manifest["manifest_digest"])
+"""
+
+
+def run_ingest(root, plan=None, chunk_edges=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    if plan is not None:
+        env["REPRO_FAULTS"] = json.dumps({"faults": plan})
+    else:
+        env.pop("REPRO_FAULTS", None)
+    snippet = _INGEST_SNIPPET
+    if chunk_edges is not None:
+        snippet = snippet.replace(
+            'offline=True)', f"offline=True, chunk_edges={chunk_edges})"
+        )
+    return subprocess.run(
+        [sys.executable, "-c", snippet, str(root)],
+        env=env,
+        capture_output=True,
+        text=True,
+        cwd=os.getcwd(),
+    )
+
+
+def spec(site, kind, key):
+    return {"site": site, "kind": kind, "key": key, "attempts": [0], "seconds": 0}
+
+
+@pytest.fixture(scope="module")
+def clean_digest(tmp_path_factory):
+    result = run_ingest(tmp_path_factory.mktemp("clean"))
+    assert result.returncode == 0, result.stderr
+    return result.stdout.strip()
+
+
+class TestCrashResume:
+    def test_data_sites_are_registered(self):
+        for site in ("data.fetch", "data.parse", "data.commit"):
+            assert site in KNOWN_SITES
+
+    @pytest.mark.parametrize(
+        "plan,expect_crash",
+        [
+            ([spec("data.fetch", "torn", "epinions")], False),
+            ([spec("data.parse", "crash", 0)], True),
+            ([spec("data.parse", "crash", "sort-by-target")], True),
+            ([spec("data.parse", "crash", "sort-by-source")], True),
+            ([spec("data.parse", "crash", "dedup")], True),
+            ([spec("data.commit", "torn", "epinions-W")], False),
+        ],
+        ids=["fetch-torn", "spill-crash", "sort-t-crash", "sort-s-crash",
+             "dedup-crash", "commit-torn"],
+    )
+    def test_interrupt_then_resume_bit_identical(
+        self, tmp_path, clean_digest, plan, expect_crash
+    ):
+        interrupted = run_ingest(tmp_path, plan)
+        assert interrupted.returncode != 0, "fault did not fire"
+        if expect_crash:
+            assert interrupted.returncode == CRASH_EXIT_CODE
+        resumed = run_ingest(tmp_path)
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout.strip() == clean_digest
+
+    def test_resume_skips_completed_stages(self, tmp_path, clean_digest):
+        # Crash after the parse stage journalled: the resume must reuse it
+        # (the journal records completed stages keyed by a param digest).
+        interrupted = run_ingest(tmp_path, [spec("data.parse", "crash", "dedup")])
+        assert interrupted.returncode == CRASH_EXIT_CODE
+        staging = tmp_path / "ingested" / "epinions-W.staging"
+        journal = json.loads((staging / "ingest.journal.json").read_text())
+        assert "parse" in journal["stages"]
+        resumed = run_ingest(tmp_path)
+        assert resumed.returncode == 0
+        assert resumed.stdout.strip() == clean_digest
+
+    def test_resume_with_different_chunking_converges(
+        self, tmp_path, clean_digest
+    ):
+        # chunk_edges is a performance knob, not a semantic parameter:
+        # resuming with different chunking still reaches the same digest.
+        interrupted = run_ingest(tmp_path, [spec("data.parse", "crash", "dedup")])
+        assert interrupted.returncode == CRASH_EXIT_CODE
+        resumed = run_ingest(tmp_path, chunk_edges=1024)
+        assert resumed.returncode == 0, resumed.stderr
+        assert resumed.stdout.strip() == clean_digest
+
+    def test_double_interrupt_still_converges(self, tmp_path, clean_digest):
+        first = run_ingest(tmp_path, [spec("data.parse", "crash", 0)])
+        assert first.returncode == CRASH_EXIT_CODE
+        second = run_ingest(tmp_path, [spec("data.commit", "torn", "epinions-W")])
+        assert second.returncode != 0
+        final = run_ingest(tmp_path)
+        assert final.returncode == 0, final.stderr
+        assert final.stdout.strip() == clean_digest

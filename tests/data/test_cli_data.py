@@ -1,0 +1,109 @@
+"""Tests for the ``repro data`` CLI surface and ``index build --dataset``."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def data_env(tmp_path, monkeypatch):
+    """Point REPRO_DATA_DIR at an isolated root; return it."""
+    root = tmp_path / "data"
+    monkeypatch.setenv("REPRO_DATA_DIR", str(root))
+    return tmp_path
+
+
+class TestDataFetch:
+    def test_offline_fetch(self, data_env, capsys):
+        assert main(["data", "fetch", "epinions", "--offline"]) == 0
+        out = capsys.readouterr().out
+        assert "bundled offline fixture" in out
+        assert "sha256:" in out
+
+    def test_cache_hit_reported(self, data_env, capsys):
+        assert main(["data", "fetch", "digg"]) == 0
+        capsys.readouterr()
+        assert main(["data", "fetch", "digg"]) == 0
+        assert "already cached" in capsys.readouterr().out
+
+    def test_unknown_source_exits_2(self, data_env, capsys):
+        assert main(["data", "fetch", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown dataset source" in err and "epinions" in err
+
+
+class TestDataIngest:
+    def test_ingest_and_info_and_verify(self, data_env, capsys):
+        assert main(["data", "ingest", "epinions", "--offline"]) == 0
+        out = capsys.readouterr().out
+        assert "ingested epinions-W" in out
+        assert "manifest digest: sha256:" in out
+
+        assert main(["data", "info", "epinions-W"]) == 0
+        out = capsys.readouterr().out
+        assert "offline fixture" in out and "assignment" in out
+
+        assert main(["data", "verify", "epinions-W", "--full"]) == 0
+        assert "OK (full array re-hash)" in capsys.readouterr().out
+
+    def test_info_listing(self, data_env, capsys):
+        assert main(["data", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "catalogue sources:" in out
+        assert "(none — run 'repro data ingest <source>')" in out
+
+    def test_info_json(self, data_env, capsys):
+        import json
+
+        assert main(["data", "info", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "epinions" in payload["sources"]
+        assert payload["ingested"] == []
+
+    def test_double_ingest_refused_without_force(self, data_env, capsys):
+        assert main(["data", "ingest", "digg"]) == 0
+        capsys.readouterr()
+        assert main(["data", "ingest", "digg"]) == 2
+        assert "already ingested" in capsys.readouterr().err
+
+    def test_verify_unknown_exits_2(self, data_env, capsys):
+        assert main(["data", "verify", "ghost"]) == 2
+        assert "no dataset.json" in capsys.readouterr().err
+
+    def test_custom_name_and_assignment(self, data_env, capsys):
+        assert main([
+            "data", "ingest", "digg", "--assignment", "fixed",
+            "--p", "0.05", "--name", "digg-small",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "ingested digg-small" in out
+
+
+class TestIndexBuildDataset:
+    def test_build_from_ingested(self, data_env, capsys):
+        assert main(["data", "ingest", "epinions", "--offline"]) == 0
+        capsys.readouterr()
+        out_dir = data_env / "idx"
+        code = main([
+            "index", "build", "--dataset", "epinions-W",
+            "--samples", "4", "--out", str(out_dir),
+        ])
+        assert code == 0
+        assert "cascade-index store" in capsys.readouterr().out
+        assert (out_dir / "manifest.json").exists() or any(out_dir.iterdir())
+
+    def test_setting_and_dataset_mutually_exclusive(self, data_env):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main([
+                "index", "build", "--setting", "NetHEPT-W",
+                "--dataset", "epinions-W", "--out", "x",
+            ])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["index", "build", "--out", "x"])
+
+    def test_unknown_dataset_lists_candidates(self, data_env):
+        with pytest.raises(SystemExit, match="unknown setting"):
+            main([
+                "index", "build", "--dataset", "ghost",
+                "--samples", "4", "--out", "x",
+            ])

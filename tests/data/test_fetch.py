@@ -1,0 +1,152 @@
+"""Tests for repro.data.fetch — the checksummed, resumable download cache."""
+
+import gzip
+
+import pytest
+
+import repro.data.fetch as fetch_mod
+from repro.data.errors import FetchError, NetworkUnavailableError
+from repro.data.fetch import data_root, fetch_source
+from repro.data.fixtures import render_fixture
+from repro.data.sources import FixtureSpec, SourceSpec
+from repro.runtime.faults import FaultSpec, fault_scope
+from repro.store.fingerprint import digest_file
+
+
+class TestDataRoot:
+    def test_explicit_argument_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_DIR", "/elsewhere")
+        assert data_root(tmp_path) == tmp_path
+
+    def test_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_DATA_DIR", str(tmp_path))
+        assert data_root() == tmp_path
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DATA_DIR", raising=False)
+        assert str(data_root()) == "data"
+
+
+class TestOfflineFixture:
+    def test_materialise_verifies_pinned_digest(self, tmp_path):
+        result = fetch_source("fixture-social", root=tmp_path, offline=True)
+        assert result.offline_fixture
+        assert not result.cached
+        assert result.path.exists()
+        assert digest_file(result.path) == result.sha256
+
+    def test_second_fetch_is_cache_hit(self, tmp_path):
+        first = fetch_source("epinions", root=tmp_path, offline=True)
+        second = fetch_source("epinions", root=tmp_path, offline=True)
+        assert not first.cached and second.cached
+        assert first.sha256 == second.sha256
+
+    def test_corrupted_cache_is_rewritten(self, tmp_path):
+        result = fetch_source("digg", root=tmp_path, offline=True)
+        result.path.write_text("tampered\n")
+        again = fetch_source("digg", root=tmp_path, offline=True)
+        assert not again.cached  # re-materialised, not trusted
+        assert digest_file(again.path) == again.sha256
+
+    def test_offline_only_source_never_needs_offline_flag(self, tmp_path):
+        result = fetch_source("nethept", root=tmp_path)
+        assert result.offline_fixture
+
+    def test_torn_write_then_refetch_recovers(self, tmp_path):
+        plan = [FaultSpec(site="data.fetch", kind="torn", key="digg")]
+        with fault_scope(plan):
+            with pytest.raises(Exception, match="torn write"):
+                fetch_source("digg", root=tmp_path, offline=True)
+        # The .part file holds half the payload; the clean retry replaces it.
+        result = fetch_source("digg", root=tmp_path, offline=True)
+        assert digest_file(result.path) == result.sha256
+
+
+def file_url_spec(tmp_path, name="epinions", *, max_bytes=1 << 20, sha256=None,
+                  payload=None):
+    """A SourceSpec whose 'download' is a local file:// URL."""
+    if payload is None:
+        payload = render_fixture(name, gz=True, columns=2)
+    remote = tmp_path / "remote.bin"
+    remote.write_bytes(payload)
+    return SourceSpec(
+        name=name,
+        url=remote.as_uri(),
+        filename="downloaded.txt.gz",
+        sha256=sha256,
+        license="test",
+        gz=True,
+        columns=2,
+        max_bytes=max_bytes,
+        fixture=FixtureSpec(filename=f"{name}.fixture.txt.gz", sha256="sha256:unused"),
+    )
+
+
+class TestDownloadPath:
+    def test_file_url_download_records_tofu_sidecar(self, tmp_path, monkeypatch):
+        spec = file_url_spec(tmp_path)
+        monkeypatch.setattr(fetch_mod, "get_source", lambda name: spec)
+        result = fetch_source("epinions", root=tmp_path / "root")
+        assert not result.offline_fixture
+        sidecar = result.path.with_name(result.path.name + ".sha256")
+        assert sidecar.read_text().strip() == result.sha256
+
+    def test_tofu_digest_enforced_on_refetch(self, tmp_path, monkeypatch):
+        spec = file_url_spec(tmp_path)
+        monkeypatch.setattr(fetch_mod, "get_source", lambda name: spec)
+        root = tmp_path / "root"
+        fetch_source("epinions", root=root)
+        # The upstream silently changes: the pinned TOFU digest must refuse.
+        (tmp_path / "remote.bin").write_bytes(b"different payload entirely")
+        with pytest.raises(FetchError, match="digest mismatch"):
+            fetch_source("epinions", root=root, force=True)
+
+    def test_pinned_digest_mismatch_refuses(self, tmp_path, monkeypatch):
+        spec = file_url_spec(tmp_path, sha256="sha256:" + "0" * 64)
+        monkeypatch.setattr(fetch_mod, "get_source", lambda name: spec)
+        with pytest.raises(FetchError, match="digest mismatch"):
+            fetch_source("epinions", root=tmp_path / "root")
+
+    def test_size_bound_aborts_not_falls_back(self, tmp_path, monkeypatch):
+        spec = file_url_spec(tmp_path, max_bytes=64)
+        monkeypatch.setattr(fetch_mod, "get_source", lambda name: spec)
+        with pytest.raises(FetchError, match="exceeded the 64-byte bound") as err:
+            fetch_source("epinions", root=tmp_path / "root")
+        assert not isinstance(err.value, NetworkUnavailableError)
+
+    def test_cli_max_bytes_tightens_bound(self, tmp_path, monkeypatch):
+        spec = file_url_spec(tmp_path)
+        monkeypatch.setattr(fetch_mod, "get_source", lambda name: spec)
+        with pytest.raises(FetchError, match="exceeded the 32-byte bound"):
+            fetch_source("epinions", root=tmp_path / "root", max_bytes=32)
+
+    def test_network_failure_falls_back_to_fixture(self, tmp_path, monkeypatch):
+        spec = file_url_spec(tmp_path)
+        # Point at a port nothing listens on: transport-level failure.
+        broken = SourceSpec(
+            name=spec.name,
+            url="http://127.0.0.1:1/nope.gz",
+            filename=spec.filename,
+            sha256=None,
+            license=spec.license,
+            gz=True,
+            columns=2,
+            max_bytes=spec.max_bytes,
+            fixture=FixtureSpec(
+                filename="epinions.fixture.txt.gz",
+                sha256="sha256:"
+                + __import__("hashlib")
+                .sha256(render_fixture("epinions", gz=True, columns=2))
+                .hexdigest(),
+            ),
+        )
+        monkeypatch.setattr(fetch_mod, "get_source", lambda name: broken)
+        result = fetch_source("epinions", root=tmp_path / "root", timeout=2.0)
+        assert result.offline_fixture
+
+    def test_gz_payload_parses_after_download(self, tmp_path, monkeypatch):
+        spec = file_url_spec(tmp_path)
+        monkeypatch.setattr(fetch_mod, "get_source", lambda name: spec)
+        result = fetch_source("epinions", root=tmp_path / "root")
+        text = gzip.decompress(result.path.read_bytes()).decode("utf-8")
+        assert text.startswith("#")

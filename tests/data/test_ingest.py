@@ -1,0 +1,197 @@
+"""Tests for repro.data.ingest — stage orchestration, manifest, verification."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data.errors import DataError, ManifestError
+from repro.data.ingest import (
+    MANIFEST_NAME,
+    default_dataset_name,
+    ingest,
+    load_graph,
+    load_labels,
+    read_manifest,
+    verify_dataset,
+)
+from repro.data.registry import (
+    describe_dataset,
+    has_dataset,
+    list_ingested,
+    load_dataset,
+)
+from repro.problearn.assign import assign_trivalency
+
+
+class TestIngestAssignments:
+    def test_wc_matches_streaming_indegree(self, tmp_path):
+        report = ingest("epinions", root=tmp_path, assignment="wc", offline=True)
+        graph, _ = load_dataset("epinions-W", root=tmp_path)
+        indeg = np.bincount(graph.targets, minlength=graph.num_nodes)
+        assert np.array_equal(graph.probs, 1.0 / indeg[graph.targets])
+        assert report.manifest["assignment"] == {"method": "wc"}
+
+    def test_fixed_constant(self, tmp_path):
+        ingest("digg", root=tmp_path, assignment="fixed", p=0.05)
+        graph, manifest = load_dataset("digg-F", root=tmp_path)
+        assert bool(np.all(graph.probs == 0.05))
+        assert manifest["assignment"] == {"method": "fixed", "p": 0.05}
+
+    def test_fixed_validates_probability(self, tmp_path):
+        with pytest.raises(ValueError):
+            ingest("digg", root=tmp_path, assignment="fixed", p=1.5)
+
+    def test_trivalency_matches_reference_semantics(self, tmp_path):
+        ingest("nethept", root=tmp_path, assignment="trivalency", seed=99)
+        graph, manifest = load_dataset("nethept-T", root=tmp_path)
+        assert set(np.unique(graph.probs)) <= {0.1, 0.01, 0.001}
+        assert manifest["assignment"]["seed"] == 99
+        # Same seed, same arc order => identical draws as the in-memory
+        # reference assignment (both consume one derive_rng(seed) stream).
+        reference = assign_trivalency(graph, seed=99)
+        assert np.array_equal(graph.probs, reference.probs)
+
+    def test_file_carried_probabilities(self, tmp_path):
+        ingest("fixture-social", root=tmp_path, assignment="file")
+        graph, _ = load_dataset("fixture-social-P", root=tmp_path)
+        assert float(graph.probs.min()) > 0.0
+        assert len(np.unique(graph.probs)) > 3  # not a constant assignment
+
+    def test_file_assignment_requires_prob_column(self, tmp_path):
+        with pytest.raises(DataError, match="3-column"):
+            ingest("digg", root=tmp_path, assignment="file")
+
+    def test_unknown_assignment(self, tmp_path):
+        with pytest.raises(ValueError, match="assignment"):
+            ingest("digg", root=tmp_path, assignment="uniform")
+
+    def test_default_names_follow_paper_suffixes(self):
+        assert default_dataset_name("epinions", "wc") == "epinions-W"
+        assert default_dataset_name("digg", "fixed") == "digg-F"
+        assert default_dataset_name("x", "trivalency") == "x-T"
+        assert default_dataset_name("x", "file") == "x-P"
+
+
+class TestIngestLifecycle:
+    def test_refuses_to_replace_without_force(self, tmp_path):
+        ingest("digg", root=tmp_path)
+        with pytest.raises(DataError, match="already ingested"):
+            ingest("digg", root=tmp_path)
+        ingest("digg", root=tmp_path, force=True)  # force replaces
+
+    def test_deterministic_manifest_digest(self, tmp_path):
+        first = ingest("digg", root=tmp_path)
+        second = ingest("digg", root=tmp_path, force=True)
+        assert (
+            first.manifest["manifest_digest"] == second.manifest["manifest_digest"]
+        )
+
+    def test_local_file_ingest(self, tmp_path):
+        src = tmp_path / "mine.txt"
+        src.write_text("0 1\n1 2\n2 0\n")
+        report = ingest(
+            "local", file=src, root=tmp_path, name="mine-W", assignment="wc"
+        )
+        assert report.name == "mine-W"
+        graph, manifest = load_dataset("mine-W", root=tmp_path)
+        assert graph.num_nodes == 3 and graph.num_edges == 3
+        assert manifest["source"]["name"] == "local"
+
+    def test_missing_local_file(self, tmp_path):
+        with pytest.raises(DataError, match="does not exist"):
+            ingest("local", file=tmp_path / "nope.txt", root=tmp_path)
+
+    def test_labels_sidecar_round_trips(self, tmp_path):
+        src = tmp_path / "sparse.txt"
+        src.write_text("1000 7\n7 42\n")
+        report = ingest("local", file=src, root=tmp_path, name="sparse-W")
+        labels = load_labels(report.directory)
+        assert list(labels) == [7, 42, 1000]
+
+    def test_staging_invisible_until_commit(self, tmp_path):
+        ingest("digg", root=tmp_path)
+        assert list_ingested(tmp_path) == ["digg-W"]
+        assert not (tmp_path / "ingested" / "digg-W.staging").exists()
+
+
+class TestManifestRefusal:
+    def ingest_one(self, tmp_path):
+        report = ingest("digg", root=tmp_path)
+        return report.directory
+
+    def test_verify_clean(self, tmp_path):
+        directory = self.ingest_one(tmp_path)
+        manifest = verify_dataset(directory, full=True)
+        assert manifest["magic"] == "repro-dataset"
+
+    def test_torn_manifest_refused(self, tmp_path):
+        directory = self.ingest_one(tmp_path)
+        path = directory / MANIFEST_NAME
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ManifestError, match="torn write"):
+            read_manifest(directory)
+
+    def test_edited_manifest_refused(self, tmp_path):
+        directory = self.ingest_one(tmp_path)
+        path = directory / MANIFEST_NAME
+        payload = json.loads(path.read_text())
+        payload["graph"]["num_nodes"] += 1
+        path.write_text(json.dumps(payload, sort_keys=True, indent=2))
+        with pytest.raises(ManifestError, match="checksum mismatch"):
+            read_manifest(directory)
+
+    def test_missing_manifest_refused(self, tmp_path):
+        directory = self.ingest_one(tmp_path)
+        (directory / MANIFEST_NAME).unlink()
+        with pytest.raises(ManifestError, match="no dataset.json"):
+            load_graph(directory)
+
+    def test_tampered_array_refused_by_full_verify(self, tmp_path):
+        directory = self.ingest_one(tmp_path)
+        probs = np.load(directory / "probs.npy")
+        probs[0] = 0.123456
+        np.save(directory / "probs.npy", probs)
+        with pytest.raises(ManifestError, match="fails its recorded checksum"):
+            verify_dataset(directory, full=True)
+
+    def test_truncated_array_refused_by_fast_verify(self, tmp_path):
+        directory = self.ingest_one(tmp_path)
+        path = directory / "targets.npy"
+        path.write_bytes(path.read_bytes()[:-8])
+        with pytest.raises(ManifestError, match="bytes"):
+            verify_dataset(directory, full=False)
+
+    def test_wrong_magic_refused(self, tmp_path):
+        directory = self.ingest_one(tmp_path)
+        (directory / MANIFEST_NAME).write_text('{"magic": "other"}')
+        with pytest.raises(ManifestError, match="bad magic"):
+            read_manifest(directory)
+
+
+class TestRegistrySurface:
+    def test_list_and_has(self, tmp_path):
+        assert list_ingested(tmp_path) == []
+        ingest("digg", root=tmp_path)
+        ingest("nethept", root=tmp_path, assignment="fixed")
+        assert list_ingested(tmp_path) == ["digg-W", "nethept-F"]
+        assert has_dataset("digg-W", tmp_path)
+        assert not has_dataset("digg-T", tmp_path)
+
+    def test_load_unknown_lists_available(self, tmp_path):
+        ingest("digg", root=tmp_path)
+        with pytest.raises(ManifestError, match=r"digg-W"):
+            load_dataset("missing", root=tmp_path)
+
+    def test_load_unknown_when_empty(self, tmp_path):
+        with pytest.raises(ManifestError, match="no datasets have been ingested"):
+            load_dataset("missing", root=tmp_path)
+
+    def test_describe_provenance(self, tmp_path):
+        report = ingest("digg", root=tmp_path)
+        info = describe_dataset("digg-W", tmp_path)
+        assert info["source"]["name"] == "digg"
+        assert info["source"]["sha256"].startswith("sha256:")
+        assert info["assignment"] == {"method": "wc"}
+        assert info["manifest_digest"] == report.manifest["manifest_digest"]

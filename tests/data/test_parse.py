@@ -1,0 +1,244 @@
+"""Tests for repro.data.parse — streaming SNAP parser and CSR assembly.
+
+Covers the ISSUE's malformed-input battery: bad column counts, NaN and
+out-of-range probabilities, huge ids, CRLF line endings, truncated gzip
+streams, duplicate-arc and self-loop policies — plus chunk-boundary
+equivalence (tiny ``chunk_edges`` must produce byte-identical output).
+"""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.data.errors import ParseError
+from repro.data.parse import (
+    LABELS_NAME,
+    assemble_csr,
+    parse_edge_file,
+)
+
+
+def run_pipeline(tmp_path, text, *, on_self_loop="drop", on_duplicate="first",
+                 chunk_edges=1 << 17, gz=False, name="edges.txt"):
+    """Parse + assemble ``text`` and return the staged arrays."""
+    tmp_path.mkdir(parents=True, exist_ok=True)
+    if gz:
+        name += ".gz"
+        path = tmp_path / name
+        path.write_bytes(gzip.compress(text.encode("utf-8")))
+    else:
+        path = tmp_path / name
+        path.write_text(text)
+    staging = tmp_path / "staging"
+    result = parse_edge_file(
+        path, staging, on_self_loop=on_self_loop, chunk_edges=chunk_edges
+    )
+    stats = assemble_csr(
+        staging,
+        num_nodes=result.num_nodes,
+        has_probs=result.has_probs,
+        on_duplicate=on_duplicate,
+        chunk_edges=chunk_edges,
+    )
+    out = {
+        "result": result,
+        "assemble": stats,
+        "indptr": np.load(staging / "indptr.npy"),
+        "targets": np.load(staging / "targets.npy"),
+        "labels": np.load(staging / LABELS_NAME),
+    }
+    if result.has_probs:
+        out["probs"] = np.load(staging / "probs.npy")
+    return out
+
+
+def csr_edges(out):
+    """(source_label, target_label[, prob]) triples from staged arrays."""
+    indptr, targets, labels = out["indptr"], out["targets"], out["labels"]
+    triples = []
+    for u in range(len(indptr) - 1):
+        for j in range(indptr[u], indptr[u + 1]):
+            edge = (labels[u], labels[targets[j]])
+            if "probs" in out:
+                edge += (out["probs"][j],)
+            triples.append(edge)
+    return triples
+
+
+class TestHappyPath:
+    def test_small_two_column(self, tmp_path):
+        out = run_pipeline(tmp_path, "# snap header\n10 20\n20 30\n10 30\n")
+        assert out["result"].num_nodes == 3
+        assert list(out["labels"]) == [10, 20, 30]
+        assert csr_edges(out) == [(10, 20), (10, 30), (20, 30)]
+        assert out["result"].stats.comment_lines == 1
+
+    def test_three_column_probabilities(self, tmp_path):
+        out = run_pipeline(tmp_path, "1 2 0.5\n2 3 0.25\n")
+        assert out["result"].has_probs
+        assert csr_edges(out) == [(1, 2, 0.5), (2, 3, 0.25)]
+
+    def test_noncontiguous_ids_densify_in_sorted_order(self, tmp_path):
+        out = run_pipeline(tmp_path, "1000000 3\n3 7\n")
+        assert list(out["labels"]) == [3, 7, 1000000]
+        assert csr_edges(out) == [(3, 7), (1000000, 3)]
+
+    def test_gzip_transparent(self, tmp_path):
+        out = run_pipeline(tmp_path, "0 1\n1 2\n", gz=True)
+        assert csr_edges(out) == [(0, 1), (1, 2)]
+
+    def test_crlf_lines_tolerated(self, tmp_path):
+        out = run_pipeline(tmp_path, "0 1\r\n1 2\r\n2 0\n")
+        assert out["result"].stats.data_lines == 3
+        assert csr_edges(out) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_tabs_and_blank_lines(self, tmp_path):
+        out = run_pipeline(tmp_path, "0\t1\n\n\n1\t2\n")
+        assert out["result"].stats.blank_lines == 2
+        assert csr_edges(out) == [(0, 1), (1, 2)]
+
+    def test_huge_ids_survive(self, tmp_path):
+        big = 2**40
+        out = run_pipeline(tmp_path, f"{big} 1\n1 {big + 7}\n")
+        assert list(out["labels"]) == [1, big, big + 7]
+        assert csr_edges(out) == [(1, big + 7), (big, 1)]
+
+    def test_empty_file_is_empty_graph(self, tmp_path):
+        out = run_pipeline(tmp_path, "# only comments\n\n")
+        assert out["result"].num_nodes == 0
+        assert len(out["targets"]) == 0
+
+    def test_no_trailing_newline(self, tmp_path):
+        out = run_pipeline(tmp_path, "0 1\n1 2")
+        assert csr_edges(out) == [(0, 1), (1, 2)]
+
+
+class TestChunkBoundaries:
+    def test_tiny_chunks_match_one_chunk(self, tmp_path):
+        rng = np.random.default_rng(7)
+        lines = [
+            f"{rng.integers(0, 40)} {rng.integers(0, 40)} "
+            f"{float(rng.uniform(0.01, 1.0)):.6f}"
+            for _ in range(500)
+        ]
+        text = "\n".join(lines) + "\n"
+        big = run_pipeline(tmp_path / "a", text, on_duplicate="max")
+        small = run_pipeline(tmp_path / "b", text, on_duplicate="max", chunk_edges=7)
+        assert np.array_equal(big["indptr"], small["indptr"])
+        assert np.array_equal(big["targets"], small["targets"])
+        assert np.array_equal(big["probs"], small["probs"])
+        assert np.array_equal(big["labels"], small["labels"])
+
+    def test_tiny_chunks_first_policy(self, tmp_path):
+        text = "5 6 0.1\n5 6 0.9\n5 6 0.5\n1 2 0.3\n"
+        for chunk in (1, 2, 1024):
+            out = run_pipeline(
+                tmp_path / f"c{chunk}", text, on_duplicate="first", chunk_edges=chunk
+            )
+            assert csr_edges(out) == [(1, 2, 0.3), (5, 6, 0.1)]
+
+    def test_tiny_chunks_max_policy_across_boundary(self, tmp_path):
+        text = "5 6 0.1\n5 6 0.9\n5 6 0.5\n"
+        for chunk in (1, 2, 3):
+            out = run_pipeline(
+                tmp_path / f"m{chunk}", text, on_duplicate="max", chunk_edges=chunk
+            )
+            assert csr_edges(out) == [(5, 6, 0.9)]
+
+
+class TestDuplicatePolicies:
+    def test_first_keeps_first(self, tmp_path):
+        out = run_pipeline(tmp_path, "0 1 0.2\n0 1 0.8\n")
+        assert csr_edges(out) == [(0, 1, 0.2)]
+        assert out["assemble"].duplicate_edges == 1
+
+    def test_max_keeps_max(self, tmp_path):
+        out = run_pipeline(tmp_path, "0 1 0.2\n0 1 0.8\n0 1 0.5\n", on_duplicate="max")
+        assert csr_edges(out) == [(0, 1, 0.8)]
+
+    def test_error_names_the_duplicate(self, tmp_path):
+        with pytest.raises(ParseError, match=r"duplicate arc \(0, 1\)"):
+            run_pipeline(tmp_path, "0 1\n0 1\n", on_duplicate="error")
+
+    def test_bad_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="on_duplicate"):
+            run_pipeline(tmp_path, "0 1\n", on_duplicate="overwrite")
+
+
+class TestSelfLoops:
+    def test_dropped_and_counted(self, tmp_path):
+        out = run_pipeline(tmp_path, "0 0\n0 1\n1 1\n")
+        assert out["result"].stats.self_loops_dropped == 2
+        assert csr_edges(out) == [(0, 1)]
+
+    def test_error_policy_has_line_number(self, tmp_path):
+        with pytest.raises(ParseError, match="line 2: self-loop on node 7"):
+            run_pipeline(tmp_path, "0 1\n7 7\n", on_self_loop="error")
+
+    def test_bad_policy_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="on_self_loop"):
+            run_pipeline(tmp_path, "0 1\n", on_self_loop="keep")
+
+
+class TestMalformedInputs:
+    @pytest.mark.parametrize(
+        "text,lineno,match",
+        [
+            ("0 1\n0 1 2 3\n", 2, "expected 2 columns, got 4"),
+            ("0 1 0.5\n2\n", 2, "expected 3 columns, got 1"),
+            ("0 1 0.5\n1 2 nan\n", 2, "outside"),
+            ("0 1 0.5\n1 2 1.5\n", 2, "outside"),
+            ("0 1 0.5\n1 2 0\n", 2, "outside"),
+            ("0 1 0.5\n1 2 -0.25\n", 2, "outside"),
+            ("0 1 0.5\n1 2 inf\n", 2, "outside"),
+            ("0 1 0.5\n1 2 oops\n", 2, "bad probability 'oops'"),
+            ("0 1\n-3 1\n", 2, "negative node id -3"),
+        ],
+    )
+    def test_bad_line_is_pinpointed(self, tmp_path, text, lineno, match):
+        with pytest.raises(ParseError, match=f"line {lineno}: .*{match}"):
+            run_pipeline(tmp_path, text)
+
+    def test_lineno_accounts_for_comments_and_blanks(self, tmp_path):
+        with pytest.raises(ParseError, match="line 5"):
+            run_pipeline(tmp_path, "# h\n\n0 1\n# c\n0 1 2 3\n")
+
+    def test_four_column_first_line(self, tmp_path):
+        with pytest.raises(ParseError, match="expected 2 or 3 columns, got 4"):
+            run_pipeline(tmp_path, "0 1 0.5 9\n")
+
+    def test_truncated_gzip(self, tmp_path):
+        payload = gzip.compress(("0 1\n" * 50_000).encode())
+        path = tmp_path / "t.txt.gz"
+        path.write_bytes(payload[: len(payload) // 2])
+        with pytest.raises(ParseError, match="unreadable or truncated"):
+            parse_edge_file(path, tmp_path / "staging")
+
+    def test_string_id_after_integer_prefix(self, tmp_path):
+        # The id mode is fixed by the first data block (blocks are ~1 MiB
+        # of text); a stray alpha token in a later block of an integer
+        # file is corruption, not a mode switch.
+        text = "0 1\n" * 300_000 + "alice bob\n"
+        with pytest.raises(ParseError, match="non-integer node id"):
+            run_pipeline(tmp_path, text)
+
+
+class TestStringLabels:
+    def test_string_ids_first_appearance_order(self, tmp_path):
+        out = run_pipeline(tmp_path, "carol dave\nalice carol\n")
+        assert list(out["labels"]) == ["carol", "dave", "alice"]
+        assert csr_edges(out) == [("carol", "dave"), ("alice", "carol")]
+        assert not out["result"].stats.int_labels
+
+    def test_string_ids_with_probs_and_errors(self, tmp_path):
+        with pytest.raises(ParseError, match="line 2: .*outside"):
+            run_pipeline(tmp_path, "a b 0.5\nb c 2.0\n")
+
+    def test_string_self_loop_policies(self, tmp_path):
+        out = run_pipeline(tmp_path, "a a\na b\n")
+        assert out["result"].stats.self_loops_dropped == 1
+        with pytest.raises(ParseError, match="self-loop on node 'a'"):
+            run_pipeline(
+                tmp_path / "e", "a a\na b\n", on_self_loop="error"
+            )

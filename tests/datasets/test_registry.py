@@ -122,3 +122,42 @@ class TestExtensionSettings:
         clear_cache()
         b = load_setting("NetHEPT-T", scale=SCALE)
         assert a.graph == b.graph
+
+
+class TestIngestedResolution:
+    """load_setting() resolves real datasets ingested by repro.data."""
+
+    @pytest.fixture
+    def data_root(self, tmp_path):
+        from repro.data import ingest
+
+        ingest("digg", root=tmp_path, assignment="wc")
+        return tmp_path
+
+    def test_ingested_name_resolves(self, data_root):
+        setting = load_setting("digg-W", data_root=data_root)
+        assert setting.method == "wc"
+        assert setting.family == "digg"
+        assert setting.provenance is not None
+        assert setting.graph.num_edges > 0
+
+    def test_describe_reports_provenance(self, data_root):
+        info = load_setting("digg-W", data_root=data_root).describe()
+        assert info["origin"] == "ingested"
+        assert info["source"]["sha256"].startswith("sha256:")
+        assert info["manifest_digest"].startswith("sha256:")
+
+    def test_synthetic_describe_has_no_provenance(self):
+        info = load_setting("NetHEPT-W", scale=SCALE).describe()
+        assert info["origin"] == "synthetic"
+        assert "manifest_digest" not in info
+
+    def test_unknown_name_lists_both_worlds(self, data_root):
+        with pytest.raises(ValueError) as err:
+            load_setting("ghost", data_root=data_root)
+        message = str(err.value)
+        assert "Digg-S" in message and "digg-W" in message
+
+    def test_unknown_name_empty_root_hints_at_ingest(self, tmp_path):
+        with pytest.raises(ValueError, match="repro data ingest"):
+            load_setting("ghost", data_root=tmp_path)

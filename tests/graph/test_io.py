@@ -71,3 +71,52 @@ class TestRead:
     def test_duplicate_edge_rejected(self):
         with pytest.raises(ValueError, match="duplicate"):
             read_edge_list(io.StringIO("0 1 0.5\n0 1 0.6\n"))
+
+
+class TestGzip:
+    def test_gz_round_trip(self, tmp_path):
+        g = sample_graph()
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(g, path)
+        assert read_edge_list(path) == g
+
+    def test_gz_output_is_deterministic(self, tmp_path):
+        g = sample_graph()
+        a, b = tmp_path / "a.txt.gz", tmp_path / "sub" / "b.txt.gz"
+        b.parent.mkdir()
+        write_edge_list(g, a)
+        write_edge_list(g, b)
+        # mtime=0 and an empty embedded name keep the container stable.
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_gz_actually_compressed(self, tmp_path):
+        import gzip as gzip_mod
+
+        g = sample_graph()
+        path = tmp_path / "g.txt.gz"
+        write_edge_list(g, path)
+        text = gzip_mod.decompress(path.read_bytes()).decode("utf-8")
+        assert text.startswith("# nodes 5")
+
+
+class TestDuplicatePolicy:
+    def test_default_stays_error(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            read_edge_list(io.StringIO("0 1 0.5\n0 1 0.6\n"))
+
+    def test_first_keeps_first(self):
+        g = read_edge_list(
+            io.StringIO("0 1 0.5\n0 1 0.6\n"), on_duplicate="first"
+        )
+        assert g.edge_probability(0, 1) == 0.5
+
+    def test_max_keeps_max(self):
+        g = read_edge_list(
+            io.StringIO("0 1 0.5\n0 1 0.6\n"), on_duplicate="max"
+        )
+        assert g.edge_probability(0, 1) == 0.6
+
+    def test_policy_applies_to_paths_too(self, tmp_path):
+        path = tmp_path / "dup.txt"
+        path.write_text("0 1 0.5\n0 1 0.6\n")
+        assert read_edge_list(path, on_duplicate="first").num_edges == 1
