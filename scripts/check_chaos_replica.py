@@ -1,0 +1,467 @@
+#!/usr/bin/env python
+"""Chaos gate for the replicated serving tier (.github/workflows/ci.yml).
+
+Partitions a tiny store into a 2 shards x 2 replicas fleet with
+``repro index shard --replicas 2``, runs a real ``python -m repro
+serve-fleet`` process (replica-aware router + four supervised worker
+processes), and verifies the replication contract one level up:
+
+1. **deterministic failover + hedge** — an injected ``router.forward``
+   transport failure on one replica is absorbed by transparent failover
+   (200, byte parity), and an injected stall on another replica is
+   beaten by a deadline-aware hedged read; both are visible in
+   ``/metrics``;
+2. **replica SIGKILL mid-hammer** — one replica of a shard is killed
+   while strict traffic is in flight: zero non-200 responses, zero
+   wrong bytes (peers absorb the outage), the fleet reports
+   ``degraded`` during the window, and the supervisor respawns the
+   replica back to ``healthz: ok``;
+3. **scrub quarantines, repair restores** — a replica's column file is
+   byte-corrupted on disk; ``POST /admin/scrub`` quarantines exactly
+   that replica, traffic keeps flowing byte-identically on the verified
+   peer, ``POST /admin/repair`` rebuilds it from the healthy peer, and
+   a re-scrub comes back clean;
+4. **whole shard down** — with every replica of one shard killed the
+   router refuses with an explicit ``503`` + ``Retry-After`` (never a
+   hang or garbage) while the other shard keeps serving, and the shard
+   recovers on respawn;
+5. **rolling SIGHUP reload** — every replica of every shard advances to
+   ``store_generation`` 2;
+6. **loadgen smoke** — ``scripts/loadgen.py`` writes a
+   ``BENCH_router.json`` carrying the availability ratio;
+7. **graceful drain** — SIGTERM shuts router and workers down cleanly.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/check_chaos_replica.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from check_serve import check, fetch, metric_value, subprocess_env  # noqa: E402
+
+from repro.cascades.index import CascadeIndex  # noqa: E402
+from repro.core.typical_cascade import TypicalCascadeComputer  # noqa: E402
+from repro.graph.generators import powerlaw_outdegree_digraph  # noqa: E402
+from repro.problearn.assign import assign_fixed  # noqa: E402
+from repro.runtime.faults import ENV_VAR, FaultPlan, FaultSpec  # noqa: E402
+from repro.serve import query as q  # noqa: E402
+
+SAMPLES = 6
+SEED = 20160626
+NUM_NODES = 60
+NUM_SHARDS = 2
+NUM_REPLICAS = 2
+FAULT_SHARD = 1    # injected transport failure on its replica 0 -> failover
+HEDGE_SHARD = 0    # injected stall on its replica 0 -> hedge wins
+KILL_SHARD = 1     # loses one replica mid-hammer, later the whole shard
+SCRUB_SHARD = 0    # its replica 1 gets a corrupted column on disk
+SIZE_GRID_RATIO = 1.15  # the serve default; references must match it
+
+_SERVING = re.compile(
+    r"\[fleet\] shard (\d+) replica (\d+) pid (\d+) serving on (\S+)"
+)
+
+
+def reference_bodies(index_path: Path) -> dict[int, bytes]:
+    """Serially computed canonical sphere bodies from the unsharded store."""
+    index = CascadeIndex.load(index_path)
+    computer = TypicalCascadeComputer(index, size_grid_ratio=SIZE_GRID_RATIO)
+    return {
+        node: q.canonical_json(q.sphere_payload(node, computer.compute(node)))
+        for node in range(NUM_NODES)
+    }
+
+
+def shard_nodes(shard_id: int) -> range:
+    """The node range owned by ``shard_id`` (canonical near-equal split)."""
+    per = NUM_NODES // NUM_SHARDS
+    return range(shard_id * per, (shard_id + 1) * per)
+
+
+class FleetProcess:
+    """A ``serve-fleet`` subprocess plus a thread scraping its output."""
+
+    def __init__(self, fleet_dir: Path, faults: FaultPlan | None = None):
+        env = subprocess_env()
+        if faults is not None:
+            env[ENV_VAR] = faults.to_json()
+        self.process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve-fleet", str(fleet_dir),
+                "--port", "0", "--hedge-after", "0.2",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            env=env,
+            text=True,
+        )
+        self.lines: list[str] = []
+        self._lock = threading.Lock()
+        self._reader = threading.Thread(target=self._drain, daemon=True)
+        self._reader.start()
+
+    def _drain(self) -> None:
+        for line in self.process.stdout:
+            with self._lock:
+                self.lines.append(line.rstrip("\n"))
+        self.process.stdout.close()
+
+    def snapshot(self) -> list[str]:
+        with self._lock:
+            return list(self.lines)
+
+    def wait_line(self, predicate, timeout: float = 90.0) -> str:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for line in self.snapshot():
+                if predicate(line):
+                    return line
+            if self.process.poll() is not None:
+                break
+            time.sleep(0.05)
+        raise AssertionError(
+            "no matching fleet output within "
+            f"{timeout:g}s; got:\n" + "\n".join(self.snapshot())
+        )
+
+    def base(self) -> str:
+        line = self.wait_line(
+            lambda l: l.startswith("routing ") and " on http://" in l
+        )
+        return line.rsplit(" on ", 1)[1].strip()
+
+    def worker_pids(self) -> dict[tuple[int, int], int]:
+        """Latest pid per (shard, replica), from the spawn events so far."""
+        pids: dict[tuple[int, int], int] = {}
+        for line in self.snapshot():
+            match = _SERVING.search(line)
+            if match:
+                key = (int(match.group(1)), int(match.group(2)))
+                pids[key] = int(match.group(3))
+        return pids
+
+
+def hammer(base: str, reference: dict[int, bytes], stop: threading.Event,
+           failures: list) -> None:
+    """Strict hammer: every response must be 200 with reference bytes.
+
+    Replication makes a single-replica outage fully transparent, so —
+    unlike the solo-fleet gate — not even explicit refusals are allowed
+    here.
+    """
+    while not stop.is_set():
+        for node in range(NUM_NODES):
+            try:
+                status, _, body = fetch(base, f"/sphere/{node}")
+            except Exception as exc:  # dropped connection = dropped request
+                failures.append((node, "transport", repr(exc)))
+                continue
+            if status != 200 or body != reference[node]:
+                failures.append((node, status, body[:200]))
+
+
+def corrupt_column(replica_dir: Path) -> str:
+    """Byte-corrupt the first column of a replica via ``os.replace``.
+
+    Replicas are hardlinked at partition time, so writing through the
+    link would corrupt the peer too; a rename swaps in a fresh inode and
+    diverges only this replica — exactly the failure scrub pins down.
+    """
+    target = sorted(replica_dir.glob("*.npy"))[0]
+    junk = replica_dir / (target.name + ".junk")
+    junk.write_bytes(b"not a column" * 64)
+    os.replace(junk, target)
+    return target.name
+
+
+def wait_healthz(base: str, predicate, timeout: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout
+    payload: dict = {}
+    while time.monotonic() < deadline:
+        try:
+            _, _, body = fetch(base, "/healthz")
+            payload = json.loads(body)
+        except Exception:
+            payload = {}
+        if payload and predicate(payload):
+            return payload
+        time.sleep(0.02)
+    raise AssertionError(
+        f"healthz predicate not met within {timeout:g}s; last: {payload}"
+    )
+
+
+def main() -> int:
+    graph = assign_fixed(
+        powerlaw_outdegree_digraph(NUM_NODES, mean_degree=5.0, seed=7), 0.15
+    )
+    index = CascadeIndex.build(graph, SAMPLES, seed=SEED)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "idx"
+        fleet_dir = Path(tmp) / "fleet"
+        index.save(store, format="store")
+        reference = reference_bodies(store)
+
+        print("phase 0: partition with `repro index shard --replicas 2`")
+        shard_cli = subprocess.run(
+            [sys.executable, "-m", "repro", "index", "shard", str(store),
+             "--shards", str(NUM_SHARDS), "--replicas", str(NUM_REPLICAS),
+             "--out", str(fleet_dir)],
+            capture_output=True,
+            env=subprocess_env(),
+        )
+        check("index shard exits 0", shard_cli.returncode == 0)
+        check("replica directories written", all(
+            (fleet_dir / name).is_dir()
+            for name in ("shard-00.cidx", "shard-00.r1.cidx",
+                         "shard-01.cidx", "shard-01.r1.cidx")
+        ))
+        scrub_cli = subprocess.run(
+            [sys.executable, "-m", "repro", "shard", "scrub", str(fleet_dir)],
+            capture_output=True,
+            env=subprocess_env(),
+            text=True,
+        )
+        check("`repro shard scrub` passes a fresh fleet",
+              scrub_cli.returncode == 0
+              and "every replica matches" in scrub_cli.stdout)
+
+        faults = FaultPlan.of(
+            FaultSpec(site="router.forward", kind="error",
+                      key=f"{FAULT_SHARD}/0"),
+            FaultSpec(site="router.forward", kind="sleep",
+                      key=f"{HEDGE_SHARD}/0", seconds=1.5),
+        )
+        fleet = FleetProcess(fleet_dir, faults=faults)
+        try:
+            base = fleet.base()
+            print(f"router: {base}, workers: {fleet.worker_pids()}")
+            check("all shard x replica workers announced a pid",
+                  set(fleet.worker_pids()) == {
+                      (s, r)
+                      for s in range(NUM_SHARDS)
+                      for r in range(NUM_REPLICAS)
+                  })
+            # No /healthz before phase 1: health polls traverse the same
+            # ``router.forward`` fault site and would consume the
+            # single-occurrence injected faults armed for the next phase.
+            print("phase 1: injected failover and hedged read")
+            node = shard_nodes(FAULT_SHARD)[0]
+            status, _, body = fetch(base, f"/sphere/{node}")
+            check("injected transport failure fails over transparently",
+                  status == 200 and body == reference[node])
+            node = shard_nodes(HEDGE_SHARD)[0]
+            started = time.monotonic()
+            status, _, body = fetch(base, f"/sphere/{node}")
+            elapsed = time.monotonic() - started
+            check("hedge beats the stalled primary, byte-identical",
+                  status == 200 and body == reference[node]
+                  and elapsed < 1.5)
+            text = fetch(base, "/metrics")[2].decode()
+            check("metrics: failover counted", metric_value(
+                text,
+                f'repro_router_failovers_total{{shard="{FAULT_SHARD}"}}') == 1)
+            check("metrics: injected forward failure carries replica label",
+                  metric_value(
+                      text,
+                      'repro_router_forward_failures_total'
+                      f'{{kind="injected",replica="0",shard="{FAULT_SHARD}"}}'
+                  ) == 1)
+            check("metrics: hedge counted", metric_value(
+                text,
+                f'repro_router_hedges_total{{shard="{HEDGE_SHARD}"}}') == 1)
+            payload = wait_healthz(base, lambda p: p["status"] == "ok")
+            check("healthz reports the replica topology",
+                  payload["replicas"] == NUM_REPLICAS and all(
+                      shard["replicas_total"] == NUM_REPLICAS
+                      and shard["replicas_healthy"] == NUM_REPLICAS
+                      for shard in payload["shards"]
+                  ))
+
+            print("phase 2: replica SIGKILL mid-hammer — zero non-200s")
+            first_pid = fleet.worker_pids()[(KILL_SHARD, 0)]
+            stop = threading.Event()
+            failures: list = []
+            hammer_threads = [
+                threading.Thread(target=hammer,
+                                 args=(base, reference, stop, failures))
+                for _ in range(4)
+            ]
+            for t in hammer_threads:
+                t.start()
+            time.sleep(0.3)
+            subprocess.run(["kill", "-9", str(first_pid)], check=True)
+            degraded = wait_healthz(
+                base, lambda p: p["status"] in ("degraded", "ok")
+                and p["shards"][KILL_SHARD]["replicas_healthy"] < NUM_REPLICAS
+            )
+            check("fleet degrades while the replica is down",
+                  degraded["status"] == "degraded")
+            fleet.wait_line(
+                lambda l: (m := _SERVING.search(l)) is not None
+                and (int(m.group(1)), int(m.group(2))) == (KILL_SHARD, 0)
+                and int(m.group(3)) != first_pid
+            )
+            wait_healthz(base, lambda p: p["status"] == "ok")
+            stop.set()
+            for t in hammer_threads:
+                t.join(timeout=60)
+            check("supervisor respawned the replica with a new pid",
+                  fleet.worker_pids()[(KILL_SHARD, 0)] != first_pid)
+            check("zero non-200 and zero wrong-byte responses in the outage",
+                  failures == [])
+
+            print("phase 3: corrupt a column, scrub quarantines, repair heals")
+            corrupt_column(fleet_dir / f"shard-0{SCRUB_SHARD}.r1.cidx")
+            status, _, body = fetch(base, "/admin/scrub", method="POST",
+                                    body={})
+            payload = json.loads(body)
+            check("scrub flags exactly the corrupted replica",
+                  status == 200 and payload["ok"] is False
+                  and [(e["shard_id"], e["replica"])
+                       for e in payload["quarantined"]] == [(SCRUB_SHARD, 1)])
+            health = json.loads(fetch(base, "/healthz")[2])
+            check("healthz shows the quarantined replica",
+                  health["status"] == "degraded"
+                  and health["shards"][SCRUB_SHARD]["replicas"][1]["status"]
+                  == "quarantined")
+            parity = [
+                fetch(base, f"/sphere/{n}")
+                for n in list(shard_nodes(SCRUB_SHARD))[:8]
+            ]
+            check("quarantined shard keeps serving byte-identically via peer",
+                  all(s == 200 and b == reference[n]
+                      for n, (s, _, b) in zip(shard_nodes(SCRUB_SHARD),
+                                              parity)))
+            status, _, body = fetch(
+                base, "/admin/repair", method="POST",
+                body={"shard": SCRUB_SHARD, "replica": 1},
+            )
+            payload = json.loads(body)
+            check("repair rebuilds from the healthy peer",
+                  status == 200 and payload["status"] == "repaired"
+                  and payload["source_replica"] == 0)
+            status, _, body = fetch(base, "/admin/scrub", method="POST",
+                                    body={})
+            check("re-scrub is clean after repair",
+                  status == 200 and json.loads(body)["ok"] is True)
+            wait_healthz(base, lambda p: p["status"] == "ok")
+            scrub_cli = subprocess.run(
+                [sys.executable, "-m", "repro", "shard", "scrub",
+                 str(fleet_dir)],
+                capture_output=True,
+                env=subprocess_env(),
+                text=True,
+            )
+            check("offline `repro shard scrub` agrees the fleet is clean",
+                  scrub_cli.returncode == 0)
+
+            print("phase 4: whole shard down — explicit 503, peer shard serves")
+            pids = fleet.worker_pids()
+            for replica in range(NUM_REPLICAS):
+                subprocess.run(
+                    ["kill", "-9", str(pids[(KILL_SHARD, replica)])],
+                    check=True,
+                )
+            wait_healthz(
+                base,
+                lambda p: p["shards"][KILL_SHARD]["replicas_healthy"] == 0,
+            )
+            down_node = shard_nodes(KILL_SHARD)[0]
+            up_node = shard_nodes(1 - KILL_SHARD)[0]
+            saw_503 = False
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline and not saw_503:
+                status, headers, body = fetch(base, f"/sphere/{down_node}")
+                if status == 200:
+                    # A replica respawned under us; re-open the window.
+                    for key, pid in fleet.worker_pids().items():
+                        if key[0] == KILL_SHARD:
+                            subprocess.run(["kill", "-9", str(pid)])
+                    time.sleep(0.05)
+                    continue
+                check("downed shard refuses explicitly, never garbage",
+                      status in (502, 503) and "error" in json.loads(body))
+                if status == 503:
+                    check("503 carries Retry-After", "Retry-After" in headers)
+                    saw_503 = True
+            check("shard with zero replicas surfaced a 503 + Retry-After",
+                  saw_503)
+            status, _, body = fetch(base, f"/sphere/{up_node}")
+            check("the other shard keeps serving byte-identically",
+                  status == 200 and body == reference[up_node])
+            wait_healthz(base, lambda p: p["status"] == "ok")
+            status, _, body = fetch(base, f"/sphere/{down_node}")
+            check("downed shard recovers after respawn",
+                  status == 200 and body == reference[down_node])
+
+            print("phase 5: rolling SIGHUP reload across every replica")
+            fleet.process.send_signal(signal.SIGHUP)
+            wait_healthz(base, lambda p: p["status"] == "ok" and all(
+                replica["store_generation"] == 2
+                for shard in p["shards"]
+                for replica in shard["replicas"]
+            ))
+            check("metrics: rolling reload counted ok", metric_value(
+                fetch(base, "/metrics")[2].decode(),
+                'repro_router_reloads_total{result="ok"}') == 1)
+
+            print("phase 6: loadgen smoke — availability in BENCH_router.json")
+            bench = Path(tmp) / "BENCH_router.json"
+            loadgen = subprocess.run(
+                [sys.executable,
+                 str(Path(__file__).resolve().parent / "loadgen.py"),
+                 base, "--rate", "40", "--duration", "2",
+                 "--out", str(bench)],
+                capture_output=True,
+                env=subprocess_env(),
+                text=True,
+            )
+            check("loadgen exits 0", loadgen.returncode == 0)
+            report = json.loads(bench.read_text()) if bench.is_file() else {}
+            check(
+                "loadgen reports availability against the replicated fleet",
+                report.get("completed") == 80
+                and "shed" in report
+                and report.get("availability", 0.0) >= 0.97
+                and "p99" in report.get("latency_ms", {}),
+            )
+
+            print("phase 7: graceful drain")
+            fleet.process.send_signal(signal.SIGTERM)
+            try:
+                code = fleet.process.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                fleet.process.kill()
+                check("SIGTERM drains within 60s", False)
+            check("exit code 0 after SIGTERM", code == 0)
+            fleet._reader.join(timeout=10)
+            check(
+                "drain banner printed",
+                any("shut down cleanly" in line for line in fleet.snapshot()),
+            )
+        finally:
+            if fleet.process.poll() is None:
+                fleet.process.kill()
+                fleet.process.wait(timeout=10)
+
+    print("all chaos-replica checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

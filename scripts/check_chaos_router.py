@@ -256,7 +256,7 @@ def main() -> int:
             check("metrics: injected forwards counted", metric_value(
                 text,
                 'repro_router_forward_failures_total'
-                f'{{kind="injected",shard="{FAULT_SHARD}"}}') == 2)
+                f'{{kind="injected",replica="0",shard="{FAULT_SHARD}"}}') == 2)
             check("metrics: worker samples carry shard labels",
                   f'shard="{KILL_SHARD}"' in text)
 

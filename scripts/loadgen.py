@@ -143,8 +143,12 @@ def run(base: str, *, rate: float, duration: float, seed: int,
 
     latencies_ms.sort()
     ok = sum(n for code, n in statuses.items() if code.startswith("2"))
+    shed = statuses.get("429", 0)
     errors = {c: n for c, n in sorted(statuses.items())
-              if not c.startswith("2")}
+              if not c.startswith("2") and c != "429"}
+    # Availability = answered successfully / completed.  Sheds (429) are
+    # deliberate load shedding, so they count against availability but
+    # are reported separately from hard errors.
     return {
         "target": base,
         "workload": {
@@ -156,7 +160,9 @@ def run(base: str, *, rate: float, duration: float, seed: int,
         },
         "completed": len(latencies_ms),
         "ok": ok,
+        "shed": shed,
         "errors": errors,
+        "availability": round(ok / max(1, len(latencies_ms)), 4),
         "latency_ms": {
             "p50": round(percentile(latencies_ms, 0.50), 3),
             "p90": round(percentile(latencies_ms, 0.90), 3),
@@ -490,7 +496,9 @@ def main(argv=None) -> int:
         latency = report["latency_ms"]
         print(
             f"loadgen: {report['completed']}/{report['workload']['requests']} "
-            f"requests, {report['ok']} ok, errors={report['errors'] or '{}'}, "
+            f"requests, {report['ok']} ok, shed={report['shed']}, "
+            f"errors={report['errors'] or '{}'}, "
+            f"availability={report['availability']}, "
             f"p50={latency['p50']}ms p99={latency['p99']}ms "
             f"({report['achieved_rps']} rps achieved) -> {out}"
         )

@@ -202,6 +202,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="partition responsibility by node range (servable "
                           "by the router) or slice worlds into blocks "
                           "(analytics only; default node-range)")
+    ish.add_argument("--replicas", type=int, default=1,
+                     help="byte-identical replica directories per shard, "
+                          "pinned to the same column digests (default 1)")
     ish.add_argument("--force", action="store_true",
                      help="replace an existing fleet directory at --out")
 
@@ -260,6 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--shard-id", type=int, default=None,
                    help="this worker's shard id in a fleet (reported in "
                         "/healthz; set by serve-fleet)")
+    p.add_argument("--replica-id", type=int, default=None,
+                   help="this worker's replica id within its shard "
+                        "(reported in /healthz; set by serve-fleet)")
     p.add_argument("--jobs", action="store_true",
                    help="enable the durable seed-selection job service "
                         "(POST /jobs/infmax and the /jobs/* surface)")
@@ -308,6 +314,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start-timeout", type=float, default=60.0,
                    help="seconds to wait for every worker to come up "
                         "(default 60)")
+    p.add_argument("--hedge-after", type=float, default=0.0,
+                   help="seconds to wait on the primary replica before "
+                        "hedging a read to a peer (0 = hedging off, the "
+                        "default; needs --replicas >= 2 at index time)")
+    p.add_argument("--retry-budget", type=float, default=None,
+                   help="retry-budget deposit ratio: tokens earned per "
+                        "primary attempt, spent 1-per-failover/hedge "
+                        "(default 0.2, i.e. ~20%% retry overhead)")
     p.add_argument("--worker-arg", action="append", default=[],
                    metavar="ARG", dest="worker_args",
                    help="extra argument appended to every worker's serve "
@@ -320,6 +334,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs-dir", default=None, metavar="DIR",
                    help="job journal directory for the jobs worker "
                         "(default: <jobs-store>.jobs)")
+
+    p = sub.add_parser(
+        "shard", help="anti-entropy tooling over a fleet directory"
+    )
+    shsub = p.add_subparsers(dest="shard_command", required=True)
+    sc = shsub.add_parser(
+        "scrub",
+        help="compare every replica's bytes against the partition map's "
+             "pinned column digests (exit 2 on divergence)",
+    )
+    sc.add_argument("fleet", metavar="DIR",
+                    help="fleet directory written by 'index shard'")
+    sc.add_argument("--json", action="store_true",
+                    help="print the scrub report as canonical JSON")
+    sr = shsub.add_parser(
+        "repair",
+        help="rebuild a lost or divergent replica directory from a "
+             "healthy peer (verify-then-atomic-rename)",
+    )
+    sr.add_argument("fleet", metavar="DIR",
+                    help="fleet directory written by 'index shard'")
+    sr.add_argument("--shard", type=int, required=True,
+                    help="shard id of the replica to rebuild")
+    sr.add_argument("--replica", type=int, required=True,
+                    help="replica id to rebuild")
+    sr.add_argument("--from", dest="source_replica", type=int, default=None,
+                    metavar="REPLICA",
+                    help="peer replica to copy from (default: first "
+                         "scrub-clean peer)")
+    sr.add_argument("--json", action="store_true",
+                    help="print the repair report as canonical JSON")
 
     p = sub.add_parser(
         "jobs", help="HTTP client for the seed-selection job service"
@@ -709,18 +754,27 @@ def _run_index_shard(args) -> str:
             args.out,
             args.shards,
             by=args.by,
+            replicas=args.replicas,
             overwrite=args.force,
         )
     except (FileExistsError, ValueError) as exc:
         raise SystemExit(f"index shard: {exc}") from exc
+    replica_note = (
+        f" x {partition.replicas} replicas" if partition.replicas > 1 else ""
+    )
     lines = [
         f"partitioned {args.path} into {partition.num_shards} "
-        f"{partition.mode} shards at {args.out}:"
+        f"{partition.mode} shards{replica_note} at {args.out}:"
     ]
     unit = "nodes" if partition.mode == "node-range" else "worlds"
     for entry in partition.shards:
+        dirs = (
+            entry.dir
+            if partition.replicas == 1
+            else ", ".join(entry.replica_dirs)
+        )
         lines.append(
-            f"  shard {entry.shard_id}: {entry.dir} "
+            f"  shard {entry.shard_id}: {dirs} "
             f"{unit} [{entry.lo}, {entry.hi})"
         )
     lines.append(f"  source digest: {partition.source_digest}")
@@ -825,6 +879,7 @@ def _run_serve(args) -> str:
         breaker_reset=args.breaker_reset,
         verify=args.verify,
         shard_id=args.shard_id,
+        replica_id=args.replica_id,
     )
     manager = None
     if args.jobs:
@@ -884,6 +939,72 @@ def _run_serve_fleet(args) -> str:
         start_timeout=args.start_timeout,
         jobs_store=args.jobs_store,
         jobs_dir=args.jobs_dir,
+        hedge_after=args.hedge_after if args.hedge_after > 0 else None,
+        retry_budget_ratio=args.retry_budget,
+    )
+
+
+def _run_shard(args) -> str:
+    if args.shard_command == "scrub":
+        return _run_shard_scrub(args)
+    return _run_shard_repair(args)
+
+
+def _run_shard_scrub(args) -> str:
+    """Offline anti-entropy pass; exits 2 when any replica diverged."""
+    from repro.serve.query import canonical_json
+    from repro.shard.partition import load_partition
+    from repro.shard.repair import scrub_fleet
+
+    partition = load_partition(args.fleet)
+    verdicts = scrub_fleet(args.fleet, partition)
+    if args.json:
+        out = canonical_json(verdicts.to_payload()).decode("ascii")
+    else:
+        lines = []
+        for verdict in verdicts.replicas:
+            state = "ok" if verdict.ok else "DIVERGENT"
+            lines.append(
+                f"shard {verdict.shard_id} replica {verdict.replica} "
+                f"({verdict.dir}): {state}"
+            )
+            lines.extend(f"    {problem}" for problem in verdict.problems)
+        if verdicts.ok:
+            lines.append("scrub: every replica matches its pinned digests")
+        else:
+            lines.append(
+                f"scrub: {len(verdicts.divergent)} divergent replica(s); "
+                "rebuild with `repro shard repair`"
+            )
+        out = "\n".join(lines)
+    if not verdicts.ok:
+        print(out)
+        raise SystemExit(2)
+    return out
+
+
+def _run_shard_repair(args) -> str:
+    from repro.serve.query import canonical_json
+    from repro.shard.partition import load_partition
+    from repro.shard.repair import RepairError, repair_replica
+
+    partition = load_partition(args.fleet)
+    try:
+        report = repair_replica(
+            args.fleet,
+            partition,
+            args.shard,
+            args.replica,
+            source_replica=args.source_replica,
+        )
+    except RepairError as exc:
+        raise SystemExit(f"shard repair: {exc}") from exc
+    if args.json:
+        return canonical_json(report.to_payload()).decode("ascii")
+    return (
+        f"rebuilt shard {report.shard_id} replica {report.replica} "
+        f"({report.dir}) from replica {report.source_replica}: "
+        f"{len(report.columns)} columns verified against pinned digests"
     )
 
 
@@ -1154,6 +1275,7 @@ _DISPATCH = {
     "index": _run_index,
     "serve": _run_serve,
     "serve-fleet": _run_serve_fleet,
+    "shard": _run_shard,
     "jobs": _run_jobs,
     "data": _run_data,
     "list-settings": _run_list_settings,

@@ -83,6 +83,18 @@ KNOWN_SITES: dict[str, str] = {
     "router.reload": "one shard's step of a rolling fleet reload, before "
     "its worker is asked to swap (key: shard id; 'error' stops the roll "
     "with a 'partial' report and the remaining shards untouched)",
+    "router.replica_pick": "the replica-ordering step routing one request "
+    "to a shard's replica set (key: shard id; 'error' surfaces as an "
+    "explicit router 500 before any replica is contacted)",
+    "router.hedge": "launching the hedged second read after the primary "
+    "replica missed the hedge deadline (key: shard id; 'error' abandons "
+    "the hedge and lets the primary attempt run to completion)",
+    "repair.copy": "staging one column file while rebuilding a replica "
+    "from a healthy peer (key: array name; 'error' aborts the repair "
+    "with the staging directory discarded and the target untouched)",
+    "repair.commit": "committing a verified replica rebuild, after every "
+    "staged column hashed clean and before the atomic rename (key: "
+    "'<shard>/<replica>'; 'crash' leaves the old directory in place)",
     "jobs.submit": "admission and journalling of one job submission "
     "(key: job id; 'error' refuses the submission as a clean 500)",
     "jobs.step": "one greedy-iteration step of a running seed-selection "

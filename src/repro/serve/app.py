@@ -115,6 +115,7 @@ class SphereService:
         breaker_reset: float = 5.0,
         verify: str = "lazy",
         shard_id: int | None = None,
+        replica_id: int | None = None,
         clock: Clock = time.monotonic,
     ) -> None:
         self._index_path: str | None = None
@@ -141,6 +142,7 @@ class SphereService:
         self._source = source if source is not None else "in-memory index"
         self._verify = verify
         self._shard_id = int(shard_id) if shard_id is not None else None
+        self._replica_id = int(replica_id) if replica_id is not None else None
         self._clock = clock
         self._deadline_seconds = (
             float(deadline) if deadline is not None and deadline > 0 else None
@@ -285,6 +287,11 @@ class SphereService:
     def shard_id(self) -> int | None:
         """This worker's shard id when serving a fleet shard, else ``None``."""
         return self._shard_id
+
+    @property
+    def replica_id(self) -> int | None:
+        """This worker's replica id within its shard, else ``None``."""
+        return self._replica_id
 
     def new_deadline(self) -> Deadline:
         """A fresh per-request deadline from the configured budget."""
@@ -549,6 +556,7 @@ class SphereService:
             payload = {
                 "status": "degraded" if degraded else "ok",
                 "shard_id": self._shard_id,
+                "replica_id": self._replica_id,
                 "store_generation": self._generation,
                 "source": self._source,
                 "num_nodes": self._index.num_nodes,

@@ -5,39 +5,67 @@ The single-process service (:mod:`repro.serve`) caps out at one
 while keeping the *either correct or refused* contract:
 
 * :mod:`repro.shard.partition` splits a store into N independent per-shard
-  store directories plus a checksummed ``partition.json`` routing map;
+  store directories — each materialised as R byte-identical *replicas*
+  pinned to the same column digests — plus a checksummed
+  ``partition.json`` routing map;
 * :mod:`repro.shard.fleet` launches and supervises one
-  ``python -m repro serve`` worker per shard (respawn-on-crash with
-  bounded deterministic backoff);
+  ``python -m repro serve`` worker per shard replica (respawn-on-crash
+  with bounded deterministic backoff) after cross-checking the on-disk
+  topology against the map;
 * :mod:`repro.shard.router` is the thin stdlib frontend: it routes
-  single-node queries by the partition map, scatter-gathers batches,
-  aggregates ``/healthz`` and ``/metrics`` (shard-labelled), propagates
-  worker refusals verbatim, circuit-breaks per shard, and performs rolling
-  generation-checked hot reloads.
+  single-node queries by the partition map with health-aware replica
+  selection, transparent failover and retry-budgeted hedged reads,
+  scatter-gathers batches, aggregates ``/healthz`` and ``/metrics``
+  (shard/replica-labelled), propagates worker refusals verbatim,
+  circuit-breaks per replica, and performs rolling generation-checked
+  hot reloads that never drop a range below quorum;
+* :mod:`repro.shard.repair` is the anti-entropy pass: scrub compares
+  every replica's bytes against the map's pinned digests, repair rebuilds
+  a divergent replica from a healthy peer with verify-then-atomic-rename.
 """
 
 from repro.shard.errors import ShardUnavailable, UpstreamError
-from repro.shard.fleet import Fleet, WorkerHandle, run_fleet
+from repro.shard.fleet import Fleet, WorkerHandle, check_fleet_topology, run_fleet
 from repro.shard.partition import (
     PARTITION_NAME,
     PartitionMap,
     ShardEntry,
     load_partition,
     partition_store,
+    replica_dir_name,
 )
-from repro.shard.router import ShardRouter, StaticEndpoint
+from repro.shard.repair import (
+    FleetScrub,
+    RepairError,
+    RepairReport,
+    ReplicaScrub,
+    repair_replica,
+    scrub_fleet,
+    scrub_replica,
+)
+from repro.shard.router import RetryBudget, ShardRouter, StaticEndpoint
 
 __all__ = [
     "PARTITION_NAME",
     "Fleet",
+    "FleetScrub",
     "PartitionMap",
+    "RepairError",
+    "RepairReport",
+    "ReplicaScrub",
+    "RetryBudget",
     "ShardEntry",
     "ShardRouter",
     "ShardUnavailable",
     "StaticEndpoint",
     "UpstreamError",
     "WorkerHandle",
+    "check_fleet_topology",
     "load_partition",
     "partition_store",
+    "repair_replica",
+    "replica_dir_name",
     "run_fleet",
+    "scrub_fleet",
+    "scrub_replica",
 ]

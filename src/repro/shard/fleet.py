@@ -1,8 +1,9 @@
-"""Worker-fleet supervision: one serve process per shard, respawned on crash.
+"""Worker-fleet supervision: one serve process per shard *replica*,
+respawned on crash.
 
 Each worker is the unmodified single-process serve app
-(``python -m repro serve <shard_dir> --port 0 --shard-id N``) bound to its
-shard's store directory.  :class:`WorkerHandle` owns one worker: it spawns
+(``python -m repro serve <replica_dir> --port 0 --shard-id N
+--replica-id R``) bound to one replica directory of its shard.  :class:`WorkerHandle` owns one worker: it spawns
 the process, scrapes the bound ephemeral address from the startup banner,
 and — on any unexpected exit — respawns it with the same deterministic
 bounded backoff schedule the build supervisor uses
@@ -30,7 +31,12 @@ from typing import Callable, Sequence
 
 from repro.runtime.locksan import make_lock
 from repro.runtime.supervisor import SupervisorConfig, backoff_delay
-from repro.shard.partition import PartitionMap, load_partition, shard_dir_name
+from repro.shard.partition import (
+    PartitionMap,
+    load_partition,
+    verify_partition_stores,
+)
+from repro.store.errors import StoreError
 
 #: A worker must stay up this long (seconds) for its failure streak to
 #: reset — a crash loop cannot masquerade as a sequence of fresh failures.
@@ -66,15 +72,21 @@ class WorkerHandle:
         config: SupervisorConfig | None = None,
         on_event: FleetEvent = _default_event,
         role: str = "shard",
+        replica: int = 0,
+        label: str | None = None,
     ) -> None:
         if role not in ("shard", "jobs"):
             raise ValueError(f"role must be 'shard' or 'jobs', got {role!r}")
         self.shard_id = int(shard_id)
+        self.replica = int(replica)
         self.store_dir = os.fspath(store_dir)
         self.role = role
-        self._label = (
-            f"shard {self.shard_id}" if role == "shard" else "jobs worker"
-        )
+        if label is not None:
+            self._label = label
+        else:
+            self._label = (
+                f"shard {self.shard_id}" if role == "shard" else "jobs worker"
+            )
         self._host = host
         self._worker_args = tuple(worker_args)
         self._config = config if config is not None else SupervisorConfig()
@@ -121,6 +133,7 @@ class WorkerHandle:
         # via worker_args instead).
         if self.role == "shard":
             argv += ["--shard-id", str(self.shard_id)]
+            argv += ["--replica-id", str(self.replica)]
         return argv + list(self._worker_args)
 
     def start(self) -> None:
@@ -228,8 +241,34 @@ class WorkerHandle:
                 self._thread.join(timeout)
 
 
+def check_fleet_topology(fleet_dir: str, partition: PartitionMap) -> None:
+    """Refuse to start a fleet whose disk state disagrees with its map.
+
+    Shard count and replica count come from the (checksummed) map shape;
+    per-replica generation pinning is each store header's
+    ``content_digest`` matching the map entry.  Any mismatch — a missing
+    replica directory, a rebuilt store, a hand-swapped header — raises a
+    single-line actionable error instead of letting the router route
+    traffic into the void.
+    """
+    try:
+        verify_partition_stores(fleet_dir, partition)
+    except StoreError as exc:
+        raise RuntimeError(
+            f"fleet topology mismatch under {fleet_dir}: {exc} — re-run "
+            f"`repro index shard --shards {partition.num_shards} "
+            f"--replicas {partition.replicas}` or restore the replica "
+            "with `repro shard repair`"
+        ) from exc
+
+
 class Fleet:
-    """All shard workers of one partitioned fleet directory."""
+    """All ``num_shards x replicas`` workers of one partitioned fleet dir.
+
+    ``worker_groups[s][r]`` is the handle for replica ``r`` of shard
+    ``s`` — the nested shape the replica-aware router consumes;
+    ``workers`` is the same set flattened for lifecycle iteration.
+    """
 
     def __init__(
         self,
@@ -242,17 +281,31 @@ class Fleet:
     ) -> None:
         self.fleet_dir = os.fspath(fleet_dir)
         self.partition: PartitionMap = load_partition(self.fleet_dir)
-        self.workers = [
-            WorkerHandle(
-                entry.shard_id,
-                os.path.join(self.fleet_dir, shard_dir_name(entry.shard_id)),
-                host=host,
-                worker_args=worker_args,
-                config=config,
-                on_event=on_event,
-            )
+        check_fleet_topology(self.fleet_dir, self.partition)
+        solo = self.partition.replicas == 1
+        self.worker_groups: list[list[WorkerHandle]] = [
+            [
+                WorkerHandle(
+                    entry.shard_id,
+                    os.path.join(self.fleet_dir, dir_name),
+                    host=host,
+                    worker_args=worker_args,
+                    config=config,
+                    on_event=on_event,
+                    replica=replica,
+                    # Single-replica fleets keep the v1 "shard N" label so
+                    # log scrapers and the chaos gates see stable lines.
+                    label=(
+                        f"shard {entry.shard_id}"
+                        if solo
+                        else f"shard {entry.shard_id} replica {replica}"
+                    ),
+                )
+                for replica, dir_name in enumerate(entry.replica_dirs)
+            ]
             for entry in self.partition.shards
         ]
+        self.workers = [w for group in self.worker_groups for w in group]
 
     def start(self, timeout: float = START_TIMEOUT) -> None:
         """Start every worker and wait until each has a bound address."""
@@ -264,8 +317,8 @@ class Fleet:
                 if time.monotonic() >= deadline:
                     self.stop()
                     raise RuntimeError(
-                        f"shard {worker.shard_id} worker did not come up "
-                        f"within {timeout:g}s"
+                        f"shard {worker.shard_id} replica {worker.replica} "
+                        f"worker did not come up within {timeout:g}s"
                     )
                 time.sleep(0.05)
 
@@ -289,6 +342,8 @@ def run_fleet(
     on_event: FleetEvent = _default_event,
     jobs_store: str | None = None,
     jobs_dir: str | None = None,
+    hedge_after: float | None = None,
+    retry_budget_ratio: float | None = None,
 ) -> str:
     """``repro serve-fleet``: workers + router until SIGTERM/SIGINT.
 
@@ -320,15 +375,21 @@ def run_fleet(
         )
     # Fail fast (before any worker spawns) on a partition the router
     # cannot serve, e.g. a world-block split.
+    router_kwargs = {}
+    if retry_budget_ratio is not None:
+        router_kwargs["retry_budget_ratio"] = retry_budget_ratio
     router = ShardRouter(
         fleet.partition,
-        fleet.workers,
+        fleet.worker_groups,
         deadline=deadline,
         retry_after=retry_after,
         max_batch=max_batch,
         breaker_threshold=breaker_threshold,
         breaker_reset=breaker_reset,
         jobs_endpoint=jobs_handle,
+        hedge_after=hedge_after,
+        fleet_dir=fleet.fleet_dir,
+        **router_kwargs,
     )
     fleet.start(start_timeout)
     if jobs_handle is not None:
@@ -351,9 +412,14 @@ def run_fleet(
         raise
     bound_host, bound_port = server.server_address[:2]
     jobs_note = ", jobs worker" if jobs_handle is not None else ""
+    replica_note = (
+        f" x {fleet.partition.replicas} replicas"
+        if fleet.partition.replicas > 1
+        else ""
+    )
     print(
-        f"routing {fleet_dir} ({fleet.partition.num_shards} shards, "
-        f"{fleet.partition.num_nodes} nodes, "
+        f"routing {fleet_dir} ({fleet.partition.num_shards} shards"
+        f"{replica_note}, {fleet.partition.num_nodes} nodes, "
         f"{fleet.partition.num_worlds} worlds{jobs_note}) "
         f"on http://{bound_host}:{bound_port}",
         flush=True,

@@ -12,6 +12,8 @@ GET    /sphere/{node}           :meth:`ShardRouter.sphere` (relayed)
 GET    /cascades/{node}[?world] :meth:`ShardRouter.cascades` (relayed)
 POST   /spheres                 :meth:`ShardRouter.sphere_batch` (scatter)
 POST   /admin/reload            :meth:`ShardRouter.reload` (rolling)
+POST   /admin/scrub             :meth:`ShardRouter.scrub` (anti-entropy)
+POST   /admin/repair            :meth:`ShardRouter.repair` (anti-entropy)
 POST   /jobs/infmax             :meth:`ShardRouter.relay_jobs` (relayed)
 GET    /jobs[/{id}[/result]]    :meth:`ShardRouter.relay_jobs` (relayed)
 POST   /jobs/{id}/cancel        :meth:`ShardRouter.relay_jobs` (relayed)
@@ -210,6 +212,10 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
             self._dispatch("spheres_batch", self._handle_batch)
         elif path == "/admin/reload":
             self._dispatch("admin_reload", self._handle_reload)
+        elif path == "/admin/scrub":
+            self._dispatch("admin_scrub", self._handle_scrub)
+        elif path == "/admin/repair":
+            self._dispatch("admin_repair", self._handle_repair)
         elif path == "/jobs/infmax" or (
             len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel"
         ):
@@ -255,6 +261,35 @@ class RouterRequestHandler(BaseHTTPRequestHandler):
         status, payload = self.router.reload()
         self._send_json(status, payload)
         return status
+
+    def _handle_scrub(self) -> int:
+        status, payload = self.router.scrub()
+        self._send_json(status, payload)
+        return status
+
+    def _handle_repair(self) -> int:
+        payload = self._read_json_body(required=True)
+        if not isinstance(payload, dict):
+            raise BadRequest(
+                'body must be a JSON object {"shard": s, "replica": r}'
+            )
+        shard_id = self._body_int(payload, "shard")
+        replica = self._body_int(payload, "replica")
+        source = None
+        if payload.get("source_replica") is not None:
+            source = self._body_int(payload, "source_replica")
+        status, report = self.router.repair(
+            shard_id, replica, source_replica=source
+        )
+        self._send_json(status, report)
+        return status
+
+    @staticmethod
+    def _body_int(payload: dict, name: str) -> int:
+        value = payload.get(name)
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise BadRequest(f"'{name}' must be an integer, got {value!r}")
+        return value
 
     def _handle_jobs_relay(self, path: str) -> int:
         """Relay a /jobs/* request to the fleet's dedicated jobs worker.

@@ -5,7 +5,8 @@
 
     fleet/
       partition.json      <- checksummed routing map (this module)
-      shard-00.cidx/      <- independent store directory, one per shard
+      shard-00.cidx/      <- replica 0 of shard 0 (v1-compatible name)
+      shard-00.r1.cidx/   <- replica 1 of shard 0 (``--replicas 2``)
       shard-01.cidx/
       ...
 
@@ -32,6 +33,17 @@ Two partitioning modes:
     router refuses this mode (a sphere is a median over *all* worlds, so
     no single world-block shard can answer it byte-identically).
 
+Replication (``replicas=R``) materialises each shard ``R`` times.  Every
+replica of a shard is pinned to the *same* per-column sha256 digests,
+recorded in the map itself (format version 2): the cascade index is
+immutable per generation, so two replicas of a shard are byte-identical
+by contract, any replica can serve any request for the range, and
+anti-entropy (``repro shard scrub`` / ``repair``) reduces to comparing
+file hashes against the map.  Replica dirs share hard-linked column
+inodes where the filesystem allows — divergence in practice means a
+column was *replaced* (new inode) or the directory lost, which is
+exactly what scrub detects and repair rebuilds from a healthy peer.
+
 Every shard directory is built in a ``*.staging`` sibling and renamed
 into place, and ``partition.json`` is written last (write + ``os.replace``)
 — a crash mid-partition leaves no fleet directory that parses.  The map
@@ -44,7 +56,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Union
 
@@ -56,13 +68,23 @@ PathLike = Union[str, os.PathLike]
 
 PARTITION_NAME = "partition.json"
 PARTITION_MAGIC = "repro-partition-map"
-PARTITION_VERSION = 1
+#: Version 2 added ``replicas`` / per-entry ``replica_dirs`` +
+#: ``column_digests``; version-1 maps (single replica, no pinned columns)
+#: are still read.
+PARTITION_VERSION = 2
 
 MODES = ("node-range", "world-block")
 
 
 def shard_dir_name(shard_id: int) -> str:
     return f"shard-{shard_id:02d}.cidx"
+
+
+def replica_dir_name(shard_id: int, replica: int) -> str:
+    """Directory name of one replica; replica 0 keeps the v1 shard name."""
+    if replica == 0:
+        return shard_dir_name(shard_id)
+    return f"shard-{shard_id:02d}.r{replica}.cidx"
 
 
 def shard_ranges(total: int, num_shards: int) -> list[tuple[int, int]]:
@@ -86,34 +108,61 @@ def shard_ranges(total: int, num_shards: int) -> list[tuple[int, int]]:
 
 @dataclass(frozen=True)
 class ShardEntry:
-    """One shard's slot in the map: what it owns and where it lives."""
+    """One shard's slot in the map: what it owns and where its replicas live."""
 
     shard_id: int
-    dir: str
+    replica_dirs: tuple[str, ...]
     lo: int
     hi: int
     content_digest: str
+    #: ``((column_name, sha256), ...)`` sorted by name — the byte contract
+    #: every replica of this shard is pinned to.  Empty on maps read from
+    #: format version 1 (scrub then falls back to each replica's own
+    #: self-checksummed header).
+    column_digests: tuple[tuple[str, str], ...] = field(default=())
+
+    @property
+    def dir(self) -> str:
+        """Primary replica directory (the v1 single-replica field)."""
+        return self.replica_dirs[0]
+
+    @property
+    def column_digest_map(self) -> dict[str, str]:
+        return dict(self.column_digests)
 
     def to_mapping(self, mode: str) -> dict:
         prefix = "node" if mode == "node-range" else "world"
         return {
             "shard_id": self.shard_id,
-            "dir": self.dir,
+            "replica_dirs": list(self.replica_dirs),
             f"{prefix}_lo": self.lo,
             f"{prefix}_hi": self.hi,
             "content_digest": self.content_digest,
+            "column_digests": {name: sha for name, sha in self.column_digests},
         }
 
     @classmethod
     def from_mapping(cls, raw: dict, mode: str) -> "ShardEntry":
         prefix = "node" if mode == "node-range" else "world"
         try:
+            if "replica_dirs" in raw:
+                dirs = tuple(str(d) for d in raw["replica_dirs"])
+            else:
+                dirs = (str(raw["dir"]),)  # format version 1
+            if not dirs:
+                raise ValueError("entry lists no replica directories")
+            columns = raw.get("column_digests", {})
+            if not isinstance(columns, dict):
+                raise TypeError("column_digests must be a mapping")
             return cls(
                 shard_id=int(raw["shard_id"]),
-                dir=str(raw["dir"]),
+                replica_dirs=dirs,
                 lo=int(raw[f"{prefix}_lo"]),
                 hi=int(raw[f"{prefix}_hi"]),
                 content_digest=str(raw["content_digest"]),
+                column_digests=tuple(
+                    (str(k), str(v)) for k, v in sorted(columns.items())
+                ),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StoreFormatError(
@@ -131,16 +180,33 @@ class PartitionMap:
     num_worlds: int
     source_digest: str
     shards: tuple[ShardEntry, ...]
+    replicas: int = 1
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise StoreFormatError(
                 f"partition mode must be one of {MODES}, got {self.mode!r}"
             )
+        if self.replicas < 1:
+            raise StoreFormatError(
+                f"partition map declares {self.replicas} replicas"
+            )
         if len(self.shards) != self.num_shards:
             raise StoreFormatError(
                 f"partition map declares {self.num_shards} shards but lists "
                 f"{len(self.shards)}"
+            )
+        for entry in self.shards:
+            if len(entry.replica_dirs) != self.replicas:
+                raise StoreFormatError(
+                    f"shard {entry.shard_id} lists {len(entry.replica_dirs)} "
+                    f"replica dirs but the map declares {self.replicas} "
+                    "replicas"
+                )
+        all_dirs = [d for e in self.shards for d in e.replica_dirs]
+        if len(set(all_dirs)) != len(all_dirs):
+            raise StoreIntegrityError(
+                "partition map lists the same directory for two replicas"
             )
         total = self.num_nodes if self.mode == "node-range" else self.num_worlds
         expected = shard_ranges(total, self.num_shards)
@@ -176,6 +242,7 @@ class PartitionMap:
             "format_version": PARTITION_VERSION,
             "mode": self.mode,
             "num_shards": self.num_shards,
+            "replicas": self.replicas,
             "num_nodes": self.num_nodes,
             "num_worlds": self.num_worlds,
             "source_digest": self.source_digest,
@@ -198,10 +265,10 @@ class PartitionMap:
                 "not a partition map (bad or missing magic string)"
             )
         version = payload.get("format_version")
-        if version != PARTITION_VERSION:
+        if version not in (1, PARTITION_VERSION):
             raise StoreFormatError(
                 f"unsupported partition map version {version!r} "
-                f"(this library reads version {PARTITION_VERSION})"
+                f"(this library reads versions 1 and {PARTITION_VERSION})"
             )
         recorded = payload.pop("map_checksum", None)
         if recorded is None:
@@ -224,6 +291,7 @@ class PartitionMap:
                 num_worlds=int(payload["num_worlds"]),
                 source_digest=str(payload["source_digest"]),
                 shards=shards,
+                replicas=int(payload.get("replicas", 1)),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise StoreFormatError(
@@ -243,18 +311,27 @@ def load_partition(fleet_dir: PathLike) -> PartitionMap:
 
 
 def verify_partition_stores(fleet_dir: PathLike, partition: PartitionMap) -> None:
-    """Check each shard directory exists and matches its recorded digest."""
+    """Check every replica directory exists and matches its recorded digest.
+
+    This is the cheap (header-only) topology cross-check the fleet runs at
+    startup: shard count and replica count come from the map shape, and the
+    generation pin is each replica's self-checksummed header
+    ``content_digest`` matching the map.  Full column hashing is
+    :func:`repro.shard.repair.scrub_fleet`'s job.
+    """
     root = Path(os.fspath(fleet_dir))
     for entry in partition.shards:
-        shard_root = root / entry.dir
-        header = read_header(shard_root)
-        if header.content_digest != entry.content_digest:
-            raise StoreIntegrityError(
-                f"shard {entry.shard_id} at {shard_root} has content digest "
-                f"{header.content_digest}, partition map records "
-                f"{entry.content_digest} — the shard was rebuilt without "
-                "re-partitioning"
-            )
+        for replica, dir_name in enumerate(entry.replica_dirs):
+            shard_root = root / dir_name
+            header = read_header(shard_root)
+            if header.content_digest != entry.content_digest:
+                raise StoreIntegrityError(
+                    f"shard {entry.shard_id} replica {replica} at "
+                    f"{shard_root} has content digest "
+                    f"{header.content_digest}, partition map records "
+                    f"{entry.content_digest} — the replica was rebuilt "
+                    "without re-partitioning"
+                )
 
 
 def _link_or_copy(src: Path, dst: Path) -> None:
@@ -264,8 +341,8 @@ def _link_or_copy(src: Path, dst: Path) -> None:
         shutil.copy2(src, dst)
 
 
-def _stage_node_range_shard(source: Path, staging: Path) -> None:
-    """Materialise one node-range shard: full column set, linked not copied."""
+def _stage_replica_dir(source: Path, staging: Path) -> None:
+    """Materialise one replica: full column set, linked not copied."""
     staging.mkdir(parents=True)
     for name in ARRAY_DTYPES:
         _link_or_copy(source / f"{name}.npy", staging / f"{name}.npy")
@@ -296,15 +373,24 @@ def _stage_world_block_shard(index, lo: int, hi: int, staging: Path) -> str:
     return header.content_digest
 
 
+def _column_digests(store_dir: Path) -> tuple[tuple[str, str], ...]:
+    """The per-column sha256 pins, straight from a self-checksummed header."""
+    header = read_header(store_dir)
+    return tuple(
+        (name, header.arrays[name].sha256) for name in sorted(header.arrays)
+    )
+
+
 def partition_store(
     store: PathLike,
     out: PathLike,
     num_shards: int,
     *,
     by: str = "node-range",
+    replicas: int = 1,
     overwrite: bool = False,
 ) -> PartitionMap:
-    """Split ``store`` into ``num_shards`` shard stores under ``out``.
+    """Split ``store`` into ``num_shards`` x ``replicas`` stores under ``out``.
 
     Returns the written :class:`PartitionMap`.  Refuses to clobber an
     existing ``out`` unless ``overwrite`` is set *and* it already looks
@@ -312,6 +398,8 @@ def partition_store(
     """
     if by not in MODES:
         raise ValueError(f"by must be one of {MODES}, got {by!r}")
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
     source = Path(os.fspath(store))
     header = read_header(source)
     root = Path(os.fspath(out))
@@ -336,26 +424,40 @@ def partition_store(
 
         index = CascadeIndex.load(source)
 
+    source_columns = tuple(
+        (name, header.arrays[name].sha256) for name in sorted(header.arrays)
+    )
+
     entries: list[ShardEntry] = []
     for shard_id, (lo, hi) in enumerate(ranges):
-        name = shard_dir_name(shard_id)
-        final = root / name
-        staging = root / (name + ".staging")
-        if staging.exists():
-            shutil.rmtree(staging)
-        if by == "node-range":
-            _stage_node_range_shard(source, staging)
-            digest = header.content_digest
-        else:
-            digest = _stage_world_block_shard(index, lo, hi, staging)
-        os.rename(staging, final)
+        dirs: list[str] = []
+        digest = header.content_digest
+        columns = source_columns
+        for replica in range(replicas):
+            name = replica_dir_name(shard_id, replica)
+            final = root / name
+            staging = root / (name + ".staging")
+            if staging.exists():
+                shutil.rmtree(staging)
+            if by == "node-range":
+                _stage_replica_dir(source, staging)
+            elif replica == 0:
+                digest = _stage_world_block_shard(index, lo, hi, staging)
+                columns = _column_digests(staging)
+            else:
+                # Later world-block replicas link from the sliced replica 0
+                # rather than re-slicing: bit-identical by construction.
+                _stage_replica_dir(root / dirs[0], staging)
+            os.rename(staging, final)
+            dirs.append(name)
         entries.append(
             ShardEntry(
                 shard_id=shard_id,
-                dir=name,
+                replica_dirs=tuple(dirs),
                 lo=lo,
                 hi=hi,
                 content_digest=digest,
+                column_digests=columns,
             )
         )
 
@@ -366,6 +468,7 @@ def partition_store(
         num_worlds=header.num_worlds,
         source_digest=header.content_digest,
         shards=tuple(entries),
+        replicas=replicas,
     )
     tmp = root / (PARTITION_NAME + ".tmp")
     tmp.write_text(partition.to_json())

@@ -21,6 +21,8 @@ from repro.shard.partition import partition_store
 from repro.shard.router import ShardRouter, StaticEndpoint
 
 NUM_SHARDS = 3
+NUM_REPLICAS = 2
+REPLICA_SHARDS = 2
 
 
 @pytest.fixture(autouse=True)
@@ -66,6 +68,22 @@ def partition(fleet_dir):
     from repro.shard.partition import load_partition
 
     return load_partition(fleet_dir)
+
+
+@pytest.fixture()
+def replica_fleet_dir(store_path, tmp_path):
+    """A fresh REPLICA_SHARDS x NUM_REPLICAS fleet per test — repair and
+    scrub tests mutate replica directories in place."""
+    out = tmp_path / "replica-fleet"
+    partition_store(store_path, out, REPLICA_SHARDS, replicas=NUM_REPLICAS)
+    return out
+
+
+@pytest.fixture()
+def replica_partition(replica_fleet_dir):
+    from repro.shard.partition import load_partition
+
+    return load_partition(replica_fleet_dir)
 
 
 class HttpEndpoint:
@@ -122,26 +140,37 @@ class WorkerUnderTest(HttpEndpoint):
 class RouterUnderTest(HttpEndpoint):
     """A live router server over per-shard in-thread workers."""
 
-    def __init__(self, partition, fleet_dir, *, service_kwargs=None,
+    def __init__(self, partition, fleet_path, *, service_kwargs=None,
                  **router_kwargs):
         self.partition = partition
-        self.workers = [
-            WorkerUnderTest(
-                SphereService(
-                    fleet_dir / entry.dir,
-                    shard_id=entry.shard_id,
-                    **(service_kwargs or {}),
+        self.worker_groups = [
+            [
+                WorkerUnderTest(
+                    SphereService(
+                        fleet_path / dir_name,
+                        shard_id=entry.shard_id,
+                        replica_id=replica,
+                        **(service_kwargs or {}),
+                    )
                 )
-            )
+                for replica, dir_name in enumerate(entry.replica_dirs)
+            ]
             for entry in partition.shards
         ]
-        self.router = ShardRouter(partition, self.workers, **router_kwargs)
+        self.workers = [w for group in self.worker_groups for w in group]
+        router_kwargs.setdefault("fleet_dir", fleet_path)
+        self.router = ShardRouter(
+            partition, self.worker_groups, **router_kwargs
+        )
         self.server = make_router_server(self.router)
         super().__init__(f"http://127.0.0.1:{self.server.server_address[1]}")
         self._thread = threading.Thread(
             target=self.server.serve_forever, daemon=True
         )
         self._thread.start()
+
+    def worker(self, shard_id: int, replica: int = 0) -> WorkerUnderTest:
+        return self.worker_groups[shard_id][replica]
 
     def close(self):
         self.server.shutdown()
@@ -157,6 +186,23 @@ def running_fleet(partition, fleet_dir):
 
     def start(**kwargs) -> RouterUnderTest:
         fleet = RouterUnderTest(partition, fleet_dir, **kwargs)
+        fleets.append(fleet)
+        return fleet
+
+    yield start
+    for fleet in fleets:
+        fleet.close()
+
+
+@pytest.fixture
+def running_replica_fleet(replica_partition, replica_fleet_dir):
+    """Start REPLICA_SHARDS x NUM_REPLICAS fleets (replicated routing)."""
+    fleets = []
+
+    def start(**kwargs) -> RouterUnderTest:
+        fleet = RouterUnderTest(
+            replica_partition, replica_fleet_dir, **kwargs
+        )
         fleets.append(fleet)
         return fleet
 

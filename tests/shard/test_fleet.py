@@ -104,6 +104,43 @@ class TestFleet:
             fleet.stop()
 
 
+class TestReplicatedFleet:
+    def test_spawns_one_worker_per_replica(self, replica_fleet_dir):
+        fleet = Fleet(
+            replica_fleet_dir, config=FAST_BACKOFF, on_event=lambda line: None
+        )
+        assert [len(group) for group in fleet.worker_groups] == [2, 2]
+        fleet.start(timeout=60.0)
+        try:
+            for shard_id, group in enumerate(fleet.worker_groups):
+                for replica, worker in enumerate(group):
+                    payload = _healthz(worker.address())
+                    assert payload["shard_id"] == shard_id
+                    assert payload["replica_id"] == replica
+        finally:
+            fleet.stop()
+
+    def test_worker_argv_carries_replica_id(self, replica_fleet_dir):
+        worker = WorkerHandle(
+            1, replica_fleet_dir / "shard-01.r1.cidx", replica=1,
+            on_event=lambda line: None,
+        )
+        argv = worker._argv()
+        assert argv[argv.index("--replica-id") + 1] == "1"
+        assert argv[argv.index("--shard-id") + 1] == "1"
+
+    def test_refuses_topology_mismatch(self, replica_fleet_dir):
+        import shutil
+
+        shutil.rmtree(replica_fleet_dir / "shard-00.r1.cidx")
+        with pytest.raises(RuntimeError, match="fleet topology mismatch"):
+            Fleet(
+                replica_fleet_dir,
+                config=FAST_BACKOFF,
+                on_event=lambda line: None,
+            )
+
+
 class TestShardCLI:
     def test_index_shard_writes_a_fleet(self, store_path, tmp_path, capsys):
         out = tmp_path / "fleet"
@@ -135,5 +172,30 @@ class TestShardCLI:
         ])
         assert args.command == "serve-fleet"
         assert args.worker_args == ["--cache-size", "4096"]
-        args = parser.parse_args(["serve", "idx/", "--shard-id", "3"])
-        assert args.shard_id == 3
+        assert args.hedge_after == 0.0 and args.retry_budget is None
+        args = parser.parse_args([
+            "serve-fleet", "fleet/", "--hedge-after", "0.05",
+            "--retry-budget", "0.3",
+        ])
+        assert args.hedge_after == 0.05 and args.retry_budget == 0.3
+        args = parser.parse_args([
+            "serve", "idx/", "--shard-id", "3", "--replica-id", "1",
+        ])
+        assert args.shard_id == 3 and args.replica_id == 1
+
+    def test_index_shard_replicas_writes_replica_dirs(
+        self, store_path, tmp_path, capsys
+    ):
+        out = tmp_path / "fleet"
+        code = main([
+            "index", "shard", str(store_path), "--shards", "2",
+            "--out", str(out), "--replicas", "2",
+        ])
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "x 2 replicas" in stdout
+        for name in (
+            "shard-00.cidx", "shard-00.r1.cidx",
+            "shard-01.cidx", "shard-01.r1.cidx",
+        ):
+            assert (out / name).is_dir()

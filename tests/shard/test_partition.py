@@ -124,6 +124,93 @@ class TestMapIntegrity:
             verify_partition_stores(target, partition)
 
 
+class TestReplicatedPartition:
+    def test_replicas_share_pinned_digests(
+        self, replica_fleet_dir, replica_partition
+    ):
+        from repro.shard.partition import replica_dir_name
+        from repro.store.fingerprint import digest_file
+
+        assert replica_partition.replicas == 2
+        for entry in replica_partition.shards:
+            assert entry.replica_dirs == (
+                replica_dir_name(entry.shard_id, 0),
+                replica_dir_name(entry.shard_id, 1),
+            )
+            assert entry.dir == entry.replica_dirs[0]
+            pins = entry.column_digest_map
+            assert pins
+            for dir_name in entry.replica_dirs:
+                store = replica_fleet_dir / dir_name
+                header = read_header(store)
+                assert header.content_digest == entry.content_digest
+                for name, want in pins.items():
+                    assert digest_file(store / f"{name}.npy") == want
+
+    def test_v2_map_round_trips(self, replica_fleet_dir, replica_partition):
+        raw = json.loads((replica_fleet_dir / PARTITION_NAME).read_text())
+        assert raw["format_version"] == 2
+        assert raw["replicas"] == 2
+        assert load_partition(replica_fleet_dir) == replica_partition
+        verify_partition_stores(replica_fleet_dir, replica_partition)
+
+    def test_v1_map_still_loads(self, partition):
+        from repro.store.fingerprint import digest_text
+
+        payload = {
+            "magic": "repro-partition-map",
+            "format_version": 1,
+            "mode": partition.mode,
+            "num_shards": partition.num_shards,
+            "num_nodes": partition.num_nodes,
+            "num_worlds": partition.num_worlds,
+            "source_digest": partition.source_digest,
+            "shards": [
+                {
+                    "shard_id": e.shard_id,
+                    "dir": e.dir,
+                    "node_lo": e.lo,
+                    "node_hi": e.hi,
+                    "content_digest": e.content_digest,
+                }
+                for e in partition.shards
+            ],
+        }
+        body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        payload["map_checksum"] = digest_text(body)
+        loaded = PartitionMap.from_json(json.dumps(payload))
+        assert loaded.replicas == 1
+        for entry in loaded.shards:
+            assert len(entry.replica_dirs) == 1
+            assert entry.column_digests == ()
+
+    def test_unknown_version_is_refused(self, fleet_dir):
+        payload = json.loads((fleet_dir / PARTITION_NAME).read_text())
+        payload["format_version"] = 99
+        with pytest.raises(StoreFormatError, match="version"):
+            PartitionMap.from_json(json.dumps(payload))
+
+    def test_rejects_replica_count_mismatch(self, partition):
+        with pytest.raises(StoreFormatError, match="replica dirs"):
+            PartitionMap(
+                mode=partition.mode,
+                num_shards=partition.num_shards,
+                num_nodes=partition.num_nodes,
+                num_worlds=partition.num_worlds,
+                source_digest=partition.source_digest,
+                shards=partition.shards,
+                replicas=2,
+            )
+
+    def test_world_block_replication(self, store_path, tmp_path):
+        target = tmp_path / "wb"
+        wb = partition_store(
+            store_path, target, 2, by="world-block", replicas=2
+        )
+        assert wb.replicas == 2
+        verify_partition_stores(target, wb)
+
+
 class TestShardForNode:
     def test_matches_linear_scan(self, partition):
         for node in range(partition.num_nodes):

@@ -1,0 +1,398 @@
+"""Replicated routing contract: health-aware replica selection, transparent
+failover under a retry budget, hedged reads, replica-aware health/metrics
+aggregation, quorum-preserving rolling reloads, and the live scrub/repair
+admin surface."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.runtime.faults import FaultSpec, fault_scope
+from repro.shard.router import RetryBudget
+
+
+def _corrupt_column(fleet_dir, dir_name: str) -> str:
+    """os.replace one column with junk (new inode: peers and any mmap'd
+    worker keep the old healthy bytes — exactly the scrub scenario)."""
+    store = fleet_dir / dir_name
+    column = sorted(store.glob("*.npy"))[0]
+    junk = store / "junk.tmp"
+    junk.write_bytes(b"divergent bytes")
+    os.replace(junk, column)
+    return column.name
+
+
+class TestRetryBudget:
+    def test_starts_at_burst_and_spends_whole_tokens(self):
+        budget = RetryBudget(0.2, 2.0)
+        assert budget.tokens() == 2.0
+        assert budget.try_spend() and budget.try_spend()
+        assert not budget.try_spend()
+
+    def test_deposits_accrue_at_ratio_capped_at_burst(self):
+        budget = RetryBudget(0.5, 1.0)
+        assert budget.try_spend()
+        assert not budget.try_spend()
+        budget.deposit()
+        assert budget.tokens() == 0.5
+        for _ in range(10):
+            budget.deposit()
+        assert budget.tokens() == 1.0
+        assert budget.try_spend()
+
+    def test_rejects_negative_parameters(self):
+        with pytest.raises(ValueError):
+            RetryBudget(-0.1, 1.0)
+        with pytest.raises(ValueError):
+            RetryBudget(0.1, -1.0)
+
+
+class TestReplicaSelection:
+    def test_prefers_lower_replica_id_when_equal(self, running_replica_fleet):
+        fleet = running_replica_fleet()
+        order = fleet.router.replica_order(0)
+        assert [r.replica_id for r in order] == [0, 1]
+
+    def test_down_replica_sorts_last(self, running_replica_fleet):
+        fleet = running_replica_fleet()
+        fleet.worker(0, 0).kill()
+        order = fleet.router.replica_order(0)
+        assert [r.replica_id for r in order] == [1, 0]
+
+    def test_quarantined_replica_leaves_rotation(self, running_replica_fleet):
+        fleet = running_replica_fleet()
+        fleet.router.replica_state(0, 0).set_quarantined(True)
+        order = fleet.router.replica_order(0)
+        assert [r.replica_id for r in order] == [1]
+
+
+class TestFailover:
+    def test_transparent_failover_on_transport_error(
+        self, running_replica_fleet, reference_server, replica_partition
+    ):
+        fleet = running_replica_fleet()
+        node = replica_partition.shards[0].lo
+        with fault_scope([
+            FaultSpec(site="router.forward", kind="error", key="0/0")
+        ]):
+            status, _, body = fleet.request(f"/sphere/{node}")
+        assert status == 200
+        assert body == reference_server.request(f"/sphere/{node}")[2]
+        text = fleet.request("/metrics")[2].decode()
+        assert 'repro_router_failovers_total{shard="0"} 1' in text
+        assert (
+            'repro_router_forward_failures_total'
+            '{kind="injected",replica="0",shard="0"} 1'
+        ) in text
+
+    def test_down_replica_needs_no_failover(
+        self, running_replica_fleet, reference_server, replica_partition
+    ):
+        fleet = running_replica_fleet()
+        fleet.worker(0, 0).kill()
+        node = replica_partition.shards[0].lo
+        status, _, body = fleet.request(f"/sphere/{node}")
+        assert status == 200
+        assert body == reference_server.request(f"/sphere/{node}")[2]
+        text = fleet.request("/metrics")[2].decode()
+        # Selection already preferred the live replica: no retry spent.
+        assert 'repro_router_failovers_total{shard="0"}' not in text
+
+    def test_all_replicas_down_is_a_clean_503(
+        self, running_replica_fleet, replica_partition
+    ):
+        fleet = running_replica_fleet()
+        fleet.worker(0, 0).kill()
+        fleet.worker(0, 1).kill()
+        node = replica_partition.shards[0].lo
+        status, headers, _ = fleet.request(f"/sphere/{node}")
+        assert status == 503
+        assert "Retry-After" in headers
+        # The other shard keeps serving its range.
+        assert fleet.request(f"/sphere/{replica_partition.shards[1].lo}")[0] == 200
+
+    def test_exhausted_budget_suppresses_failover(
+        self, running_replica_fleet, replica_partition
+    ):
+        fleet = running_replica_fleet(retry_budget_burst=0.0)
+        node = replica_partition.shards[0].lo
+        with fault_scope([
+            FaultSpec(site="router.forward", kind="error", key="0/0")
+        ]):
+            status, _, _ = fleet.request(f"/sphere/{node}")
+        assert status == 502
+        text = fleet.request("/metrics")[2].decode()
+        assert 'repro_router_retry_budget_exhausted_total{shard="0"} 1' in text
+
+    def test_batches_fail_over_too(
+        self, running_replica_fleet, reference_server, replica_partition
+    ):
+        fleet = running_replica_fleet()
+        nodes = [replica_partition.shards[0].lo, replica_partition.shards[1].lo]
+        with fault_scope([
+            FaultSpec(site="router.forward", kind="error", key="0/0")
+        ]):
+            status, _, body = fleet.request(
+                "/spheres", method="POST", body={"nodes": nodes}
+            )
+        assert status == 200
+        ref = reference_server.request(
+            "/spheres", method="POST", body={"nodes": nodes}
+        )[2]
+        assert body == ref
+
+    def test_replica_pick_fault_is_an_explicit_500(
+        self, running_replica_fleet, replica_partition
+    ):
+        fleet = running_replica_fleet()
+        node = replica_partition.shards[0].lo
+        with fault_scope([
+            FaultSpec(site="router.replica_pick", kind="error", key=0)
+        ]):
+            status, _, body = fleet.request(f"/sphere/{node}")
+        assert status == 500
+        assert json.loads(body)["error"]["status"] == 500
+
+
+class TestHedgedReads:
+    def test_hedge_wins_when_primary_stalls(
+        self, running_replica_fleet, reference_server, replica_partition
+    ):
+        fleet = running_replica_fleet(hedge_after=0.05)
+        node = replica_partition.shards[0].lo
+        with fault_scope([
+            FaultSpec(
+                site="router.forward", kind="sleep", key="0/0", seconds=2.0
+            )
+        ]):
+            status, _, body = fleet.request(f"/sphere/{node}")
+        assert status == 200
+        assert body == reference_server.request(f"/sphere/{node}")[2]
+        text = fleet.request("/metrics")[2].decode()
+        assert 'repro_router_hedges_total{shard="0"} 1' in text
+
+    def test_hedge_fault_abandons_hedge_primary_still_answers(
+        self, running_replica_fleet, replica_partition
+    ):
+        fleet = running_replica_fleet(hedge_after=0.05)
+        node = replica_partition.shards[0].lo
+        with fault_scope([
+            FaultSpec(
+                site="router.forward", kind="sleep", key="0/0", seconds=0.3
+            ),
+            FaultSpec(site="router.hedge", kind="error", key=0),
+        ]):
+            status, _, _ = fleet.request(f"/sphere/{node}")
+        assert status == 200
+        text = fleet.request("/metrics")[2].decode()
+        assert 'repro_router_hedges_total{shard="0"}' not in text
+
+    def test_no_hedge_without_budget(
+        self, running_replica_fleet, replica_partition
+    ):
+        fleet = running_replica_fleet(
+            hedge_after=0.05, retry_budget_burst=0.0
+        )
+        node = replica_partition.shards[0].lo
+        with fault_scope([
+            FaultSpec(
+                site="router.forward", kind="sleep", key="0/0", seconds=0.3
+            )
+        ]):
+            status, _, _ = fleet.request(f"/sphere/{node}")
+        assert status == 200
+        text = fleet.request("/metrics")[2].decode()
+        assert 'repro_router_hedges_total{shard="0"}' not in text
+        assert 'repro_router_retry_budget_exhausted_total{shard="0"} 1' in text
+
+
+class TestReplicaHealth:
+    def test_full_replication_reports_ok(self, running_replica_fleet):
+        fleet = running_replica_fleet()
+        status, _, body = fleet.request("/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["replicas"] == 2
+        for shard in payload["shards"]:
+            assert shard["replicas_total"] == 2
+            assert shard["replicas_healthy"] == 2
+            assert [r["replica_id"] for r in shard["replicas"]] == [0, 1]
+            assert all(r["status"] == "ok" for r in shard["replicas"])
+            # v1-compatible roll-up fields survive replication.
+            assert shard["breaker"]["state"] == "closed"
+            assert shard["store_generation"] == 1
+            assert shard["worker"]["status"] == "ok"
+
+    def test_replica_down_degrades_shard_and_fleet(self, running_replica_fleet):
+        fleet = running_replica_fleet()
+        fleet.worker(1, 1).kill()
+        status, _, body = fleet.request("/healthz")
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "degraded"
+        shard = payload["shards"][1]
+        assert shard["status"] == "degraded"
+        assert shard["replicas_healthy"] == 1
+        down = shard["replicas"][1]
+        assert down["status"] == "down" and "error" in down
+        assert payload["shards"][0]["status"] == "ok"
+
+    def test_down_only_when_every_shard_is_down(self, running_replica_fleet):
+        fleet = running_replica_fleet()
+        for worker in fleet.workers:
+            worker.kill()
+        status, _, body = fleet.request("/healthz")
+        assert status == 503
+        assert json.loads(body)["status"] == "down"
+
+    def test_worker_metrics_carry_replica_labels(self, running_replica_fleet):
+        fleet = running_replica_fleet()
+        text = fleet.request("/metrics")[2].decode()
+        assert 'replica="0",shard="0"' in text
+        assert 'replica="1",shard="1"' in text
+
+
+class TestRollingReloadQuorum:
+    def test_reload_rolls_every_replica(self, running_replica_fleet):
+        fleet = running_replica_fleet()
+        status, _, body = fleet.request("/admin/reload", method="POST", body={})
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "reloaded"
+        for shard in payload["shards"]:
+            assert shard["generation"] == 2
+            assert [r["status"] for r in shard["replicas"]] == [
+                "reloaded", "reloaded",
+            ]
+
+    def test_reload_refuses_to_drop_range_below_quorum(
+        self, running_replica_fleet
+    ):
+        fleet = running_replica_fleet()
+        fleet.worker(0, 1).kill()
+        status, _, body = fleet.request("/admin/reload", method="POST", body={})
+        payload = json.loads(body)
+        assert status == 500
+        assert payload["status"] == "partial"
+        skipped = payload["shards"][0]
+        assert skipped["status"] == "skipped"
+        assert "quorum" in skipped["error"]
+        # The roll stopped before touching anything: every serving worker
+        # still runs generation 1.
+        health = json.loads(fleet.request("/healthz")[2])
+        assert all(
+            shard["store_generation"] == 1 for shard in health["shards"]
+        )
+
+    def test_failed_replica_reload_stops_without_touching_peers(
+        self, running_replica_fleet
+    ):
+        fleet = running_replica_fleet()
+        with fault_scope([
+            FaultSpec(site="router.reload", kind="error", key=0)
+        ]):
+            status, _, body = fleet.request(
+                "/admin/reload", method="POST", body={}
+            )
+        payload = json.loads(body)
+        assert status == 500
+        assert payload["status"] == "partial"
+        assert payload["shards"][0]["status"] == "failed"
+        assert len(payload["shards"]) == 1 or (
+            payload["shards"][1]["replicas"] == []
+        )
+        health = json.loads(fleet.request("/healthz")[2])
+        assert health["status"] == "ok"
+        assert all(
+            shard["store_generation"] == 1 for shard in health["shards"]
+        )
+
+
+class TestScrubAndRepairAdmin:
+    def test_scrub_clean_quarantines_nothing(self, running_replica_fleet):
+        fleet = running_replica_fleet()
+        status, _, body = fleet.request("/admin/scrub", method="POST", body={})
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["ok"] is True
+        assert payload["quarantined"] == []
+
+    def test_scrub_quarantine_repair_lifecycle(
+        self, running_replica_fleet, reference_server, replica_fleet_dir,
+        replica_partition,
+    ):
+        fleet = running_replica_fleet()
+        entry = replica_partition.shards[0]
+        node = entry.lo
+        _corrupt_column(replica_fleet_dir, entry.replica_dirs[1])
+
+        status, _, body = fleet.request("/admin/scrub", method="POST", body={})
+        payload = json.loads(body)
+        assert status == 200 and payload["ok"] is False
+        assert [(q["shard_id"], q["replica"]) for q in payload["quarantined"]] \
+            == [(0, 1)]
+
+        health = json.loads(fleet.request("/healthz")[2])
+        assert health["status"] == "degraded"
+        assert health["shards"][0]["replicas"][1]["status"] == "quarantined"
+
+        # Traffic keeps flowing on the verified peer, byte-identical.
+        status, _, body = fleet.request(f"/sphere/{node}")
+        assert status == 200
+        assert body == reference_server.request(f"/sphere/{node}")[2]
+
+        status, _, body = fleet.request(
+            "/admin/repair", method="POST", body={"shard": 0, "replica": 1}
+        )
+        payload = json.loads(body)
+        assert status == 200
+        assert payload["status"] == "repaired"
+        assert payload["source_replica"] == 0
+        # The corruption swapped in a new inode; the worker kept serving
+        # the old healthy mmap all along, so no reload was needed.
+        assert payload["worker"] == "untouched"
+
+        status, _, body = fleet.request("/admin/scrub", method="POST", body={})
+        assert json.loads(body)["ok"] is True
+        health = json.loads(fleet.request("/healthz")[2])
+        assert health["status"] == "ok"
+
+    def test_every_replica_quarantined_is_an_explicit_503(
+        self, running_replica_fleet, replica_fleet_dir, replica_partition
+    ):
+        fleet = running_replica_fleet()
+        entry = replica_partition.shards[0]
+        _corrupt_column(replica_fleet_dir, entry.replica_dirs[0])
+        _corrupt_column(replica_fleet_dir, entry.replica_dirs[1])
+        fleet.request("/admin/scrub", method="POST", body={})
+        status, headers, body = fleet.request(f"/sphere/{entry.lo}")
+        assert status == 503
+        assert "Retry-After" in headers
+        assert "quarantined" in json.loads(body)["error"]["message"]
+        assert fleet.request(f"/sphere/{replica_partition.shards[1].lo}")[0] == 200
+
+    def test_repair_validates_coordinates(self, running_replica_fleet):
+        fleet = running_replica_fleet()
+        status, _, _ = fleet.request(
+            "/admin/repair", method="POST", body={"shard": 9, "replica": 0}
+        )
+        assert status == 400
+        status, _, _ = fleet.request(
+            "/admin/repair", method="POST", body={"shard": 0}
+        )
+        assert status == 400
+        status, _, _ = fleet.request(
+            "/admin/repair", method="POST",
+            body={"shard": 0, "replica": True},
+        )
+        assert status == 400
+
+    def test_scrub_without_fleet_dir_is_a_400(self, running_replica_fleet):
+        fleet = running_replica_fleet(fleet_dir=None)
+        status, _, body = fleet.request("/admin/scrub", method="POST", body={})
+        assert status == 400
+        assert "offline" in json.loads(body)["error"]["message"]

@@ -269,8 +269,8 @@ class TestMetricsAggregation:
             node = fleet.partition.shards[1].lo
             assert fleet.request(f"/sphere/{node}")[0] == 502
         text = fleet.request("/metrics")[2].decode()
-        assert 'repro_router_breaker_state{shard="1"} 2' in text
-        assert 'repro_router_breaker_state{shard="0"} 0' in text
+        assert 'repro_router_breaker_state{replica="0",shard="1"} 2' in text
+        assert 'repro_router_breaker_state{replica="0",shard="0"} 0' in text
 
 
 class TestRollingReload:
